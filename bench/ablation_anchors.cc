@@ -1,0 +1,90 @@
+// Ablation: anchor position.
+//
+// The same Host-to-Host reachability question posed three ways:
+//   both ends named   — the planner picks the cheaper anchor,
+//   start named only  — forward extension from the anchor,
+//   end named only    — backward extension from the anchor.
+// The paper observes that forward and backward execution differ mainly in
+// the fanout they encounter; an unanchored far end turns a point-to-point
+// query into a one-to-many sweep, which is why anchor selection matters.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace nepal::bench {
+namespace {
+
+struct AnchorFixture {
+  netmodel::VirtualizedNetwork net;
+  std::unique_ptr<nql::QueryEngine> engine;
+  InstanceSet both_ends, start_only, end_only;
+
+  AnchorFixture() {
+    netmodel::VirtualizedParams params;
+    params.history_days = 0;
+    auto built = BuildVirtualizedNetwork(params, RelationalFactory());
+    if (!built.ok()) std::abort();
+    net = std::move(*built);
+    engine = std::make_unique<nql::QueryEngine>(net.db.get());
+
+    Rng rng(17);
+    std::vector<std::string> both, starts, ends;
+    size_t want = static_cast<size_t>(NumInstances());
+    for (size_t i = 0; i < 6 * want && both.size() < 2 * want; ++i) {
+      const std::string a =
+          NameOf(*net.db, net.hosts[rng.Below(net.hosts.size())]);
+      const std::string b =
+          NameOf(*net.db, net.hosts[rng.Below(net.hosts.size())]);
+      if (a == b) continue;
+      both.push_back("Retrieve P From PATHS P Where P MATCHES Host(name='" +
+                     a + "')->[connects()]{1,4}->Host(name='" + b + "')");
+      starts.push_back("Retrieve P From PATHS P Where P MATCHES Host(name='" +
+                       a + "')->[connects()]{1,4}->Host()");
+      ends.push_back("Retrieve P From PATHS P Where P MATCHES "
+                     "Host()->[connects()]{1,4}->Host(name='" + b + "')");
+    }
+    both_ends = SampleNonEmpty(*engine, both, want);
+    start_only = SampleNonEmpty(*engine, starts, want);
+    end_only = SampleNonEmpty(*engine, ends, want);
+  }
+};
+
+AnchorFixture& Fixture() {
+  static AnchorFixture* fixture = new AnchorFixture();
+  return *fixture;
+}
+
+void RunInstances(benchmark::State& state, const InstanceSet& set) {
+  if (set.queries.empty()) {
+    state.SkipWithError("no non-empty instances sampled");
+    return;
+  }
+  size_t i = 0;
+  size_t paths = 0;
+  for (auto _ : state) {
+    paths += MustRun(*Fixture().engine, set.Next(i++));
+  }
+  state.counters["paths"] =
+      static_cast<double>(paths) / static_cast<double>(i);
+}
+
+void BM_Anchor_BothEnds(benchmark::State& state) {
+  RunInstances(state, Fixture().both_ends);
+}
+BENCHMARK(BM_Anchor_BothEnds)->Unit(benchmark::kMillisecond);
+
+void BM_Anchor_StartOnly(benchmark::State& state) {
+  RunInstances(state, Fixture().start_only);
+}
+BENCHMARK(BM_Anchor_StartOnly)->Unit(benchmark::kMillisecond);
+
+void BM_Anchor_EndOnly(benchmark::State& state) {
+  RunInstances(state, Fixture().end_only);
+}
+BENCHMARK(BM_Anchor_EndOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace nepal::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Ablation: retargeting — the same queries on both execution backends.
+//
+// Nepal compiles one operator DAG; the graphstore executes it with
+// per-traverser adjacency steps (the Gremlin strategy), the relational
+// engine with bulk hash joins over per-class tables (the Postgres
+// strategy). Results are identical (asserted by the differential property
+// tests); this bench compares their performance profiles on the Table-1
+// query mix.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace nepal::bench {
+namespace {
+
+struct BackendLoad {
+  netmodel::VirtualizedNetwork net;
+  std::unique_ptr<nql::QueryEngine> engine;
+  InstanceSet topdown, bottomup, vmvm;
+};
+
+struct BackendsFixture {
+  BackendLoad graphstore, relational;
+
+  static void Build(const netmodel::BackendFactory& factory,
+                    BackendLoad* load) {
+    netmodel::VirtualizedParams params;
+    params.history_days = 0;
+    auto built = BuildVirtualizedNetwork(params, factory);
+    if (!built.ok()) std::abort();
+    load->net = std::move(*built);
+    load->engine = std::make_unique<nql::QueryEngine>(load->net.db.get());
+
+    Rng rng(5);
+    size_t want = static_cast<size_t>(NumInstances());
+    std::vector<std::string> candidates;
+    for (Uid vnf : load->net.vnfs) {
+      candidates.push_back(
+          "Retrieve P From PATHS P Where P MATCHES VNF(id=" +
+          std::to_string(vnf) + ")->[Vertical()]{1,6}->Host()");
+    }
+    load->topdown = SampleNonEmpty(*load->engine, candidates, want);
+    candidates.clear();
+    for (size_t i = 0; i < load->net.hosts.size(); ++i) {
+      candidates.push_back(
+          "Retrieve P From PATHS P Where P MATCHES "
+          "VNF()->[Vertical()]{1,6}->Host(id=" +
+          std::to_string(load->net.hosts[rng.Below(load->net.hosts.size())]) +
+          ")");
+    }
+    load->bottomup = SampleNonEmpty(*load->engine, candidates, want);
+    candidates.clear();
+    for (int i = 0; i < 400; ++i) {
+      const std::string a =
+          NameOf(*load->net.db, load->net.vms[rng.Below(load->net.vms.size())]);
+      const std::string b =
+          NameOf(*load->net.db, load->net.vms[rng.Below(load->net.vms.size())]);
+      if (a == b) continue;
+      candidates.push_back(
+          "Retrieve P From PATHS P Where P MATCHES VM(name='" + a +
+          "')->[virtual_connects()]{1,4}->VM(name='" + b + "')");
+    }
+    load->vmvm = SampleNonEmpty(*load->engine, candidates, want);
+  }
+
+  BackendsFixture() {
+    Build(GraphStoreFactory(), &graphstore);
+    Build(RelationalFactory(), &relational);
+  }
+};
+
+BackendsFixture& Fixture() {
+  static BackendsFixture* fixture = new BackendsFixture();
+  return *fixture;
+}
+
+void RunInstances(benchmark::State& state, const BackendLoad& load,
+                  const InstanceSet& set) {
+  if (set.queries.empty()) {
+    state.SkipWithError("no non-empty instances sampled");
+    return;
+  }
+  size_t i = 0;
+  size_t paths = 0;
+  for (auto _ : state) {
+    paths += MustRun(*load.engine, set.Next(i++));
+  }
+  state.counters["paths"] =
+      static_cast<double>(paths) / static_cast<double>(i);
+}
+
+#define BACKEND_BENCH(query)                                        \
+  void BM_##query##_GraphStore(benchmark::State& state) {          \
+    RunInstances(state, Fixture().graphstore, Fixture().graphstore.query); \
+  }                                                                 \
+  BENCHMARK(BM_##query##_GraphStore)->Unit(benchmark::kMillisecond); \
+  void BM_##query##_Relational(benchmark::State& state) {          \
+    RunInstances(state, Fixture().relational, Fixture().relational.query); \
+  }                                                                 \
+  BENCHMARK(BM_##query##_Relational)->Unit(benchmark::kMillisecond)
+
+BACKEND_BENCH(topdown);
+BACKEND_BENCH(bottomup);
+BACKEND_BENCH(vmvm);
+
+}  // namespace
+}  // namespace nepal::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Ablation: the ExtendBlock operator (paper Section 5.2).
+//
+// Repetition blocks whose payload is an atom (or alternation of atoms) can
+// either be delegated to the backend's ExtendBlock — a tight loop inside
+// the store — or unrolled by the planner into nested Union steps. The
+// paper introduced ExtendBlock to avoid shipping intermediate frontiers
+// out of the Gremlin store; in-process the effect is smaller but the
+// unrolled plan still pays for extra frontier materialization and
+// deduplication.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace nepal::bench {
+namespace {
+
+struct EbFixture {
+  netmodel::VirtualizedNetwork net;
+  std::unique_ptr<nql::QueryEngine> with_block;
+  std::unique_ptr<nql::QueryEngine> unrolled;
+  InstanceSet vmvm, hosthost6;
+
+  EbFixture() {
+    netmodel::VirtualizedParams params;
+    params.history_days = 0;
+    auto built = BuildVirtualizedNetwork(params, RelationalFactory());
+    if (!built.ok()) std::abort();
+    net = std::move(*built);
+    with_block = std::make_unique<nql::QueryEngine>(net.db.get());
+    nql::EngineOptions no_block;
+    no_block.plan.use_extend_block = false;
+    unrolled = std::make_unique<nql::QueryEngine>(net.db.get(), no_block);
+
+    Rng rng(23);
+    size_t want = static_cast<size_t>(NumInstances());
+    std::vector<std::string> vm_candidates, hh_candidates;
+    for (int i = 0; i < 500; ++i) {
+      const std::string a = NameOf(*net.db, net.vms[rng.Below(net.vms.size())]);
+      const std::string b = NameOf(*net.db, net.vms[rng.Below(net.vms.size())]);
+      if (a == b) continue;
+      vm_candidates.push_back(
+          "Retrieve P From PATHS P Where P MATCHES VM(name='" + a +
+          "')->[virtual_connects()]{1,4}->VM(name='" + b + "')");
+    }
+    for (int i = 0; i < 100; ++i) {
+      const std::string a =
+          NameOf(*net.db, net.hosts[rng.Below(net.hosts.size())]);
+      const std::string b =
+          NameOf(*net.db, net.hosts[rng.Below(net.hosts.size())]);
+      if (a == b) continue;
+      hh_candidates.push_back(
+          "Retrieve P From PATHS P Where P MATCHES Host(name='" + a +
+          "')->[connects()]{1,6}->Host(name='" + b + "')");
+    }
+    vmvm = SampleNonEmpty(*with_block, vm_candidates, want);
+    hosthost6 = SampleNonEmpty(*with_block, hh_candidates, 6);
+  }
+};
+
+EbFixture& Fixture() {
+  static EbFixture* fixture = new EbFixture();
+  return *fixture;
+}
+
+void RunInstances(benchmark::State& state, const nql::QueryEngine& engine,
+                  const InstanceSet& set) {
+  if (set.queries.empty()) {
+    state.SkipWithError("no non-empty instances sampled");
+    return;
+  }
+  size_t i = 0;
+  size_t paths = 0;
+  for (auto _ : state) {
+    paths += MustRun(engine, set.Next(i++));
+  }
+  state.counters["paths"] =
+      static_cast<double>(paths) / static_cast<double>(i);
+}
+
+void BM_VmVm4_ExtendBlock(benchmark::State& state) {
+  RunInstances(state, *Fixture().with_block, Fixture().vmvm);
+}
+BENCHMARK(BM_VmVm4_ExtendBlock)->Unit(benchmark::kMillisecond);
+
+void BM_VmVm4_Unrolled(benchmark::State& state) {
+  RunInstances(state, *Fixture().unrolled, Fixture().vmvm);
+}
+BENCHMARK(BM_VmVm4_Unrolled)->Unit(benchmark::kMillisecond);
+
+void BM_HostHost6_ExtendBlock(benchmark::State& state) {
+  RunInstances(state, *Fixture().with_block, Fixture().hosthost6);
+}
+BENCHMARK(BM_HostHost6_ExtendBlock)->Unit(benchmark::kMillisecond);
+
+void BM_HostHost6_Unrolled(benchmark::State& state) {
+  RunInstances(state, *Fixture().unrolled, Fixture().hosthost6);
+}
+BENCHMARK(BM_HostHost6_Unrolled)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace nepal::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Shared benchmark fixtures: lazily-built networks, query-instance
+// sampling (zero-path instances excluded, as in the paper), and helpers.
+//
+// Scale knobs (environment variables):
+//   NEPAL_BENCH_LEGACY_DEVICES  — legacy topology size (default 1000;
+//                                 ~11000 reproduces the paper's 1.6M-node
+//                                 data set).
+//   NEPAL_BENCH_INSTANCES       — query instances per type (default 50).
+
+#ifndef NEPAL_BENCH_BENCH_UTIL_H_
+#define NEPAL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graphstore/graph_store.h"
+#include "nepal/engine.h"
+#include "netmodel/legacy.h"
+#include "netmodel/virtualized.h"
+#include "relational/relational_store.h"
+
+namespace nepal::bench {
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+inline int NumInstances() { return EnvInt("NEPAL_BENCH_INSTANCES", 50); }
+
+inline netmodel::BackendFactory RelationalFactory() {
+  return [](schema::SchemaPtr s) -> std::unique_ptr<storage::StorageBackend> {
+    return std::make_unique<relational::RelationalStore>(std::move(s));
+  };
+}
+inline netmodel::BackendFactory GraphStoreFactory() {
+  return [](schema::SchemaPtr s) -> std::unique_ptr<storage::StorageBackend> {
+    return std::make_unique<graphstore::GraphStore>(std::move(s));
+  };
+}
+
+/// Runs a query, aborting the benchmark on error (a bench must not silently
+/// measure failures).
+inline size_t MustRun(const nql::QueryEngine& engine,
+                      const std::string& query) {
+  auto result = engine.Run(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench query failed: %s\n  query: %s\n",
+                 result.status().ToString().c_str(), query.c_str());
+    std::abort();
+  }
+  return result->rows.size();
+}
+
+inline std::string NameOf(const storage::GraphDb& db, Uid uid) {
+  auto v = db.GetCurrent(uid);
+  if (!v.ok()) return "";
+  int idx = v->cls->FieldIndex("name");
+  return v->fields[static_cast<size_t>(idx)].AsString();
+}
+
+/// A set of query instances of one type plus bookkeeping for cycling
+/// through them inside the benchmark loop.
+struct InstanceSet {
+  std::vector<std::string> queries;
+  double avg_paths = 0;  // measured during sampling (zero-path skipped)
+
+  const std::string& Next(size_t iteration) const {
+    return queries[iteration % queries.size()];
+  }
+};
+
+/// Keeps instances whose query returns at least one path, up to `want`.
+inline InstanceSet SampleNonEmpty(const nql::QueryEngine& engine,
+                                  const std::vector<std::string>& candidates,
+                                  size_t want) {
+  InstanceSet set;
+  double paths = 0;
+  for (const std::string& q : candidates) {
+    if (set.queries.size() >= want) break;
+    auto result = engine.Run(q);
+    if (!result.ok()) {
+      std::fprintf(stderr, "instance sampling failed: %s\n  query: %s\n",
+                   result.status().ToString().c_str(), q.c_str());
+      std::abort();
+    }
+    if (result->rows.empty()) continue;  // the paper skips zero-path runs
+    paths += static_cast<double>(result->rows.size());
+    set.queries.push_back(q);
+  }
+  if (!set.queries.empty()) {
+    set.avg_paths = paths / static_cast<double>(set.queries.size());
+  }
+  return set;
+}
+
+/// Prefixes a query with a timeslice at `t`, turning a current-snapshot
+/// query into one against the full history store (the paper's
+/// "Time (hist)" columns).
+inline std::string OnHistory(const std::string& query, Timestamp t) {
+  return "AT '" + FormatTimestamp(t) + "' " + query;
+}
+
+}  // namespace nepal::bench
+
+#endif  // NEPAL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,152 @@
+// Ingest-path microbenchmarks (the write side the paper's Section 3.1
+// architecture feeds from A&AI and legacy sources).
+//
+//   - validated node / edge inserts per second, per backend,
+//   - field updates (temporal version creation),
+//   - the update-by-snapshot diff service with varying change ratios
+//     (an unchanged snapshot must be cheap: diff detection, no writes).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "schema/dsl_parser.h"
+#include "temporal/snapshot.h"
+
+namespace nepal::bench {
+namespace {
+
+schema::SchemaPtr IngestSchema() {
+  static schema::SchemaPtr schema = [] {
+    auto s = schema::ParseSchemaDsl(R"(
+      node Item : Node { val: int; status: string; }
+      edge link : Edge {}
+      allow link (Item -> Item);
+    )");
+    if (!s.ok()) std::abort();
+    return *s;
+  }();
+  return schema;
+}
+
+std::unique_ptr<storage::GraphDb> MakeDb(bool relational) {
+  schema::SchemaPtr schema = IngestSchema();
+  std::unique_ptr<storage::StorageBackend> backend;
+  if (relational) {
+    backend = std::make_unique<relational::RelationalStore>(schema);
+  } else {
+    backend = std::make_unique<graphstore::GraphStore>(schema);
+  }
+  return std::make_unique<storage::GraphDb>(schema, std::move(backend));
+}
+
+void BM_InsertNodes(benchmark::State& state) {
+  auto db = MakeDb(state.range(0) != 0);
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto uid = db->AddNode(
+        "Item", {{"name", Value("item-" + std::to_string(i++))},
+                 {"val", Value(i)},
+                 {"status", Value("up")}});
+    if (!uid.ok()) state.SkipWithError("insert failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InsertNodes)->Arg(0)->Arg(1)->ArgName("relational");
+
+void BM_InsertEdges(benchmark::State& state) {
+  auto db = MakeDb(state.range(0) != 0);
+  std::vector<Uid> nodes;
+  for (int i = 0; i < 1000; ++i) {
+    nodes.push_back(*db->AddNode(
+        "Item", {{"name", Value("n" + std::to_string(i))}}));
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    Uid s = nodes[rng.Below(nodes.size())];
+    Uid t = nodes[rng.Below(nodes.size())];
+    if (s == t) continue;
+    auto uid = db->AddEdge("link", s, t, {});
+    if (!uid.ok()) state.SkipWithError("insert failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InsertEdges)->Arg(0)->Arg(1)->ArgName("relational");
+
+void BM_TemporalUpdates(benchmark::State& state) {
+  auto db = MakeDb(state.range(0) != 0);
+  std::vector<Uid> nodes;
+  for (int i = 0; i < 1000; ++i) {
+    nodes.push_back(*db->AddNode(
+        "Item", {{"name", Value("n" + std::to_string(i))},
+                 {"val", Value(0)}}));
+  }
+  Rng rng(2);
+  int64_t tick = 0;
+  for (auto _ : state) {
+    // Each update at a new instant creates one history version.
+    if (db->SetTime(db->Now() + 1 + (tick++ % 3)).ok()) {
+      Uid uid = nodes[rng.Below(nodes.size())];
+      auto st = db->UpdateElement(
+          uid, {{"val", Value(static_cast<int64_t>(rng.Below(1000)))}});
+      if (!st.ok()) state.SkipWithError("update failed");
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["versions"] =
+      static_cast<double>(db->backend().VersionCount());
+}
+BENCHMARK(BM_TemporalUpdates)->Arg(0)->Arg(1)->ArgName("relational");
+
+/// Applies daily snapshots where `change_permille` of elements changed.
+void BM_SnapshotDiff(benchmark::State& state) {
+  auto db = MakeDb(/*relational=*/true);
+  temporal::SnapshotUpdater updater(db.get());
+  constexpr int kNodes = 2000;
+  temporal::Snapshot snap;
+  for (int i = 0; i < kNodes; ++i) {
+    snap.nodes.push_back(temporal::SnapshotNode{
+        "n" + std::to_string(i), "Item",
+        {{"name", Value("n" + std::to_string(i))}, {"val", Value(0)}}});
+  }
+  for (int i = 0; i + 1 < kNodes; ++i) {
+    snap.edges.push_back(temporal::SnapshotEdge{
+        "e" + std::to_string(i), "link", "n" + std::to_string(i),
+        "n" + std::to_string(i + 1), {}});
+  }
+  Timestamp t = *ParseTimestamp("2017-02-01 00:00:00");
+  if (!updater.Apply(snap, t).ok()) {
+    state.SkipWithError("initial load failed");
+    return;
+  }
+  Rng rng(3);
+  int64_t day = 0;
+  const auto change_permille = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    size_t changes = kNodes * change_permille / 1000;
+    for (size_t c = 0; c < changes; ++c) {
+      auto& node = snap.nodes[rng.Below(snap.nodes.size())];
+      node.fields[1].second = Value(static_cast<int64_t>(rng.Below(1u << 30)));
+    }
+    t += 86400LL * 1000000;
+    state.ResumeTiming();
+    auto stats = updater.Apply(snap, t);
+    if (!stats.ok()) state.SkipWithError("apply failed");
+    ++day;
+  }
+  state.counters["elements"] =
+      static_cast<double>(snap.nodes.size() + snap.edges.size());
+  state.counters["versions"] =
+      static_cast<double>(db->backend().VersionCount());
+}
+BENCHMARK(BM_SnapshotDiff)
+    ->Arg(0)     // unchanged snapshot: pure diff detection
+    ->Arg(10)    // 1% daily churn
+    ->Arg(100)   // 10% daily churn
+    ->ArgName("change_permille")
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace nepal::bench
+
+BENCHMARK_MAIN();

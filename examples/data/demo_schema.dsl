@@ -1,0 +1,19 @@
+# Demo schema for the Nepal shell: the Figure-3 style underlay/overlay.
+node VNF : Node { vnf_type: string; }
+node VFC : Node {}
+node VM : Node { status: string; }
+node Host : Node { serial: string unique; }
+node Switch : Node {}
+
+edge Vertical : Edge {}
+edge composed_of : Vertical {}
+edge hosted_on : Vertical {}
+edge on_server : Vertical {}
+edge connects : Edge { bandwidth: int; }
+
+allow composed_of (VNF -> VFC);
+allow hosted_on (VFC -> VM);
+allow on_server (VM -> Host);
+allow connects (Host -> Switch);
+allow connects (Switch -> Host);
+allow connects (Switch -> Switch);

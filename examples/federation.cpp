@@ -1,0 +1,114 @@
+// Federated queries over fragmented inventories (Section 1 / Section 3.1).
+//
+//   $ ./build/examples/federation
+//
+// Large operators keep network data in multiple inventories: here a cloud
+// inventory (virtual layer, property-graph backend) and a legacy physical
+// inventory (relational backend). Neither system alone can answer
+// "which physical circuits carry the traffic of this customer's VMs?" —
+// Nepal's mediator evaluates each range variable against its own source
+// and joins the pathways, shipping only endpoints between systems.
+// Hostnames are the shared key between the two inventories.
+
+#include <cstdio>
+
+#include "graphstore/graph_store.h"
+#include "nepal/engine.h"
+#include "relational/relational_store.h"
+#include "schema/dsl_parser.h"
+#include "storage/graphdb.h"
+
+namespace {
+
+constexpr const char* kCloudSchema = R"(
+node VM : Node { owner: string; }
+node HostRef : Node {}   # the cloud's view of a physical server
+edge on_server : Edge {}
+allow on_server (VM -> HostRef);
+)";
+
+constexpr const char* kPhysicalSchema = R"(
+node Server : Node { site: string; }
+node Circuit : Node { capacity_gbps: int; }
+edge terminates : Edge {}
+allow terminates (Server -> Circuit);
+allow terminates (Circuit -> Server);
+)";
+
+}  // namespace
+
+int main() {
+  using namespace nepal;
+  auto die = [](const Status& st) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    std::exit(1);
+  };
+
+  // ---- The cloud inventory (graphstore backend) ----
+  auto cloud_schema = schema::ParseSchemaDsl(kCloudSchema);
+  if (!cloud_schema.ok()) die(cloud_schema.status());
+  storage::GraphDb cloud(
+      *cloud_schema, std::make_unique<graphstore::GraphStore>(*cloud_schema));
+  auto must = [&die](auto r) {
+    if (!r.ok()) die(r.status());
+    return *r;
+  };
+  Uid vm1 = must(cloud.AddNode(
+      "VM", {{"name", Value("vm-1")}, {"owner", Value("acme")}}));
+  Uid vm2 = must(cloud.AddNode(
+      "VM", {{"name", Value("vm-2")}, {"owner", Value("acme")}}));
+  Uid vm3 = must(cloud.AddNode(
+      "VM", {{"name", Value("vm-3")}, {"owner", Value("globex")}}));
+  Uid ref_a = must(cloud.AddNode("HostRef", {{"name", Value("srv-17")}}));
+  Uid ref_b = must(cloud.AddNode("HostRef", {{"name", Value("srv-42")}}));
+  must(cloud.AddEdge("on_server", vm1, ref_a, {}));
+  must(cloud.AddEdge("on_server", vm2, ref_b, {}));
+  must(cloud.AddEdge("on_server", vm3, ref_b, {}));
+
+  // ---- The legacy physical inventory (relational backend) ----
+  auto phys_schema = schema::ParseSchemaDsl(kPhysicalSchema);
+  if (!phys_schema.ok()) die(phys_schema.status());
+  storage::GraphDb physical(
+      *phys_schema,
+      std::make_unique<relational::RelationalStore>(*phys_schema));
+  Uid srv17 = must(physical.AddNode(
+      "Server", {{"name", Value("srv-17")}, {"site", Value("ATL")}}));
+  Uid srv42 = must(physical.AddNode(
+      "Server", {{"name", Value("srv-42")}, {"site", Value("DFW")}}));
+  Uid circuit = must(physical.AddNode(
+      "Circuit", {{"name", Value("ckt-atl-dfw")},
+                  {"capacity_gbps", Value(100)}}));
+  must(physical.AddEdge("terminates", srv17, circuit, {}));
+  must(physical.AddEdge("terminates", circuit, srv42, {}));
+
+  // ---- The mediator ----
+  nql::QueryEngine engine(&cloud);
+  engine.BindSource("cloud", &cloud);
+  engine.BindSource("physical", &physical);
+
+  // Which circuits carry acme's VM traffic? V runs on the cloud source,
+  // C on the physical one; the join key is the shared hostname.
+  std::string query =
+      "Select source(V).name, target(V).name, C "
+      "From PATHS V In 'cloud', PATHS C In 'physical' "
+      "Where V MATCHES VM(owner='acme')->on_server()->HostRef() "
+      "And C MATCHES Server()->terminates()->Circuit() "
+      "And target(V).name = source(C).name";
+  std::printf("federated query:\n%s\n\n", query.c_str());
+  auto result = engine.Run(query);
+  if (!result.ok()) die(result.status());
+  std::printf("%s\n", result->ToString().c_str());
+
+  // And the reverse direction: who is exposed if the circuit fails?
+  query =
+      "Select source(V).owner, source(V).name "
+      "From PATHS C In 'physical', PATHS V In 'cloud' "
+      "Where C MATCHES Circuit(name='ckt-atl-dfw')->terminates()->Server() "
+      "And V MATCHES VM()->on_server()->HostRef() "
+      "And target(V).name = target(C).name";
+  std::printf("shared fate of circuit ckt-atl-dfw:\n%s\n\n", query.c_str());
+  result = engine.Run(query);
+  if (!result.ok()) die(result.status());
+  std::printf("%s\n", result->ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,180 @@
+// nepal_shell — an interactive NQL shell.
+//
+//   $ ./build/examples/nepal_shell schema.dsl [feed.txt ...] [--relational]
+//   nepal> Retrieve P From PATHS P Where P MATCHES VNF()->VFC();
+//   nepal> .explain Select count(P) From PATHS P Where P MATCHES VM();
+//   nepal> .help
+//
+// Loads a schema (Nepal schema DSL) and zero or more inventory feed files,
+// then evaluates NQL queries from stdin (terminated by ';'). Dot-commands:
+//   .help               this text
+//   .schema             print the schema back as DSL
+//   .stats              node/edge/version counts and memory use
+//   .load <feed-file>   replay another feed file
+//   .export             dump the current snapshot as a feed
+//   .explain <query>;   show anchor choice, programs and backend trace
+//   .quit               exit
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "graphstore/graph_store.h"
+#include "nepal/engine.h"
+#include "netmodel/feed.h"
+#include "relational/relational_store.h"
+#include "schema/dsl_parser.h"
+#include "storage/graphdb.h"
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "Enter NQL queries terminated by ';'. Dot-commands:\n"
+      "  .help / .schema / .stats / .load <file> / .export / .quit\n"
+      "  .explain <query>;   show the plan and executor trace\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nepal;
+  bool relational = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--relational") == 0) {
+      relational = true;
+    } else if (std::strcmp(argv[i], "--graphstore") == 0) {
+      relational = false;
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: nepal_shell <schema.dsl> [feed.txt ...] "
+                 "[--relational|--graphstore]\n");
+    return 2;
+  }
+
+  // Schema.
+  std::string schema_text;
+  {
+    FILE* f = std::fopen(files[0].c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open schema file %s\n", files[0].c_str());
+      return 2;
+    }
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      schema_text.append(buf, n);
+    }
+    std::fclose(f);
+  }
+  auto schema = schema::ParseSchemaDsl(schema_text);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "%s\n", schema.status().ToString().c_str());
+    return 1;
+  }
+
+  std::unique_ptr<storage::StorageBackend> backend;
+  if (relational) {
+    backend = std::make_unique<relational::RelationalStore>(*schema);
+  } else {
+    backend = std::make_unique<graphstore::GraphStore>(*schema);
+  }
+  storage::GraphDb db(*schema, std::move(backend));
+  netmodel::FeedLoader loader(&db);
+  for (size_t i = 1; i < files.size(); ++i) {
+    auto stats = loader.LoadFile(files[i]);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %s: %s\n", files[i].c_str(),
+                stats->ToString().c_str());
+  }
+  nql::QueryEngine engine(&db);
+  std::printf("Nepal shell — backend: %s. Type .help for help.\n",
+              db.backend().name().c_str());
+
+  std::string pending;
+  std::string line;
+  while (true) {
+    std::fputs(pending.empty() ? "nepal> " : "  ...> ", stdout);
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+
+    if (pending.empty() && !line.empty() && line[0] == '.') {
+      if (line == ".quit" || line == ".exit") break;
+      if (line == ".help") {
+        PrintHelp();
+        continue;
+      }
+      if (line == ".schema") {
+        std::printf("%s", db.schema().ToDsl().c_str());
+        continue;
+      }
+      if (line == ".stats") {
+        std::printf("%zu nodes, %zu edges, %zu versions, ~%.1f MB, now=%s\n",
+                    db.node_count(), db.edge_count(),
+                    db.backend().VersionCount(),
+                    static_cast<double>(db.backend().MemoryUsage()) / 1e6,
+                    FormatTimestamp(db.Now()).c_str());
+        continue;
+      }
+      if (line.rfind(".load ", 0) == 0) {
+        auto stats = loader.LoadFile(line.substr(6));
+        if (!stats.ok()) {
+          std::printf("error: %s\n", stats.status().ToString().c_str());
+        } else {
+          std::printf("%s\n", stats->ToString().c_str());
+        }
+        continue;
+      }
+      if (line == ".export") {
+        size_t skipped = 0;
+        std::printf("%s", netmodel::ExportFeed(db, &skipped).c_str());
+        if (skipped > 0) {
+          std::printf("# %zu unnamed element(s) skipped\n", skipped);
+        }
+        continue;
+      }
+      if (line.rfind(".explain ", 0) == 0) {
+        pending = "\x01" + line.substr(9);  // marker: explain mode
+        if (pending.find(';') == std::string::npos) continue;
+      } else {
+        std::printf("unknown command; try .help\n");
+        continue;
+      }
+    } else {
+      pending += (pending.empty() ? "" : "\n") + line;
+    }
+
+    size_t semi = pending.find(';');
+    if (semi == std::string::npos) continue;
+    bool explain = !pending.empty() && pending[0] == '\x01';
+    std::string query = pending.substr(explain ? 1 : 0,
+                                       semi - (explain ? 1 : 0));
+    pending.clear();
+    if (explain) {
+      auto plan = engine.Explain(query);
+      if (!plan.ok()) {
+        std::printf("error: %s\n", plan.status().ToString().c_str());
+      } else {
+        std::printf("%s", plan->c_str());
+      }
+      continue;
+    }
+    auto result = engine.Run(query);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+    } else {
+      std::printf("%s", result->ToString(50).c_str());
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

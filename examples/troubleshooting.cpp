@@ -1,0 +1,150 @@
+// Troubleshooting with time travel (the paper's Section 4 scenario).
+//
+//   $ ./build/examples/troubleshooting
+//
+// "Dropped calls started at 10:00" — but it is 13:00 now and the network
+// has already healed itself. The current snapshot looks fine; the engineer
+// needs the 10:00 state:
+//   - a timeslice query reconstructs the service's footprint at 10:00,
+//   - a time-range query shows how the placement evolved,
+//   - First/Last Time When Exists brackets the faulty configuration,
+//   - a path-evolution query drills into the offending pathway.
+
+#include <cstdio>
+
+#include "nepal/engine.h"
+#include "relational/relational_store.h"
+#include "schema/dsl_parser.h"
+#include "storage/graphdb.h"
+#include "temporal/evolution.h"
+
+namespace {
+
+constexpr const char* kSchema = R"(
+node VNF : Node {}
+node VFC : Node {}
+node VM : Node { status: string; }
+node Host : Node { health: string; }
+edge Vertical : Edge {}
+edge composed_of : Vertical {}
+edge hosted_on : Vertical {}
+edge on_server : Vertical {}
+allow composed_of (VNF -> VFC);
+allow hosted_on (VFC -> VM);
+allow on_server (VM -> Host);
+)";
+
+nepal::Timestamp Ts(const char* s) {
+  auto r = nepal::ParseTimestamp(s);
+  if (!r.ok()) std::abort();
+  return *r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace nepal;
+  auto schema = schema::ParseSchemaDsl(kSchema);
+  if (!schema.ok()) return 1;
+  storage::GraphDb db(*schema,
+                      std::make_unique<relational::RelationalStore>(*schema));
+  auto die = [](const Status& st) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    std::exit(1);
+  };
+  auto must = [&](auto result) {
+    if (!result.ok()) die(result.status());
+    return *result;
+  };
+
+  // ---- Build the timeline ----
+  // 08:00 — voice-core VNF runs on host-a (healthy).
+  (void)db.SetTime(Ts("2017-02-15 08:00"));
+  Uid vnf = must(db.AddNode("VNF", {{"name", Value("voice-core")}}));
+  Uid vfc = must(db.AddNode("VFC", {{"name", Value("media-gw")}}));
+  Uid vm = must(db.AddNode(
+      "VM", {{"name", Value("vm-7")}, {"status", Value("Green")}}));
+  Uid host_a = must(db.AddNode(
+      "Host", {{"name", Value("host-a")}, {"health", Value("ok")}}));
+  Uid host_b = must(db.AddNode(
+      "Host", {{"name", Value("host-b")}, {"health", Value("ok")}}));
+  must(db.AddEdge("composed_of", vnf, vfc, {}));
+  must(db.AddEdge("hosted_on", vfc, vm, {}));
+  Uid placement_a = must(db.AddEdge("on_server", vm, host_a, {}));
+
+  // 10:00 — host-a degrades; the orchestrator live-migrates vm-7 onto
+  // host-b, which is ALSO degraded (the root cause of the dropped calls).
+  (void)db.SetTime(Ts("2017-02-15 10:00"));
+  if (auto st = db.UpdateElement(host_a, {{"health", Value("degraded")}});
+      !st.ok()) {
+    die(st);
+  }
+  if (auto st = db.UpdateElement(host_b, {{"health", Value("degraded")}});
+      !st.ok()) {
+    die(st);
+  }
+  if (auto st = db.RemoveElement(placement_a); !st.ok()) die(st);
+  Uid placement_b = must(db.AddEdge("on_server", vm, host_b, {}));
+  (void)placement_b;
+
+  // 11:30 — host-b recovers; calls stop dropping.
+  (void)db.SetTime(Ts("2017-02-15 11:30"));
+  if (auto st = db.UpdateElement(host_b, {{"health", Value("ok")}}); !st.ok()) {
+    die(st);
+  }
+
+  // 13:00 — now. Everything looks healthy.
+  (void)db.SetTime(Ts("2017-02-15 13:00"));
+
+  nql::QueryEngine engine(&db);
+  auto run = [&](const char* title, const std::string& query) {
+    std::printf("-- %s\n   %s\n", title, query.c_str());
+    auto result = engine.Run(query);
+    if (!result.ok()) die(result.status());
+    std::printf("%s\n", result->ToString().c_str());
+  };
+
+  run("Current state (13:00): is voice-core on a degraded host? — no",
+      "Retrieve P From PATHS P Where P MATCHES "
+      "VNF(name='voice-core')->[Vertical()]{1,4}->Host(health='degraded')");
+
+  run("Timeslice at 10:00: the same question in the past — found it",
+      "AT '2017-02-15 10:00' "
+      "Retrieve P From PATHS P Where P MATCHES "
+      "VNF(name='voice-core')->[Vertical()]{1,4}->Host(health='degraded')");
+
+  run("Time range 08:00-13:00: every placement and when it held",
+      "AT '2017-02-15 08:00' : '2017-02-15 13:00' "
+      "Select target(P).name From PATHS P "
+      "Where P MATCHES VM(name='vm-7')->Host()");
+
+  run("Exactly when did the service sit on a degraded host?",
+      "AT '2017-02-15 08:00' : '2017-02-15 13:00' "
+      "When Exists Retrieve P From PATHS P Where P MATCHES "
+      "VNF(name='voice-core')->[Vertical()]{1,4}->Host(health='degraded')");
+
+  run("First moment of exposure (correlate with the alarm at 10:00)",
+      "AT '2017-02-15 08:00' : '2017-02-15 13:00' "
+      "First Time When Exists Retrieve P From PATHS P Where P MATCHES "
+      "VNF(name='voice-core')->[Vertical()]{1,4}->Host(health='degraded')");
+
+  // Path evolution: drill into the pathway the timeslice query returned.
+  std::printf("-- Path evolution of vm-7 / host-b over the morning\n");
+  temporal::PathEvolution evo = temporal::TrackPathEvolution(
+      db.backend(), {vm, host_b},
+      Interval{Ts("2017-02-15 08:00"), Ts("2017-02-15 13:00")});
+  for (const auto& elem : evo.elements) {
+    std::printf("  element #%llu (%s): existed %s\n",
+                static_cast<unsigned long long>(elem.uid),
+                elem.cls->name().c_str(), elem.existence.ToString().c_str());
+    for (const auto& tr : elem.transitions) {
+      for (const auto& change : tr.changes) {
+        std::printf("    %s: %s -> %s at %s\n", change.field.c_str(),
+                    change.before.ToString().c_str(),
+                    change.after.ToString().c_str(),
+                    FormatTimestamp(tr.at).c_str());
+      }
+    }
+  }
+  return 0;
+}

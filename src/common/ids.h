@@ -1,0 +1,20 @@
+// Element identifiers.
+//
+// Every node and edge in a Nepal graph carries a globally unique uid; the
+// uniqueness constraint spans node and edge spaces (the paper keeps a
+// dedicated table to guarantee this).
+
+#ifndef NEPAL_COMMON_IDS_H_
+#define NEPAL_COMMON_IDS_H_
+
+#include <cstdint>
+
+namespace nepal {
+
+using Uid = uint64_t;
+
+inline constexpr Uid kInvalidUid = 0;
+
+}  // namespace nepal
+
+#endif  // NEPAL_COMMON_IDS_H_

@@ -1,0 +1,142 @@
+// Status and Result<T>: the error-handling model used across Nepal.
+//
+// Nepal follows the RocksDB/Arrow idiom: no exceptions cross public API
+// boundaries; fallible operations return a Status (or a Result<T> when a
+// value is produced).
+
+#ifndef NEPAL_COMMON_STATUS_H_
+#define NEPAL_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace nepal {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input from the caller
+  kNotFound,          // a named entity (class, field, uid) does not exist
+  kAlreadyExists,     // uniqueness violation
+  kSchemaViolation,   // insert/update rejected by the strongly-typed schema
+  kParseError,        // NQL / schema-DSL text failed to parse
+  kPlanError,         // query cannot be planned (e.g. no anchor)
+  kUnsupported,       // feature not available on this backend
+  kInternal,          // invariant violation inside Nepal
+};
+
+/// Returns a stable human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status SchemaViolation(std::string msg) {
+    return Status(StatusCode::kSchemaViolation, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Never both.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return MakeValue();` and `return status;`
+  // both work, matching the Arrow Result<T> ergonomics.
+  Result(T value) : value_(std::move(value)) {}                 // NOLINT
+  Result(Status status) : status_(std::move(status)) {          // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK Status to the caller.
+#define NEPAL_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::nepal::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#define NEPAL_CONCAT_IMPL(a, b) a##b
+#define NEPAL_CONCAT(a, b) NEPAL_CONCAT_IMPL(a, b)
+
+// Evaluates a Result<T> expression; on error returns the Status, otherwise
+// moves the value into `lhs` (which may be a declaration).
+#define NEPAL_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  NEPAL_ASSIGN_OR_RETURN_IMPL(NEPAL_CONCAT(_res_, __LINE__), lhs, \
+                              rexpr)
+
+#define NEPAL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+}  // namespace nepal
+
+#endif  // NEPAL_COMMON_STATUS_H_

@@ -1,0 +1,189 @@
+#include "common/time.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace nepal {
+namespace {
+
+constexpr int64_t kMicrosPerSecond = 1000000;
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+// Days from 1970-01-01 to year-month-day (civil, proleptic Gregorian).
+int64_t DaysFromEpoch(int year, int month, int day) {
+  // Howard Hinnant's days_from_civil algorithm.
+  year -= month <= 2;
+  const int64_t era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);
+  const unsigned doy =
+      (153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 + day - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+// Inverse of DaysFromEpoch.
+void CivilFromDays(int64_t z, int* year, int* month, int* day) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+}  // namespace
+
+Result<Timestamp> ParseTimestamp(const std::string& text) {
+  int year = 0, month = 0, day = 0, hour = 0, minute = 0, second = 0;
+  int64_t micros = 0;
+  const char* p = text.c_str();
+  int consumed = 0;
+  if (std::sscanf(p, "%d-%d-%d%n", &year, &month, &day, &consumed) != 3) {
+    return Status::ParseError("bad timestamp literal: '" + text + "'");
+  }
+  p += consumed;
+  if (*p != '\0') {
+    if (*p != ' ' && *p != 'T') {
+      return Status::ParseError("bad timestamp literal: '" + text + "'");
+    }
+    ++p;
+    if (std::sscanf(p, "%d:%d%n", &hour, &minute, &consumed) != 2) {
+      return Status::ParseError("bad time-of-day in: '" + text + "'");
+    }
+    p += consumed;
+    if (*p == ':') {
+      ++p;
+      if (std::sscanf(p, "%d%n", &second, &consumed) != 1) {
+        return Status::ParseError("bad seconds in: '" + text + "'");
+      }
+      p += consumed;
+      if (*p == '.') {
+        ++p;
+        int64_t frac = 0;
+        int digits = 0;
+        while (*p >= '0' && *p <= '9' && digits < 6) {
+          frac = frac * 10 + (*p - '0');
+          ++p;
+          ++digits;
+        }
+        while (digits < 6) {
+          frac *= 10;
+          ++digits;
+        }
+        micros = frac;
+      }
+    }
+    if (*p != '\0') {
+      return Status::ParseError("trailing characters in timestamp: '" + text +
+                                "'");
+    }
+  }
+  if (month < 1 || month > 12 || day < 1 || day > DaysInMonth(year, month) ||
+      hour < 0 || hour > 23 || minute < 0 || minute > 59 || second < 0 ||
+      second > 60) {
+    return Status::ParseError("out-of-range timestamp: '" + text + "'");
+  }
+  int64_t days = DaysFromEpoch(year, month, day);
+  int64_t seconds = days * 86400 + hour * 3600 + minute * 60 + second;
+  return seconds * kMicrosPerSecond + micros;
+}
+
+std::string FormatTimestamp(Timestamp ts) {
+  if (ts == kTimestampMax) return "";
+  int64_t seconds = ts / kMicrosPerSecond;
+  int64_t micros = ts % kMicrosPerSecond;
+  if (micros < 0) {
+    micros += kMicrosPerSecond;
+    --seconds;
+  }
+  int64_t days = seconds / 86400;
+  int64_t sod = seconds % 86400;
+  if (sod < 0) {
+    sod += 86400;
+    --days;
+  }
+  int year, month, day;
+  CivilFromDays(days, &year, &month, &day);
+  char buf[48];
+  if (micros != 0) {
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%06lld",
+                  year, month, day, static_cast<int>(sod / 3600),
+                  static_cast<int>((sod / 60) % 60), static_cast<int>(sod % 60),
+                  static_cast<long long>(micros));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", year,
+                  month, day, static_cast<int>(sod / 3600),
+                  static_cast<int>((sod / 60) % 60),
+                  static_cast<int>(sod % 60));
+  }
+  return buf;
+}
+
+std::string Interval::ToString() const {
+  std::string out = "[";
+  out += FormatTimestamp(start);
+  out += ", ";
+  out += FormatTimestamp(end);
+  out += ")";
+  return out;
+}
+
+void IntervalSet::Add(const Interval& iv) {
+  if (iv.empty()) return;
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), iv,
+      [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  // Merge backwards with a predecessor that meets iv.
+  if (it != intervals_.begin() && std::prev(it)->Meets(iv)) --it;
+  Interval merged = iv;
+  auto erase_begin = it;
+  while (it != intervals_.end() && it->Meets(merged)) {
+    merged = merged.Span(*it);
+    ++it;
+  }
+  it = intervals_.erase(erase_begin, it);
+  intervals_.insert(it, merged);
+}
+
+Timestamp IntervalSet::FirstTime() const {
+  return intervals_.empty() ? kTimestampMax : intervals_.front().start;
+}
+
+Timestamp IntervalSet::LastTime() const {
+  return intervals_.empty() ? kTimestampMin : intervals_.back().end;
+}
+
+bool IntervalSet::Contains(Timestamp t) const {
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](Timestamp v, const Interval& iv) { return v < iv.start; });
+  if (it == intervals_.begin()) return false;
+  return std::prev(it)->Contains(t);
+}
+
+std::string IntervalSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += intervals_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace nepal

@@ -1,0 +1,96 @@
+// Transaction-time primitives for Nepal's temporal graph store.
+//
+// Timestamps are microseconds since the Unix epoch. Validity periods are
+// half-open intervals [start, end): an element version with
+// end == kTimestampMax is current ("still exists", printed as an open
+// interval, matching the paper's result2 example).
+
+#ifndef NEPAL_COMMON_TIME_H_
+#define NEPAL_COMMON_TIME_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nepal {
+
+using Timestamp = int64_t;
+
+inline constexpr Timestamp kTimestampMin = 0;
+inline constexpr Timestamp kTimestampMax =
+    std::numeric_limits<Timestamp>::max();
+
+/// Parses "YYYY-MM-DD HH:MM[:SS[.ffffff]]" (the literal format used in NQL
+/// AT clauses) into microseconds since epoch, interpreting the civil time
+/// as UTC. A bare "YYYY-MM-DD" is midnight.
+Result<Timestamp> ParseTimestamp(const std::string& text);
+
+/// Inverse of ParseTimestamp: "YYYY-MM-DD HH:MM:SS[.ffffff]".
+/// kTimestampMax renders as "" (open end, as in the paper's result output).
+std::string FormatTimestamp(Timestamp ts);
+
+/// Half-open validity interval [start, end).
+struct Interval {
+  Timestamp start = kTimestampMin;
+  Timestamp end = kTimestampMax;
+
+  static Interval All() { return {kTimestampMin, kTimestampMax}; }
+  /// Degenerate interval containing exactly one instant.
+  static Interval At(Timestamp t) { return {t, t == kTimestampMax ? t : t + 1}; }
+
+  bool empty() const { return start >= end; }
+  bool Contains(Timestamp t) const { return t >= start && t < end; }
+  bool Overlaps(const Interval& o) const {
+    return start < o.end && o.start < end;
+  }
+  /// True if the two intervals overlap or touch (can be coalesced).
+  bool Meets(const Interval& o) const {
+    return start <= o.end && o.start <= end;
+  }
+
+  Interval Intersect(const Interval& o) const {
+    return {start > o.start ? start : o.start, end < o.end ? end : o.end};
+  }
+  /// Union of two meeting intervals; caller must check Meets() first.
+  Interval Span(const Interval& o) const {
+    return {start < o.start ? start : o.start, end > o.end ? end : o.end};
+  }
+
+  bool operator==(const Interval& o) const = default;
+
+  /// "[2017-02-15 09:15:00, )" style rendering.
+  std::string ToString() const;
+};
+
+/// A set of disjoint intervals kept sorted and coalesced; the result type of
+/// "When Exists" temporal aggregation queries.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Inserts an interval, merging it with any intervals it meets.
+  void Add(const Interval& iv);
+
+  bool empty() const { return intervals_.empty(); }
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Earliest instant covered; kTimestampMax when empty.
+  Timestamp FirstTime() const;
+  /// Latest covered instant's interval end; kTimestampMin when empty.
+  /// (An open interval yields kTimestampMax: "still exists".)
+  Timestamp LastTime() const;
+
+  bool Contains(Timestamp t) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Interval> intervals_;  // sorted by start, pairwise disjoint
+};
+
+}  // namespace nepal
+
+#endif  // NEPAL_COMMON_TIME_H_

@@ -1,0 +1,290 @@
+#include "common/value.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+namespace nepal {
+
+const char* ValueKindToString(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kBool:
+      return "bool";
+    case ValueKind::kInt:
+      return "int";
+    case ValueKind::kDouble:
+      return "double";
+    case ValueKind::kString:
+      return "string";
+    case ValueKind::kIp:
+      return "ip";
+    case ValueKind::kList:
+      return "list";
+    case ValueKind::kSet:
+      return "set";
+    case ValueKind::kMap:
+      return "map";
+  }
+  return "unknown";
+}
+
+Value Value::List(ValueList elems) {
+  Value v;
+  v.rep_ = ContainerRep{ValueKind::kList,
+                        std::make_shared<const ValueList>(std::move(elems))};
+  return v;
+}
+
+Value Value::Set(ValueList elems) {
+  std::sort(elems.begin(), elems.end());
+  elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
+  Value v;
+  v.rep_ = ContainerRep{ValueKind::kSet,
+                        std::make_shared<const ValueList>(std::move(elems))};
+  return v;
+}
+
+Value Value::Map(ValueMap entries) {
+  Value v;
+  v.rep_ = MapRep{std::make_shared<const ValueMap>(std::move(entries))};
+  return v;
+}
+
+Result<Value> Value::ParseIp(const std::string& text) {
+  unsigned a, b, c, d;
+  char extra;
+  if (std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &extra) !=
+          4 ||
+      a > 255 || b > 255 || c > 255 || d > 255) {
+    return Status::ParseError("bad IPv4 literal: '" + text + "'");
+  }
+  return Value::Ip((a << 24) | (b << 16) | (c << 8) | d);
+}
+
+ValueKind Value::kind() const {
+  switch (rep_.index()) {
+    case 0:
+      return ValueKind::kNull;
+    case 1:
+      return ValueKind::kBool;
+    case 2:
+      return ValueKind::kInt;
+    case 3:
+      return ValueKind::kDouble;
+    case 4:
+      return ValueKind::kString;
+    case 5:
+      return ValueKind::kIp;
+    case 6:
+      return std::get<ContainerRep>(rep_).kind;
+    case 7:
+      return ValueKind::kMap;
+  }
+  return ValueKind::kNull;
+}
+
+const ValueList& Value::AsList() const {
+  return *std::get<ContainerRep>(rep_).elems;
+}
+
+const ValueMap& Value::AsMap() const {
+  return *std::get<MapRep>(rep_).entries;
+}
+
+namespace {
+
+int Cmp3(int64_t a, int64_t b) { return a < b ? -1 : (a > b ? 1 : 0); }
+int Cmp3(double a, double b) { return a < b ? -1 : (a > b ? 1 : 0); }
+int Cmp3(uint32_t a, uint32_t b) { return a < b ? -1 : (a > b ? 1 : 0); }
+
+int KindRank(ValueKind k) {
+  switch (k) {
+    case ValueKind::kNull:
+      return 0;
+    case ValueKind::kBool:
+      return 1;
+    case ValueKind::kInt:
+    case ValueKind::kDouble:
+      return 2;  // numerics compare across kinds
+    case ValueKind::kString:
+      return 3;
+    case ValueKind::kIp:
+      return 4;
+    case ValueKind::kList:
+      return 5;
+    case ValueKind::kSet:
+      return 6;
+    case ValueKind::kMap:
+      return 7;
+  }
+  return 8;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  ValueKind k1 = kind(), k2 = other.kind();
+  int r1 = KindRank(k1), r2 = KindRank(k2);
+  if (r1 != r2) return r1 < r2 ? -1 : 1;
+  switch (k1) {
+    case ValueKind::kNull:
+      return 0;
+    case ValueKind::kBool:
+      return Cmp3(static_cast<int64_t>(AsBool()),
+                  static_cast<int64_t>(other.AsBool()));
+    case ValueKind::kInt:
+    case ValueKind::kDouble: {
+      if (k1 == ValueKind::kInt && k2 == ValueKind::kInt) {
+        return Cmp3(AsInt(), other.AsInt());
+      }
+      double a = k1 == ValueKind::kInt ? static_cast<double>(AsInt())
+                                       : AsDouble();
+      double b = k2 == ValueKind::kInt ? static_cast<double>(other.AsInt())
+                                       : other.AsDouble();
+      return Cmp3(a, b);
+    }
+    case ValueKind::kString:
+      return AsString().compare(other.AsString());
+    case ValueKind::kIp:
+      return Cmp3(AsIp(), other.AsIp());
+    case ValueKind::kList:
+    case ValueKind::kSet: {
+      const ValueList& a = AsList();
+      const ValueList& b = other.AsList();
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c;
+      }
+      return Cmp3(static_cast<int64_t>(a.size()),
+                  static_cast<int64_t>(b.size()));
+    }
+    case ValueKind::kMap: {
+      const ValueMap& a = AsMap();
+      const ValueMap& b = other.AsMap();
+      auto ia = a.begin(), ib = b.begin();
+      for (; ia != a.end() && ib != b.end(); ++ia, ++ib) {
+        int c = ia->first.compare(ib->first);
+        if (c != 0) return c;
+        c = ia->second.Compare(ib->second);
+        if (c != 0) return c;
+      }
+      if (ia != a.end()) return 1;
+      if (ib != b.end()) return -1;
+      return 0;
+    }
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(KindRank(kind())) * 0x9e3779b97f4a7c15ull;
+  auto mix = [&seed](size_t h) {
+    seed ^= h + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+  };
+  switch (kind()) {
+    case ValueKind::kNull:
+      break;
+    case ValueKind::kBool:
+      mix(std::hash<bool>()(AsBool()));
+      break;
+    case ValueKind::kInt:
+      mix(std::hash<double>()(static_cast<double>(AsInt())));
+      break;
+    case ValueKind::kDouble:
+      mix(std::hash<double>()(AsDouble()));
+      break;
+    case ValueKind::kString:
+      mix(std::hash<std::string>()(AsString()));
+      break;
+    case ValueKind::kIp:
+      mix(std::hash<uint32_t>()(AsIp()));
+      break;
+    case ValueKind::kList:
+    case ValueKind::kSet:
+      for (const Value& v : AsList()) mix(v.Hash());
+      break;
+    case ValueKind::kMap:
+      for (const auto& [k, v] : AsMap()) {
+        mix(std::hash<std::string>()(k));
+        mix(v.Hash());
+      }
+      break;
+  }
+  return seed;
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueKind::kInt:
+      return std::to_string(AsInt());
+    case ValueKind::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    }
+    case ValueKind::kString:
+      return "'" + AsString() + "'";
+    case ValueKind::kIp: {
+      uint32_t ip = AsIp();
+      char buf[20];
+      std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xff,
+                    (ip >> 16) & 0xff, (ip >> 8) & 0xff, ip & 0xff);
+      return buf;
+    }
+    case ValueKind::kList:
+    case ValueKind::kSet: {
+      std::string out = kind() == ValueKind::kList ? "[" : "{";
+      const ValueList& elems = AsList();
+      for (size_t i = 0; i < elems.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += elems[i].ToString();
+      }
+      out += kind() == ValueKind::kList ? "]" : "}";
+      return out;
+    }
+    case ValueKind::kMap: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [k, v] : AsMap()) {
+        if (!first) out += ", ";
+        first = false;
+        out += k;
+        out += ": ";
+        out += v.ToString();
+      }
+      out += "}";
+      return out;
+    }
+  }
+  return "?";
+}
+
+size_t Value::MemoryUsage() const {
+  size_t bytes = sizeof(Value);
+  switch (kind()) {
+    case ValueKind::kString:
+      bytes += AsString().capacity();
+      break;
+    case ValueKind::kList:
+    case ValueKind::kSet:
+      for (const Value& v : AsList()) bytes += v.MemoryUsage();
+      break;
+    case ValueKind::kMap:
+      for (const auto& [k, v] : AsMap()) {
+        bytes += k.capacity() + v.MemoryUsage();
+      }
+      break;
+    default:
+      break;
+  }
+  return bytes;
+}
+
+}  // namespace nepal

@@ -1,0 +1,119 @@
+// Value: the dynamically-typed cell used by Nepal records.
+//
+// Although Nepal's schema is strongly typed, rows flow through the query
+// pipeline as vectors of Value cells whose runtime tag must agree with the
+// schema-declared field type (enforced at insert/update time by
+// schema::ValidateRecord). Container values (list/set/map) implement the
+// TOSCA container types used for structured data such as routing tables.
+
+#ifndef NEPAL_COMMON_VALUE_H_
+#define NEPAL_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nepal {
+
+enum class ValueKind {
+  kNull = 0,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+  kIp,      // IPv4 address, stored as host-order uint32
+  kList,
+  kSet,
+  kMap,
+};
+
+const char* ValueKindToString(ValueKind kind);
+
+class Value;
+
+/// Ordered element container; kSet keeps elements sorted and unique.
+using ValueList = std::vector<Value>;
+/// String-keyed map, sorted by key.
+using ValueMap = std::map<std::string, Value>;
+
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+  explicit Value(bool b) : rep_(b) {}
+  explicit Value(int64_t i) : rep_(i) {}
+  explicit Value(int i) : rep_(static_cast<int64_t>(i)) {}
+  explicit Value(double d) : rep_(d) {}
+  explicit Value(std::string s) : rep_(std::move(s)) {}
+  explicit Value(const char* s) : rep_(std::string(s)) {}
+
+  static Value Null() { return Value(); }
+  static Value Ip(uint32_t host_order_addr) {
+    Value v;
+    v.rep_ = IpRep{host_order_addr};
+    return v;
+  }
+  static Value List(ValueList elems);
+  static Value Set(ValueList elems);  // sorts and dedupes
+  static Value Map(ValueMap entries);
+
+  /// Parses dotted-quad "a.b.c.d" notation.
+  static Result<Value> ParseIp(const std::string& text);
+
+  ValueKind kind() const;
+  bool is_null() const { return kind() == ValueKind::kNull; }
+
+  // Accessors; caller must check kind() first (asserted in debug builds).
+  bool AsBool() const { return std::get<bool>(rep_); }
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  uint32_t AsIp() const { return std::get<IpRep>(rep_).addr; }
+  const ValueList& AsList() const;
+  const ValueMap& AsMap() const;
+
+  /// Numeric kinds compare by value across kInt/kDouble; other kinds must
+  /// match exactly. Null compares less than everything else.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  size_t Hash() const;
+
+  /// Literal rendering: strings quoted, IPs dotted-quad, containers bracketed.
+  std::string ToString() const;
+
+  /// Approximate heap footprint in bytes, used by storage accounting.
+  size_t MemoryUsage() const;
+
+ private:
+  struct IpRep {
+    uint32_t addr;
+    bool operator==(const IpRep&) const = default;
+  };
+  struct ContainerRep {
+    ValueKind kind;  // kList or kSet
+    std::shared_ptr<const ValueList> elems;
+  };
+  struct MapRep {
+    std::shared_ptr<const ValueMap> entries;
+  };
+
+  std::variant<std::monostate, bool, int64_t, double, std::string, IpRep,
+               ContainerRep, MapRep>
+      rep_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace nepal
+
+#endif  // NEPAL_COMMON_VALUE_H_

@@ -1,0 +1,958 @@
+#include "nepal/engine.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace nepal::nql {
+
+using storage::PathSet;
+using storage::PathState;
+using storage::TimeView;
+
+namespace {
+
+std::string RenderInterval(const Interval& iv) {
+  if (iv == Interval::All()) return "";
+  return " @" + iv.ToString();
+}
+
+/// Converts a completed PathState into a result Pathway.
+Pathway ToPathway(const PathState& state) {
+  Pathway p;
+  p.uids = state.uids;
+  p.concepts = state.concepts;
+  p.valid = state.valid;
+  return p;
+}
+
+/// Groups states with identical uid sequences and re-emits them with
+/// maximal validity intervals (coalescing adjacent version intervals).
+void CoalescePathSet(PathSet* paths) {
+  std::unordered_map<std::string, std::vector<size_t>> groups;
+  for (size_t i = 0; i < paths->size(); ++i) {
+    const PathState& s = (*paths)[i];
+    std::string key;
+    key.reserve(s.uids.size() * sizeof(Uid));
+    for (Uid u : s.uids) {
+      key.append(reinterpret_cast<const char*>(&u), sizeof(u));
+    }
+    groups[key].push_back(i);
+  }
+  PathSet out;
+  out.reserve(groups.size());
+  for (auto& [key, indexes] : groups) {
+    if (indexes.size() == 1) {
+      out.push_back(std::move((*paths)[indexes[0]]));
+      continue;
+    }
+    IntervalSet merged;
+    for (size_t i : indexes) merged.Add((*paths)[i].valid);
+    for (const Interval& iv : merged.intervals()) {
+      PathState state = (*paths)[indexes[0]];
+      state.valid = iv;
+      out.push_back(std::move(state));
+    }
+  }
+  *paths = std::move(out);
+}
+
+TimeView ViewFor(const std::optional<TimeSpec>& var_at,
+                 const std::optional<TimeSpec>& query_at) {
+  const std::optional<TimeSpec>& spec = var_at.has_value() ? var_at : query_at;
+  if (!spec.has_value()) return TimeView::Current();
+  if (spec->is_range()) return TimeView::Range(spec->start, *spec->end);
+  return TimeView::AsOf(spec->start);
+}
+
+/// Version of an element consistent with a pathway's validity interval.
+Result<storage::ElementVersion> FetchVersion(storage::GraphDb* db, Uid uid,
+                                             const Interval& valid) {
+  TimeView view = valid.end == kTimestampMax && valid.start == kTimestampMin
+                      ? TimeView::Current()
+                  : valid.end == kTimestampMax ? TimeView::Current()
+                                               : TimeView::AsOf(valid.start);
+  storage::ElementVersion out;
+  bool found = false;
+  db->backend().Get(uid, view, [&](const storage::ElementVersion& v) {
+    if (!found) {
+      out = v;
+      found = true;
+    }
+  });
+  if (!found) {
+    return Status::Internal("pathway element uid " + std::to_string(uid) +
+                            " not found while post-processing");
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Pathway::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < uids.size(); ++i) {
+    if (i > 0) out += "->";
+    out += concepts[i]->name() + "#" + std::to_string(uids[i]);
+  }
+  out += RenderInterval(valid);
+  return out;
+}
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::string out;
+  if (agg != TemporalAgg::kNone) {
+    switch (agg) {
+      case TemporalAgg::kFirstTime:
+        out += "First Time When Exists: " +
+               (agg_time ? FormatTimestamp(*agg_time) : "<never>") + "\n";
+        break;
+      case TemporalAgg::kLastTime:
+        out += "Last Time When Exists: " +
+               (agg_time
+                    ? (*agg_time == kTimestampMax ? "<still exists>"
+                                                  : FormatTimestamp(*agg_time))
+                    : "<never>") +
+               "\n";
+        break;
+      case TemporalAgg::kWhenExists:
+        out += "When Exists: " + when_exists.ToString() + "\n";
+        break;
+      default:
+        break;
+    }
+  }
+  out += std::to_string(rows.size()) + " row(s)\n";
+  size_t shown = 0;
+  for (const ResultRow& row : rows) {
+    if (max_rows != 0 && shown++ >= max_rows) {
+      out += "...\n";
+      break;
+    }
+    std::string line;
+    for (size_t i = 0; i < row.paths.size(); ++i) {
+      if (!line.empty()) line += " | ";
+      line += path_columns[i] + ": " + row.paths[i].ToString();
+    }
+    for (size_t i = 0; i < row.values.size(); ++i) {
+      if (!line.empty()) line += " | ";
+      line += value_columns[i] + "=" + row.values[i].ToString();
+    }
+    // Pathway columns already render their own validity interval.
+    if (row.paths.empty()) line += RenderInterval(row.valid);
+    out += line + "\n";
+  }
+  return out;
+}
+
+QueryEngine::QueryEngine(storage::GraphDb* db, EngineOptions options)
+    : default_db_(db), options_(options) {}
+
+void QueryEngine::BindSource(const std::string& name, storage::GraphDb* db) {
+  sources_[name] = db;
+}
+
+Status QueryEngine::DefineView(const std::string& name,
+                               const std::string& rpe_text) {
+  if (name == "PATHS" || name == "paths") {
+    return Status::InvalidArgument("PATHS is the built-in view of all "
+                                   "pathways and cannot be redefined");
+  }
+  NEPAL_ASSIGN_OR_RETURN(RpeNode rpe, ParseRpe(rpe_text));
+  views_[name] = std::move(rpe);
+  return Status::OK();
+}
+
+Result<storage::GraphDb*> QueryEngine::SourceFor(
+    const RangeVarDecl& decl) const {
+  if (!decl.source.has_value()) return default_db_;
+  auto it = sources_.find(*decl.source);
+  if (it == sources_.end()) {
+    return Status::NotFound("no data source bound under the name '" +
+                            *decl.source + "'");
+  }
+  return it->second;
+}
+
+Result<QueryResult> QueryEngine::Run(const std::string& nql) const {
+  NEPAL_ASSIGN_OR_RETURN(Query query, ParseQuery(nql));
+  return RunInternal(query, OuterEnv{}, nullptr);
+}
+
+Result<QueryResult> QueryEngine::RunQuery(const Query& query) const {
+  return RunInternal(query, OuterEnv{}, nullptr);
+}
+
+Result<std::string> QueryEngine::Explain(const std::string& nql) const {
+  NEPAL_ASSIGN_OR_RETURN(Query query, ParseQuery(nql));
+  std::vector<std::string> lines;
+  NEPAL_RETURN_NOT_OK(RunInternal(query, OuterEnv{}, &lines).status());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+struct VarState {
+  const RangeVarDecl* decl = nullptr;
+  storage::GraphDb* db = nullptr;
+  std::unique_ptr<storage::PathOperatorExecutor> exec;
+  TimeView view = TimeView::Current();
+  RpeNode rpe;
+  bool has_rpe = false;
+  /// Extra constraint from a named pathway view (resolved), if any.
+  std::optional<RpeNode> view_rpe;
+  double structural_cost = -1;  // < 0: no structural anchor
+  bool evaluated = false;
+  PathSet paths;
+};
+
+/// True when the expression is a bare source()/target() endpoint reference
+/// (no field access) of `var`.
+bool IsEndpointRef(const PathExpr& e, const std::string& var) {
+  return (e.kind == PathExpr::Kind::kSource ||
+          e.kind == PathExpr::Kind::kTarget) &&
+         !e.field.has_value() && e.var == var;
+}
+
+Uid EndpointOf(const Pathway& path, PathExpr::Kind kind) {
+  return kind == PathExpr::Kind::kSource ? path.source_uid()
+                                         : path.target_uid();
+}
+
+Uid EndpointOf(const PathState& state, PathExpr::Kind kind) {
+  return kind == PathExpr::Kind::kSource ? state.uids.front()
+                                         : state.uids.back();
+}
+
+}  // namespace
+
+Result<QueryResult> QueryEngine::RunInternal(
+    const Query& query, const OuterEnv& outer,
+    std::vector<std::string>* explain) const {
+  // ---- Validate structure and set up variable states ----
+  if (query.range_vars.empty()) {
+    return Status::InvalidArgument("a query needs at least one range variable");
+  }
+  std::map<std::string, size_t> var_index;
+  std::vector<VarState> vars(query.range_vars.size());
+  for (size_t i = 0; i < query.range_vars.size(); ++i) {
+    const RangeVarDecl& decl = query.range_vars[i];
+    if (!var_index.emplace(decl.name, i).second) {
+      return Status::InvalidArgument("duplicate range variable '" + decl.name +
+                                     "'");
+    }
+    vars[i].decl = &decl;
+    NEPAL_ASSIGN_OR_RETURN(vars[i].db, SourceFor(decl));
+    vars[i].exec = vars[i].db->backend().CreateExecutor();
+    if (explain != nullptr) vars[i].exec->EnableTrace(true);
+    vars[i].view = ViewFor(decl.at, query.at);
+    std::string view_name = decl.view;
+    for (char& c : view_name) c = static_cast<char>(std::toupper(c));
+    if (view_name != "PATHS") {
+      auto view_it = views_.find(decl.view);
+      if (view_it == views_.end()) {
+        return Status::NotFound("no pathway view named '" + decl.view +
+                                "' is defined on this engine");
+      }
+      RpeNode resolved = view_it->second;
+      NEPAL_RETURN_NOT_OK(ResolveRpe(vars[i].db->schema(),
+                                     options_.plan.max_repetition,
+                                     &resolved));
+      vars[i].view_rpe = std::move(resolved);
+    }
+  }
+
+  // Each range variable needs exactly one MATCHES predicate.
+  std::vector<const Predicate*> compare_preds;
+  std::vector<const Predicate*> exists_preds;
+  std::vector<bool> has_matches(vars.size(), false);
+  for (const Predicate& pred : query.where) {
+    switch (pred.kind) {
+      case Predicate::Kind::kMatches: {
+        auto it = var_index.find(pred.var);
+        if (it == var_index.end()) {
+          return Status::InvalidArgument("MATCHES references unknown range "
+                                         "variable '" + pred.var + "'");
+        }
+        VarState& vs = vars[it->second];
+        if (has_matches[it->second]) {
+          return Status::InvalidArgument("range variable '" + pred.var +
+                                         "' has multiple MATCHES predicates");
+        }
+        has_matches[it->second] = true;
+        vs.has_rpe = true;
+        vs.rpe = pred.rpe;
+        NEPAL_RETURN_NOT_OK(ResolveRpe(vs.db->schema(),
+                                       options_.plan.max_repetition, &vs.rpe));
+        break;
+      }
+      case Predicate::Kind::kCompare:
+        compare_preds.push_back(&pred);
+        break;
+      case Predicate::Kind::kExists:
+        exists_preds.push_back(&pred);
+        break;
+    }
+  }
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (has_matches[i]) continue;
+    // A named view can stand in for the MATCHES predicate.
+    if (vars[i].view_rpe.has_value()) {
+      vars[i].rpe = *vars[i].view_rpe;
+      vars[i].has_rpe = true;
+      vars[i].view_rpe.reset();
+      continue;
+    }
+    return Status::InvalidArgument("range variable '" + vars[i].decl->name +
+                                   "' has no MATCHES predicate (and ranges "
+                                   "over PATHS, not a view)");
+  }
+
+  // ---- Structural anchor costs ----
+  for (VarState& vs : vars) {
+    Result<MatchPlan> plan = PlanMatch(vs.rpe, vs.db->backend(),
+                                       options_.plan);
+    vs.structural_cost = plan.ok() ? plan->total_cost : -1;
+  }
+
+  // Looks for an equality predicate that can seed `vi`'s anchor from an
+  // already-evaluated variable (or an outer binding) in the same database.
+  // Returns the seed uids and which endpoint of vi they pin.
+  auto find_seed = [&](size_t vi, std::vector<Uid>* seeds,
+                       SeedSide* side) -> bool {
+    const std::string& name = vars[vi].decl->name;
+    for (const Predicate* pred : compare_preds) {
+      if (pred->negate_compare) continue;
+      for (int flip = 0; flip < 2; ++flip) {
+        const PathExpr& mine = flip == 0 ? pred->lhs : pred->rhs;
+        const PathExpr& other = flip == 0 ? pred->rhs : pred->lhs;
+        if (!IsEndpointRef(mine, name)) continue;
+        std::unordered_set<Uid> uids;
+        if (other.kind == PathExpr::Kind::kSource ||
+            other.kind == PathExpr::Kind::kTarget) {
+          if (other.field.has_value()) continue;
+          auto it = var_index.find(other.var);
+          if (it != var_index.end()) {
+            const VarState& ovs = vars[it->second];
+            if (!ovs.evaluated || ovs.db != vars[vi].db) continue;
+            for (const PathState& s : ovs.paths) {
+              uids.insert(EndpointOf(s, other.kind));
+            }
+          } else {
+            auto oit = outer.find(other.var);
+            if (oit == outer.end() || oit->second.db != vars[vi].db) continue;
+            uids.insert(EndpointOf(*oit->second.path, other.kind));
+          }
+        } else {
+          continue;
+        }
+        seeds->assign(uids.begin(), uids.end());
+        std::sort(seeds->begin(), seeds->end());
+        *side = mine.kind == PathExpr::Kind::kSource ? SeedSide::kSource
+                                                     : SeedSide::kTarget;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // ---- Evaluate range variables, cheapest anchor first ----
+  std::vector<size_t> eval_order;
+  for (size_t done = 0; done < vars.size(); ++done) {
+    double best_cost = -1;
+    size_t best_var = vars.size();
+    bool best_seeded = false;
+    std::vector<Uid> best_seeds;
+    SeedSide best_side = SeedSide::kSource;
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (vars[i].evaluated) continue;
+      std::vector<Uid> seeds;
+      SeedSide side;
+      bool seedable = find_seed(i, &seeds, &side);
+      double cost = -1;
+      bool seeded = false;
+      if (vars[i].structural_cost >= 0) cost = vars[i].structural_cost;
+      if (seedable &&
+          (cost < 0 || static_cast<double>(seeds.size()) < cost)) {
+        cost = static_cast<double>(seeds.size());
+        seeded = true;
+      }
+      if (cost < 0) continue;
+      if (best_var == vars.size() || cost < best_cost) {
+        best_cost = cost;
+        best_var = i;
+        best_seeded = seeded;
+        best_seeds = std::move(seeds);
+        best_side = side;
+      }
+    }
+    if (best_var == vars.size()) {
+      std::string pending;
+      for (const VarState& vs : vars) {
+        if (!vs.evaluated) pending += " " + vs.decl->name;
+      }
+      return Status::PlanError(
+          "no anchor for range variable(s):" + pending +
+          " — every atom is unselective/optional and no join provides one");
+    }
+    VarState& vs = vars[best_var];
+    if (best_seeded) {
+      if (explain != nullptr) {
+        explain->push_back("var " + vs.decl->name + ": anchor imported via "
+                           "join (" + std::to_string(best_seeds.size()) +
+                           " seed nodes)");
+      }
+      vs.paths = EvaluateMatchSeeded(*vs.exec, vs.rpe, best_seeds, best_side,
+                                     vs.view, options_.plan);
+    } else {
+      if (explain != nullptr) {
+        NEPAL_ASSIGN_OR_RETURN(MatchPlan plan,
+                               PlanMatch(vs.rpe, vs.db->backend(),
+                                         options_.plan));
+        explain->push_back("var " + vs.decl->name + ":\n" + plan.ToString());
+      }
+      NEPAL_ASSIGN_OR_RETURN(vs.paths,
+                             EvaluateMatch(*vs.exec, vs.db->backend(), vs.rpe,
+                                           vs.view, options_.plan));
+    }
+    if (vs.view_rpe.has_value()) {
+      // Intersect with the named view: a pathway qualifies when the view
+      // RPE also matches it, over the overlap of their validity.
+      NEPAL_ASSIGN_OR_RETURN(PathSet view_paths,
+                             EvaluateMatch(*vs.exec, vs.db->backend(),
+                                           *vs.view_rpe, vs.view,
+                                           options_.plan));
+      std::unordered_map<std::string, std::vector<const PathState*>>
+          by_uids;
+      for (const PathState& state : view_paths) {
+        std::string key;
+        for (Uid u : state.uids) {
+          key.append(reinterpret_cast<const char*>(&u), sizeof(u));
+        }
+        by_uids[key].push_back(&state);
+      }
+      PathSet intersected;
+      for (PathState& state : vs.paths) {
+        std::string key;
+        for (Uid u : state.uids) {
+          key.append(reinterpret_cast<const char*>(&u), sizeof(u));
+        }
+        auto it = by_uids.find(key);
+        if (it == by_uids.end()) continue;
+        for (const PathState* other : it->second) {
+          Interval overlap = state.valid.Intersect(other->valid);
+          if (overlap.empty()) continue;
+          PathState keep = state;
+          keep.valid = overlap;
+          intersected.push_back(std::move(keep));
+        }
+      }
+      storage::DedupPaths(&intersected);
+      vs.paths = std::move(intersected);
+    }
+    if (vs.view.kind() == TimeView::Kind::kRange) {
+      CoalescePathSet(&vs.paths);
+    }
+    vs.evaluated = true;
+    eval_order.push_back(best_var);
+    if (explain != nullptr) {
+      explain->push_back("var " + vs.decl->name + ": " +
+                         std::to_string(vs.paths.size()) + " pathway(s)");
+      for (const std::string& line : vs.exec->trace()) {
+        explain->push_back("  " + line);
+      }
+      vs.exec->ClearTrace();
+    }
+  }
+
+  // ---- Expression evaluation over a joined row ----
+  // `row` maps var index -> path index. Outer bindings resolve by name.
+  using JoinedRow = std::vector<size_t>;  // parallel to eval_order
+  auto pathway_for = [&](const JoinedRow& row, const std::string& name,
+                         storage::GraphDb** db_out) -> const PathState* {
+    auto it = var_index.find(name);
+    if (it == var_index.end()) return nullptr;
+    for (size_t k = 0; k < eval_order.size() && k < row.size(); ++k) {
+      if (eval_order[k] == it->second) {
+        *db_out = vars[it->second].db;
+        return &vars[it->second].paths[row[k]];
+      }
+    }
+    return nullptr;
+  };
+
+  std::function<Result<Value>(const PathExpr&, const JoinedRow&)> eval_expr =
+      [&](const PathExpr& e, const JoinedRow& row) -> Result<Value> {
+    switch (e.kind) {
+      case PathExpr::Kind::kLiteral:
+        return e.literal;
+      case PathExpr::Kind::kVar: {
+        storage::GraphDb* db = nullptr;
+        const PathState* state = pathway_for(row, e.var, &db);
+        if (state == nullptr) {
+          return Status::InvalidArgument("unknown variable '" + e.var +
+                                         "' in expression");
+        }
+        return Value(ToPathway(*state).ToString());
+      }
+      case PathExpr::Kind::kLength: {
+        storage::GraphDb* db = nullptr;
+        const PathState* state = pathway_for(row, e.var, &db);
+        if (state == nullptr) {
+          return Status::InvalidArgument("unknown variable '" + e.var +
+                                         "' in length()");
+        }
+        return Value(static_cast<int64_t>(state->uids.size()));
+      }
+      case PathExpr::Kind::kSource:
+      case PathExpr::Kind::kTarget: {
+        storage::GraphDb* db = nullptr;
+        Uid uid = kInvalidUid;
+        Interval valid = Interval::All();
+        if (const PathState* state = pathway_for(row, e.var, &db)) {
+          uid = EndpointOf(*state, e.kind);
+          valid = state->valid;
+        } else {
+          auto oit = outer.find(e.var);
+          if (oit == outer.end()) {
+            return Status::InvalidArgument("unknown variable '" + e.var +
+                                           "' in expression");
+          }
+          db = oit->second.db;
+          uid = EndpointOf(*oit->second.path, e.kind);
+          valid = oit->second.path->valid;
+        }
+        if (!e.field.has_value()) {
+          return Value(static_cast<int64_t>(uid));
+        }
+        if (*e.field == "id") return Value(static_cast<int64_t>(uid));
+        NEPAL_ASSIGN_OR_RETURN(storage::ElementVersion v,
+                               FetchVersion(db, uid, valid));
+        int idx = v.cls->FieldIndex(*e.field);
+        if (idx < 0) {
+          return Status::InvalidArgument("class " + v.cls->name() +
+                                         " has no field '" + *e.field + "'");
+        }
+        return v.fields[static_cast<size_t>(idx)];
+      }
+    }
+    return Status::Internal("unhandled expression kind");
+  };
+
+  // A compare predicate is evaluable once all its variables are bound.
+  auto pred_vars_bound = [&](const Predicate& pred,
+                             const std::unordered_set<size_t>& bound) -> bool {
+    for (const PathExpr* e : {&pred.lhs, &pred.rhs}) {
+      if (e->kind == PathExpr::Kind::kLiteral) continue;
+      auto it = var_index.find(e->var);
+      if (it != var_index.end()) {
+        if (!bound.count(it->second)) return false;
+      } else if (!outer.count(e->var)) {
+        return false;  // resolves nowhere; reported at evaluation
+      }
+    }
+    return true;
+  };
+
+  auto eval_compare = [&](const Predicate& pred,
+                          const JoinedRow& row) -> Result<bool> {
+    NEPAL_ASSIGN_OR_RETURN(Value lhs, eval_expr(pred.lhs, row));
+    NEPAL_ASSIGN_OR_RETURN(Value rhs, eval_expr(pred.rhs, row));
+    bool eq = lhs == rhs;
+    return pred.negate_compare ? !eq : eq;
+  };
+
+  // ---- Join phase ----
+  std::vector<JoinedRow> rows;
+  {
+    std::unordered_set<size_t> bound;
+    std::unordered_set<const Predicate*> applied;
+    for (size_t k = 0; k < eval_order.size(); ++k) {
+      size_t vi = eval_order[k];
+      bound.insert(vi);
+      std::vector<const Predicate*> now_evaluable;
+      for (const Predicate* pred : compare_preds) {
+        if (applied.count(pred)) continue;
+        if (pred_vars_bound(*pred, bound)) {
+          now_evaluable.push_back(pred);
+          applied.insert(pred);
+        }
+      }
+      // Prefer a hash join: an equality between a bare endpoint of the new
+      // variable and a bare endpoint of an already-bound variable lets us
+      // bucket the new variable's pathways instead of forming the product.
+      const Predicate* hash_pred = nullptr;
+      PathExpr::Kind vi_side = PathExpr::Kind::kSource;
+      const PathExpr* other_side = nullptr;
+      const std::string& vi_name = vars[vi].decl->name;
+      for (const Predicate* pred : now_evaluable) {
+        if (pred->negate_compare) continue;
+        for (int flip = 0; flip < 2 && hash_pred == nullptr; ++flip) {
+          const PathExpr& mine = flip == 0 ? pred->lhs : pred->rhs;
+          const PathExpr& other = flip == 0 ? pred->rhs : pred->lhs;
+          if (!IsEndpointRef(mine, vi_name)) continue;
+          if (other.kind != PathExpr::Kind::kSource &&
+              other.kind != PathExpr::Kind::kTarget) {
+            continue;
+          }
+          if (other.field.has_value() || other.var == vi_name) continue;
+          hash_pred = pred;
+          vi_side = mine.kind;
+          other_side = &other;
+        }
+        if (hash_pred != nullptr) break;
+      }
+
+      std::vector<JoinedRow> next;
+      const PathSet& paths = vars[vi].paths;
+      if (k == 0) {
+        next.reserve(paths.size());
+        for (size_t p = 0; p < paths.size(); ++p) next.push_back({p});
+      } else if (hash_pred != nullptr) {
+        std::unordered_map<Uid, std::vector<size_t>> buckets;
+        buckets.reserve(paths.size());
+        for (size_t p = 0; p < paths.size(); ++p) {
+          buckets[EndpointOf(paths[p], vi_side)].push_back(p);
+        }
+        for (const JoinedRow& row : rows) {
+          Uid key = kInvalidUid;
+          storage::GraphDb* other_db = nullptr;
+          if (const PathState* state =
+                  pathway_for(row, other_side->var, &other_db)) {
+            key = EndpointOf(*state, other_side->kind);
+          } else {
+            auto oit = outer.find(other_side->var);
+            if (oit == outer.end()) continue;
+            key = EndpointOf(*oit->second.path, other_side->kind);
+          }
+          auto bucket = buckets.find(key);
+          if (bucket == buckets.end()) continue;
+          for (size_t p : bucket->second) {
+            JoinedRow candidate = row;
+            candidate.push_back(p);
+            next.push_back(std::move(candidate));
+          }
+        }
+      } else {
+        for (const JoinedRow& row : rows) {
+          for (size_t p = 0; p < paths.size(); ++p) {
+            JoinedRow candidate = row;
+            candidate.push_back(p);
+            next.push_back(std::move(candidate));
+          }
+        }
+      }
+      if (!now_evaluable.empty()) {
+        std::vector<JoinedRow> filtered;
+        filtered.reserve(next.size());
+        for (JoinedRow& row : next) {
+          bool keep = true;
+          for (const Predicate* pred : now_evaluable) {
+            NEPAL_ASSIGN_OR_RETURN(bool pass, eval_compare(*pred, row));
+            if (!pass) {
+              keep = false;
+              break;
+            }
+          }
+          if (keep) filtered.push_back(std::move(row));
+        }
+        next = std::move(filtered);
+      }
+      rows = std::move(next);
+      if (rows.empty()) break;
+    }
+    // Any compare predicate never applied references unknown variables.
+    for (const Predicate* pred : compare_preds) {
+      if (!applied.count(pred)) {
+        return Status::InvalidArgument(
+            "comparison '" + pred->lhs.ToString() +
+            (pred->negate_compare ? " <> " : " = ") + pred->rhs.ToString() +
+            "' references an unknown range variable");
+      }
+    }
+  }
+
+  // ---- Subqueries ----
+  for (const Predicate* pred : exists_preds) {
+    std::vector<JoinedRow> kept;
+    for (const JoinedRow& row : rows) {
+      OuterEnv env = outer;
+      // Bind the row's pathways for correlation. Pathways must outlive the
+      // recursive call; materialize them.
+      std::vector<std::unique_ptr<Pathway>> owned;
+      for (size_t k = 0; k < eval_order.size(); ++k) {
+        size_t vi = eval_order[k];
+        owned.push_back(std::make_unique<Pathway>(
+            ToPathway(vars[vi].paths[row[k]])));
+        env[vars[vi].decl->name] = OuterBinding{owned.back().get(),
+                                                vars[vi].db};
+      }
+      NEPAL_ASSIGN_OR_RETURN(QueryResult sub,
+                             RunInternal(*pred->subquery, env, nullptr));
+      bool exists = !sub.rows.empty();
+      if (exists != pred->negate_exists) kept.push_back(row);
+    }
+    rows = std::move(kept);
+  }
+
+  // ---- Joint temporal semantics ----
+  // Under a query-level AT, all pathways of a row must coexist; the row's
+  // validity is the maximal interval where they do. Per-variable @ bindings
+  // leave the variables temporally unrelated.
+  bool shared_view = true;
+  for (const VarState& vs : vars) {
+    if (vs.decl->at.has_value()) shared_view = false;
+  }
+
+  // ---- Materialize result rows ----
+  QueryResult result;
+  result.agg = query.agg;
+  if (!query.is_select) {
+    for (const std::string& name : query.retrieve_vars) {
+      if (!var_index.count(name)) {
+        return Status::InvalidArgument("Retrieve references unknown range "
+                                       "variable '" + name + "'");
+      }
+      result.path_columns.push_back(name);
+    }
+  } else {
+    for (const SelectItem& item : query.select_items) {
+      result.value_columns.push_back(item.ToString());
+    }
+  }
+
+  // ---- Aggregation (the result-processing layer) ----
+  bool aggregated = !query.group_by.empty();
+  for (const SelectItem& item : query.select_items) {
+    if (item.agg != SelectItem::Agg::kNone) aggregated = true;
+  }
+  if (aggregated) {
+    if (!query.is_select) {
+      return Status::InvalidArgument(
+          "aggregates and Group By require a Select clause");
+    }
+    if (query.agg != TemporalAgg::kNone) {
+      return Status::Unsupported(
+          "temporal aggregation cannot be combined with Group By "
+          "aggregates");
+    }
+    // Every non-aggregated output must be a grouping expression.
+    for (const SelectItem& item : query.select_items) {
+      if (item.agg != SelectItem::Agg::kNone) continue;
+      bool grouped = false;
+      for (const PathExpr& g : query.group_by) {
+        if (g.ToString() == item.expr.ToString()) grouped = true;
+      }
+      if (!grouped) {
+        return Status::InvalidArgument(
+            "Select item '" + item.expr.ToString() +
+            "' must appear in Group By when aggregates are used");
+      }
+    }
+    struct Group {
+      std::vector<Value> keys;
+      std::vector<JoinedRow> members;
+    };
+    std::map<std::string, Group> groups;
+    std::vector<std::string> group_order;
+    for (const JoinedRow& row : rows) {
+      std::vector<Value> keys;
+      std::string key_str;
+      for (const PathExpr& g : query.group_by) {
+        NEPAL_ASSIGN_OR_RETURN(Value v, eval_expr(g, row));
+        key_str += v.ToString();
+        key_str.push_back('|');
+        keys.push_back(std::move(v));
+      }
+      auto [it, inserted] = groups.emplace(key_str, Group{});
+      if (inserted) {
+        it->second.keys = std::move(keys);
+        group_order.push_back(key_str);
+      }
+      it->second.members.push_back(row);
+    }
+    for (const std::string& key : group_order) {
+      const Group& group = groups[key];
+      ResultRow out_row;
+      for (const SelectItem& item : query.select_items) {
+        switch (item.agg) {
+          case SelectItem::Agg::kNone: {
+            NEPAL_ASSIGN_OR_RETURN(
+                Value v, eval_expr(item.expr, group.members.front()));
+            out_row.values.push_back(std::move(v));
+            break;
+          }
+          case SelectItem::Agg::kCount:
+            out_row.values.push_back(
+                Value(static_cast<int64_t>(group.members.size())));
+            break;
+          case SelectItem::Agg::kCountDistinct: {
+            std::set<std::string> distinct;
+            for (const JoinedRow& row : group.members) {
+              NEPAL_ASSIGN_OR_RETURN(Value v, eval_expr(item.expr, row));
+              distinct.insert(v.ToString());
+            }
+            out_row.values.push_back(
+                Value(static_cast<int64_t>(distinct.size())));
+            break;
+          }
+          case SelectItem::Agg::kMin:
+          case SelectItem::Agg::kMax: {
+            std::optional<Value> best;
+            for (const JoinedRow& row : group.members) {
+              NEPAL_ASSIGN_OR_RETURN(Value v, eval_expr(item.expr, row));
+              if (v.is_null()) continue;
+              if (!best ||
+                  (item.agg == SelectItem::Agg::kMin ? v < *best
+                                                     : *best < v)) {
+                best = std::move(v);
+              }
+            }
+            out_row.values.push_back(best.value_or(Value::Null()));
+            break;
+          }
+          case SelectItem::Agg::kSum: {
+            int64_t int_sum = 0;
+            double dbl_sum = 0;
+            bool any_double = false, any = false;
+            for (const JoinedRow& row : group.members) {
+              NEPAL_ASSIGN_OR_RETURN(Value v, eval_expr(item.expr, row));
+              if (v.kind() == ValueKind::kInt) {
+                int_sum += v.AsInt();
+                any = true;
+              } else if (v.kind() == ValueKind::kDouble) {
+                dbl_sum += v.AsDouble();
+                any_double = true;
+                any = true;
+              } else if (!v.is_null()) {
+                return Status::InvalidArgument(
+                    "sum() needs numeric values, got " +
+                    std::string(ValueKindToString(v.kind())));
+              }
+            }
+            if (!any) {
+              out_row.values.push_back(Value::Null());
+            } else if (any_double) {
+              out_row.values.push_back(
+                  Value(dbl_sum + static_cast<double>(int_sum)));
+            } else {
+              out_row.values.push_back(Value(int_sum));
+            }
+            break;
+          }
+        }
+      }
+      result.rows.push_back(std::move(out_row));
+      if (options_.max_rows != 0 && result.rows.size() >= options_.max_rows) {
+        break;
+      }
+    }
+    return result;
+  }
+
+  for (const JoinedRow& row : rows) {
+    ResultRow out_row;
+    Interval joint = Interval::All();
+    for (size_t k = 0; k < eval_order.size(); ++k) {
+      joint = joint.Intersect(vars[eval_order[k]].paths[row[k]].valid);
+    }
+    if (shared_view) {
+      if (joint.empty()) continue;  // pathways never coexisted
+      out_row.valid = joint;
+    }
+    if (!query.is_select) {
+      for (const std::string& name : query.retrieve_vars) {
+        size_t vi = var_index[name];
+        for (size_t k = 0; k < eval_order.size(); ++k) {
+          if (eval_order[k] == vi) {
+            Pathway p = ToPathway(vars[vi].paths[row[k]]);
+            if (!shared_view) {
+              // keep per-path interval
+            } else {
+              p.valid = out_row.valid;
+            }
+            out_row.paths.push_back(std::move(p));
+          }
+        }
+      }
+    } else {
+      for (const SelectItem& item : query.select_items) {
+        NEPAL_ASSIGN_OR_RETURN(Value v, eval_expr(item.expr, row));
+        out_row.values.push_back(std::move(v));
+      }
+    }
+    result.rows.push_back(std::move(out_row));
+    if (options_.max_rows != 0 && result.rows.size() >= options_.max_rows) {
+      break;
+    }
+  }
+
+  // ---- Row-level dedup / coalescing ----
+  {
+    std::unordered_map<std::string, std::vector<size_t>> groups;
+    std::vector<std::string> order;
+    for (size_t i = 0; i < result.rows.size(); ++i) {
+      const ResultRow& row = result.rows[i];
+      std::string key;
+      for (const Pathway& p : row.paths) {
+        for (Uid u : p.uids) {
+          key.append(reinterpret_cast<const char*>(&u), sizeof(u));
+        }
+        key.push_back('|');
+      }
+      for (const Value& v : row.values) {
+        key += v.ToString();
+        key.push_back('|');
+      }
+      auto [it, inserted] = groups.emplace(key, std::vector<size_t>{});
+      if (inserted) order.push_back(key);
+      it->second.push_back(i);
+    }
+    std::vector<ResultRow> coalesced;
+    coalesced.reserve(order.size());
+    for (const std::string& key : order) {
+      const std::vector<size_t>& indexes = groups[key];
+      if (indexes.size() == 1 || !shared_view) {
+        // Distinct rows (or rows whose intervals are per-path): keep the
+        // first occurrence of each identical row.
+        coalesced.push_back(std::move(result.rows[indexes[0]]));
+        continue;
+      }
+      IntervalSet merged;
+      for (size_t i : indexes) merged.Add(result.rows[i].valid);
+      for (const Interval& iv : merged.intervals()) {
+        ResultRow row = result.rows[indexes[0]];
+        row.valid = iv;
+        for (Pathway& p : row.paths) p.valid = iv;
+        coalesced.push_back(std::move(row));
+      }
+    }
+    result.rows = std::move(coalesced);
+  }
+
+  // ---- Temporal aggregation ----
+  if (query.agg != TemporalAgg::kNone) {
+    IntervalSet exists;
+    for (const ResultRow& row : result.rows) exists.Add(row.valid);
+    result.when_exists = exists;
+    if (!exists.empty()) {
+      if (query.agg == TemporalAgg::kFirstTime) {
+        result.agg_time = exists.FirstTime();
+      } else if (query.agg == TemporalAgg::kLastTime) {
+        result.agg_time = exists.LastTime();
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace nepal::nql

@@ -1,0 +1,120 @@
+// QueryEngine: the public query API of Nepal.
+//
+//   storage::GraphDb db(schema, std::make_unique<graphstore::GraphStore>(...));
+//   nql::QueryEngine engine(&db);
+//   auto result = engine.Run(
+//       "Retrieve P From PATHS P "
+//       "Where P MATCHES VNF()->[Vertical()]{1,6}->Host(id=23245)");
+//
+// The engine parses NQL, resolves every range variable's RPE against its
+// data source's schema, plans anchors, evaluates through the source
+// backend's operator executor, joins pathway sets, applies subqueries, and
+// post-processes Select expressions. Additional data sources can be bound
+// by name for federated queries (From PATHS P In 'siteA', ...).
+
+#ifndef NEPAL_NEPAL_ENGINE_H_
+#define NEPAL_NEPAL_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nepal/ast.h"
+#include "nepal/executor.h"
+#include "nepal/parser.h"
+#include "storage/graphdb.h"
+
+namespace nepal::nql {
+
+/// A completed pathway: alternating node/edge uids with their classes and
+/// the maximal validity interval over which the pathway existed.
+struct Pathway {
+  std::vector<Uid> uids;
+  std::vector<const schema::ClassDef*> concepts;
+  Interval valid = Interval::All();
+
+  Uid source_uid() const { return uids.front(); }
+  Uid target_uid() const { return uids.back(); }
+  size_t length() const { return uids.size(); }
+
+  /// "VNF#12 -> HostedOn#55 -> VM#13" style rendering.
+  std::string ToString() const;
+};
+
+struct ResultRow {
+  std::vector<Pathway> paths;  // one per path column
+  std::vector<Value> values;   // one per value column (Select)
+  /// Joint validity: for query-level AT queries, the maximal interval over
+  /// which all the row's pathways coexisted.
+  Interval valid = Interval::All();
+};
+
+struct QueryResult {
+  std::vector<std::string> path_columns;   // Retrieve: variable names
+  std::vector<std::string> value_columns;  // Select: expression renderings
+  std::vector<ResultRow> rows;
+
+  TemporalAgg agg = TemporalAgg::kNone;
+  /// When Exists: union of validity intervals of all results.
+  IntervalSet when_exists;
+  /// First/Last Time When Exists (unset when no satisfying pathway).
+  std::optional<Timestamp> agg_time;
+
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+struct EngineOptions {
+  PlanOptions plan;
+  /// Hard cap on result rows after join (0 = unlimited).
+  size_t max_rows = 0;
+};
+
+class QueryEngine {
+ public:
+  /// `db` is the default data source; it must outlive the engine.
+  explicit QueryEngine(storage::GraphDb* db, EngineOptions options = {});
+
+  /// Binds an additional named data source for `In '<name>'` clauses.
+  void BindSource(const std::string& name, storage::GraphDb* db);
+
+  /// Registers a pathway view: a named, unmaterialized subset of PATHS
+  /// defined by an RPE (Section 3.4: "Additional views can be defined").
+  /// `From <name> P` ranges P over pathways matching the view; a MATCHES
+  /// predicate on P further constrains it (intersection).
+  Status DefineView(const std::string& name, const std::string& rpe_text);
+
+  EngineOptions& options() { return options_; }
+
+  /// Parses and runs an NQL query.
+  Result<QueryResult> Run(const std::string& nql) const;
+
+  /// Runs a pre-built AST (programmatic clients, subqueries).
+  Result<QueryResult> RunQuery(const Query& query) const;
+
+  /// Parses and plans the query, returning the anchor choices, per-variable
+  /// programs, and (for the relational backend) the generated SQL.
+  Result<std::string> Explain(const std::string& nql) const;
+
+ private:
+  struct OuterBinding {
+    const Pathway* path;
+    storage::GraphDb* db;
+  };
+  using OuterEnv = std::map<std::string, OuterBinding>;
+
+  Result<QueryResult> RunInternal(const Query& query, const OuterEnv& outer,
+                                  std::vector<std::string>* explain) const;
+
+  Result<storage::GraphDb*> SourceFor(const RangeVarDecl& decl) const;
+
+  storage::GraphDb* default_db_;
+  std::map<std::string, storage::GraphDb*> sources_;
+  std::map<std::string, RpeNode> views_;
+  EngineOptions options_;
+};
+
+}  // namespace nepal::nql
+
+#endif  // NEPAL_NEPAL_ENGINE_H_

@@ -1,0 +1,139 @@
+#include "nepal/executor.h"
+
+#include <optional>
+
+namespace nepal::nql {
+
+using storage::Direction;
+using storage::PathSet;
+using storage::PathState;
+using storage::TimeView;
+
+namespace {
+
+/// If the loop body is an atom or an alternation of atoms (the ExtendBlock
+/// payload restriction), returns the atom list.
+std::optional<std::vector<storage::CompiledAtom>> AsAtomAlternation(
+    const Program& body) {
+  if (body.size() != 1) return std::nullopt;
+  const Step& step = body[0];
+  if (step.kind == Step::Kind::kAtom) {
+    return std::vector<storage::CompiledAtom>{step.atom};
+  }
+  if (step.kind == Step::Kind::kUnion) {
+    std::vector<storage::CompiledAtom> atoms;
+    for (const Program& branch : step.branches) {
+      if (branch.size() != 1 || branch[0].kind != Step::Kind::kAtom) {
+        return std::nullopt;
+      }
+      atoms.push_back(branch[0].atom);
+    }
+    return atoms;
+  }
+  return std::nullopt;
+}
+
+PathSet RunStep(storage::PathOperatorExecutor& exec, const Step& step,
+                const PathSet& frontier, Direction dir, const TimeView& view) {
+  switch (step.kind) {
+    case Step::Kind::kAtom:
+      return exec.ExtendAtom(frontier, step.atom, dir, view);
+    case Step::Kind::kUnion: {
+      PathSet out;
+      for (const Program& branch : step.branches) {
+        PathSet result = RunProgram(exec, branch, frontier, dir, view);
+        out.insert(out.end(), std::make_move_iterator(result.begin()),
+                   std::make_move_iterator(result.end()));
+      }
+      storage::DedupPaths(&out);
+      return out;
+    }
+    case Step::Kind::kLoop: {
+      if (auto atoms = AsAtomAlternation(step.body)) {
+        // Delegate to the backend's ExtendBlock operator (loop unrolling
+        // inside the store, no per-step frontier shipping).
+        return exec.ExtendBlock(frontier, *atoms, step.min_rep, step.max_rep,
+                                dir, view);
+      }
+      // General repetition: iterate the body program, collecting the
+      // frontier after every admissible repetition count.
+      PathSet collected;
+      PathSet current = frontier;
+      if (step.min_rep == 0) {
+        collected.insert(collected.end(), current.begin(), current.end());
+      }
+      for (int k = 1; k <= step.max_rep && !current.empty(); ++k) {
+        current = RunProgram(exec, step.body, std::move(current), dir, view);
+        storage::DedupPaths(&current);
+        if (k >= step.min_rep) {
+          collected.insert(collected.end(), current.begin(), current.end());
+        }
+      }
+      storage::DedupPaths(&collected);
+      return collected;
+    }
+  }
+  return {};
+}
+
+void ReverseAll(PathSet* paths) {
+  for (PathState& state : *paths) state = state.Reversed();
+}
+
+}  // namespace
+
+PathSet RunProgram(storage::PathOperatorExecutor& exec, const Program& program,
+                   PathSet frontier, Direction dir, const TimeView& view) {
+  for (const Step& step : program) {
+    if (frontier.empty()) return frontier;
+    frontier = RunStep(exec, step, frontier, dir, view);
+  }
+  return frontier;
+}
+
+Result<PathSet> EvaluateMatch(storage::PathOperatorExecutor& exec,
+                              const storage::StorageBackend& backend,
+                              const RpeNode& resolved_rpe,
+                              const TimeView& view,
+                              const PlanOptions& options) {
+  NEPAL_ASSIGN_OR_RETURN(MatchPlan plan,
+                         PlanMatch(resolved_rpe, backend, options));
+  PathSet all;
+  for (const AnchoredPlan& anchored : plan.anchors) {
+    PathSet current = exec.Select(anchored.anchor, view);
+    current = RunProgram(exec, anchored.suffix, std::move(current),
+                         Direction::kOut, view);
+    current = exec.FinalizeTail(current, view);
+    ReverseAll(&current);
+    current = RunProgram(exec, anchored.reversed_prefix, std::move(current),
+                         Direction::kIn, view);
+    current = exec.FinalizeTail(current, view);
+    ReverseAll(&current);
+    all.insert(all.end(), std::make_move_iterator(current.begin()),
+               std::make_move_iterator(current.end()));
+  }
+  storage::DedupPaths(&all);
+  return all;
+}
+
+PathSet EvaluateMatchSeeded(storage::PathOperatorExecutor& exec,
+                            const RpeNode& resolved_rpe,
+                            const std::vector<Uid>& seeds, SeedSide side,
+                            const TimeView& view, const PlanOptions& options) {
+  Program program = CompileProgram(resolved_rpe, options);
+  PathSet current = exec.SelectSeeds(seeds, view);
+  if (side == SeedSide::kSource) {
+    current = RunProgram(exec, program, std::move(current), Direction::kOut,
+                         view);
+    current = exec.FinalizeTail(current, view);
+  } else {
+    current = RunProgram(exec, ReverseProgram(program), std::move(current),
+                         Direction::kIn, view);
+    current = exec.FinalizeTail(current, view);
+    ReverseAll(&current);
+  }
+  storage::DedupPaths(&current);
+  return current;
+}
+
+}  // namespace nepal::nql

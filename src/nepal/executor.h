@@ -1,0 +1,41 @@
+// Program evaluation: drives a backend's PathOperatorExecutor through the
+// step list of an anchored plan.
+
+#ifndef NEPAL_NEPAL_EXECUTOR_H_
+#define NEPAL_NEPAL_EXECUTOR_H_
+
+#include "nepal/plan.h"
+#include "storage/pathset.h"
+
+namespace nepal::nql {
+
+/// Runs `program` over `frontier`, growing every path at its tail.
+/// kOut follows edge direction, kIn runs against it (prefix side).
+storage::PathSet RunProgram(storage::PathOperatorExecutor& exec,
+                            const Program& program,
+                            storage::PathSet frontier, storage::Direction dir,
+                            const storage::TimeView& view);
+
+/// Full evaluation of one MATCHES predicate: plan, Select each anchor,
+/// extend forwards/backwards, finalize both ends. Returns canonical
+/// (source-to-target ordered) completed paths, deduplicated.
+Result<storage::PathSet> EvaluateMatch(storage::PathOperatorExecutor& exec,
+                                       const storage::StorageBackend& backend,
+                                       const RpeNode& resolved_rpe,
+                                       const storage::TimeView& view,
+                                       const PlanOptions& options);
+
+enum class SeedSide { kSource, kTarget };
+
+/// Seeded evaluation (imported anchor): the pathway's source (or target)
+/// node is pinned to one of `seeds`, so no structural anchor is needed.
+storage::PathSet EvaluateMatchSeeded(storage::PathOperatorExecutor& exec,
+                                     const RpeNode& resolved_rpe,
+                                     const std::vector<Uid>& seeds,
+                                     SeedSide side,
+                                     const storage::TimeView& view,
+                                     const PlanOptions& options);
+
+}  // namespace nepal::nql
+
+#endif  // NEPAL_NEPAL_EXECUTOR_H_

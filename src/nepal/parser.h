@@ -1,0 +1,23 @@
+// The NQL parser: text -> Query AST. Keywords are case-insensitive;
+// identifiers (class, field and variable names) are case-sensitive.
+
+#ifndef NEPAL_NEPAL_PARSER_H_
+#define NEPAL_NEPAL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nepal/ast.h"
+
+namespace nepal::nql {
+
+/// Parses a full NQL query. Errors carry the offending token position.
+Result<Query> ParseQuery(const std::string& text);
+
+/// Parses a bare RPE, e.g. "VNF()->[Vertical()]{1,6}->Host(id=5)".
+/// Useful for tests and the programmatic API.
+Result<RpeNode> ParseRpe(const std::string& text);
+
+}  // namespace nepal::nql
+
+#endif  // NEPAL_NEPAL_PARSER_H_

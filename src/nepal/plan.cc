@@ -1,0 +1,282 @@
+#include "nepal/plan.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace nepal::nql {
+
+std::string Step::ToString() const {
+  switch (kind) {
+    case Kind::kAtom:
+      return "Extend(" + atom.ToString() + ")";
+    case Kind::kUnion: {
+      std::string out = "Union(";
+      for (size_t i = 0; i < branches.size(); ++i) {
+        if (i > 0) out += " | ";
+        out += ProgramToString(branches[i]);
+      }
+      return out + ")";
+    }
+    case Kind::kLoop:
+      return "Loop{" + std::to_string(min_rep) + "," +
+             std::to_string(max_rep) + "}(" + ProgramToString(body) + ")";
+  }
+  return "?";
+}
+
+std::string ProgramToString(const Program& program) {
+  if (program.empty()) return "<empty>";
+  std::string out;
+  for (size_t i = 0; i < program.size(); ++i) {
+    if (i > 0) out += " ; ";
+    out += program[i].ToString();
+  }
+  return out;
+}
+
+Program ReverseProgram(const Program& program) {
+  Program out;
+  out.reserve(program.size());
+  for (auto it = program.rbegin(); it != program.rend(); ++it) {
+    Step step = *it;
+    if (step.kind == Step::Kind::kUnion) {
+      for (Program& branch : step.branches) {
+        branch = ReverseProgram(branch);
+      }
+    } else if (step.kind == Step::Kind::kLoop) {
+      step.body = ReverseProgram(step.body);
+    }
+    out.push_back(std::move(step));
+  }
+  return out;
+}
+
+Program CompileProgram(const RpeNode& rpe, const PlanOptions& options) {
+  switch (rpe.kind) {
+    case RpeNode::Kind::kAtom: {
+      Step step;
+      step.kind = Step::Kind::kAtom;
+      step.atom = rpe.atom;
+      return {std::move(step)};
+    }
+    case RpeNode::Kind::kSeq: {
+      Program out;
+      for (const RpeNode& child : rpe.children) {
+        Program part = CompileProgram(child, options);
+        out.insert(out.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+      }
+      return out;
+    }
+    case RpeNode::Kind::kAlt: {
+      Step step;
+      step.kind = Step::Kind::kUnion;
+      for (const RpeNode& child : rpe.children) {
+        step.branches.push_back(CompileProgram(child, options));
+      }
+      return {std::move(step)};
+    }
+    case RpeNode::Kind::kRep: {
+      Program body = CompileProgram(rpe.children[0], options);
+      if (options.use_extend_block) {
+        Step step;
+        step.kind = Step::Kind::kLoop;
+        step.body = std::move(body);
+        step.min_rep = rpe.min_rep;
+        step.max_rep = rpe.max_rep;
+        return {std::move(step)};
+      }
+      // Unrolled form: body^min followed by nested optionals.
+      // Opt(p) = Union(<empty> | p); Rep{m,n} = body^m -> Opt(body -> Opt(...)).
+      Program tail;
+      for (int i = 0; i < rpe.max_rep - rpe.min_rep; ++i) {
+        Program inner = body;
+        inner.insert(inner.end(), std::make_move_iterator(tail.begin()),
+                     std::make_move_iterator(tail.end()));
+        Step opt;
+        opt.kind = Step::Kind::kUnion;
+        opt.branches.push_back(Program{});  // zero more iterations
+        opt.branches.push_back(std::move(inner));
+        tail.clear();
+        tail.push_back(std::move(opt));
+      }
+      Program out;
+      for (int i = 0; i < rpe.min_rep; ++i) {
+        out.insert(out.end(), body.begin(), body.end());
+      }
+      out.insert(out.end(), std::make_move_iterator(tail.begin()),
+                 std::make_move_iterator(tail.end()));
+      return out;
+    }
+  }
+  return {};
+}
+
+namespace {
+
+struct Occurrence {
+  const RpeNode* atom;
+  double cost;
+};
+
+struct Candidate {
+  std::vector<Occurrence> atoms;
+  double cost = 0;
+};
+
+/// Enumerates anchor candidates per the paper's rules. Empty result means
+/// "no anchor in this subtree".
+std::vector<Candidate> EnumerateCandidates(
+    const RpeNode& node, const storage::StorageBackend& backend) {
+  switch (node.kind) {
+    case RpeNode::Kind::kAtom: {
+      double cost = backend.EstimateScan(node.atom.ToScanSpec());
+      return {Candidate{{Occurrence{&node, cost}}, cost}};
+    }
+    case RpeNode::Kind::kSeq: {
+      std::vector<Candidate> out;
+      for (const RpeNode& child : node.children) {
+        std::vector<Candidate> sub = EnumerateCandidates(child, backend);
+        out.insert(out.end(), std::make_move_iterator(sub.begin()),
+                   std::make_move_iterator(sub.end()));
+      }
+      return out;
+    }
+    case RpeNode::Kind::kAlt: {
+      // Cross product of per-branch candidate sets, approximated by the
+      // union of each branch's best (avoids the exponential blowup the
+      // paper describes).
+      Candidate combined;
+      for (const RpeNode& child : node.children) {
+        std::vector<Candidate> sub = EnumerateCandidates(child, backend);
+        if (sub.empty()) return {};  // one branch unanchorable => Alt is too
+        const Candidate* best = &sub[0];
+        for (const Candidate& c : sub) {
+          if (c.cost < best->cost) best = c.cost < best->cost ? &c : best;
+        }
+        combined.atoms.insert(combined.atoms.end(), best->atoms.begin(),
+                              best->atoms.end());
+        combined.cost += best->cost;
+      }
+      return {std::move(combined)};
+    }
+    case RpeNode::Kind::kRep:
+      // Rep(r,n,m) ~ Seq(r, Rep(r,n-1,m-1)): the first iteration is
+      // mandatory iff n >= 1.
+      if (node.min_rep == 0) return {};
+      return EnumerateCandidates(node.children[0], backend);
+  }
+  return {};
+}
+
+/// Splits `node` around the `target` atom. On success, `prefix` holds the
+/// program for everything left of the anchor (in RPE order) and `suffix`
+/// everything right of it.
+bool SplitAroundAnchor(const RpeNode& node, const RpeNode* target,
+                       const PlanOptions& options, Program* prefix,
+                       Program* suffix) {
+  if (&node == target) return true;
+  switch (node.kind) {
+    case RpeNode::Kind::kAtom:
+      return false;
+    case RpeNode::Kind::kSeq: {
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        if (!SplitAroundAnchor(node.children[i], target, options, prefix,
+                               suffix)) {
+          continue;
+        }
+        Program before;
+        for (size_t j = 0; j < i; ++j) {
+          Program part = CompileProgram(node.children[j], options);
+          before.insert(before.end(), std::make_move_iterator(part.begin()),
+                        std::make_move_iterator(part.end()));
+        }
+        prefix->insert(prefix->begin(),
+                       std::make_move_iterator(before.begin()),
+                       std::make_move_iterator(before.end()));
+        for (size_t j = i + 1; j < node.children.size(); ++j) {
+          Program part = CompileProgram(node.children[j], options);
+          suffix->insert(suffix->end(), std::make_move_iterator(part.begin()),
+                         std::make_move_iterator(part.end()));
+        }
+        return true;
+      }
+      return false;
+    }
+    case RpeNode::Kind::kAlt: {
+      for (const RpeNode& child : node.children) {
+        if (SplitAroundAnchor(child, target, options, prefix, suffix)) {
+          // The other branches are covered by their own anchor occurrences.
+          return true;
+        }
+      }
+      return false;
+    }
+    case RpeNode::Kind::kRep: {
+      if (!SplitAroundAnchor(node.children[0], target, options, prefix,
+                             suffix)) {
+        return false;
+      }
+      // The anchor sits in the first iteration; the remaining iterations
+      // form Rep(r, n-1, m-1) on the suffix side.
+      if (node.max_rep - 1 >= 1) {
+        RpeNode rest = RpeNode::Rep(node.children[0],
+                                    std::max(node.min_rep - 1, 0),
+                                    node.max_rep - 1);
+        Program part = CompileProgram(rest, options);
+        suffix->insert(suffix->end(), std::make_move_iterator(part.begin()),
+                       std::make_move_iterator(part.end()));
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<MatchPlan> PlanMatch(const RpeNode& rpe,
+                            const storage::StorageBackend& backend,
+                            const PlanOptions& options) {
+  std::vector<Candidate> candidates = EnumerateCandidates(rpe, backend);
+  if (candidates.empty()) {
+    return Status::PlanError(
+        "RPE '" + rpe.ToString() +
+        "' has no anchor: every atom sits inside a {0,n} repetition block. "
+        "Rewrite the RPE or provide an anchor through a join.");
+  }
+  const Candidate* best = &candidates[0];
+  for (const Candidate& c : candidates) {
+    if (c.cost < best->cost) best = &c;
+  }
+  MatchPlan plan;
+  plan.total_cost = best->cost;
+  for (const Occurrence& occ : best->atoms) {
+    AnchoredPlan anchored;
+    anchored.anchor = occ.atom->atom;
+    anchored.anchor_cost = occ.cost;
+    Program prefix, suffix;
+    if (!SplitAroundAnchor(rpe, occ.atom, options, &prefix, &suffix)) {
+      return Status::Internal("anchor occurrence not found in RPE tree");
+    }
+    anchored.reversed_prefix = ReverseProgram(prefix);
+    anchored.suffix = std::move(suffix);
+    plan.anchors.push_back(std::move(anchored));
+  }
+  return plan;
+}
+
+std::string MatchPlan::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    const AnchoredPlan& a = anchors[i];
+    if (i > 0) out += "\n";
+    out += "anchor " + a.anchor.ToString() + " (cost " +
+           std::to_string(a.anchor_cost) + ")\n";
+    out += "  forwards : " + ProgramToString(a.suffix) + "\n";
+    out += "  backwards: " + ProgramToString(a.reversed_prefix);
+  }
+  return out;
+}
+
+}  // namespace nepal::nql

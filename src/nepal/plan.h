@@ -1,0 +1,91 @@
+// Query planning for one MATCHES predicate.
+//
+// A resolved RPE is compiled into an anchored plan (Section 5.1):
+//  1. enumerate anchor candidates following the paper's rules —
+//       Atom: the atom itself;
+//       Sequence: candidates of every child (all are mandatory);
+//       Alternation: the cross product of the children's candidates,
+//         approximated (as in the paper) by the union of each child's best;
+//       Repetition: Rep(r,n,m) -> Seq(r, Rep(r,n-1,m-1)), candidates of the
+//         first r; repetitions with n == 0 contribute none;
+//  2. cost every candidate with backend statistics / schema hints and pick
+//     the cheapest;
+//  3. split the RPE around each anchor occurrence into a prefix program
+//     (run backwards) and a suffix program (run forwards).
+//
+// Programs are linear step lists; Alternation compiles to a Union of
+// sub-programs, Repetition to a Loop step (delegated to the backend's
+// ExtendBlock when its body is an alternation of atoms).
+
+#ifndef NEPAL_NEPAL_PLAN_H_
+#define NEPAL_NEPAL_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "nepal/rpe.h"
+#include "storage/backend.h"
+#include "storage/pathset.h"
+
+namespace nepal::nql {
+
+struct Step;
+using Program = std::vector<Step>;
+
+struct Step {
+  enum class Kind { kAtom, kUnion, kLoop };
+  Kind kind = Kind::kAtom;
+
+  storage::CompiledAtom atom;      // kAtom
+  std::vector<Program> branches;   // kUnion
+  Program body;                    // kLoop
+  int min_rep = 1;                 // kLoop
+  int max_rep = 1;                 // kLoop
+
+  std::string ToString() const;
+};
+
+/// Mirror-image of a program: steps reversed, recursively.
+Program ReverseProgram(const Program& program);
+
+std::string ProgramToString(const Program& program);
+
+/// One way to evaluate the RPE: Select the anchor atom, extend forwards
+/// through `suffix`, then backwards through `prefix` (already reversed).
+struct AnchoredPlan {
+  storage::CompiledAtom anchor;
+  double anchor_cost = 0;
+  Program reversed_prefix;  // run with Direction::kIn after reversal
+  Program suffix;           // run with Direction::kOut
+};
+
+/// The full plan for a MATCHES predicate: the union over the chosen anchor
+/// set (one AnchoredPlan per alternation branch covered).
+struct MatchPlan {
+  std::vector<AnchoredPlan> anchors;
+  double total_cost = 0;
+  std::string ToString() const;
+};
+
+struct PlanOptions {
+  /// Upper bound accepted for repetition maxima (length limitation).
+  int max_repetition = 32;
+  /// When false, Loop steps are unrolled into plain atom steps instead of
+  /// being delegated to ExtendBlock (the ablation knob).
+  bool use_extend_block = true;
+};
+
+/// Builds the anchored plan for a resolved, normalized RPE against the
+/// statistics of `backend`. Fails with PlanError if the RPE has no anchor
+/// (every atom sits inside a {0,n} repetition).
+Result<MatchPlan> PlanMatch(const RpeNode& rpe,
+                            const storage::StorageBackend& backend,
+                            const PlanOptions& options);
+
+/// Compiles an RPE (sub)tree into a program (used for seeded evaluation,
+/// where the anchor is imported and no split is needed).
+Program CompileProgram(const RpeNode& rpe, const PlanOptions& options);
+
+}  // namespace nepal::nql
+
+#endif  // NEPAL_NEPAL_PLAN_H_

@@ -1,0 +1,94 @@
+// Regular Pathway Expressions (RPEs) — Section 3.3 of the paper.
+//
+// An RPE is built from atoms (class name + field conditions over nodes *or*
+// edges, treated symmetrically), concatenation (->), disjunction (|) and
+// bounded repetition ([r]{i,j}). Parsing produces a tree with textual class
+// and field names; Resolve() binds it to a schema, producing CompiledAtoms.
+
+#ifndef NEPAL_NEPAL_RPE_H_
+#define NEPAL_NEPAL_RPE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+#include "storage/pathset.h"
+
+namespace nepal::nql {
+
+/// Pre-resolution atom condition: field name (with optional dotted path
+/// into structured data), operator, literal.
+struct RawCondition {
+  std::string field;
+  std::vector<std::string> subpath;
+  storage::FieldCondition::Op op = storage::FieldCondition::Op::kEq;
+  Value value;
+};
+
+struct RpeNode {
+  enum class Kind { kAtom, kSeq, kAlt, kRep };
+
+  Kind kind = Kind::kAtom;
+
+  // kAtom.
+  std::string class_name;
+  std::vector<RawCondition> raw_conditions;
+  storage::CompiledAtom atom;  // valid after Resolve()
+
+  // kSeq / kAlt / kRep.
+  std::vector<RpeNode> children;
+
+  // kRep bounds (inclusive).
+  int min_rep = 1;
+  int max_rep = 1;
+
+  static RpeNode Atom(std::string cls, std::vector<RawCondition> conds = {}) {
+    RpeNode n;
+    n.kind = Kind::kAtom;
+    n.class_name = std::move(cls);
+    n.raw_conditions = std::move(conds);
+    return n;
+  }
+  static RpeNode Seq(std::vector<RpeNode> children) {
+    RpeNode n;
+    n.kind = Kind::kSeq;
+    n.children = std::move(children);
+    return n;
+  }
+  static RpeNode Alt(std::vector<RpeNode> children) {
+    RpeNode n;
+    n.kind = Kind::kAlt;
+    n.children = std::move(children);
+    return n;
+  }
+  static RpeNode Rep(RpeNode body, int min_rep, int max_rep) {
+    RpeNode n;
+    n.kind = Kind::kRep;
+    n.children.push_back(std::move(body));
+    n.min_rep = min_rep;
+    n.max_rep = max_rep;
+    return n;
+  }
+
+  /// Source-like rendering, e.g. "VNF()->[HostedOn()]{1,6}->Host(id=23245)".
+  std::string ToString() const;
+};
+
+/// Flattens nested Seq/Alt nodes and collapses single-child containers.
+RpeNode Normalize(RpeNode node);
+
+/// Binds every atom to `schema`: resolves class names, field indexes and
+/// type-checks literals. `max_repetition` bounds repetition blocks (the
+/// length-limitation requirement).
+Status ResolveRpe(const schema::Schema& schema, int max_repetition,
+                  RpeNode* node);
+
+/// Minimum / maximum number of atoms a matching fragment consumes. Used for
+/// length-limit checks and diagnostics.
+int MinAtoms(const RpeNode& node);
+int MaxAtoms(const RpeNode& node);
+
+}  // namespace nepal::nql
+
+#endif  // NEPAL_NEPAL_RPE_H_

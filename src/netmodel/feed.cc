@@ -1,0 +1,264 @@
+#include "netmodel/feed.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace nepal::netmodel {
+
+std::string FeedStats::ToString() const {
+  return std::to_string(nodes) + " nodes, " + std::to_string(edges) +
+         " edges, " + std::to_string(updates) + " updates, " +
+         std::to_string(deletes) + " deletes, " +
+         std::to_string(clock_moves) + " clock moves";
+}
+
+namespace {
+
+/// Splits a directive line into whitespace-separated words, keeping quoted
+/// strings (with their quotes) intact.
+Result<std::vector<std::string>> Tokenize(const std::string& line,
+                                          int line_no) {
+  std::vector<std::string> words;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size()) break;
+    size_t start = i;
+    bool in_quote = false;
+    while (i < line.size() &&
+           (in_quote || !std::isspace(static_cast<unsigned char>(line[i])))) {
+      if (line[i] == '\'') in_quote = !in_quote;
+      ++i;
+    }
+    if (in_quote) {
+      return Status::ParseError("feed line " + std::to_string(line_no) +
+                                ": unterminated string literal");
+    }
+    words.push_back(line.substr(start, i - start));
+  }
+  return words;
+}
+
+Result<Value> ParseLiteral(const std::string& text, int line_no) {
+  if (text.empty()) {
+    return Status::ParseError("feed line " + std::to_string(line_no) +
+                              ": empty literal");
+  }
+  if (text.front() == '\'') {
+    if (text.size() < 2 || text.back() != '\'') {
+      return Status::ParseError("feed line " + std::to_string(line_no) +
+                                ": malformed string literal " + text);
+    }
+    return Value(text.substr(1, text.size() - 2));
+  }
+  if (text == "true") return Value(true);
+  if (text == "false") return Value(false);
+  try {
+    if (text.find('.') != std::string::npos) {
+      size_t used = 0;
+      double d = std::stod(text, &used);
+      if (used == text.size()) return Value(d);
+    } else {
+      size_t used = 0;
+      int64_t v = std::stoll(text, &used, 10);
+      if (used == text.size()) return Value(v);
+    }
+  } catch (...) {
+    // fall through to the error below
+  }
+  return Status::ParseError("feed line " + std::to_string(line_no) +
+                            ": cannot parse literal '" + text + "'");
+}
+
+/// Parses trailing `field=literal` assignments.
+Result<schema::FieldValues> ParseAssignments(
+    const std::vector<std::string>& words, size_t from, int line_no) {
+  schema::FieldValues fields;
+  for (size_t i = from; i < words.size(); ++i) {
+    size_t eq = words[i].find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::ParseError("feed line " + std::to_string(line_no) +
+                                ": expected field=literal, got '" + words[i] +
+                                "'");
+    }
+    NEPAL_ASSIGN_OR_RETURN(Value v,
+                           ParseLiteral(words[i].substr(eq + 1), line_no));
+    fields.emplace_back(words[i].substr(0, eq), std::move(v));
+  }
+  return fields;
+}
+
+}  // namespace
+
+Uid FeedLoader::Lookup(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidUid : it->second;
+}
+
+Result<FeedStats> FeedLoader::Load(const std::string& text) {
+  FeedStats stats;
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  auto err = [&line_no](const std::string& msg) {
+    return Status::InvalidArgument("feed line " + std::to_string(line_no) +
+                                   ": " + msg);
+  };
+  while (std::getline(stream, line)) {
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    NEPAL_ASSIGN_OR_RETURN(std::vector<std::string> words,
+                           Tokenize(line, line_no));
+    if (words.empty()) continue;
+    const std::string& directive = words[0];
+
+    if (directive == "at") {
+      std::string ts_text;
+      for (size_t i = 1; i < words.size(); ++i) {
+        if (i > 1) ts_text += " ";
+        ts_text += words[i];
+      }
+      NEPAL_ASSIGN_OR_RETURN(Timestamp ts, ParseTimestamp(ts_text));
+      NEPAL_RETURN_NOT_OK(db_->SetTime(ts));
+      ++stats.clock_moves;
+      continue;
+    }
+    if (directive == "node") {
+      if (words.size() < 3) return err("node needs <class> <name>");
+      const std::string& name = words[2];
+      if (by_name_.count(name)) {
+        return err("name '" + name + "' already in use");
+      }
+      NEPAL_ASSIGN_OR_RETURN(schema::FieldValues fields,
+                             ParseAssignments(words, 3, line_no));
+      fields.emplace_back("name", Value(name));
+      NEPAL_ASSIGN_OR_RETURN(Uid uid, db_->AddNode(words[1], fields));
+      by_name_[name] = uid;
+      ++stats.nodes;
+      continue;
+    }
+    if (directive == "edge") {
+      if (words.size() < 6 || words[4] != "->") {
+        return err("edge needs <class> <name> <source> -> <target>");
+      }
+      const std::string& name = words[2];
+      if (by_name_.count(name)) {
+        return err("name '" + name + "' already in use");
+      }
+      auto src = by_name_.find(words[3]);
+      auto tgt = by_name_.find(words[5]);
+      if (src == by_name_.end() || tgt == by_name_.end()) {
+        return err("unknown endpoint '" +
+                   (src == by_name_.end() ? words[3] : words[5]) + "'");
+      }
+      NEPAL_ASSIGN_OR_RETURN(schema::FieldValues fields,
+                             ParseAssignments(words, 6, line_no));
+      fields.emplace_back("name", Value(name));
+      NEPAL_ASSIGN_OR_RETURN(
+          Uid uid, db_->AddEdge(words[1], src->second, tgt->second, fields));
+      by_name_[name] = uid;
+      ++stats.edges;
+      continue;
+    }
+    if (directive == "update") {
+      if (words.size() < 3) return err("update needs <name> field=literal");
+      auto it = by_name_.find(words[1]);
+      if (it == by_name_.end()) return err("unknown name '" + words[1] + "'");
+      NEPAL_ASSIGN_OR_RETURN(schema::FieldValues fields,
+                             ParseAssignments(words, 2, line_no));
+      NEPAL_RETURN_NOT_OK(db_->UpdateElement(it->second, fields));
+      ++stats.updates;
+      continue;
+    }
+    if (directive == "delete") {
+      if (words.size() != 2) return err("delete needs exactly <name>");
+      auto it = by_name_.find(words[1]);
+      if (it == by_name_.end()) return err("unknown name '" + words[1] + "'");
+      // Cascaded edge deletions leave dangling name entries; those names
+      // simply become unknown to later directives.
+      NEPAL_RETURN_NOT_OK(db_->RemoveElement(it->second));
+      by_name_.erase(it);
+      ++stats.deletes;
+      continue;
+    }
+    return err("unknown directive '" + directive + "'");
+  }
+  return stats;
+}
+
+Result<FeedStats> FeedLoader::LoadFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open feed file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return Load(buffer.str());
+}
+
+std::string ExportFeed(const storage::GraphDb& db, size_t* skipped) {
+  std::string out = "# exported Nepal inventory feed\n";
+  size_t skipped_count = 0;
+  auto render_fields = [](const storage::ElementVersion& v) {
+    std::string text;
+    for (size_t i = 0; i < v.fields.size(); ++i) {
+      const schema::FieldDef& def = v.cls->fields()[i];
+      if (def.name == "name" || v.fields[i].is_null()) continue;
+      switch (v.fields[i].kind()) {
+        case ValueKind::kInt:
+        case ValueKind::kDouble:
+        case ValueKind::kBool:
+        case ValueKind::kString:
+          text += " " + def.name + "=" + v.fields[i].ToString();
+          break;
+        default:
+          break;  // structured values are not expressible in the feed
+      }
+    }
+    return text;
+  };
+  auto name_of = [&](const storage::ElementVersion& v) -> std::string {
+    int idx = v.cls->FieldIndex("name");
+    if (idx < 0 || v.fields[static_cast<size_t>(idx)].is_null()) return "";
+    return v.fields[static_cast<size_t>(idx)].AsString();
+  };
+  std::unordered_map<Uid, std::string> names;
+  storage::ScanSpec nodes;
+  nodes.cls = db.schema().node_root();
+  db.backend().Scan(nodes, storage::TimeView::Current(),
+                    [&](const storage::ElementVersion& v) {
+                      std::string name = name_of(v);
+                      if (name.empty()) {
+                        ++skipped_count;
+                        return;
+                      }
+                      names[v.uid] = name;
+                      out += "node " + v.cls->name() + " " + name +
+                             render_fields(v) + "\n";
+                    });
+  storage::ScanSpec edges;
+  edges.cls = db.schema().edge_root();
+  db.backend().Scan(edges, storage::TimeView::Current(),
+                    [&](const storage::ElementVersion& v) {
+                      std::string name = name_of(v);
+                      auto src = names.find(v.source);
+                      auto tgt = names.find(v.target);
+                      if (name.empty() || src == names.end() ||
+                          tgt == names.end()) {
+                        ++skipped_count;
+                        return;
+                      }
+                      out += "edge " + v.cls->name() + " " + name + " " +
+                             src->second + " -> " + tgt->second +
+                             render_fields(v) + "\n";
+                    });
+  if (skipped != nullptr) *skipped = skipped_count;
+  return out;
+}
+
+}  // namespace nepal::netmodel

@@ -1,0 +1,66 @@
+// The inventory feed format: a replayable, line-oriented update stream.
+//
+// Real deployments feed Nepal from orchestrators and legacy inventories
+// (Section 3.1); this loader implements a textual form of such a stream so
+// inventories can be captured in files, replayed into any backend, and
+// shipped as test fixtures. Elements are identified by their `name` field
+// (the uid mapping is owned by the loader). One directive per line:
+//
+//   # comment
+//   at 2017-02-15 10:00:00            -- advance the transaction clock
+//   node <class> <name> [field=literal ...]
+//   edge <class> <name> <source-name> -> <target-name> [field=literal ...]
+//   update <name> field=literal [...]
+//   delete <name>
+//
+// Literals use NQL syntax: 42, 2.5, 'text', true/false. Structured values
+// are not expressible in the feed (use the programmatic API).
+
+#ifndef NEPAL_NETMODEL_FEED_H_
+#define NEPAL_NETMODEL_FEED_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "storage/graphdb.h"
+
+namespace nepal::netmodel {
+
+struct FeedStats {
+  size_t nodes = 0;
+  size_t edges = 0;
+  size_t updates = 0;
+  size_t deletes = 0;
+  size_t clock_moves = 0;
+
+  std::string ToString() const;
+};
+
+class FeedLoader {
+ public:
+  /// `db` must outlive the loader.
+  explicit FeedLoader(storage::GraphDb* db) : db_(db) {}
+
+  /// Replays feed text. Errors carry the line number. Partially applied
+  /// feeds leave the database with every directive before the error.
+  Result<FeedStats> Load(const std::string& text);
+
+  /// Reads and replays a feed file.
+  Result<FeedStats> LoadFile(const std::string& path);
+
+  /// uid previously assigned to a feed name, or kInvalidUid.
+  Uid Lookup(const std::string& name) const;
+
+ private:
+  storage::GraphDb* db_;
+  std::unordered_map<std::string, Uid> by_name_;
+};
+
+/// Serializes the current snapshot of `db` back into feed format (nodes
+/// first, then edges), suitable for re-loading. Elements without a unique
+/// name are skipped and counted in `*skipped` (if non-null).
+std::string ExportFeed(const storage::GraphDb& db, size_t* skipped = nullptr);
+
+}  // namespace nepal::netmodel
+
+#endif  // NEPAL_NETMODEL_FEED_H_

@@ -1,0 +1,264 @@
+#include "netmodel/legacy.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "schema/dsl_parser.h"
+
+namespace nepal::netmodel {
+
+std::string LegacyEdgeTypeName(int i) {
+  switch (i) {
+    case 0:
+      return "contains";
+    case 1:
+      return "service_hop";
+    case 2:
+      return "monitors";
+    default: {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "link_type_%02d", i);
+      return buf;
+    }
+  }
+}
+
+namespace {
+
+constexpr const char* kLegacyNodeDsl = R"(
+node legacy_node : Node {
+  type_indicator: string;
+  status: string;
+}
+)";
+
+schema::SchemaPtr ParseOrDie(const std::string& dsl) {
+  auto result = schema::ParseSchemaDsl(dsl);
+  if (!result.ok()) {
+    fprintf(stderr, "legacy schema: %s\n", result.status().ToString().c_str());
+    abort();
+  }
+  return *result;
+}
+
+}  // namespace
+
+schema::SchemaPtr LegacySingleClassSchema() {
+  std::string dsl = kLegacyNodeDsl;
+  dsl += "edge legacy_link : Edge { type_indicator: string; }\n";
+  dsl += "allow legacy_link (legacy_node -> legacy_node);\n";
+  return ParseOrDie(dsl);
+}
+
+schema::SchemaPtr LegacySubclassedSchema() {
+  std::string dsl = kLegacyNodeDsl;
+  dsl += "edge legacy_link : Edge { type_indicator: string; }\n";
+  for (int i = 0; i < kLegacyEdgeTypes; ++i) {
+    dsl += "edge " + LegacyEdgeTypeName(i) + " : legacy_link {}\n";
+  }
+  dsl += "allow legacy_link (legacy_node -> legacy_node);\n";
+  return ParseOrDie(dsl);
+}
+
+std::string LegacyNetwork::EdgeAtom(const std::string& type) const {
+  if (subclassed) return type + "()";
+  return "legacy_link(type_indicator='" + type + "')";
+}
+
+std::string LegacyNetwork::NodeAtom(const std::string& type) const {
+  return "legacy_node(type_indicator='" + type + "')";
+}
+
+Result<LegacyNetwork> BuildLegacyNetwork(const LegacyParams& params,
+                                         const BackendFactory& factory) {
+  LegacyNetwork net;
+  net.subclassed = params.subclassed;
+  schema::SchemaPtr schema = params.subclassed ? LegacySubclassedSchema()
+                                               : LegacySingleClassSchema();
+  net.db = std::make_unique<storage::GraphDb>(schema, factory(schema));
+  storage::GraphDb& db = *net.db;
+  Rng rng(params.seed);
+
+  auto node = [&](const std::string& type,
+                  const std::string& name) -> Result<Uid> {
+    return db.AddNode("legacy_node", {{"name", Value(name)},
+                                      {"type_indicator", Value(type)},
+                                      {"status", Value("up")}});
+  };
+  // The feed carries a type_indicator per edge; under the subclassed load
+  // the indicator selects the class, under the single-class load it lands
+  // in the field.
+  auto edge = [&](int type, Uid s, Uid t) -> Result<Uid> {
+    std::string type_name = LegacyEdgeTypeName(type);
+    if (params.subclassed) {
+      return db.AddEdge(type_name, s, t,
+                        {{"type_indicator", Value(type_name)}});
+    }
+    return db.AddEdge("legacy_link", s, t,
+                      {{"type_indicator", Value(type_name)}});
+  };
+
+  // ---- Containment hierarchy: device > shelf > card > port ----
+  std::vector<Uid> all_nodes;
+  std::vector<std::vector<Uid>> flood_chains;  // per device
+  for (int d = 0; d < params.num_devices; ++d) {
+    NEPAL_ASSIGN_OR_RETURN(Uid device,
+                           node("device", "dev-" + std::to_string(d)));
+    net.devices.push_back(device);
+    all_nodes.push_back(device);
+    std::vector<Uid> device_ports;
+    std::vector<Uid> flood_chain;  // shelf0, card0 and card0's ports
+    for (int s = 0; s < params.shelves_per_device; ++s) {
+      NEPAL_ASSIGN_OR_RETURN(
+          Uid shelf, node("shelf", "dev-" + std::to_string(d) + "-sh" +
+                                       std::to_string(s)));
+      all_nodes.push_back(shelf);
+      if (s == 0) flood_chain.push_back(shelf);
+      NEPAL_RETURN_NOT_OK(edge(0, device, shelf).status());
+      for (int c = 0; c < params.cards_per_shelf; ++c) {
+        NEPAL_ASSIGN_OR_RETURN(
+            Uid card, node("card", "dev-" + std::to_string(d) + "-sh" +
+                                       std::to_string(s) + "-c" +
+                                       std::to_string(c)));
+        all_nodes.push_back(card);
+        if (s == 0 && c == 0) flood_chain.push_back(card);
+        NEPAL_RETURN_NOT_OK(edge(0, shelf, card).status());
+        for (int p = 0; p < params.ports_per_card; ++p) {
+          NEPAL_ASSIGN_OR_RETURN(
+              Uid port, node("port", "dev-" + std::to_string(d) + "-sh" +
+                                         std::to_string(s) + "-c" +
+                                         std::to_string(c) + "-p" +
+                                         std::to_string(p)));
+          all_nodes.push_back(port);
+          net.ports.push_back(port);
+          device_ports.push_back(port);
+          if (s == 0 && c == 0) flood_chain.push_back(port);
+          NEPAL_RETURN_NOT_OK(edge(0, card, port).status());
+        }
+      }
+    }
+    flood_chains.push_back(std::move(flood_chain));
+    // Port groups: an alternative containment path device > group > port
+    // (legacy inventories are full of such cross-structures).
+    int num_groups = 2;
+    for (int g = 0; g < num_groups; ++g) {
+      NEPAL_ASSIGN_OR_RETURN(
+          Uid group, node("group", "dev-" + std::to_string(d) + "-grp" +
+                                       std::to_string(g)));
+      all_nodes.push_back(group);
+      NEPAL_RETURN_NOT_OK(edge(0, device, group).status());
+      for (size_t m = static_cast<size_t>(g); m < device_ports.size();
+           m += static_cast<size_t>(num_groups) * 4) {
+        NEPAL_RETURN_NOT_OK(edge(0, group, device_ports[m]).status());
+      }
+    }
+  }
+
+  // The port population is partitioned so the two service-path workloads
+  // do not pollute each other: "feeder" ports (index % 7 == 3) only carry
+  // the converging egress traffic; all other ports carry ordinary chains.
+  auto is_feeder = [](size_t port_index) { return port_index % 7 == 3; };
+  auto sample_port = [&](bool feeder) {
+    while (true) {
+      size_t i = rng.Below(net.ports.size());
+      if (is_feeder(i) == feeder) return std::make_pair(net.ports[i], i);
+    }
+  };
+
+  // ---- Forward service chains ----
+  for (int d = 0; d < params.num_devices; ++d) {
+    if (!rng.Chance(params.chain_density)) continue;
+    size_t head_idx = static_cast<size_t>(d) * 32 % net.ports.size();
+    if (is_feeder(head_idx)) ++head_idx;
+    Uid head = net.ports[head_idx];
+    net.chain_heads.push_back(head);
+    std::vector<Uid> level = {head};
+    for (int hop = 0; hop < params.chain_length; ++hop) {
+      std::vector<Uid> next;
+      for (Uid from : level) {
+        for (int b = 0; b < params.chain_branching; ++b) {
+          Uid to = sample_port(false).first;
+          if (to == from) continue;
+          NEPAL_RETURN_NOT_OK(edge(1, from, to).status());
+          next.push_back(to);
+        }
+      }
+      level = std::move(next);
+    }
+  }
+
+  // ---- Converging trees into egress ports (reverse-path blowup) ----
+  for (int e = 0; e < params.num_egress_ports; ++e) {
+    size_t egress_idx = (static_cast<size_t>(e) * 977) % net.ports.size();
+    if (is_feeder(egress_idx)) ++egress_idx;
+    Uid egress = net.ports[egress_idx];
+    net.egress_ports.push_back(egress);
+    std::vector<Uid> level = {egress};
+    for (int hop = 0; hop < params.chain_length; ++hop) {
+      std::vector<Uid> next;
+      for (Uid to : level) {
+        for (int b = 0; b < params.reverse_in_branching; ++b) {
+          Uid from = sample_port(true).first;
+          if (from == to) continue;
+          NEPAL_RETURN_NOT_OK(edge(1, from, to).status());
+          next.push_back(from);
+        }
+      }
+      level = std::move(next);
+      // Cap the frontier so the generator stays linear in the parameter.
+      if (level.size() > 4096) level.resize(4096);
+    }
+  }
+
+  // ---- Hub devices flooded with irrelevant monitoring edges ----
+  std::vector<Uid> monitors;
+  for (int m = 0; m < 64; ++m) {
+    NEPAL_ASSIGN_OR_RETURN(Uid mon, node("monitor", "mon-" +
+                                                        std::to_string(m)));
+    monitors.push_back(mon);
+  }
+  int num_hubs = std::max(1, static_cast<int>(params.hub_fraction *
+                                              params.num_devices));
+  for (int h = 0; h < num_hubs; ++h) {
+    size_t dev_idx = (static_cast<size_t>(h) * 131) %
+                     static_cast<size_t>(params.num_devices);
+    net.hub_devices.push_back(net.devices[dev_idx]);
+    // Flood the device's first containment chain (shelf 0, card 0 and its
+    // ports) with monitoring edges of scattered irrelevant types: a
+    // bottom-up traversal from those ports fetches the junk at every hop.
+    const std::vector<Uid>& chain = flood_chains[dev_idx];
+    int per_node = params.hub_monitor_edges /
+                   static_cast<int>(chain.size());
+    for (Uid target : chain) {
+      for (int j = 0; j < per_node; ++j) {
+        int type = 3 + static_cast<int>(rng.Below(kLegacyEdgeTypes - 3));
+        NEPAL_RETURN_NOT_OK(
+            edge(type, monitors[rng.Below(monitors.size())], target).status());
+      }
+    }
+  }
+
+  net.snapshot_time = db.Now();
+  net.initial_version_count = db.backend().VersionCount();
+
+  // ---- Churn ----
+  size_t elements = db.node_count() + db.edge_count();
+  auto updates_per_day = static_cast<size_t>(
+      params.daily_update_fraction * static_cast<double>(elements));
+  for (int day = 1; day <= params.history_days; ++day) {
+    NEPAL_RETURN_NOT_OK(
+        db.SetTime(net.snapshot_time + static_cast<Timestamp>(day) * 86400 *
+                                           1000000));
+    for (size_t i = 0; i < updates_per_day; ++i) {
+      Uid uid = all_nodes[rng.Below(all_nodes.size())];
+      const char* status = rng.Chance(0.8) ? "up" : "degraded";
+      Status st = db.UpdateElement(uid, {{"status", Value(status)}});
+      if (!st.ok() && st.code() != StatusCode::kNotFound) return st;
+    }
+  }
+  net.end_time = db.Now();
+  net.final_version_count = db.backend().VersionCount();
+  return net;
+}
+
+}  // namespace nepal::netmodel

@@ -1,0 +1,112 @@
+// The legacy network topology (paper Section 6, Table 2).
+//
+// The paper's second data set is a flat legacy inventory delivered as nodes
+// and edges with type_indicator values: one node class and one edge class
+// at first load, later reloaded with 66 edge subclasses (one per
+// type_indicator), which makes the bottom-up query interactive.
+//
+// Shape (scaled by `num_devices`):
+//  - a containment hierarchy device > shelf > card > port connected by
+//    downward `contains`-style edges (vertical queries, length 3),
+//  - forward service chains of port -> port `service_hop` edges with
+//    branching ~2 over 4 levels (the forward service-path query),
+//  - a small set of egress ports into which many chains converge (the
+//    reverse-path query explodes backwards from these),
+//  - hub devices carrying large numbers of monitoring edges of irrelevant
+//    types — the cause of the paper's bimodal bottom-up latencies on the
+//    single-class load,
+//  - 60 days of churn for the +16% history.
+
+#ifndef NEPAL_NETMODEL_LEGACY_H_
+#define NEPAL_NETMODEL_LEGACY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netmodel/virtualized.h"
+#include "storage/graphdb.h"
+
+namespace nepal::netmodel {
+
+/// Number of distinct edge type_indicator values (and subclasses).
+inline constexpr int kLegacyEdgeTypes = 66;
+
+/// The i-th edge type name, e.g. "contains", "service_hop", "mgmt_link_07".
+std::string LegacyEdgeTypeName(int i);
+
+/// Single-class schema: legacy_node / legacy_link with type_indicator
+/// fields (how the legacy feed was first loaded).
+schema::SchemaPtr LegacySingleClassSchema();
+
+/// Subclassed schema: 66 edge classes, one per type_indicator value.
+schema::SchemaPtr LegacySubclassedSchema();
+
+struct LegacyParams {
+  uint64_t seed = 7;
+  /// Scale knob: the paper's data set (~1.6M nodes / 7.1M edges)
+  /// corresponds to roughly 11,000 devices.
+  int num_devices = 1400;
+  int shelves_per_device = 2;
+  int cards_per_shelf = 4;
+  int ports_per_card = 4;
+
+  /// Service chains: length (hops) and out-branching per level.
+  int chain_length = 4;
+  int chain_branching = 2;
+  /// Fraction of devices whose first port starts a service chain.
+  double chain_density = 0.25;
+  /// Number of egress ports that chains converge into; reverse-path
+  /// queries anchored here explode backwards.
+  int num_egress_ports = 4;
+  /// In-branching per level feeding each egress port (controls the
+  /// reverse-path blowup: ~in_branching^chain_length paths).
+  int reverse_in_branching = 10;
+
+  /// Hub devices: fraction of devices flooded with irrelevant monitoring
+  /// edges (the paper's slow bottom-up samples), and how many each.
+  double hub_fraction = 0.01;
+  int hub_monitor_edges = 24000;
+
+  /// Whether to load with the 66 edge subclasses (Section 6 reload) or the
+  /// original single edge class + type_indicator predicate.
+  bool subclassed = false;
+
+  int history_days = 60;
+  /// Daily updates as a fraction of elements, calibrated so 60 days yield
+  /// roughly +16% versions.
+  double daily_update_fraction = 0.0027;
+};
+
+struct LegacyNetwork {
+  std::unique_ptr<storage::GraphDb> db;
+  bool subclassed = false;
+
+  std::vector<Uid> devices;
+  std::vector<Uid> ports;
+  /// Ports that start a service chain (forward query anchors).
+  std::vector<Uid> chain_heads;
+  /// Egress ports (reverse query anchors).
+  std::vector<Uid> egress_ports;
+  /// Devices flooded with monitoring edges.
+  std::vector<Uid> hub_devices;
+
+  Timestamp snapshot_time = 0;
+  Timestamp end_time = 0;
+  size_t initial_version_count = 0;
+  size_t final_version_count = 0;
+
+  /// Class or predicate atom for an edge type, depending on the load mode:
+  /// subclassed -> "contains()", single-class ->
+  /// "legacy_link(type_indicator='contains')".
+  std::string EdgeAtom(const std::string& type) const;
+  /// Node atom for a node type (node classes stay single in both modes).
+  std::string NodeAtom(const std::string& type) const;
+};
+
+Result<LegacyNetwork> BuildLegacyNetwork(const LegacyParams& params,
+                                         const BackendFactory& factory);
+
+}  // namespace nepal::netmodel
+
+#endif  // NEPAL_NETMODEL_LEGACY_H_

@@ -1,0 +1,467 @@
+#include "netmodel/virtualized.h"
+
+#include <algorithm>
+
+#include "schema/dsl_parser.h"
+
+namespace nepal::netmodel {
+
+namespace {
+
+// 54 node classes / 12 edge classes, mirroring the richness the paper
+// reports for the virtualized service inventory.
+constexpr const char* kVirtualizedSchemaDsl = R"(
+data_type routingTableEntry {
+  address: ip;
+  mask: int;
+  interface: string;
+}
+
+# ---- Service layer ----
+node Service : Node { customer: string; }
+node CustomerService : Service {}
+node InfraService : Service {}
+node VNF : Node { vnf_type: string; }
+node DNS : VNF {}
+node Firewall : VNF {}
+node LoadBalancer : VNF {}
+node NAT : VNF {}
+node Gateway : VNF {}
+node IDS : VNF {}
+node WanAccelerator : VNF {}
+node EPC : VNF {}
+node IMS : VNF {}
+node CDN : VNF {}
+node Vpn : VNF {}
+node SessionBorderController : VNF {}
+
+# ---- Logical layer ----
+node VFC : Node { role: string; }
+node Proxy : VFC {}
+node WebServer : VFC {}
+node AppServer : VFC {}
+node DbServer : VFC {}
+node Cache : VFC {}
+node MessageQueue : VFC {}
+node Controller : VFC {}
+node Worker : VFC {}
+node Collector : VFC {}
+node Balancer : VFC {}
+
+# ---- Virtualization layer ----
+node Container : Node { status: string; }
+node VM : Container { ip: ip; }
+node VMWare : VM {}
+node OnMetal : VM {}
+node KvmVM : VM {}
+node Docker : Container {}
+node VirtualNetwork : Node { cidr: string; }
+node Subnet : VirtualNetwork {}
+node VirtualRouter : Node {}
+node VirtualInterface : Node { mac: string; }
+node FloatingIp : Node { address: ip; }
+node Tenant : Node {}
+node Image : Node {}
+node Flavor : Node { vcpus: int; memory_mb: int; }
+
+# ---- Physical layer ----
+node PhysicalElement : Node { vendor: string; }
+node Host : PhysicalElement { serial: string; }
+node ComputeHost : Host {}
+node StorageHost : Host {}
+node Switch : PhysicalElement {}
+node TorSwitch : Switch {}
+node AggSwitch : Switch {}
+node Router : PhysicalElement { routingTable: list<routingTableEntry>; }
+node EdgeRouter : Router {}
+node CoreRouter : Router {}
+node Rack : Node {}
+node Datacenter : Node {}
+node Region : Node {}
+
+# ---- Edge classes ----
+edge Vertical : Edge {}
+edge composed_of : Vertical {}
+edge hosted_on : Vertical {}
+edge on_vm : hosted_on {}
+edge on_server : hosted_on {}
+edge located_in : Vertical {}
+edge ConnectedTo : Edge {}
+edge connects : ConnectedTo { bandwidth: int; }
+edge virtual_connects : ConnectedTo { ip_address: ip; }
+edge flow : ConnectedTo {}
+edge attaches : ConnectedTo {}
+edge uses : Edge {}
+
+allow composed_of (Service -> VNF);
+allow composed_of (VNF -> VFC);
+allow on_vm (VFC -> Container);
+allow on_server (Container -> Host);
+allow located_in (Host -> Rack);
+allow located_in (Rack -> Datacenter);
+allow located_in (Datacenter -> Region);
+allow connects (Host -> Switch);
+allow connects (Switch -> Host);
+allow connects (Switch -> Switch);
+allow connects (Switch -> Router);
+allow connects (Router -> Switch);
+allow connects (Router -> Router);
+allow virtual_connects (Container -> VirtualNetwork);
+allow virtual_connects (VirtualNetwork -> Container);
+allow virtual_connects (VirtualNetwork -> VirtualRouter);
+allow virtual_connects (VirtualRouter -> VirtualNetwork);
+allow flow (VNF -> VNF);
+allow attaches (Container -> VirtualInterface);
+allow attaches (VirtualInterface -> VirtualNetwork);
+allow attaches (FloatingIp -> Container);
+allow uses (Container -> Image);
+allow uses (Container -> Flavor);
+allow uses (Tenant -> Service);
+)";
+
+const char* kVnfClasses[] = {"DNS",  "Firewall", "LoadBalancer",
+                             "NAT",  "Gateway",  "IDS",
+                             "WanAccelerator", "EPC", "IMS",
+                             "CDN",  "Vpn",      "SessionBorderController"};
+const char* kVfcClasses[] = {"Proxy",   "WebServer",    "AppServer",
+                             "DbServer", "Cache",       "MessageQueue",
+                             "Controller", "Worker",    "Collector",
+                             "Balancer"};
+const char* kVmClasses[] = {"VMWare", "OnMetal", "KvmVM"};
+
+}  // namespace
+
+schema::SchemaPtr VirtualizedSchema() {
+  auto result = schema::ParseSchemaDsl(kVirtualizedSchemaDsl);
+  if (!result.ok()) {
+    fprintf(stderr, "VirtualizedSchema: %s\n",
+            result.status().ToString().c_str());
+    abort();
+  }
+  return *result;
+}
+
+Result<VirtualizedNetwork> BuildVirtualizedNetwork(
+    const VirtualizedParams& params, const BackendFactory& factory) {
+  VirtualizedNetwork net;
+  schema::SchemaPtr schema = VirtualizedSchema();
+  net.db = std::make_unique<storage::GraphDb>(schema, factory(schema));
+  storage::GraphDb& db = *net.db;
+  Rng rng(params.seed);
+
+  auto node = [&](const std::string& cls, const std::string& name,
+                  schema::FieldValues extra = {}) -> Result<Uid> {
+    extra.emplace_back("name", Value(name));
+    return db.AddNode(cls, extra);
+  };
+  auto edge = [&](const std::string& cls, Uid s, Uid t,
+                  schema::FieldValues fields = {}) -> Result<Uid> {
+    return db.AddEdge(cls, s, t, fields);
+  };
+
+  // ---- Physical layer ----
+  NEPAL_ASSIGN_OR_RETURN(Uid region, node("Region", "region-east"));
+  std::vector<Uid> dcs;
+  for (int i = 0; i < params.num_datacenters; ++i) {
+    NEPAL_ASSIGN_OR_RETURN(Uid dc,
+                           node("Datacenter", "dc-" + std::to_string(i)));
+    NEPAL_RETURN_NOT_OK(edge("located_in", dc, region).status());
+    dcs.push_back(dc);
+  }
+  std::vector<Uid> routers;
+  for (int i = 0; i < params.num_routers; ++i) {
+    NEPAL_ASSIGN_OR_RETURN(
+        Uid r, node(i < 2 ? "CoreRouter" : "EdgeRouter",
+                    "router-" + std::to_string(i),
+                    {{"vendor", Value(i % 2 ? "cisco" : "juniper")}}));
+    routers.push_back(r);
+  }
+  // Router ring (both directions).
+  for (size_t i = 0; i < routers.size(); ++i) {
+    Uid a = routers[i], b = routers[(i + 1) % routers.size()];
+    NEPAL_RETURN_NOT_OK(edge("connects", a, b).status());
+    NEPAL_RETURN_NOT_OK(edge("connects", b, a).status());
+  }
+  std::vector<Uid> aggs;
+  for (int i = 0; i < params.num_agg_switches; ++i) {
+    NEPAL_ASSIGN_OR_RETURN(Uid agg,
+                           node("AggSwitch", "agg-" + std::to_string(i)));
+    aggs.push_back(agg);
+    // Each aggregation switch uplinks to two routers.
+    for (int k = 0; k < 2; ++k) {
+      Uid r = routers[(static_cast<size_t>(i) + k) % routers.size()];
+      NEPAL_RETURN_NOT_OK(edge("connects", agg, r).status());
+      NEPAL_RETURN_NOT_OK(edge("connects", r, agg).status());
+    }
+  }
+  int num_racks = (params.num_hosts + params.hosts_per_rack - 1) /
+                  params.hosts_per_rack;
+  std::vector<Uid> racks;
+  for (int i = 0; i < num_racks; ++i) {
+    NEPAL_ASSIGN_OR_RETURN(Uid rack, node("Rack", "rack-" + std::to_string(i)));
+    NEPAL_RETURN_NOT_OK(
+        edge("located_in", rack, dcs[static_cast<size_t>(i) % dcs.size()])
+            .status());
+    racks.push_back(rack);
+    NEPAL_ASSIGN_OR_RETURN(Uid tor,
+                           node("TorSwitch", "tor-" + std::to_string(i)));
+    net.tor_switches.push_back(tor);
+    // ToR dual-homed to two aggregation switches.
+    for (int k = 0; k < 2; ++k) {
+      Uid agg = aggs[(static_cast<size_t>(i) + k) % aggs.size()];
+      NEPAL_RETURN_NOT_OK(edge("connects", tor, agg).status());
+      NEPAL_RETURN_NOT_OK(edge("connects", agg, tor).status());
+    }
+  }
+  for (int i = 0; i < params.num_hosts; ++i) {
+    bool storage_host = rng.Chance(0.15);
+    NEPAL_ASSIGN_OR_RETURN(
+        Uid host,
+        node(storage_host ? "StorageHost" : "ComputeHost",
+             "host-" + std::to_string(i),
+             {{"serial", Value("SN" + std::to_string(100000 + i))},
+              {"vendor", Value(rng.Chance(0.5) ? "dell" : "hp")}}));
+    net.hosts.push_back(host);
+    size_t rack_idx = static_cast<size_t>(i / params.hosts_per_rack);
+    NEPAL_RETURN_NOT_OK(edge("located_in", host, racks[rack_idx]).status());
+    // Host dual-homed to its rack ToR and a neighbour ToR.
+    for (int k = 0; k < 2; ++k) {
+      Uid tor = net.tor_switches[(rack_idx + static_cast<size_t>(k)) %
+                                 net.tor_switches.size()];
+      NEPAL_RETURN_NOT_OK(
+          edge("connects", host, tor, {{"bandwidth", Value(25000)}}).status());
+      NEPAL_RETURN_NOT_OK(
+          edge("connects", tor, host, {{"bandwidth", Value(25000)}}).status());
+    }
+  }
+
+  // ---- Virtualization substrate: networks, routers, images, flavors ----
+  std::vector<Uid> vrouters;
+  for (int i = 0; i < params.num_vrouters; ++i) {
+    NEPAL_ASSIGN_OR_RETURN(Uid vr,
+                           node("VirtualRouter", "vr-" + std::to_string(i)));
+    vrouters.push_back(vr);
+  }
+  for (int i = 0; i < params.num_vnets; ++i) {
+    NEPAL_ASSIGN_OR_RETURN(
+        Uid vnet, node(i % 3 == 0 ? "Subnet" : "VirtualNetwork",
+                       "vnet-" + std::to_string(i),
+                       {{"cidr", Value("10." + std::to_string(i / 250) + "." +
+                                       std::to_string(i % 250) + ".0/24")}}));
+    net.vnets.push_back(vnet);
+    for (int k = 0; k < 1 + (i % 2); ++k) {
+      Uid vr = vrouters[(static_cast<size_t>(i) + k) % vrouters.size()];
+      NEPAL_RETURN_NOT_OK(edge("virtual_connects", vnet, vr).status());
+      NEPAL_RETURN_NOT_OK(edge("virtual_connects", vr, vnet).status());
+    }
+  }
+  // Shared management networks: large virtual networks that half of the
+  // containers attach to. They give VM-VM navigation the high path
+  // multiplicity the paper reports (hundreds of pathways per pair).
+  std::vector<Uid> mgmt_vnets;
+  for (int i = 0; i < 3; ++i) {
+    NEPAL_ASSIGN_OR_RETURN(
+        Uid vnet, node("VirtualNetwork", "mgmt-" + std::to_string(i),
+                       {{"cidr", Value("172.16." + std::to_string(i) +
+                                       ".0/24")}}));
+    mgmt_vnets.push_back(vnet);
+    for (int k = 0; k < 2; ++k) {
+      Uid vr = vrouters[(static_cast<size_t>(i) + k) % vrouters.size()];
+      NEPAL_RETURN_NOT_OK(edge("virtual_connects", vnet, vr).status());
+      NEPAL_RETURN_NOT_OK(edge("virtual_connects", vr, vnet).status());
+    }
+  }
+  std::vector<Uid> images, flavors;
+  for (int i = 0; i < 5; ++i) {
+    NEPAL_ASSIGN_OR_RETURN(Uid img, node("Image", "img-" + std::to_string(i)));
+    images.push_back(img);
+    NEPAL_ASSIGN_OR_RETURN(
+        Uid flavor, node("Flavor", "flavor-" + std::to_string(i),
+                         {{"vcpus", Value(1 << i)},
+                          {"memory_mb", Value(1024 << i)}}));
+    flavors.push_back(flavor);
+  }
+
+  // Compute hosts only for VM placement.
+  std::vector<Uid> compute_hosts;
+  for (Uid h : net.hosts) {
+    auto cur = db.GetCurrent(h);
+    if (cur.ok() && cur->cls->name() == "ComputeHost") {
+      compute_hosts.push_back(h);
+    }
+  }
+  if (compute_hosts.empty()) compute_hosts = net.hosts;
+
+  // Attaches one VM (or Docker container) to a VFC, with placement,
+  // image/flavor and virtual network attachments.
+  auto add_container = [&](Uid vfc, const std::string& name) -> Result<Uid> {
+    bool docker = rng.Chance(0.1);
+    Uid vm;
+    if (docker) {
+      NEPAL_ASSIGN_OR_RETURN(
+          vm, node("Docker", name, {{"status", Value("Green")}}));
+    } else {
+      const char* cls = kVmClasses[rng.Below(3)];
+      NEPAL_ASSIGN_OR_RETURN(
+          vm, node(cls, name,
+                   {{"status", Value("Green")},
+                    {"ip", Value::Ip(0x0a000000u |
+                                     static_cast<uint32_t>(rng.Below(1u << 24)))}}));
+      net.vms.push_back(vm);
+    }
+    NEPAL_RETURN_NOT_OK(edge("on_vm", vfc, vm).status());
+    Uid host = compute_hosts[rng.Below(compute_hosts.size())];
+    NEPAL_RETURN_NOT_OK(edge("on_server", vm, host).status());
+    NEPAL_RETURN_NOT_OK(
+        edge("uses", vm, images[rng.Below(images.size())]).status());
+    NEPAL_RETURN_NOT_OK(
+        edge("uses", vm, flavors[rng.Below(flavors.size())]).status());
+    int attach = 1 + static_cast<int>(rng.Below(
+                         static_cast<uint64_t>(params.vnets_per_vm)));
+    for (int a = 0; a < attach; ++a) {
+      Uid vnet = net.vnets[rng.Below(net.vnets.size())];
+      Value addr = Value::Ip(0x0a000000u |
+                             static_cast<uint32_t>(rng.Below(1u << 24)));
+      NEPAL_RETURN_NOT_OK(
+          edge("virtual_connects", vm, vnet, {{"ip_address", addr}}).status());
+      NEPAL_RETURN_NOT_OK(
+          edge("virtual_connects", vnet, vm, {{"ip_address", addr}}).status());
+    }
+    if (rng.Chance(0.5)) {
+      // One or two management attachments; two-network members are what
+      // multiply VM-to-VM pathways (a -> net1 -> c -> net2 -> b).
+      size_t first = rng.Below(mgmt_vnets.size());
+      size_t count = rng.Chance(0.4) ? 2 : 1;
+      for (size_t k = 0; k < count; ++k) {
+        Uid vnet = mgmt_vnets[(first + k) % mgmt_vnets.size()];
+        Value addr = Value::Ip(0xac100000u |
+                               static_cast<uint32_t>(rng.Below(1u << 16)));
+        NEPAL_RETURN_NOT_OK(
+            edge("virtual_connects", vm, vnet, {{"ip_address", addr}})
+                .status());
+        NEPAL_RETURN_NOT_OK(
+            edge("virtual_connects", vnet, vm, {{"ip_address", addr}})
+                .status());
+      }
+    }
+    // Every container exposes a virtual interface; some get a floating IP.
+    char mac[20];
+    std::snprintf(mac, sizeof(mac), "02:%02x:%02x:%02x:%02x:%02x",
+                  static_cast<unsigned>(rng.Below(256)),
+                  static_cast<unsigned>(rng.Below(256)),
+                  static_cast<unsigned>(rng.Below(256)),
+                  static_cast<unsigned>(rng.Below(256)),
+                  static_cast<unsigned>(rng.Below(256)));
+    NEPAL_ASSIGN_OR_RETURN(
+        Uid vif, node("VirtualInterface", "vif-" + name,
+                      {{"mac", Value(std::string(mac))}}));
+    NEPAL_RETURN_NOT_OK(edge("attaches", vm, vif).status());
+    NEPAL_RETURN_NOT_OK(
+        edge("attaches", vif, net.vnets[rng.Below(net.vnets.size())])
+            .status());
+    if (rng.Chance(0.1)) {
+      NEPAL_ASSIGN_OR_RETURN(
+          Uid fip,
+          node("FloatingIp", "fip-" + name,
+               {{"address",
+                 Value::Ip(0x87000000u |
+                           static_cast<uint32_t>(rng.Below(1u << 24)))}}));
+      NEPAL_RETURN_NOT_OK(edge("attaches", fip, vm).status());
+    }
+    return vm;
+  };
+
+  // ---- Service, Logical and Virtualization layers ----
+  for (int s = 0; s < params.num_services; ++s) {
+    NEPAL_ASSIGN_OR_RETURN(
+        Uid svc, node(s % 4 == 0 ? "InfraService" : "CustomerService",
+                      "service-" + std::to_string(s),
+                      {{"customer", Value("cust-" + std::to_string(s % 7))}}));
+    net.services.push_back(svc);
+  }
+  Uid prev_vnf = kInvalidUid;
+  for (int v = 0; v < params.num_vnfs; ++v) {
+    const char* cls = kVnfClasses[static_cast<size_t>(v) % 12];
+    NEPAL_ASSIGN_OR_RETURN(
+        Uid vnf, node(cls, "vnf-" + std::to_string(v),
+                      {{"vnf_type", Value(cls)}}));
+    net.vnfs.push_back(vnf);
+    Uid svc = net.services[static_cast<size_t>(v) % net.services.size()];
+    NEPAL_RETURN_NOT_OK(edge("composed_of", svc, vnf).status());
+    // Service-level data flow chain.
+    if (prev_vnf != kInvalidUid && v % 3 != 0) {
+      NEPAL_RETURN_NOT_OK(edge("flow", prev_vnf, vnf).status());
+    }
+    prev_vnf = vnf;
+    for (int f = 0; f < params.vfcs_per_vnf; ++f) {
+      const char* vfc_cls = kVfcClasses[rng.Below(10)];
+      NEPAL_ASSIGN_OR_RETURN(
+          Uid vfc, node(vfc_cls,
+                        "vfc-" + std::to_string(v) + "-" + std::to_string(f),
+                        {{"role", Value(vfc_cls)}}));
+      net.vfcs.push_back(vfc);
+      NEPAL_RETURN_NOT_OK(edge("composed_of", vnf, vfc).status());
+      int vm_count = 1 + static_cast<int>(rng.Below(
+                             static_cast<uint64_t>(params.vms_per_vfc_max)));
+      for (int m = 0; m < vm_count; ++m) {
+        NEPAL_RETURN_NOT_OK(add_container(vfc, "vm-" + std::to_string(v) +
+                                                   "-" + std::to_string(f) +
+                                                   "-" + std::to_string(m))
+                                .status());
+      }
+    }
+  }
+
+  net.snapshot_time = db.Now();
+  net.initial_version_count = db.backend().VersionCount();
+
+  // ---- Churn: replay `history_days` days of updates ----
+  std::vector<Uid> scaled_out;  // VMs added by scale events (scale-in pool)
+  for (int day = 1; day <= params.history_days; ++day) {
+    NEPAL_RETURN_NOT_OK(
+        db.SetTime(net.snapshot_time + static_cast<Timestamp>(day) * 86400 *
+                                           1000000));
+    for (int i = 0; i < params.status_updates_per_day; ++i) {
+      Uid vm = net.vms[rng.Below(net.vms.size())];
+      const char* status = rng.Chance(0.7) ? "Green"
+                           : rng.Chance(0.5) ? "Yellow"
+                                             : "Red";
+      Status st = db.UpdateElement(vm, {{"status", Value(status)}});
+      if (!st.ok() && st.code() != StatusCode::kNotFound) return st;
+    }
+    for (int i = 0; i < params.vm_migrations_per_day; ++i) {
+      Uid vm = net.vms[rng.Below(net.vms.size())];
+      // Find the current placement edge and move the VM.
+      std::vector<Uid> placement;
+      db.backend().IncidentEdges(
+          vm, storage::Direction::kOut,
+          db.schema().FindClass("on_server"), storage::TimeView::Current(),
+          [&](const storage::ElementVersion& e) { placement.push_back(e.uid); });
+      if (placement.empty()) continue;
+      Status st = db.RemoveElement(placement[0]);
+      if (!st.ok()) continue;
+      Uid host = compute_hosts[rng.Below(compute_hosts.size())];
+      NEPAL_RETURN_NOT_OK(edge("on_server", vm, host).status());
+    }
+    for (int i = 0; i < params.scale_events_per_day; ++i) {
+      if (!scaled_out.empty() && rng.Chance(0.4)) {
+        // Scale-in: retire a previously added VM (edges cascade).
+        Uid vm = scaled_out.back();
+        scaled_out.pop_back();
+        Status st = db.RemoveElement(vm);
+        if (!st.ok() && st.code() != StatusCode::kNotFound) return st;
+      } else {
+        Uid vfc = net.vfcs[rng.Below(net.vfcs.size())];
+        NEPAL_ASSIGN_OR_RETURN(
+            Uid vm, add_container(vfc, "vm-scaled-" + std::to_string(day) +
+                                           "-" + std::to_string(i)));
+        scaled_out.push_back(vm);
+      }
+    }
+  }
+  net.end_time = db.Now();
+  net.final_version_count = db.backend().VersionCount();
+  return net;
+}
+
+}  // namespace nepal::netmodel

@@ -1,0 +1,84 @@
+// The virtualized network service model (paper Figure 2 / Section 6).
+//
+// Builds the four-layer topology — Service, Logical, Virtualization,
+// Physical — with the class-hierarchy richness the paper reports for its
+// virtualized data set (54 node classes, 12 edge classes; ~2,000 nodes and
+// ~11,000 edges at default parameters), plus a churn process that replays a
+// 60-day update history so the full history is a few percent larger than
+// the current snapshot.
+
+#ifndef NEPAL_NETMODEL_VIRTUALIZED_H_
+#define NEPAL_NETMODEL_VIRTUALIZED_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/graphdb.h"
+
+namespace nepal::netmodel {
+
+/// The 54-node-class / 12-edge-class layered schema.
+schema::SchemaPtr VirtualizedSchema();
+
+struct VirtualizedParams {
+  uint64_t seed = 42;
+
+  // Service + Logical layers.
+  int num_services = 10;
+  int num_vnfs = 33;       // the paper's data set has 33 distinct VNFs
+  int vfcs_per_vnf = 8;
+  // Virtualization layer.
+  int vms_per_vfc_max = 2;  // 1..max VMs (VFC components scale out)
+  int num_vnets = 90;
+  int num_vrouters = 18;
+  int vnets_per_vm = 2;
+  // Physical layer.
+  int num_hosts = 650;
+  int hosts_per_rack = 8;
+  int num_agg_switches = 10;
+  int num_routers = 6;
+  int num_datacenters = 3;
+
+  // Churn (history generation).
+  int history_days = 60;
+  int status_updates_per_day = 4;
+  int vm_migrations_per_day = 1;
+  int scale_events_per_day = 1;  // VFC scale-out/in (VM add/remove)
+};
+
+struct VirtualizedNetwork {
+  std::unique_ptr<storage::GraphDb> db;
+
+  std::vector<Uid> services;
+  std::vector<Uid> vnfs;
+  std::vector<Uid> vfcs;
+  std::vector<Uid> vms;
+  std::vector<Uid> hosts;
+  std::vector<Uid> tor_switches;
+  std::vector<Uid> vnets;
+
+  /// Clock value right after the initial load (history starts here).
+  Timestamp snapshot_time = 0;
+  /// Clock value after churn replay.
+  Timestamp end_time = 0;
+
+  size_t initial_version_count = 0;
+  size_t final_version_count = 0;
+};
+
+/// Creates an empty StorageBackend for a given schema; the generators call
+/// it so the backend and the GraphDb share one Schema instance.
+using BackendFactory = std::function<std::unique_ptr<storage::StorageBackend>(
+    schema::SchemaPtr)>;
+
+/// Builds the network on a fresh backend from `factory`. When
+/// params.history_days > 0, churn is replayed after the initial load.
+Result<VirtualizedNetwork> BuildVirtualizedNetwork(
+    const VirtualizedParams& params, const BackendFactory& factory);
+
+}  // namespace nepal::netmodel
+
+#endif  // NEPAL_NETMODEL_VIRTUALIZED_H_

@@ -1,0 +1,243 @@
+#include "relational/sql_executor.h"
+
+#include "storage/traverser_executor.h"  // TryAppendElement
+
+namespace nepal::relational {
+
+using storage::CompiledAtom;
+using storage::Direction;
+using storage::ElementVersion;
+using storage::PathSet;
+using storage::PathState;
+using storage::TimeView;
+using storage::TryAppendElement;
+
+namespace {
+
+std::string TableRef(const Table& table, const TimeView& view) {
+  // Historical reads go through the current UNION history view.
+  return view.needs_history() ? table.cls()->name() + "__historical"
+                              : table.sql_name();
+}
+
+}  // namespace
+
+std::string SqlBulkExecutor::ViewSql(const TimeView& view) const {
+  switch (view.kind()) {
+    case TimeView::Kind::kCurrent:
+      return "";
+    case TimeView::Kind::kAsOf:
+      return " AND H.sys_period @> '" + FormatTimestamp(view.range().start) +
+             "'::timestamptz";
+    case TimeView::Kind::kRange:
+      return " AND H.sys_period && tstzrange('" +
+             FormatTimestamp(view.range().start) + "', '" +
+             FormatTimestamp(view.range().end) + "')";
+  }
+  return "";
+}
+
+SqlBulkExecutor::FrontierIndex SqlBulkExecutor::BuildFrontierIndex(
+    const PathSet& frontier) {
+  FrontierIndex index;
+  index.reserve(frontier.size());
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    index[frontier[i].frontier].push_back(i);
+  }
+  return index;
+}
+
+PathSet SqlBulkExecutor::Select(const CompiledAtom& atom,
+                                const TimeView& view) {
+  int temp = NextTempId();
+  storage::ScanSpec spec = atom.ToScanSpec();
+  if (trace_enabled_) {
+    std::string sql = "create TEMP table tmp_select_" + std::to_string(temp) +
+                      " as (select ARRAY[H.id_] as uid_list, ARRAY[cast('" +
+                      atom.cls->name() +
+                      "' as text)] as concept_list, H.id_ as curr_uid from ";
+    std::string preds;
+    for (const storage::FieldCondition& cond : atom.conditions) {
+      preds += " AND H." + cond.ToString();
+    }
+    bool first = true;
+    std::string body;
+    for (const Table* table :
+         store_->SubtreeTables(atom.cls, /*history=*/false)) {
+      if (!first) body += " UNION ALL select ... from ";
+      body += TableRef(*table, view);
+      first = false;
+    }
+    Trace(sql + body + " H where true" + preds + ViewSql(view) + ");");
+  }
+  PathSet out;
+  store_->Scan(spec, view, [&](const ElementVersion& v) {
+    PathState state;
+    state.uids.push_back(v.uid);
+    state.concepts.push_back(v.cls);
+    state.valid = v.valid;
+    if (v.is_edge()) {
+      state.frontier = v.target;
+      state.frontier_in_path = false;
+      state.head_frontier = v.source;
+      state.head_in_path = false;
+    } else {
+      state.frontier = v.uid;
+      state.frontier_in_path = true;
+      state.head_frontier = v.uid;
+      state.head_in_path = true;
+    }
+    out.push_back(std::move(state));
+  });
+  return out;
+}
+
+PathSet SqlBulkExecutor::SelectSeeds(const std::vector<Uid>& nodes,
+                                     const TimeView& view) {
+  (void)view;
+  Trace("create TEMP table tmp_seeds as (select unnest(...) as curr_uid); -- " +
+        std::to_string(nodes.size()) + " imported anchor uids");
+  PathSet out;
+  out.reserve(nodes.size());
+  for (Uid uid : nodes) {
+    PathState state;
+    state.frontier = uid;
+    state.frontier_in_path = false;
+    state.head_frontier = uid;
+    state.head_in_path = false;
+    out.push_back(std::move(state));
+  }
+  return out;
+}
+
+PathSet SqlBulkExecutor::MaterializeFrontiers(const PathSet& frontier,
+                                              const TimeView& view,
+                                              const CompiledAtom* node_atom) {
+  PathSet out;
+  out.reserve(frontier.size());
+  for (const PathState& state : frontier) {
+    if (state.frontier_in_path) {
+      if (node_atom == nullptr) out.push_back(state);
+      continue;
+    }
+    store_->Get(state.frontier, view, [&](const ElementVersion& v) {
+      if (node_atom != nullptr && !node_atom->Matches(v)) return;
+      PathState next;
+      if (!TryAppendElement(state, v, &next)) return;
+      next.frontier = v.uid;
+      next.frontier_in_path = true;
+      out.push_back(std::move(next));
+    });
+  }
+  return out;
+}
+
+void SqlBulkExecutor::EdgeJoin(const PathSet& frontier,
+                               const CompiledAtom& atom, Direction dir,
+                               const TimeView& view, PathSet* out) {
+  FrontierIndex index = BuildFrontierIndex(frontier);
+  const bool forward = dir == Direction::kOut;
+  int temp = NextTempId();
+
+  auto join_row = [&](const ElementVersion& e) {
+    if (!view.Admits(e.valid) || !atom.Matches(e)) return;
+    Uid join_key = forward ? e.source : e.target;
+    auto it = index.find(join_key);
+    if (it == index.end()) return;
+    for (size_t state_idx : it->second) {
+      const PathState& state = frontier[state_idx];
+      Uid far = forward ? e.target : e.source;
+      if (state.Contains(far)) continue;
+      PathState next;
+      if (!TryAppendElement(state, e, &next)) continue;
+      next.frontier = far;
+      next.frontier_in_path = false;
+      out->push_back(std::move(next));
+    }
+  };
+
+  std::vector<const Table*> tables =
+      store_->SubtreeTables(atom.cls, /*history=*/false);
+  if (view.needs_history()) {
+    auto hist = store_->SubtreeTables(atom.cls, /*history=*/true);
+    tables.insert(tables.end(), hist.begin(), hist.end());
+  }
+  for (const Table* table : tables) {
+    const char* strategy;
+    if (table->row_count() <= frontier.size()) {
+      // Hash join: build over the frontier, probe with the stored rows.
+      strategy = "hash join (build: frontier)";
+      table->ScanAll(join_row);
+    } else {
+      // Index join: probe the source/target hash index per frontier uid.
+      strategy = "index join (probe: edge index)";
+      for (const auto& [uid, states] : index) {
+        if (forward) {
+          table->ForEachBySource(uid, join_row);
+        } else {
+          table->ForEachByTarget(uid, join_row);
+        }
+      }
+    }
+    if (trace_enabled_) {
+      std::string join_col = forward ? "H.source_id_" : "H.target_id_";
+      std::string far_col = forward ? "H.target_id_" : "H.source_id_";
+      Trace("create TEMP table tmp_extend_" + std::to_string(temp) +
+            " as (select T.uid_list || ARRAY[H.id_] as uid_list, "
+            "T.concept_list || ARRAY[cast('" +
+            table->cls()->name() + "' as text)] as concept_list, " + far_col +
+            " as curr_uid from " + TableRef(*table, view) + " H, tmp_" +
+            std::to_string(temp - 1) + " T where " + join_col +
+            " = T.curr_uid AND NOT H.id_ = ANY(T.uid_list) AND NOT " +
+            far_col + " = ANY(T.uid_list)" + ViewSql(view) + ");  -- " +
+            strategy + ", " + std::to_string(table->row_count()) +
+            " stored rows vs " + std::to_string(frontier.size()) +
+            " frontier paths");
+    }
+  }
+}
+
+PathSet SqlBulkExecutor::ExtendAtom(const PathSet& frontier,
+                                    const CompiledAtom& atom, Direction dir,
+                                    const TimeView& view) {
+  PathSet out;
+  if (atom.is_edge()) {
+    // Promote post-edge states by materializing the implicit node, then run
+    // one bulk edge join for the whole frontier. (MaterializeFrontiers
+    // passes in-path states through unchanged.)
+    PathSet in_path = MaterializeFrontiers(frontier, view, nullptr);
+    EdgeJoin(in_path, atom, dir, view, &out);
+    return out;
+  }
+
+  // Node atom. Post-edge states: the frontier node itself must match.
+  PathSet matched = MaterializeFrontiers(frontier, view, &atom);
+  out.insert(out.end(), matched.begin(), matched.end());
+
+  // In-path states: implicit edge join, then node join on the far endpoint.
+  PathSet in_path;
+  for (const PathState& state : frontier) {
+    if (state.frontier_in_path) in_path.push_back(state);
+  }
+  if (in_path.empty()) return out;
+  CompiledAtom any_edge;
+  any_edge.cls = store_->schema().edge_root();
+  PathSet after_edge;
+  EdgeJoin(in_path, any_edge, dir, view, &after_edge);
+  // Node join: probe the uid registry / id index of the atom's subtree.
+  PathSet node_joined = MaterializeFrontiers(after_edge, view, &atom);
+  if (trace_enabled_) {
+    Trace("-- node join: " + std::to_string(after_edge.size()) +
+          " candidate paths joined against " + atom.ToString() + " -> " +
+          std::to_string(node_joined.size()) + " paths");
+  }
+  out.insert(out.end(), node_joined.begin(), node_joined.end());
+  return out;
+}
+
+PathSet SqlBulkExecutor::FinalizeTail(const PathSet& frontier,
+                                      const TimeView& view) {
+  return MaterializeFrontiers(frontier, view, nullptr);
+}
+
+}  // namespace nepal::relational

@@ -1,0 +1,104 @@
+// ClassDef: one node or edge class in Nepal's single-rooted hierarchy.
+//
+// All classes descend from the built-in roots `Node` or `Edge` (which both
+// carry a built-in optional `name: string` field). A subclass inherits every
+// parent field and may append its own. A record of class C is stored as a
+// flattened Value vector laid out parent-fields-first, so a scan "as class P"
+// can read a subclass row through P's prefix of the layout — the same trick
+// Postgres INHERITS uses.
+
+#ifndef NEPAL_SCHEMA_CLASS_DEF_H_
+#define NEPAL_SCHEMA_CLASS_DEF_H_
+
+#include <string>
+#include <vector>
+
+#include "schema/types.h"
+
+namespace nepal::schema {
+
+enum class ClassKind { kNode, kEdge };
+
+class Schema;
+
+class ClassDef {
+ public:
+  const std::string& name() const { return name_; }
+  ClassKind kind() const { return kind_; }
+  bool is_node() const { return kind_ == ClassKind::kNode; }
+  bool is_edge() const { return kind_ == ClassKind::kEdge; }
+
+  /// Parent class; nullptr only for the Node and Edge roots.
+  const ClassDef* parent() const { return parent_; }
+  bool is_root() const { return parent_ == nullptr; }
+
+  /// Direct subclasses.
+  const std::vector<const ClassDef*>& children() const { return children_; }
+
+  /// Full inheritance path, e.g. "Node:Container:VM:VMWare". This string is
+  /// what the graphstore backend uses as the element label (prefix matching
+  /// implements query-time generalization, as in the paper's Gremlin
+  /// implementation).
+  const std::string& label_path() const { return label_path_; }
+
+  /// All fields, parent chain first. Record layouts align with this order.
+  const std::vector<FieldDef>& fields() const { return fields_; }
+  /// Number of fields declared by ancestors (== offset of own fields).
+  size_t inherited_field_count() const { return inherited_field_count_; }
+
+  /// Index into fields() or -1.
+  int FieldIndex(const std::string& field_name) const {
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (fields_[i].name == field_name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// True if this class equals `ancestor` or transitively derives from it.
+  bool IsSubclassOf(const ClassDef* ancestor) const {
+    for (const ClassDef* c = this; c != nullptr; c = c->parent_) {
+      if (c == ancestor) return true;
+    }
+    return false;
+  }
+
+  /// Depth in the hierarchy; roots have depth 0.
+  int depth() const { return depth_; }
+
+  /// Pre-order interval [subtree_begin, subtree_end) over the finalized
+  /// hierarchy; C IsSubclassOf A  <=>  A.subtree contains C.order. Enables
+  /// O(1) subtree tests during query execution.
+  int order() const { return order_; }
+  int subtree_end() const { return subtree_end_; }
+  bool SubtreeContains(const ClassDef* c) const {
+    return c->order_ >= order_ && c->order_ < subtree_end_;
+  }
+
+ private:
+  friend class Schema;
+  friend class SchemaBuilder;
+
+  std::string name_;
+  ClassKind kind_ = ClassKind::kNode;
+  const ClassDef* parent_ = nullptr;
+  std::vector<const ClassDef*> children_;
+  std::string label_path_;
+  std::vector<FieldDef> fields_;
+  size_t inherited_field_count_ = 0;
+  int depth_ = 0;
+  int order_ = 0;
+  int subtree_end_ = 0;
+};
+
+/// An allowed-edge rule: edges of class `edge_class` (or a subclass) may run
+/// from nodes of `source_class` (or subclass) to nodes of `target_class`
+/// (or subclass). Figure 3's "solid lines".
+struct EdgeRule {
+  const ClassDef* edge_class;
+  const ClassDef* source_class;
+  const ClassDef* target_class;
+};
+
+}  // namespace nepal::schema
+
+#endif  // NEPAL_SCHEMA_CLASS_DEF_H_

@@ -1,0 +1,231 @@
+#include "schema/dsl_parser.h"
+
+#include <cctype>
+
+namespace nepal::schema {
+
+namespace {
+
+struct Token {
+  enum Kind { kIdent, kPunct, kEnd } kind;
+  std::string text;
+  int line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<Token> Next() {
+    SkipSpaceAndComments();
+    if (pos_ >= text_.size()) return Token{Token::kEnd, "", line_};
+    char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      return Token{Token::kIdent, text_.substr(start, pos_ - start), line_};
+    }
+    if (c == '-' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+      pos_ += 2;
+      return Token{Token::kPunct, "->", line_};
+    }
+    if (std::string("{}();:<>,").find(c) != std::string::npos) {
+      ++pos_;
+      return Token{Token::kPunct, std::string(1, c), line_};
+    }
+    return Status::ParseError("schema DSL: unexpected character '" +
+                              std::string(1, c) + "' at line " +
+                              std::to_string(line_));
+  }
+
+ private:
+  void SkipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#' ||
+                 (c == '/' && pos_ + 1 < text_.size() &&
+                  text_[pos_ + 1] == '/')) {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lexer_(text) {}
+
+  Result<SchemaPtr> Parse() {
+    NEPAL_RETURN_NOT_OK(Advance());
+    while (cur_.kind != Token::kEnd) {
+      if (cur_.kind != Token::kIdent) {
+        return Err("expected a declaration keyword");
+      }
+      if (cur_.text == "data_type") {
+        NEPAL_RETURN_NOT_OK(ParseDataType());
+      } else if (cur_.text == "node" || cur_.text == "edge") {
+        NEPAL_RETURN_NOT_OK(ParseClass(cur_.text == "node"));
+      } else if (cur_.text == "allow") {
+        NEPAL_RETURN_NOT_OK(ParseAllow());
+      } else {
+        return Err("unknown declaration '" + cur_.text +
+                   "' (expected data_type, node, edge, or allow)");
+      }
+    }
+    return builder_.Build();
+  }
+
+ private:
+  Status Advance() {
+    NEPAL_ASSIGN_OR_RETURN(cur_, lexer_.Next());
+    return Status::OK();
+  }
+
+  Status Err(const std::string& msg) {
+    return Status::ParseError("schema DSL line " + std::to_string(cur_.line) +
+                              ": " + msg);
+  }
+
+  Status ExpectPunct(const std::string& p) {
+    if (cur_.kind != Token::kPunct || cur_.text != p) {
+      return Err("expected '" + p + "', got '" + cur_.text + "'");
+    }
+    return Advance();
+  }
+
+  Result<std::string> ExpectIdent(const std::string& what) {
+    if (cur_.kind != Token::kIdent) {
+      return Status::ParseError("schema DSL line " +
+                                std::to_string(cur_.line) + ": expected " +
+                                what + ", got '" + cur_.text + "'");
+    }
+    std::string name = cur_.text;
+    NEPAL_RETURN_NOT_OK(Advance());
+    return name;
+  }
+
+  Result<TypeRef> ParseType() {
+    NEPAL_ASSIGN_OR_RETURN(std::string base, ExpectIdent("a type name"));
+    ContainerKind container = ContainerKind::kNone;
+    if (base == "list" || base == "set" || base == "map") {
+      container = base == "list"   ? ContainerKind::kList
+                  : base == "set"  ? ContainerKind::kSet
+                                   : ContainerKind::kMap;
+      NEPAL_RETURN_NOT_OK(ExpectPunct("<"));
+      NEPAL_ASSIGN_OR_RETURN(base, ExpectIdent("an element type name"));
+      NEPAL_RETURN_NOT_OK(ExpectPunct(">"));
+    }
+    TypeRef type;
+    type.container = container;
+    if (base == "int") {
+      type.primitive = ValueKind::kInt;
+    } else if (base == "double") {
+      type.primitive = ValueKind::kDouble;
+    } else if (base == "bool") {
+      type.primitive = ValueKind::kBool;
+    } else if (base == "string") {
+      type.primitive = ValueKind::kString;
+    } else if (base == "ip") {
+      type.primitive = ValueKind::kIp;
+    } else {
+      type.data_type = base;  // composite; resolved at Build()
+    }
+    return type;
+  }
+
+  // Parses `name: type [unique|required]* ;` entries until `}`.
+  template <typename Spec>
+  Status ParseFieldBlock(Spec& spec) {
+    NEPAL_RETURN_NOT_OK(ExpectPunct("{"));
+    while (!(cur_.kind == Token::kPunct && cur_.text == "}")) {
+      NEPAL_ASSIGN_OR_RETURN(std::string fname, ExpectIdent("a field name"));
+      NEPAL_RETURN_NOT_OK(ExpectPunct(":"));
+      NEPAL_ASSIGN_OR_RETURN(TypeRef type, ParseType());
+      bool unique = false, required = false;
+      while (cur_.kind == Token::kIdent) {
+        if (cur_.text == "unique") {
+          unique = true;
+        } else if (cur_.text == "required") {
+          required = true;
+        } else {
+          return Err("unknown field modifier '" + cur_.text + "'");
+        }
+        NEPAL_RETURN_NOT_OK(Advance());
+      }
+      NEPAL_RETURN_NOT_OK(ExpectPunct(";"));
+      AddField(spec, std::move(fname), std::move(type), unique, required);
+    }
+    return Advance();  // consume '}'
+  }
+
+  static void AddField(SchemaBuilder::ClassSpec& spec, std::string name,
+                       TypeRef type, bool unique, bool required) {
+    spec.Field(std::move(name), std::move(type), unique, unique || required);
+  }
+  static void AddField(SchemaBuilder::DataTypeSpec& spec, std::string name,
+                       TypeRef type, bool /*unique*/, bool /*required*/) {
+    spec.Field(std::move(name), std::move(type));
+  }
+
+  Status ParseDataType() {
+    NEPAL_RETURN_NOT_OK(Advance());  // consume 'data_type'
+    NEPAL_ASSIGN_OR_RETURN(std::string name, ExpectIdent("a data type name"));
+    SchemaBuilder::DataTypeSpec& spec = builder_.DataType(std::move(name));
+    return ParseFieldBlock(spec);
+  }
+
+  Status ParseClass(bool is_node) {
+    NEPAL_RETURN_NOT_OK(Advance());  // consume 'node'/'edge'
+    NEPAL_ASSIGN_OR_RETURN(std::string name, ExpectIdent("a class name"));
+    std::string parent = is_node ? "Node" : "Edge";
+    if (cur_.kind == Token::kPunct && cur_.text == ":") {
+      NEPAL_RETURN_NOT_OK(Advance());
+      NEPAL_ASSIGN_OR_RETURN(parent, ExpectIdent("a parent class name"));
+    }
+    SchemaBuilder::ClassSpec& spec =
+        is_node ? builder_.NodeClass(std::move(name), std::move(parent))
+                : builder_.EdgeClass(std::move(name), std::move(parent));
+    return ParseFieldBlock(spec);
+  }
+
+  Status ParseAllow() {
+    NEPAL_RETURN_NOT_OK(Advance());  // consume 'allow'
+    NEPAL_ASSIGN_OR_RETURN(std::string edge, ExpectIdent("an edge class"));
+    NEPAL_RETURN_NOT_OK(ExpectPunct("("));
+    NEPAL_ASSIGN_OR_RETURN(std::string src, ExpectIdent("a source class"));
+    NEPAL_RETURN_NOT_OK(ExpectPunct("->"));
+    NEPAL_ASSIGN_OR_RETURN(std::string tgt, ExpectIdent("a target class"));
+    NEPAL_RETURN_NOT_OK(ExpectPunct(")"));
+    NEPAL_RETURN_NOT_OK(ExpectPunct(";"));
+    builder_.AllowEdge(std::move(edge), std::move(src), std::move(tgt));
+    return Status::OK();
+  }
+
+  Lexer lexer_;
+  Token cur_{Token::kEnd, "", 0};
+  SchemaBuilder builder_;
+};
+
+}  // namespace
+
+Result<SchemaPtr> ParseSchemaDsl(const std::string& text) {
+  Parser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace nepal::schema

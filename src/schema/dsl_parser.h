@@ -1,0 +1,36 @@
+// Textual schema definitions: the Nepal schema DSL.
+//
+// The DSL is a compact rendering of the TOSCA structure the paper derives
+// its schema language from (data_types, node_types, capability_types):
+//
+//   data_type routingTableEntry {
+//     address: ip;
+//     mask: int;
+//     interface: string;
+//   }
+//   node Container : Node { status: string; }
+//   node VM : Container {}
+//   node Host : Node { serial: string unique; }
+//   edge Vertical : Edge {}
+//   edge HostedOn : Vertical {}
+//   allow HostedOn (VM -> Host);
+//
+// `# ...` and `// ...` comments run to end of line. Classes may be declared
+// in any order (forward references to parents are fine).
+
+#ifndef NEPAL_SCHEMA_DSL_PARSER_H_
+#define NEPAL_SCHEMA_DSL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "schema/schema.h"
+
+namespace nepal::schema {
+
+/// Parses DSL text into a validated Schema. Parse errors carry line numbers.
+Result<SchemaPtr> ParseSchemaDsl(const std::string& text);
+
+}  // namespace nepal::schema
+
+#endif  // NEPAL_SCHEMA_DSL_PARSER_H_

@@ -1,0 +1,140 @@
+#include "schema/record.h"
+
+namespace nepal::schema {
+
+namespace {
+
+bool PrimitiveMatches(ValueKind declared, ValueKind actual) {
+  if (declared == actual) return true;
+  // Ints are acceptable where doubles are declared.
+  if (declared == ValueKind::kDouble && actual == ValueKind::kInt) return true;
+  return false;
+}
+
+}  // namespace
+
+Status CheckValueType(const Schema& schema, const TypeRef& type,
+                      const Value& value, const std::string& context) {
+  if (value.is_null()) return Status::OK();  // nullability checked by caller
+
+  if (type.container != ContainerKind::kNone) {
+    TypeRef element = type;
+    element.container = ContainerKind::kNone;
+    switch (type.container) {
+      case ContainerKind::kList:
+        if (value.kind() != ValueKind::kList) {
+          return Status::SchemaViolation(context + ": expected list, got " +
+                                         ValueKindToString(value.kind()));
+        }
+        break;
+      case ContainerKind::kSet:
+        if (value.kind() != ValueKind::kSet) {
+          return Status::SchemaViolation(context + ": expected set, got " +
+                                         ValueKindToString(value.kind()));
+        }
+        break;
+      case ContainerKind::kMap:
+        if (value.kind() != ValueKind::kMap) {
+          return Status::SchemaViolation(context + ": expected map, got " +
+                                         ValueKindToString(value.kind()));
+        }
+        for (const auto& [key, elem] : value.AsMap()) {
+          NEPAL_RETURN_NOT_OK(CheckValueType(schema, element, elem,
+                                             context + "[" + key + "]"));
+        }
+        return Status::OK();
+      case ContainerKind::kNone:
+        break;
+    }
+    size_t i = 0;
+    for (const Value& elem : value.AsList()) {
+      NEPAL_RETURN_NOT_OK(CheckValueType(
+          schema, element, elem, context + "[" + std::to_string(i++) + "]"));
+    }
+    return Status::OK();
+  }
+
+  if (type.is_composite()) {
+    const DataTypeDef* dt = schema.FindDataType(type.data_type);
+    if (dt == nullptr) {
+      return Status::Internal(context + ": unknown data type '" +
+                              type.data_type + "'");
+    }
+    if (value.kind() != ValueKind::kMap) {
+      return Status::SchemaViolation(context + ": expected " + dt->name +
+                                     " (a map value), got " +
+                                     ValueKindToString(value.kind()));
+    }
+    for (const auto& [key, elem] : value.AsMap()) {
+      const FieldDef* field = nullptr;
+      for (const FieldDef& f : dt->fields) {
+        if (f.name == key) {
+          field = &f;
+          break;
+        }
+      }
+      if (field == nullptr) {
+        return Status::SchemaViolation(context + ": data type " + dt->name +
+                                       " has no field '" + key + "'");
+      }
+      NEPAL_RETURN_NOT_OK(
+          CheckValueType(schema, field->type, elem, context + "." + key));
+    }
+    return Status::OK();
+  }
+
+  if (!PrimitiveMatches(type.primitive, value.kind())) {
+    return Status::SchemaViolation(
+        context + ": expected " + std::string(ValueKindToString(type.primitive)) +
+        ", got " + ValueKindToString(value.kind()));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Value>> ValidateRecord(const Schema& schema,
+                                          const ClassDef& cls,
+                                          const FieldValues& values) {
+  std::vector<Value> row(cls.fields().size());
+  for (const auto& [name, value] : values) {
+    int idx = cls.FieldIndex(name);
+    if (idx < 0) {
+      return Status::SchemaViolation("class " + cls.name() +
+                                     " has no field '" + name + "'");
+    }
+    NEPAL_RETURN_NOT_OK(CheckValueType(schema, cls.fields()[idx].type, value,
+                                       cls.name() + "." + name));
+    row[idx] = value;
+  }
+  for (size_t i = 0; i < cls.fields().size(); ++i) {
+    const FieldDef& f = cls.fields()[i];
+    if (f.required && row[i].is_null()) {
+      return Status::SchemaViolation("class " + cls.name() +
+                                     ": required field '" + f.name +
+                                     "' is missing");
+    }
+  }
+  return row;
+}
+
+Result<std::vector<std::pair<int, Value>>> ValidateUpdate(
+    const Schema& schema, const ClassDef& cls, const FieldValues& values) {
+  std::vector<std::pair<int, Value>> out;
+  out.reserve(values.size());
+  for (const auto& [name, value] : values) {
+    int idx = cls.FieldIndex(name);
+    if (idx < 0) {
+      return Status::SchemaViolation("class " + cls.name() +
+                                     " has no field '" + name + "'");
+    }
+    NEPAL_RETURN_NOT_OK(CheckValueType(schema, cls.fields()[idx].type, value,
+                                       cls.name() + "." + name));
+    if (cls.fields()[idx].required && value.is_null()) {
+      return Status::SchemaViolation("class " + cls.name() + ": field '" +
+                                     name + "' is required, cannot be nulled");
+    }
+    out.emplace_back(idx, value);
+  }
+  return out;
+}
+
+}  // namespace nepal::schema

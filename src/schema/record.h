@@ -1,0 +1,44 @@
+// Record validation: the "strong typing that keeps garbage out".
+//
+// Insert/update payloads arrive as (field name, Value) pairs; ValidateRecord
+// resolves them against a class's flattened layout and type-checks every
+// cell, rejecting unknown fields, type mismatches, and missing required
+// fields — by contrast with property-graph stores, which (as the paper puts
+// it) "will let you load garbage without any warnings".
+
+#ifndef NEPAL_SCHEMA_RECORD_H_
+#define NEPAL_SCHEMA_RECORD_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "schema/schema.h"
+
+namespace nepal::schema {
+
+/// Insert/update payload: field name -> value.
+using FieldValues = std::vector<std::pair<std::string, Value>>;
+
+/// Checks that `value` is a valid instance of `type`. Composite types are
+/// kMap values keyed by field name (missing keys read as null; unknown keys
+/// are rejected). Containers check every element.
+Status CheckValueType(const Schema& schema, const TypeRef& type,
+                      const Value& value, const std::string& context);
+
+/// Validates `values` against `cls` and returns the flattened row aligned
+/// with cls.fields(). Fields not mentioned become null (unless required).
+Result<std::vector<Value>> ValidateRecord(const Schema& schema,
+                                          const ClassDef& cls,
+                                          const FieldValues& values);
+
+/// Validates a partial update: every named field must exist on `cls` and
+/// type-check; returns (field index, value) pairs.
+Result<std::vector<std::pair<int, Value>>> ValidateUpdate(
+    const Schema& schema, const ClassDef& cls, const FieldValues& values);
+
+}  // namespace nepal::schema
+
+#endif  // NEPAL_SCHEMA_RECORD_H_

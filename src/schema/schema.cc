@@ -1,0 +1,325 @@
+#include "schema/schema.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace nepal::schema {
+
+std::string TypeRef::ToString() const {
+  std::string inner = is_composite() ? data_type : ValueKindToString(primitive);
+  switch (container) {
+    case ContainerKind::kNone:
+      return inner;
+    case ContainerKind::kList:
+      return "list<" + inner + ">";
+    case ContainerKind::kSet:
+      return "set<" + inner + ">";
+    case ContainerKind::kMap:
+      return "map<" + inner + ">";
+  }
+  return inner;
+}
+
+Schema::~Schema() = default;
+
+const ClassDef* Schema::FindClass(const std::string& name) const {
+  // Qualified names resolve via their last segment, then verify the suffix.
+  size_t colon = name.rfind(':');
+  const std::string& short_name =
+      colon == std::string::npos ? name : name.substr(colon + 1);
+  auto it = by_name_.find(short_name);
+  if (it == by_name_.end()) return nullptr;
+  if (colon != std::string::npos) {
+    const std::string& path = it->second->label_path();
+    if (path.size() < name.size() ||
+        path.compare(path.size() - name.size(), name.size(), name) != 0) {
+      return nullptr;
+    }
+  }
+  return it->second;
+}
+
+Result<const ClassDef*> Schema::GetClass(const std::string& name) const {
+  const ClassDef* cls = FindClass(name);
+  if (cls == nullptr) {
+    return Status::NotFound("no node or edge class named '" + name +
+                            "' in the schema");
+  }
+  return cls;
+}
+
+const DataTypeDef* Schema::FindDataType(const std::string& name) const {
+  auto it = data_types_.find(name);
+  return it == data_types_.end() ? nullptr : &it->second;
+}
+
+bool Schema::EdgeAllowed(const ClassDef* e, const ClassDef* src,
+                         const ClassDef* tgt) const {
+  for (const EdgeRule& rule : edge_rules_) {
+    if (e->IsSubclassOf(rule.edge_class) &&
+        src->IsSubclassOf(rule.source_class) &&
+        tgt->IsSubclassOf(rule.target_class)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const ClassDef* Schema::LeastCommonAncestor(const ClassDef* a,
+                                            const ClassDef* b) const {
+  while (a->depth() > b->depth()) a = a->parent();
+  while (b->depth() > a->depth()) b = b->parent();
+  while (a != b) {
+    a = a->parent();
+    b = b->parent();
+  }
+  return a;
+}
+
+std::string Schema::ToDsl() const {
+  std::string out;
+  for (const auto& [name, dt] : data_types_) {
+    out += "data_type " + name + " {\n";
+    for (const FieldDef& f : dt.fields) {
+      out += "  " + f.name + ": " + f.type.ToString() + ";\n";
+    }
+    out += "}\n";
+  }
+  for (const ClassDef* cls : class_order_) {
+    if (cls->is_root()) continue;
+    out += cls->is_node() ? "node " : "edge ";
+    out += cls->name() + " : " + cls->parent()->name() + " {";
+    if (cls->fields().size() > cls->inherited_field_count()) {
+      out += "\n";
+      for (size_t i = cls->inherited_field_count(); i < cls->fields().size();
+           ++i) {
+        const FieldDef& f = cls->fields()[i];
+        out += "  " + f.name + ": " + f.type.ToString();
+        if (f.unique) out += " unique";
+        if (f.required && !f.unique) out += " required";
+        out += ";\n";
+      }
+    }
+    out += "}\n";
+  }
+  for (const EdgeRule& rule : edge_rules_) {
+    out += "allow " + rule.edge_class->name() + " (" +
+           rule.source_class->name() + " -> " + rule.target_class->name() +
+           ");\n";
+  }
+  return out;
+}
+
+SchemaBuilder::ClassSpec& SchemaBuilder::NodeClass(std::string name,
+                                                   std::string parent) {
+  ClassSpec spec;
+  spec.name = std::move(name);
+  spec.parent = std::move(parent);
+  spec.kind = ClassKind::kNode;
+  class_specs_.push_back(std::move(spec));
+  return class_specs_.back();
+}
+
+SchemaBuilder::ClassSpec& SchemaBuilder::EdgeClass(std::string name,
+                                                   std::string parent) {
+  ClassSpec spec;
+  spec.name = std::move(name);
+  spec.parent = std::move(parent);
+  spec.kind = ClassKind::kEdge;
+  class_specs_.push_back(std::move(spec));
+  return class_specs_.back();
+}
+
+SchemaBuilder::DataTypeSpec& SchemaBuilder::DataType(std::string name) {
+  DataTypeSpec spec;
+  spec.def.name = std::move(name);
+  data_type_specs_.push_back(std::move(spec));
+  return data_type_specs_.back();
+}
+
+SchemaBuilder& SchemaBuilder::AllowEdge(std::string edge, std::string src,
+                                        std::string tgt) {
+  rule_specs_.push_back(
+      RuleSpec{std::move(edge), std::move(src), std::move(tgt)});
+  return *this;
+}
+
+namespace {
+
+// Checks that every TypeRef resolves; composite refs must name a data type.
+Status CheckTypeRef(const Schema& schema, const std::string& context,
+                    const TypeRef& type) {
+  if (type.is_composite()) {
+    if (schema.FindDataType(type.data_type) == nullptr) {
+      return Status::SchemaViolation(context + ": unknown data type '" +
+                                     type.data_type + "'");
+    }
+  } else if (type.primitive == ValueKind::kNull ||
+             type.primitive == ValueKind::kList ||
+             type.primitive == ValueKind::kSet ||
+             type.primitive == ValueKind::kMap) {
+    return Status::SchemaViolation(context +
+                                   ": field type must be a primitive or a "
+                                   "named data type");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SchemaPtr> SchemaBuilder::Build() const {
+  auto schema = std::shared_ptr<Schema>(new Schema());
+
+  // Built-in roots, each with the optional `name` field.
+  auto make_root = [&](const std::string& name, ClassKind kind) {
+    auto cls = std::make_unique<ClassDef>();
+    cls->name_ = name;
+    cls->kind_ = kind;
+    cls->label_path_ = name;
+    cls->fields_.push_back(
+        FieldDef{"name", TypeRef::Primitive(ValueKind::kString), false, false});
+    const ClassDef* ptr = cls.get();
+    schema->by_name_[name] = ptr;
+    schema->owned_classes_.push_back(std::move(cls));
+    return ptr;
+  };
+  schema->node_root_ = make_root("Node", ClassKind::kNode);
+  schema->edge_root_ = make_root("Edge", ClassKind::kEdge);
+
+  // Data types first (classes may reference them).
+  for (const DataTypeSpec& spec : data_type_specs_) {
+    if (schema->data_types_.count(spec.def.name) ||
+        spec.def.name == "Node" || spec.def.name == "Edge") {
+      return Status::SchemaViolation("duplicate data type '" + spec.def.name +
+                                     "'");
+    }
+    schema->data_types_[spec.def.name] = spec.def;
+  }
+  // Composition DAG check (DFS for cycles).
+  {
+    std::set<std::string> visiting, done;
+    std::function<Status(const std::string&)> visit =
+        [&](const std::string& name) -> Status {
+      if (done.count(name)) return Status::OK();
+      if (visiting.count(name)) {
+        return Status::SchemaViolation("cyclic data type composition through '" +
+                                       name + "'");
+      }
+      visiting.insert(name);
+      const DataTypeDef* dt = schema->FindDataType(name);
+      for (const FieldDef& f : dt->fields) {
+        if (f.type.is_composite()) {
+          if (schema->FindDataType(f.type.data_type) == nullptr) {
+            return Status::SchemaViolation("data type '" + name +
+                                           "' references unknown type '" +
+                                           f.type.data_type + "'");
+          }
+          NEPAL_RETURN_NOT_OK(visit(f.type.data_type));
+        }
+      }
+      visiting.erase(name);
+      done.insert(name);
+      return Status::OK();
+    };
+    for (const auto& [name, dt] : schema->data_types_) {
+      NEPAL_RETURN_NOT_OK(visit(name));
+    }
+  }
+
+  // Classes: process specs repeatedly until all parents resolve, so the
+  // builder does not require declaration order to be topological.
+  std::vector<const ClassSpec*> pending;
+  for (const ClassSpec& spec : class_specs_) pending.push_back(&spec);
+  while (!pending.empty()) {
+    bool progress = false;
+    std::vector<const ClassSpec*> next;
+    for (const ClassSpec* spec : pending) {
+      auto parent_it = schema->by_name_.find(spec->parent);
+      if (parent_it == schema->by_name_.end()) {
+        next.push_back(spec);
+        continue;
+      }
+      progress = true;
+      const ClassDef* parent = parent_it->second;
+      if (parent->kind() != spec->kind) {
+        return Status::SchemaViolation(
+            "class '" + spec->name + "' is a " +
+            (spec->kind == ClassKind::kNode ? std::string("node")
+                                            : std::string("edge")) +
+            " but parent '" + spec->parent + "' is not");
+      }
+      if (schema->by_name_.count(spec->name)) {
+        return Status::SchemaViolation("duplicate class name '" + spec->name +
+                                       "'");
+      }
+      auto cls = std::make_unique<ClassDef>();
+      cls->name_ = spec->name;
+      cls->kind_ = spec->kind;
+      cls->parent_ = parent;
+      cls->depth_ = parent->depth() + 1;
+      cls->label_path_ = parent->label_path() + ":" + spec->name;
+      cls->fields_ = parent->fields();
+      cls->inherited_field_count_ = parent->fields().size();
+      for (const FieldDef& f : spec->fields) {
+        if (cls->FieldIndex(f.name) >= 0) {
+          return Status::SchemaViolation("class '" + spec->name +
+                                         "' re-declares inherited field '" +
+                                         f.name + "'");
+        }
+        NEPAL_RETURN_NOT_OK(
+            CheckTypeRef(*schema, "class '" + spec->name + "'", f.type));
+        cls->fields_.push_back(f);
+      }
+      const_cast<ClassDef*>(parent)->children_.push_back(cls.get());
+      schema->by_name_[spec->name] = cls.get();
+      schema->owned_classes_.push_back(std::move(cls));
+    }
+    if (!progress) {
+      std::string names;
+      for (const ClassSpec* spec : next) {
+        if (!names.empty()) names += ", ";
+        names += spec->name + " : " + spec->parent;
+      }
+      return Status::SchemaViolation(
+          "unresolvable parents (unknown class or inheritance cycle): " +
+          names);
+    }
+    pending = std::move(next);
+  }
+
+  // Pre-order numbering for O(1) subtree tests.
+  {
+    int counter = 0;
+    std::function<void(ClassDef*)> number = [&](ClassDef* cls) {
+      cls->order_ = counter++;
+      schema->class_order_.push_back(cls);
+      for (const ClassDef* child : cls->children_) {
+        number(const_cast<ClassDef*>(child));
+      }
+      cls->subtree_end_ = counter;
+    };
+    number(const_cast<ClassDef*>(schema->node_root_));
+    number(const_cast<ClassDef*>(schema->edge_root_));
+  }
+
+  // Edge rules.
+  for (const RuleSpec& rule : rule_specs_) {
+    const ClassDef* e = schema->FindClass(rule.edge);
+    const ClassDef* s = schema->FindClass(rule.src);
+    const ClassDef* t = schema->FindClass(rule.tgt);
+    if (e == nullptr || !e->is_edge()) {
+      return Status::SchemaViolation("allow rule: unknown edge class '" +
+                                     rule.edge + "'");
+    }
+    if (s == nullptr || !s->is_node() || t == nullptr || !t->is_node()) {
+      return Status::SchemaViolation("allow rule for '" + rule.edge +
+                                     "': endpoints must be node classes");
+    }
+    schema->edge_rules_.push_back(EdgeRule{e, s, t});
+  }
+
+  return SchemaPtr(schema);
+}
+
+}  // namespace nepal::schema

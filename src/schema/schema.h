@@ -1,0 +1,157 @@
+// Schema: the immutable, validated collection of classes, data types and
+// allowed-edge rules that a Nepal database instance is opened against.
+//
+// Build one with SchemaBuilder (programmatic) or ParseSchemaDsl (textual,
+// TOSCA-flavoured). Schemas are shared (shared_ptr) between the database,
+// the query translator, and result sets.
+
+#ifndef NEPAL_SCHEMA_SCHEMA_H_
+#define NEPAL_SCHEMA_SCHEMA_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "schema/class_def.h"
+#include "schema/types.h"
+
+namespace nepal::schema {
+
+class Schema {
+ public:
+  ~Schema();
+  Schema(const Schema&) = delete;
+  Schema& operator=(const Schema&) = delete;
+
+  /// Built-in roots.
+  const ClassDef* node_root() const { return node_root_; }
+  const ClassDef* edge_root() const { return edge_root_; }
+
+  /// Looks a class up by short name ("VM") or by label-path suffix
+  /// ("Vertical:HostedOn" resolves to the class named HostedOn if its path
+  /// ends that way). Returns nullptr if unknown.
+  const ClassDef* FindClass(const std::string& name) const;
+
+  /// As FindClass but returns a Status error naming the class.
+  Result<const ClassDef*> GetClass(const std::string& name) const;
+
+  const DataTypeDef* FindDataType(const std::string& name) const;
+
+  /// All classes in hierarchy pre-order (roots first).
+  const std::vector<const ClassDef*>& classes() const { return class_order_; }
+
+  const std::vector<EdgeRule>& edge_rules() const { return edge_rules_; }
+
+  /// True if an edge of class `e` may connect a `src`-class node to a
+  /// `tgt`-class node, consulting rules declared on `e` or any ancestor.
+  bool EdgeAllowed(const ClassDef* e, const ClassDef* src,
+                   const ClassDef* tgt) const;
+
+  /// Least common ancestor of two classes of the same kind; used to type
+  /// source(P)/target(P) expressions. Never null for same-kind classes
+  /// (the roots are common ancestors).
+  const ClassDef* LeastCommonAncestor(const ClassDef* a,
+                                      const ClassDef* b) const;
+
+  /// Renders the schema back to the Nepal schema DSL (round-trippable).
+  std::string ToDsl() const;
+
+ private:
+  friend class SchemaBuilder;
+  Schema() = default;
+
+  std::vector<std::unique_ptr<ClassDef>> owned_classes_;
+  std::vector<const ClassDef*> class_order_;  // pre-order
+  std::map<std::string, const ClassDef*> by_name_;
+  std::map<std::string, DataTypeDef> data_types_;
+  std::vector<EdgeRule> edge_rules_;
+  const ClassDef* node_root_ = nullptr;
+  const ClassDef* edge_root_ = nullptr;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+/// Fluent builder. Typical use:
+///
+///   SchemaBuilder b;
+///   b.NodeClass("Container", "Node").Field("status", ValueKind::kString);
+///   b.NodeClass("VM", "Container");
+///   b.EdgeClass("HostedOn", "Edge");
+///   b.AllowEdge("HostedOn", "VM", "Host");
+///   NEPAL_ASSIGN_OR_RETURN(SchemaPtr s, b.Build());
+class SchemaBuilder {
+ public:
+  class ClassSpec {
+   public:
+    ClassSpec& Field(std::string name, ValueKind kind) {
+      return Field(std::move(name), TypeRef::Primitive(kind));
+    }
+    ClassSpec& Field(std::string name, TypeRef type) {
+      fields.push_back(FieldDef{std::move(name), std::move(type),
+                                /*unique=*/false, /*required=*/false});
+      return *this;
+    }
+    ClassSpec& Field(std::string name, TypeRef type, bool unique,
+                     bool required) {
+      fields.push_back(
+          FieldDef{std::move(name), std::move(type), unique, required});
+      return *this;
+    }
+    ClassSpec& UniqueField(std::string name, ValueKind kind) {
+      fields.push_back(FieldDef{std::move(name), TypeRef::Primitive(kind),
+                                /*unique=*/true, /*required=*/true});
+      return *this;
+    }
+
+   private:
+    friend class SchemaBuilder;
+    std::string name;
+    std::string parent;
+    ClassKind kind;
+    std::vector<FieldDef> fields;
+  };
+
+  class DataTypeSpec {
+   public:
+    DataTypeSpec& Field(std::string name, ValueKind kind) {
+      return Field(std::move(name), TypeRef::Primitive(kind));
+    }
+    DataTypeSpec& Field(std::string name, TypeRef type) {
+      def.fields.push_back(
+          FieldDef{std::move(name), std::move(type), false, false});
+      return *this;
+    }
+
+   private:
+    friend class SchemaBuilder;
+    DataTypeDef def;
+  };
+
+  /// Declares a node class deriving from `parent` ("Node" for the root).
+  ClassSpec& NodeClass(std::string name, std::string parent = "Node");
+  /// Declares an edge class deriving from `parent` ("Edge" for the root).
+  ClassSpec& EdgeClass(std::string name, std::string parent = "Edge");
+  DataTypeSpec& DataType(std::string name);
+  /// Permits edge class `edge` from node class `src` to node class `tgt`.
+  SchemaBuilder& AllowEdge(std::string edge, std::string src, std::string tgt);
+
+  /// Validates and freezes the schema. Errors include: duplicate names,
+  /// unknown parents, inheritance cycles, node/edge kind mismatches, field
+  /// shadowing, unknown data types, cyclic data-type composition, and rules
+  /// referencing unknown classes.
+  Result<SchemaPtr> Build() const;
+
+ private:
+  struct RuleSpec {
+    std::string edge, src, tgt;
+  };
+  std::vector<ClassSpec> class_specs_;
+  std::vector<DataTypeSpec> data_type_specs_;
+  std::vector<RuleSpec> rule_specs_;
+};
+
+}  // namespace nepal::schema
+
+#endif  // NEPAL_SCHEMA_SCHEMA_H_

@@ -1,0 +1,78 @@
+// Field and data-type definitions for Nepal's strongly-typed schema.
+//
+// The schema system mirrors the TOSCA structure the paper builds on:
+//  - data_types  : composite record types (composition must form a DAG),
+//  - containers  : list, set, map (string-keyed),
+//  - node/edge classes : single-rooted inheritance hierarchies (class_def.h).
+
+#ifndef NEPAL_SCHEMA_TYPES_H_
+#define NEPAL_SCHEMA_TYPES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace nepal::schema {
+
+enum class ContainerKind { kNone = 0, kList, kSet, kMap };
+
+/// Reference to a field type: either a primitive ValueKind or a named
+/// composite data type, optionally wrapped in a container.
+struct TypeRef {
+  ContainerKind container = ContainerKind::kNone;
+  ValueKind primitive = ValueKind::kNull;  // used when data_type is empty
+  std::string data_type;                   // composite type name, or ""
+
+  bool is_composite() const { return !data_type.empty(); }
+
+  static TypeRef Primitive(ValueKind kind) {
+    TypeRef t;
+    t.primitive = kind;
+    return t;
+  }
+  static TypeRef Composite(std::string name) {
+    TypeRef t;
+    t.data_type = std::move(name);
+    return t;
+  }
+  TypeRef InList() const {
+    TypeRef t = *this;
+    t.container = ContainerKind::kList;
+    return t;
+  }
+  TypeRef InSet() const {
+    TypeRef t = *this;
+    t.container = ContainerKind::kSet;
+    return t;
+  }
+  TypeRef InMap() const {
+    TypeRef t = *this;
+    t.container = ContainerKind::kMap;
+    return t;
+  }
+
+  bool operator==(const TypeRef&) const = default;
+
+  /// "list<routingTableEntry>", "string", ...
+  std::string ToString() const;
+};
+
+struct FieldDef {
+  std::string name;
+  TypeRef type;
+  bool unique = false;    // uniqueness enforced over the declaring subtree
+  bool required = false;  // must be non-null at insert time
+};
+
+/// A composite data type: a named collection of typed fields. Values of a
+/// composite type are represented at runtime as kMap Values whose keys are
+/// the field names.
+struct DataTypeDef {
+  std::string name;
+  std::vector<FieldDef> fields;
+};
+
+}  // namespace nepal::schema
+
+#endif  // NEPAL_SCHEMA_TYPES_H_

@@ -1,0 +1,93 @@
+// StorageBackend: the retargetable seam.
+//
+// The paper's Nepal translates queries to Gremlin or PostgreSQL; this repo
+// implements the same architecture with two in-process engines behind this
+// interface (src/graphstore mirrors the Gremlin strategy, src/relational the
+// Postgres one). The query translator produces a backend-neutral operator
+// DAG; each backend supplies a PathOperatorExecutor (see nepal/operators.h)
+// that evaluates Select/Extend/ExtendBlock/Union with its own physical
+// strategy, plus the primitive reads declared here.
+
+#ifndef NEPAL_STORAGE_BACKEND_H_
+#define NEPAL_STORAGE_BACKEND_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/element.h"
+
+namespace nepal::storage {
+
+class PathOperatorExecutor;
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// "graphstore" or "relational".
+  virtual std::string name() const = 0;
+
+  // ---- Write path (called by GraphDb with monotone transaction times) ----
+
+  /// Opens a new node version valid from `t`.
+  virtual Status InsertNode(Uid uid, const schema::ClassDef* cls,
+                            std::vector<Value> row, Timestamp t) = 0;
+  virtual Status InsertEdge(Uid uid, const schema::ClassDef* cls,
+                            std::vector<Value> row, Uid source, Uid target,
+                            Timestamp t) = 0;
+  /// Closes the current version at `t` and opens a new one with the given
+  /// (field index, value) changes applied.
+  virtual Status Update(Uid uid,
+                        const std::vector<std::pair<int, Value>>& changes,
+                        Timestamp t) = 0;
+  /// Closes the current version at `t` (the element stops existing).
+  virtual Status Delete(Uid uid, Timestamp t) = 0;
+
+  // ---- Read path ----
+
+  /// Emits every version admitted by `view` that matches `spec`.
+  virtual void Scan(const ScanSpec& spec, const TimeView& view,
+                    const ElementSink& sink) const = 0;
+
+  /// Emits the version(s) of one element admitted by `view`.
+  virtual void Get(Uid uid, const TimeView& view,
+                   const ElementSink& sink) const = 0;
+
+  /// Emits edge versions incident to `node` admitted by `view`;
+  /// kOut = edges with source == node. `edge_cls` (nullable) restricts to a
+  /// class subtree.
+  virtual void IncidentEdges(Uid node, Direction dir,
+                             const schema::ClassDef* edge_cls,
+                             const TimeView& view,
+                             const ElementSink& sink) const = 0;
+
+  /// True if a current version of `uid` exists (or existed under `view`).
+  virtual bool Exists(Uid uid, const TimeView& view) const = 0;
+
+  // ---- Statistics (anchor costing; "database statistics if available,
+  //      otherwise schema hints") ----
+
+  /// Current-snapshot cardinality of a class subtree.
+  virtual size_t CountClass(const schema::ClassDef* cls) const = 0;
+
+  /// Estimated number of rows a scan would emit.
+  virtual double EstimateScan(const ScanSpec& spec) const;
+
+  /// Approximate resident bytes (storage-overhead experiments).
+  virtual size_t MemoryUsage() const = 0;
+
+  /// Number of stored versions (current + history).
+  virtual size_t VersionCount() const = 0;
+
+  // ---- Retargeting ----
+
+  /// The operator executor evaluating pathway plans against this backend.
+  /// The default is the step-wise TraverserExecutor; backends with a bulk
+  /// execution strategy override this.
+  virtual std::unique_ptr<PathOperatorExecutor> CreateExecutor() const;
+};
+
+}  // namespace nepal::storage
+
+#endif  // NEPAL_STORAGE_BACKEND_H_

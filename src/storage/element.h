@@ -1,0 +1,105 @@
+// ElementVersion and TimeView: the units the storage layer trades in.
+//
+// Nepal is a transaction-time temporal database: every node/edge is stored
+// as one or more *versions*, each valid over a half-open interval of system
+// time. A TimeView tells a read which versions it may see:
+//   - Current : only open versions (the "current snapshot" table),
+//   - AsOf(t) : versions whose interval contains t (timeslice queries),
+//   - Range   : versions overlapping [t1, t2) (time-range queries; the
+//               executor intersects intervals along each pathway).
+
+#ifndef NEPAL_STORAGE_ELEMENT_H_
+#define NEPAL_STORAGE_ELEMENT_H_
+
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "common/value.h"
+#include "schema/class_def.h"
+
+namespace nepal::storage {
+
+/// One version of a node or edge. `fields` is the flattened row aligned with
+/// cls->fields(); edges additionally carry endpoint uids.
+struct ElementVersion {
+  Uid uid = kInvalidUid;
+  const schema::ClassDef* cls = nullptr;
+  Interval valid = Interval::All();
+  std::vector<Value> fields;
+  Uid source = kInvalidUid;  // edges only
+  Uid target = kInvalidUid;  // edges only
+
+  bool is_edge() const { return cls != nullptr && cls->is_edge(); }
+  bool is_current() const { return valid.end == kTimestampMax; }
+};
+
+class TimeView {
+ public:
+  enum class Kind { kCurrent, kAsOf, kRange };
+
+  static TimeView Current() { return TimeView(Kind::kCurrent, Interval::All()); }
+  static TimeView AsOf(Timestamp t) {
+    return TimeView(Kind::kAsOf, Interval::At(t));
+  }
+  static TimeView Range(Timestamp start, Timestamp end) {
+    return TimeView(Kind::kRange, Interval{start, end});
+  }
+  static TimeView Range(const Interval& iv) {
+    return TimeView(Kind::kRange, iv);
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_current() const { return kind_ == Kind::kCurrent; }
+  /// True when the view may need closed (historical) versions.
+  bool needs_history() const { return kind_ != Kind::kCurrent; }
+  const Interval& range() const { return range_; }
+
+  /// True if a version valid over `iv` is visible under this view.
+  bool Admits(const Interval& iv) const {
+    switch (kind_) {
+      case Kind::kCurrent:
+        return iv.end == kTimestampMax;
+      case Kind::kAsOf:
+      case Kind::kRange:
+        return iv.Overlaps(range_);
+    }
+    return false;
+  }
+
+ private:
+  TimeView(Kind kind, Interval range) : kind_(kind), range_(range) {}
+  Kind kind_;
+  Interval range_;
+};
+
+enum class Direction { kOut, kIn, kBoth };
+
+/// A class scan with pushed-down constraints. `cls` is matched
+/// polymorphically (the scan covers every transitive subclass).
+struct ScanSpec {
+  const schema::ClassDef* cls = nullptr;
+  std::optional<Uid> uid;  // exact-uid lookup (the `id=` pseudo-field)
+  /// Equality on a field of cls's layout, usable by backend indexes.
+  std::optional<std::pair<int, Value>> eq;
+  /// Residual row filter applied after the pushed-down constraints.
+  std::function<bool(const ElementVersion&)> filter;
+
+  bool Matches(const ElementVersion& v) const {
+    if (!v.cls->IsSubclassOf(cls)) return false;
+    if (uid && v.uid != *uid) return false;
+    if (eq && !(v.fields[static_cast<size_t>(eq->first)] == eq->second)) {
+      return false;
+    }
+    return !filter || filter(v);
+  }
+};
+
+using ElementSink = std::function<void(const ElementVersion&)>;
+
+}  // namespace nepal::storage
+
+#endif  // NEPAL_STORAGE_ELEMENT_H_

@@ -1,0 +1,187 @@
+#include "storage/graphdb.h"
+
+#include <vector>
+
+namespace nepal::storage {
+
+namespace {
+// 2017-01-01 00:00:00 UTC in microseconds; matches the paper's example era.
+constexpr Timestamp kEpoch2017 = 1483228800LL * 1000000;
+}  // namespace
+
+GraphDb::GraphDb(schema::SchemaPtr schema,
+                 std::unique_ptr<StorageBackend> backend)
+    : schema_(std::move(schema)),
+      backend_(std::move(backend)),
+      now_(kEpoch2017) {}
+
+Status GraphDb::SetTime(Timestamp t) {
+  if (t < now_) {
+    return Status::InvalidArgument(
+        "transaction time must be monotone: cannot move clock from " +
+        FormatTimestamp(now_) + " back to " + FormatTimestamp(t));
+  }
+  now_ = t;
+  return Status::OK();
+}
+
+const schema::ClassDef* GraphDb::DeclaringClass(const schema::ClassDef* cls,
+                                                int idx) {
+  const schema::ClassDef* declaring = cls;
+  while (declaring->parent() != nullptr &&
+         static_cast<size_t>(idx) <
+             declaring->parent()->fields().size()) {
+    declaring = declaring->parent();
+  }
+  return declaring;
+}
+
+Status GraphDb::CheckAndIndexUniques(const schema::ClassDef* cls,
+                                     const std::vector<Value>& row, Uid uid) {
+  for (size_t i = 0; i < cls->fields().size(); ++i) {
+    if (!cls->fields()[i].unique || row[i].is_null()) continue;
+    const schema::ClassDef* declaring =
+        DeclaringClass(cls, static_cast<int>(i));
+    auto key = std::make_tuple(declaring->order(), static_cast<int>(i), row[i]);
+    auto [it, inserted] = unique_index_.emplace(key, uid);
+    if (!inserted && it->second != uid) {
+      return Status::AlreadyExists(
+          "unique constraint on " + declaring->name() + "." +
+          cls->fields()[i].name + ": value " + row[i].ToString() +
+          " already used by uid " + std::to_string(it->second));
+    }
+    it->second = uid;
+  }
+  return Status::OK();
+}
+
+void GraphDb::DropUniques(const ElementVersion& v) {
+  for (size_t i = 0; i < v.cls->fields().size(); ++i) {
+    if (!v.cls->fields()[i].unique || v.fields[i].is_null()) continue;
+    const schema::ClassDef* declaring =
+        DeclaringClass(v.cls, static_cast<int>(i));
+    unique_index_.erase(
+        std::make_tuple(declaring->order(), static_cast<int>(i), v.fields[i]));
+  }
+}
+
+Result<Uid> GraphDb::AddNode(const std::string& class_name,
+                             const schema::FieldValues& fields) {
+  NEPAL_ASSIGN_OR_RETURN(const schema::ClassDef* cls,
+                         schema_->GetClass(class_name));
+  if (!cls->is_node()) {
+    return Status::SchemaViolation("class '" + class_name +
+                                   "' is an edge class, not a node class");
+  }
+  NEPAL_ASSIGN_OR_RETURN(std::vector<Value> row,
+                         schema::ValidateRecord(*schema_, *cls, fields));
+  Uid uid = next_uid_++;
+  NEPAL_RETURN_NOT_OK(CheckAndIndexUniques(cls, row, uid));
+  NEPAL_RETURN_NOT_OK(backend_->InsertNode(uid, cls, std::move(row), now_));
+  ++node_count_;
+  return uid;
+}
+
+Result<Uid> GraphDb::AddEdge(const std::string& class_name, Uid source,
+                             Uid target, const schema::FieldValues& fields) {
+  NEPAL_ASSIGN_OR_RETURN(const schema::ClassDef* cls,
+                         schema_->GetClass(class_name));
+  if (!cls->is_edge()) {
+    return Status::SchemaViolation("class '" + class_name +
+                                   "' is a node class, not an edge class");
+  }
+  NEPAL_ASSIGN_OR_RETURN(ElementVersion src, GetCurrent(source));
+  NEPAL_ASSIGN_OR_RETURN(ElementVersion tgt, GetCurrent(target));
+  if (src.is_edge() || tgt.is_edge()) {
+    return Status::SchemaViolation("edge endpoints must be nodes");
+  }
+  if (!schema_->EdgeAllowed(cls, src.cls, tgt.cls)) {
+    return Status::SchemaViolation(
+        "the graph schema permits no " + cls->name() + " edge from " +
+        src.cls->name() + " to " + tgt.cls->name());
+  }
+  NEPAL_ASSIGN_OR_RETURN(std::vector<Value> row,
+                         schema::ValidateRecord(*schema_, *cls, fields));
+  Uid uid = next_uid_++;
+  NEPAL_RETURN_NOT_OK(CheckAndIndexUniques(cls, row, uid));
+  NEPAL_RETURN_NOT_OK(
+      backend_->InsertEdge(uid, cls, std::move(row), source, target, now_));
+  ++edge_count_;
+  return uid;
+}
+
+Status GraphDb::UpdateElement(Uid uid, const schema::FieldValues& fields) {
+  NEPAL_ASSIGN_OR_RETURN(ElementVersion cur, GetCurrent(uid));
+  NEPAL_ASSIGN_OR_RETURN(auto changes,
+                         schema::ValidateUpdate(*schema_, *cur.cls, fields));
+  // Re-check unique constraints for changed unique fields.
+  for (const auto& [idx, value] : changes) {
+    const schema::FieldDef& f = cur.cls->fields()[static_cast<size_t>(idx)];
+    if (!f.unique) continue;
+    const schema::ClassDef* declaring = DeclaringClass(cur.cls, idx);
+    auto key = std::make_tuple(declaring->order(), idx, value);
+    auto it = unique_index_.find(key);
+    if (it != unique_index_.end() && it->second != uid) {
+      return Status::AlreadyExists("unique constraint on " +
+                                   declaring->name() + "." + f.name +
+                                   ": value " + value.ToString() +
+                                   " already used by uid " +
+                                   std::to_string(it->second));
+    }
+  }
+  for (const auto& [idx, value] : changes) {
+    const schema::FieldDef& f = cur.cls->fields()[static_cast<size_t>(idx)];
+    if (!f.unique) continue;
+    const schema::ClassDef* declaring = DeclaringClass(cur.cls, idx);
+    if (!cur.fields[static_cast<size_t>(idx)].is_null()) {
+      unique_index_.erase(std::make_tuple(
+          declaring->order(), idx, cur.fields[static_cast<size_t>(idx)]));
+    }
+    if (!value.is_null()) {
+      unique_index_[std::make_tuple(declaring->order(), idx, value)] = uid;
+    }
+  }
+  return backend_->Update(uid, changes, now_);
+}
+
+Status GraphDb::RemoveElement(Uid uid) {
+  NEPAL_ASSIGN_OR_RETURN(ElementVersion cur, GetCurrent(uid));
+  if (!cur.is_edge()) {
+    // Cascade: a node's incident edges cannot outlive it.
+    std::vector<ElementVersion> incident;
+    backend_->IncidentEdges(uid, Direction::kBoth, nullptr,
+                            TimeView::Current(),
+                            [&](const ElementVersion& e) {
+                              incident.push_back(e);
+                            });
+    for (const ElementVersion& e : incident) {
+      DropUniques(e);
+      NEPAL_RETURN_NOT_OK(backend_->Delete(e.uid, now_));
+      --edge_count_;
+    }
+  }
+  DropUniques(cur);
+  NEPAL_RETURN_NOT_OK(backend_->Delete(uid, now_));
+  if (cur.is_edge()) {
+    --edge_count_;
+  } else {
+    --node_count_;
+  }
+  return Status::OK();
+}
+
+Result<ElementVersion> GraphDb::GetCurrent(Uid uid) const {
+  ElementVersion out;
+  bool found = false;
+  backend_->Get(uid, TimeView::Current(), [&](const ElementVersion& v) {
+    out = v;
+    found = true;
+  });
+  if (!found) {
+    return Status::NotFound("no current element with uid " +
+                            std::to_string(uid));
+  }
+  return out;
+}
+
+}  // namespace nepal::storage

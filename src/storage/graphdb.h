@@ -1,0 +1,85 @@
+// GraphDb: the graph data management layer.
+//
+// Sits between applications/loaders and a StorageBackend. Responsibilities
+// (Section 3.1 of the paper):
+//  - schema validation of every insert/update (strong typing),
+//  - allowed-edge enforcement (graph schema),
+//  - uid allocation and the global uniqueness constraint,
+//  - unique-field constraints,
+//  - the transaction-time clock (monotone; settable for replay loads),
+//  - cascade of node removal onto incident edges.
+
+#ifndef NEPAL_STORAGE_GRAPHDB_H_
+#define NEPAL_STORAGE_GRAPHDB_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "common/status.h"
+#include "schema/record.h"
+#include "schema/schema.h"
+#include "storage/backend.h"
+
+namespace nepal::storage {
+
+class GraphDb {
+ public:
+  GraphDb(schema::SchemaPtr schema, std::unique_ptr<StorageBackend> backend);
+
+  const schema::Schema& schema() const { return *schema_; }
+  schema::SchemaPtr schema_ptr() const { return schema_; }
+  StorageBackend& backend() { return *backend_; }
+  const StorageBackend& backend() const { return *backend_; }
+
+  // ---- Transaction-time clock ----
+
+  /// Transaction time the next write will carry. Starts at
+  /// 2017-01-01 00:00:00 and only moves when SetTime advances it, so all
+  /// writes of one batch (e.g. one snapshot diff) share an instant.
+  Timestamp Now() const { return now_; }
+  /// Moves the clock forward (replay loading). Rejects going backwards.
+  Status SetTime(Timestamp t);
+
+  // ---- Write API ----
+
+  /// Inserts a node of class `class_name`; returns its uid.
+  Result<Uid> AddNode(const std::string& class_name,
+                      const schema::FieldValues& fields);
+  /// Inserts an edge from `source` to `target`; both endpoints must
+  /// currently exist and the edge must be permitted by an allow rule.
+  Result<Uid> AddEdge(const std::string& class_name, Uid source, Uid target,
+                      const schema::FieldValues& fields);
+  /// Updates fields of a currently-existing element (new version opens).
+  Status UpdateElement(Uid uid, const schema::FieldValues& fields);
+  /// Deletes an element; deleting a node cascades to its incident edges.
+  Status RemoveElement(Uid uid);
+
+  /// Looks up the current version of an element by uid.
+  Result<ElementVersion> GetCurrent(Uid uid) const;
+
+  size_t node_count() const { return node_count_; }
+  size_t edge_count() const { return edge_count_; }
+
+ private:
+  /// Class the unique field at layout index `idx` was declared on.
+  static const schema::ClassDef* DeclaringClass(const schema::ClassDef* cls,
+                                                int idx);
+  Status CheckAndIndexUniques(const schema::ClassDef* cls,
+                              const std::vector<Value>& row, Uid uid);
+  void DropUniques(const ElementVersion& v);
+
+  schema::SchemaPtr schema_;
+  std::unique_ptr<StorageBackend> backend_;
+  Timestamp now_;
+  Uid next_uid_ = 1;
+  size_t node_count_ = 0;
+  size_t edge_count_ = 0;
+  /// (declaring class order, field index, value) -> uid.
+  std::map<std::tuple<int, int, Value>, Uid> unique_index_;
+};
+
+}  // namespace nepal::storage
+
+#endif  // NEPAL_STORAGE_GRAPHDB_H_

@@ -1,0 +1,154 @@
+// Pathways under construction, compiled atoms, and the retargetable
+// operator-executor interface.
+//
+// A query plan is a DAG of Select / Extend / ExtendBlock / Union operators
+// over *pathway states*. A PathState mirrors the paper's TEMP-table layout:
+// `uids` is the uid_list, `concepts` the concept_list, and `frontier` the
+// curr_uid — the open node at the growing end of the path. Both execution
+// backends implement PathOperatorExecutor: the graphstore with per-traverser
+// adjacency steps, the relational engine with bulk hash joins that also
+// render themselves to SQL.
+//
+// Extension semantics (the paper's four-way concatenation, Section 3.3):
+//  - consuming a node atom right after a node atom traverses one *implicit,
+//    unconstrained* edge (which is recorded in the path),
+//  - consuming an edge atom right after an edge atom materializes the
+//    implicit node between them,
+//  - an RPE that starts/ends with an edge atom gets implicit endpoint nodes,
+//  - paths never repeat an element (the uid_list cycle check).
+
+#ifndef NEPAL_STORAGE_PATHSET_H_
+#define NEPAL_STORAGE_PATHSET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/element.h"
+
+namespace nepal::storage {
+
+/// One comparison against a field of the atom's class. `field_index == -1`
+/// addresses the `id` pseudo-field (the element uid). A non-empty `subpath`
+/// digs into structured data: composite (data_type) members and map keys,
+/// e.g. `Router(config.mgmt.vrf='oam')`. (List/set elements are not
+/// addressable by predicate.)
+struct FieldCondition {
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe };
+
+  int field_index = -1;
+  std::string field_name;  // for rendering
+  std::vector<std::string> subpath;
+  Op op = Op::kEq;
+  Value value;
+
+  bool Eval(const ElementVersion& v) const;
+  std::string ToString() const;
+};
+
+/// A resolved RPE atom: class (matched over its whole subtree) plus field
+/// conditions. E.g. VM(status='Green').
+struct CompiledAtom {
+  const schema::ClassDef* cls = nullptr;
+  std::vector<FieldCondition> conditions;
+
+  bool is_edge() const { return cls->is_edge(); }
+  bool Matches(const ElementVersion& v) const;
+
+  /// Scan with id/equality conditions pushed down and the rest residual.
+  ScanSpec ToScanSpec() const;
+
+  std::string ToString() const;
+};
+
+/// A pathway being built. Grows at the tail; `frontier` is the open node
+/// there. `frontier_in_path` distinguishes the two traverser states:
+/// after a node atom the frontier is already recorded in `uids`; after an
+/// edge atom it is the edge's far endpoint, not yet recorded.
+struct PathState {
+  std::vector<Uid> uids;
+  std::vector<const schema::ClassDef*> concepts;
+  Interval valid = Interval::All();  // running intersection of versions
+  Uid frontier = kInvalidUid;
+  bool frontier_in_path = false;
+  /// The open node at the fixed (head) end, used when the path is reversed
+  /// to grow the prefix side.
+  Uid head_frontier = kInvalidUid;
+  bool head_in_path = false;
+
+  bool Contains(Uid uid) const {
+    for (Uid u : uids) {
+      if (u == uid) return true;
+    }
+    return false;
+  }
+
+  /// Swaps head and tail: reverses uids/concepts and exchanges the frontier
+  /// bookkeeping. Used to grow the prefix side of an anchored plan.
+  PathState Reversed() const;
+
+  /// Key identifying the state for deduplication.
+  std::string DedupKey() const;
+
+  std::string ToString() const;
+};
+
+using PathSet = std::vector<PathState>;
+
+/// Removes duplicate states (same uids, frontier and interval).
+void DedupPaths(PathSet* paths);
+
+/// The retargetable operator set. One instance per (backend, query).
+class PathOperatorExecutor {
+ public:
+  virtual ~PathOperatorExecutor() = default;
+
+  /// Anchor evaluation: single-element states for every element matching
+  /// the atom under `view`.
+  virtual PathSet Select(const CompiledAtom& atom, const TimeView& view) = 0;
+
+  /// Seed states for imported anchors (join-provided node uids). A seed has
+  /// an empty uid list; the first atom consumed decides whether the seed
+  /// node is matched directly (node atom) or becomes an implicit endpoint
+  /// (edge atom).
+  virtual PathSet SelectSeeds(const std::vector<Uid>& nodes,
+                              const TimeView& view) = 0;
+
+  /// Extends every state by one atom. kOut grows along edge direction
+  /// (source -> target), kIn against it.
+  virtual PathSet ExtendAtom(const PathSet& frontier, const CompiledAtom& atom,
+                             Direction dir, const TimeView& view) = 0;
+
+  /// Repetition block [a1|...|an]{min,max}: returns the union of frontiers
+  /// after k iterations for every k in [min, max] (including the input
+  /// frontier when min == 0). The payload is restricted to an alternation
+  /// of atoms, as in the paper's ExtendBlock. The default implementation
+  /// loops over ExtendAtom; backends may specialize.
+  virtual PathSet ExtendBlock(const PathSet& frontier,
+                              const std::vector<CompiledAtom>& alternatives,
+                              int min_rep, int max_rep, Direction dir,
+                              const TimeView& view);
+
+  /// Closes the growing end: if the last consumed atom was an edge, the
+  /// frontier node is materialized as the implicit final node.
+  virtual PathSet FinalizeTail(const PathSet& frontier,
+                               const TimeView& view) = 0;
+
+  // ---- Operator tracing (EXPLAIN support) ----
+  void EnableTrace(bool on) { trace_enabled_ = on; }
+  const std::vector<std::string>& trace() const { return trace_; }
+  void ClearTrace() { trace_.clear(); }
+
+ protected:
+  void Trace(std::string line) {
+    if (trace_enabled_) trace_.push_back(std::move(line));
+  }
+  bool trace_enabled_ = false;
+
+ private:
+  std::vector<std::string> trace_;
+};
+
+}  // namespace nepal::storage
+
+#endif  // NEPAL_STORAGE_PATHSET_H_

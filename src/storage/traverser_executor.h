@@ -1,0 +1,50 @@
+// TraverserExecutor: the step-wise operator executor.
+//
+// Evaluates Select/Extend over a StorageBackend one traverser (path state)
+// at a time, the way the paper's Gremlin target executes: each Extend step
+// walks adjacency from every frontier element. Backends with a bulk
+// execution strategy (the relational engine) provide their own
+// PathOperatorExecutor instead.
+
+#ifndef NEPAL_STORAGE_TRAVERSER_EXECUTOR_H_
+#define NEPAL_STORAGE_TRAVERSER_EXECUTOR_H_
+
+#include "storage/backend.h"
+#include "storage/pathset.h"
+
+namespace nepal::storage {
+
+class TraverserExecutor : public PathOperatorExecutor {
+ public:
+  /// `backend` must outlive the executor.
+  explicit TraverserExecutor(const StorageBackend* backend)
+      : backend_(backend) {}
+
+  PathSet Select(const CompiledAtom& atom, const TimeView& view) override;
+  PathSet SelectSeeds(const std::vector<Uid>& nodes,
+                      const TimeView& view) override;
+  PathSet ExtendAtom(const PathSet& frontier, const CompiledAtom& atom,
+                     Direction dir, const TimeView& view) override;
+  PathSet FinalizeTail(const PathSet& frontier, const TimeView& view) override;
+
+ private:
+  void ExtendByEdgeAtom(const PathState& state, const CompiledAtom& atom,
+                        Direction dir, const TimeView& view, PathSet* out);
+  void ExtendByNodeAtom(const PathState& state, const CompiledAtom& atom,
+                        Direction dir, const TimeView& view, PathSet* out);
+  /// Runs the edge-matching step from a state whose frontier is in-path.
+  void EdgeStep(const PathState& state, const CompiledAtom& atom,
+                Direction dir, const TimeView& view, PathSet* out);
+
+  const StorageBackend* backend_;
+};
+
+/// Appends `v` to a copy of `state` if the cycle check and interval
+/// intersection admit it; returns false otherwise. Maintains head
+/// bookkeeping for seed states. Shared by executors.
+bool TryAppendElement(const PathState& state, const ElementVersion& v,
+                      PathState* out);
+
+}  // namespace nepal::storage
+
+#endif  // NEPAL_STORAGE_TRAVERSER_EXECUTOR_H_

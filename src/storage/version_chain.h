@@ -1,0 +1,83 @@
+// VersionChain: the per-element transaction-time version list shared by
+// storage backends. Versions are ordered by start time and pairwise
+// disjoint; at most the last one is open (end == kTimestampMax).
+
+#ifndef NEPAL_STORAGE_VERSION_CHAIN_H_
+#define NEPAL_STORAGE_VERSION_CHAIN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "storage/element.h"
+
+namespace nepal::storage {
+
+class VersionChain {
+ public:
+  /// The open version, or nullptr if the element is currently deleted.
+  const ElementVersion* Current() const {
+    if (versions_.empty() || !versions_.back().is_current()) return nullptr;
+    return &versions_.back();
+  }
+
+  /// Appends a new open version starting at `t`. Fails if one is open or if
+  /// `t` precedes the last closed version's end.
+  Status Open(ElementVersion v, Timestamp t) {
+    if (Current() != nullptr) {
+      return Status::AlreadyExists("uid " + std::to_string(v.uid) +
+                                   " already has an open version");
+    }
+    if (!versions_.empty() && versions_.back().valid.end > t) {
+      return Status::InvalidArgument("non-monotone version open for uid " +
+                                     std::to_string(v.uid));
+    }
+    v.valid = Interval{t, kTimestampMax};
+    versions_.push_back(std::move(v));
+    return Status::OK();
+  }
+
+  /// Closes the open version at `t`.
+  Status Close(Timestamp t) {
+    if (Current() == nullptr) {
+      return Status::NotFound("no open version to close");
+    }
+    if (t <= versions_.back().valid.start) {
+      // A version inserted and deleted at the same instant never existed;
+      // drop it entirely rather than keep an empty interval.
+      versions_.pop_back();
+      return Status::OK();
+    }
+    versions_.back().valid.end = t;
+    return Status::OK();
+  }
+
+  /// Emits every version admitted by `view` (at most one for Current/AsOf).
+  void ForEach(const TimeView& view, const ElementSink& sink) const {
+    if (view.is_current()) {
+      if (const ElementVersion* cur = Current()) sink(*cur);
+      return;
+    }
+    for (const ElementVersion& v : versions_) {
+      if (view.Admits(v.valid)) sink(v);
+    }
+  }
+
+  const std::vector<ElementVersion>& versions() const { return versions_; }
+  bool empty() const { return versions_.empty(); }
+
+  size_t MemoryUsage() const {
+    size_t bytes = sizeof(VersionChain);
+    for (const ElementVersion& v : versions_) {
+      bytes += sizeof(ElementVersion);
+      for (const Value& val : v.fields) bytes += val.MemoryUsage();
+    }
+    return bytes;
+  }
+
+ private:
+  std::vector<ElementVersion> versions_;
+};
+
+}  // namespace nepal::storage
+
+#endif  // NEPAL_STORAGE_VERSION_CHAIN_H_

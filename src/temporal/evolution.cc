@@ -1,0 +1,62 @@
+#include "temporal/evolution.h"
+
+#include <algorithm>
+
+namespace nepal::temporal {
+
+using storage::ElementVersion;
+
+PathEvolution TrackPathEvolution(const storage::StorageBackend& backend,
+                                 const std::vector<Uid>& uids,
+                                 const Interval& range) {
+  PathEvolution out;
+  bool first_element = true;
+  for (Uid uid : uids) {
+    ElementEvolution evo;
+    evo.uid = uid;
+    std::vector<ElementVersion> versions;
+    backend.Get(uid, storage::TimeView::Range(range),
+                [&](const ElementVersion& v) { versions.push_back(v); });
+    std::sort(versions.begin(), versions.end(),
+              [](const ElementVersion& a, const ElementVersion& b) {
+                return a.valid.start < b.valid.start;
+              });
+    for (size_t i = 0; i < versions.size(); ++i) {
+      evo.cls = versions[i].cls;
+      evo.existence.Add(versions[i].valid.Intersect(range));
+      if (i == 0) continue;
+      const ElementVersion& prev = versions[i - 1];
+      const ElementVersion& cur = versions[i];
+      // A gap between versions means the element was deleted and later
+      // re-created; that shows in `existence`, not as a field transition.
+      if (prev.valid.end != cur.valid.start) continue;
+      ElementTransition tr;
+      tr.at = cur.valid.start;
+      for (size_t f = 0; f < cur.fields.size(); ++f) {
+        if (!(prev.fields[f] == cur.fields[f])) {
+          tr.changes.push_back(FieldChange{cur.cls->fields()[f].name,
+                                           prev.fields[f], cur.fields[f]});
+        }
+      }
+      if (!tr.changes.empty()) evo.transitions.push_back(std::move(tr));
+    }
+    // Path existence: running intersection of element existence sets.
+    if (first_element) {
+      out.path_existence = evo.existence;
+      first_element = false;
+    } else {
+      IntervalSet intersection;
+      for (const Interval& a : out.path_existence.intervals()) {
+        for (const Interval& b : evo.existence.intervals()) {
+          Interval iv = a.Intersect(b);
+          if (!iv.empty()) intersection.Add(iv);
+        }
+      }
+      out.path_existence = std::move(intersection);
+    }
+    out.elements.push_back(std::move(evo));
+  }
+  return out;
+}
+
+}  // namespace nepal::temporal

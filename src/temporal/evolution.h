@@ -1,0 +1,50 @@
+// Path-evolution queries (Section 4): given a specific pathway (by element
+// uids), report how the field values of its nodes and edges changed over a
+// time range — a special case of the time-range query used by visualization
+// applications to drill into one returned path.
+
+#ifndef NEPAL_TEMPORAL_EVOLUTION_H_
+#define NEPAL_TEMPORAL_EVOLUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/backend.h"
+
+namespace nepal::temporal {
+
+struct FieldChange {
+  std::string field;
+  Value before;
+  Value after;
+};
+
+/// One version-to-version transition of an element.
+struct ElementTransition {
+  Timestamp at;  // start of the new version
+  std::vector<FieldChange> changes;
+};
+
+struct ElementEvolution {
+  Uid uid = kInvalidUid;
+  const schema::ClassDef* cls = nullptr;
+  /// Interval(s) during which the element existed inside the query range.
+  IntervalSet existence;
+  std::vector<ElementTransition> transitions;
+};
+
+struct PathEvolution {
+  std::vector<ElementEvolution> elements;
+  /// Intersection of all elements' existence: when the whole path existed.
+  IntervalSet path_existence;
+};
+
+/// Tracks the evolution of the path given by `uids` over `range`.
+/// Elements with no version in the range get an empty existence set.
+PathEvolution TrackPathEvolution(const storage::StorageBackend& backend,
+                                 const std::vector<Uid>& uids,
+                                 const Interval& range);
+
+}  // namespace nepal::temporal
+
+#endif  // NEPAL_TEMPORAL_EVOLUTION_H_

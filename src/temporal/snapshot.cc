@@ -1,0 +1,153 @@
+#include "temporal/snapshot.h"
+
+#include <set>
+
+namespace nepal::temporal {
+
+using storage::ElementVersion;
+
+std::string SnapshotStats::ToString() const {
+  return "nodes +" + std::to_string(nodes_inserted) + " ~" +
+         std::to_string(nodes_updated) + " -" + std::to_string(nodes_deleted) +
+         ", edges +" + std::to_string(edges_inserted) + " ~" +
+         std::to_string(edges_updated) + " -" + std::to_string(edges_deleted) +
+         ", unchanged " + std::to_string(unchanged);
+}
+
+Uid SnapshotUpdater::Lookup(const std::string& key) const {
+  auto node_it = node_keys_.find(key);
+  if (node_it != node_keys_.end()) return node_it->second;
+  auto edge_it = edge_keys_.find(key);
+  if (edge_it != edge_keys_.end()) return edge_it->second.uid;
+  return kInvalidUid;
+}
+
+namespace {
+
+/// Field values that differ between the stored row and the new payload.
+Result<schema::FieldValues> DiffFields(const storage::GraphDb& db,
+                                       const ElementVersion& current,
+                                       const std::string& class_name,
+                                       const schema::FieldValues& fields) {
+  NEPAL_ASSIGN_OR_RETURN(const schema::ClassDef* cls,
+                         db.schema().GetClass(class_name));
+  if (cls != current.cls) {
+    return Status::InvalidArgument(
+        "snapshot element changed class from " + current.cls->name() + " to " +
+        class_name + "; reclassification requires delete + insert");
+  }
+  NEPAL_ASSIGN_OR_RETURN(std::vector<Value> row,
+                         schema::ValidateRecord(db.schema(), *cls, fields));
+  schema::FieldValues changed;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!(row[i] == current.fields[i])) {
+      changed.emplace_back(cls->fields()[i].name, row[i]);
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+Result<SnapshotStats> SnapshotUpdater::Apply(const Snapshot& snapshot,
+                                             Timestamp t) {
+  NEPAL_RETURN_NOT_OK(db_->SetTime(t));
+  SnapshotStats stats;
+
+  std::set<std::string> seen_nodes, seen_edges;
+
+  for (const SnapshotNode& node : snapshot.nodes) {
+    if (!seen_nodes.insert(node.key).second) {
+      return Status::InvalidArgument("duplicate node key '" + node.key +
+                                     "' in snapshot");
+    }
+    auto it = node_keys_.find(node.key);
+    if (it == node_keys_.end()) {
+      NEPAL_ASSIGN_OR_RETURN(Uid uid,
+                             db_->AddNode(node.class_name, node.fields));
+      node_keys_[node.key] = uid;
+      ++stats.nodes_inserted;
+      continue;
+    }
+    NEPAL_ASSIGN_OR_RETURN(ElementVersion current, db_->GetCurrent(it->second));
+    NEPAL_ASSIGN_OR_RETURN(
+        schema::FieldValues changed,
+        DiffFields(*db_, current, node.class_name, node.fields));
+    if (changed.empty()) {
+      ++stats.unchanged;
+    } else {
+      NEPAL_RETURN_NOT_OK(db_->UpdateElement(it->second, changed));
+      ++stats.nodes_updated;
+    }
+  }
+
+  for (const SnapshotEdge& edge : snapshot.edges) {
+    if (!seen_edges.insert(edge.key).second) {
+      return Status::InvalidArgument("duplicate edge key '" + edge.key +
+                                     "' in snapshot");
+    }
+    if (!seen_nodes.count(edge.source_key) ||
+        !seen_nodes.count(edge.target_key)) {
+      return Status::InvalidArgument("edge '" + edge.key +
+                                     "' references a node key absent from "
+                                     "this snapshot");
+    }
+    auto src_it = node_keys_.find(edge.source_key);
+    auto tgt_it = node_keys_.find(edge.target_key);
+    auto it = edge_keys_.find(edge.key);
+    if (it != edge_keys_.end() && (it->second.source != src_it->second ||
+                                   it->second.target != tgt_it->second)) {
+      // Rewired edge: a topology change, modeled as delete + insert.
+      NEPAL_RETURN_NOT_OK(db_->RemoveElement(it->second.uid));
+      edge_keys_.erase(it);
+      it = edge_keys_.end();
+      ++stats.edges_deleted;
+    }
+    if (it == edge_keys_.end()) {
+      NEPAL_ASSIGN_OR_RETURN(
+          Uid uid, db_->AddEdge(edge.class_name, src_it->second,
+                                tgt_it->second, edge.fields));
+      edge_keys_[edge.key] = EdgeEntry{uid, src_it->second, tgt_it->second};
+      ++stats.edges_inserted;
+      continue;
+    }
+    NEPAL_ASSIGN_OR_RETURN(ElementVersion current,
+                           db_->GetCurrent(it->second.uid));
+    NEPAL_ASSIGN_OR_RETURN(
+        schema::FieldValues changed,
+        DiffFields(*db_, current, edge.class_name, edge.fields));
+    if (changed.empty()) {
+      ++stats.unchanged;
+    } else {
+      NEPAL_RETURN_NOT_OK(db_->UpdateElement(it->second.uid, changed));
+      ++stats.edges_updated;
+    }
+  }
+
+  // Deletions: managed elements absent from this snapshot. Edges first so
+  // node cascades do not double-delete.
+  for (auto it = edge_keys_.begin(); it != edge_keys_.end();) {
+    if (seen_edges.count(it->first)) {
+      ++it;
+      continue;
+    }
+    // The edge may already be gone via a node cascade below in a previous
+    // call; tolerate NotFound.
+    Status st = db_->RemoveElement(it->second.uid);
+    if (!st.ok() && st.code() != StatusCode::kNotFound) return st;
+    if (st.ok()) ++stats.edges_deleted;
+    it = edge_keys_.erase(it);
+  }
+  for (auto it = node_keys_.begin(); it != node_keys_.end();) {
+    if (seen_nodes.count(it->first)) {
+      ++it;
+      continue;
+    }
+    NEPAL_RETURN_NOT_OK(db_->RemoveElement(it->second));
+    ++stats.nodes_deleted;
+    it = node_keys_.erase(it);
+  }
+  return stats;
+}
+
+}  // namespace nepal::temporal

@@ -1,0 +1,83 @@
+// Update-by-snapshot service.
+//
+// Several of the paper's data sources (cloud management systems, legacy
+// inventories) deliver periodic full snapshots rather than update streams;
+// the graph data management layer diffs each snapshot against the stored
+// current state and issues the implied inserts, updates and deletes — which
+// is exactly how the 60-day histories of Section 6 are built.
+//
+// Snapshot elements carry a source-assigned external key (sources do not
+// know Nepal uids); the updater owns the key -> uid mapping.
+
+#ifndef NEPAL_TEMPORAL_SNAPSHOT_H_
+#define NEPAL_TEMPORAL_SNAPSHOT_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/graphdb.h"
+
+namespace nepal::temporal {
+
+struct SnapshotNode {
+  std::string key;        // source-assigned stable identifier
+  std::string class_name;
+  schema::FieldValues fields;
+};
+
+struct SnapshotEdge {
+  std::string key;
+  std::string class_name;
+  std::string source_key;
+  std::string target_key;
+  schema::FieldValues fields;
+};
+
+struct Snapshot {
+  std::vector<SnapshotNode> nodes;
+  std::vector<SnapshotEdge> edges;
+};
+
+struct SnapshotStats {
+  size_t nodes_inserted = 0;
+  size_t nodes_updated = 0;
+  size_t nodes_deleted = 0;
+  size_t edges_inserted = 0;
+  size_t edges_updated = 0;
+  size_t edges_deleted = 0;
+  size_t unchanged = 0;
+
+  std::string ToString() const;
+};
+
+class SnapshotUpdater {
+ public:
+  /// `db` must outlive the updater. The updater assumes it is the only
+  /// writer for the elements it manages.
+  explicit SnapshotUpdater(storage::GraphDb* db) : db_(db) {}
+
+  /// Applies `snapshot` as the source's full state at time `t`:
+  ///  - elements with unknown keys are inserted,
+  ///  - known elements with differing field values are updated
+  ///    (edge endpoint changes are modeled as delete + insert),
+  ///  - known elements absent from the snapshot are deleted.
+  Result<SnapshotStats> Apply(const Snapshot& snapshot, Timestamp t);
+
+  /// uid previously assigned to a source key, or kInvalidUid.
+  Uid Lookup(const std::string& key) const;
+
+ private:
+  storage::GraphDb* db_;
+  std::unordered_map<std::string, Uid> node_keys_;
+  struct EdgeEntry {
+    Uid uid;
+    Uid source;
+    Uid target;
+  };
+  std::unordered_map<std::string, EdgeEntry> edge_keys_;
+};
+
+}  // namespace nepal::temporal
+
+#endif  // NEPAL_TEMPORAL_SNAPSHOT_H_

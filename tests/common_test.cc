@@ -1,0 +1,245 @@
+// Unit tests for the common layer: Status/Result, Value, timestamps,
+// intervals and interval sets.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "common/value.h"
+
+namespace nepal {
+namespace {
+
+// ---- Status / Result ----
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status st = Status::NotFound("no such host");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.ToString(), "NotFound: no such host");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  NEPAL_ASSIGN_OR_RETURN(int half, Half(x));
+  return Half(half);
+}
+
+TEST(ResultTest, PropagatesThroughMacros) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  auto inner_fail = Quarter(6);  // 6/2 = 3, odd
+  ASSERT_FALSE(inner_fail.ok());
+  EXPECT_EQ(inner_fail.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+// ---- Value ----
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(true).kind(), ValueKind::kBool);
+  EXPECT_EQ(Value(int64_t{42}).AsInt(), 42);
+  EXPECT_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("x").AsString(), "x");
+  EXPECT_EQ(Value::Ip(0x7f000001).AsIp(), 0x7f000001u);
+}
+
+TEST(ValueTest, NumericComparisonAcrossKinds) {
+  EXPECT_EQ(Value(int64_t{2}), Value(2.0));
+  EXPECT_LT(Value(int64_t{2}), Value(2.5));
+  EXPECT_LT(Value(2.5), Value(int64_t{3}));
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value(), Value(false));
+  EXPECT_LT(Value(), Value("a"));
+}
+
+TEST(ValueTest, IpParsingAndFormatting) {
+  auto ip = Value::ParseIp("10.1.2.3");
+  ASSERT_TRUE(ip.ok());
+  EXPECT_EQ(ip->ToString(), "10.1.2.3");
+  EXPECT_FALSE(Value::ParseIp("10.1.2").ok());
+  EXPECT_FALSE(Value::ParseIp("10.1.2.300").ok());
+  EXPECT_FALSE(Value::ParseIp("10.1.2.3.4").ok());
+}
+
+TEST(ValueTest, SetSortsAndDedupes) {
+  Value set = Value::Set({Value(3), Value(1), Value(3), Value(2)});
+  ASSERT_EQ(set.kind(), ValueKind::kSet);
+  ASSERT_EQ(set.AsList().size(), 3u);
+  EXPECT_EQ(set.AsList()[0].AsInt(), 1);
+  EXPECT_EQ(set.AsList()[2].AsInt(), 3);
+}
+
+TEST(ValueTest, NestedContainerEqualityAndHash) {
+  Value a = Value::Map({{"rt", Value::List({Value(1), Value("if0")})}});
+  Value b = Value::Map({{"rt", Value::List({Value(1), Value("if0")})}});
+  Value c = Value::Map({{"rt", Value::List({Value(2), Value("if0")})}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_FALSE(a == c);
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::List({Value(1), Value(2)}).ToString(), "[1, 2]");
+  EXPECT_EQ(Value::Map({{"k", Value(true)}}).ToString(), "{k: true}");
+}
+
+// ---- Timestamps ----
+
+TEST(TimeTest, ParseAndFormatRoundTrip) {
+  for (const char* text :
+       {"2017-02-15 10:00:00", "2017-12-31 23:59:59",
+        "2016-02-29 00:00:00",  // leap day
+        "1999-01-01 00:00:00"}) {
+    auto ts = ParseTimestamp(text);
+    ASSERT_TRUE(ts.ok()) << text;
+    EXPECT_EQ(FormatTimestamp(*ts), text);
+  }
+}
+
+TEST(TimeTest, ShortFormsParse) {
+  EXPECT_EQ(FormatTimestamp(*ParseTimestamp("2017-02-15")),
+            "2017-02-15 00:00:00");
+  EXPECT_EQ(FormatTimestamp(*ParseTimestamp("2017-02-15 10:30")),
+            "2017-02-15 10:30:00");
+  EXPECT_EQ(FormatTimestamp(*ParseTimestamp("2017-02-15 10:30:15.5")),
+            "2017-02-15 10:30:15.500000");
+}
+
+TEST(TimeTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseTimestamp("not a time").ok());
+  EXPECT_FALSE(ParseTimestamp("2017-13-01").ok());
+  EXPECT_FALSE(ParseTimestamp("2017-02-30").ok());
+  EXPECT_FALSE(ParseTimestamp("2017-02-15 25:00").ok());
+  EXPECT_FALSE(ParseTimestamp("2017-02-15 10:00:00 tail").ok());
+}
+
+TEST(TimeTest, KnownEpochValue) {
+  // 2017-01-01 00:00:00 UTC == 1483228800s.
+  EXPECT_EQ(*ParseTimestamp("2017-01-01 00:00:00"), 1483228800LL * 1000000);
+}
+
+// ---- Intervals ----
+
+TEST(IntervalTest, HalfOpenSemantics) {
+  Interval iv{10, 20};
+  EXPECT_TRUE(iv.Contains(10));
+  EXPECT_TRUE(iv.Contains(19));
+  EXPECT_FALSE(iv.Contains(20));
+  EXPECT_TRUE(iv.Overlaps({19, 30}));
+  EXPECT_FALSE(iv.Overlaps({20, 30}));  // touching is not overlapping
+  EXPECT_TRUE(iv.Meets({20, 30}));      // but it does meet
+}
+
+TEST(IntervalTest, IntersectAndEmpty) {
+  Interval a{10, 20}, b{15, 30};
+  EXPECT_EQ(a.Intersect(b), (Interval{15, 20}));
+  EXPECT_TRUE(a.Intersect({20, 30}).empty());
+  EXPECT_TRUE((Interval{5, 5}).empty());
+}
+
+TEST(IntervalSetTest, CoalescesMeetingIntervals) {
+  IntervalSet set;
+  set.Add({10, 20});
+  set.Add({30, 40});
+  set.Add({20, 25});  // touches the first
+  ASSERT_EQ(set.intervals().size(), 2u);
+  EXPECT_EQ(set.intervals()[0], (Interval{10, 25}));
+  EXPECT_EQ(set.intervals()[1], (Interval{30, 40}));
+}
+
+TEST(IntervalSetTest, BridgingMergesEverything) {
+  IntervalSet set;
+  set.Add({10, 20});
+  set.Add({30, 40});
+  set.Add({15, 35});
+  ASSERT_EQ(set.intervals().size(), 1u);
+  EXPECT_EQ(set.intervals()[0], (Interval{10, 40}));
+}
+
+TEST(IntervalSetTest, FirstLastAndContains) {
+  IntervalSet set;
+  EXPECT_EQ(set.FirstTime(), kTimestampMax);
+  set.Add({10, 20});
+  set.Add({30, kTimestampMax});
+  EXPECT_EQ(set.FirstTime(), 10);
+  EXPECT_EQ(set.LastTime(), kTimestampMax);
+  EXPECT_TRUE(set.Contains(15));
+  EXPECT_FALSE(set.Contains(25));
+  EXPECT_TRUE(set.Contains(1000000));
+}
+
+TEST(IntervalSetTest, IgnoresEmptyIntervals) {
+  IntervalSet set;
+  set.Add({10, 10});
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSetTest, RandomizedCoalescingInvariant) {
+  Rng rng(12);
+  for (int round = 0; round < 50; ++round) {
+    IntervalSet set;
+    std::vector<Interval> added;
+    for (int i = 0; i < 20; ++i) {
+      Timestamp start = static_cast<Timestamp>(rng.Below(100));
+      Interval iv{start, start + static_cast<Timestamp>(1 + rng.Below(10))};
+      set.Add(iv);
+      added.push_back(iv);
+    }
+    // Sorted, disjoint, non-adjacent.
+    const auto& ivs = set.intervals();
+    for (size_t i = 1; i < ivs.size(); ++i) {
+      EXPECT_GT(ivs[i].start, ivs[i - 1].end);
+    }
+    // Membership agrees with the raw list.
+    for (Timestamp t = 0; t < 115; ++t) {
+      bool expected = false;
+      for (const Interval& iv : added) expected |= iv.Contains(t);
+      EXPECT_EQ(set.Contains(t), expected) << "t=" << t;
+    }
+  }
+}
+
+// ---- Rng determinism ----
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, RangeBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace nepal

@@ -1,0 +1,311 @@
+// Advanced engine behaviour: plan explanation and SQL rendering, join
+// ordering and anchor import, subquery nesting, projection edge cases,
+// result limits, and error reporting.
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "nepal/engine.h"
+#include "tests/testutil.h"
+
+namespace nepal {
+namespace {
+
+using nepal::testing::BackendKind;
+using nepal::testing::MakeTinyNetwork;
+using nepal::testing::TinyNetwork;
+
+class EngineAdvancedTest : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    net_ = MakeTinyNetwork(GetParam());
+    engine_ = std::make_unique<nql::QueryEngine>(net_.db.get());
+  }
+
+  nql::QueryResult Run(const std::string& query) {
+    auto result = engine_->Run(query);
+    EXPECT_TRUE(result.ok()) << result.status() << "\nquery: " << query;
+    return result.ok() ? *result : nql::QueryResult{};
+  }
+
+  TinyNetwork net_;
+  std::unique_ptr<nql::QueryEngine> engine_;
+};
+
+TEST_P(EngineAdvancedTest, RetrieveMultipleVariables) {
+  auto result = Run(
+      "Retrieve P, Q From PATHS P, PATHS Q "
+      "Where P MATCHES VFC()->VM() And Q MATCHES VM()->Host() "
+      "And target(P) = source(Q)");
+  ASSERT_EQ(result.rows.size(), 3u);
+  for (const auto& row : result.rows) {
+    ASSERT_EQ(row.paths.size(), 2u);
+    EXPECT_EQ(row.paths[0].target_uid(), row.paths[1].source_uid());
+  }
+  // Projection order follows the Retrieve list, not evaluation order.
+  auto flipped = Run(
+      "Retrieve Q, P From PATHS P, PATHS Q "
+      "Where P MATCHES VFC()->VM() And Q MATCHES VM()->Host() "
+      "And target(P) = source(Q)");
+  ASSERT_EQ(flipped.path_columns[0], "Q");
+  EXPECT_TRUE(flipped.rows[0].paths[0].concepts.back()->name() == "Host");
+}
+
+TEST_P(EngineAdvancedTest, CrossVariableFieldJoin) {
+  // Join VMs to hosts by *name pattern*: here equality of owner-ish fields
+  // is simulated by joining VMs to themselves via names.
+  auto result = Run(
+      "Select source(P).name From PATHS P, PATHS Q "
+      "Where P MATCHES VM() And Q MATCHES VM() "
+      "And source(P).name = source(Q).name "
+      "And source(P) = source(Q)");
+  EXPECT_EQ(result.rows.size(), 3u);
+}
+
+TEST_P(EngineAdvancedTest, InequalityComparison) {
+  auto result = Run(
+      "Retrieve P From PATHS P, PATHS Q "
+      "Where P MATCHES VM()->Host() And Q MATCHES VM()->Host() "
+      "And source(P) <> source(Q) And target(P) = target(Q)");
+  // vm2 and vm3 share host2: two ordered pairs.
+  EXPECT_EQ(result.rows.size(), 2u);
+}
+
+TEST_P(EngineAdvancedTest, ExistsWithoutNegation) {
+  auto result = Run(
+      "Retrieve V From PATHS V "
+      "Where V MATCHES Host() "
+      "And EXISTS( Retrieve P From PATHS P "
+      "  Where P MATCHES VM()->Host() And target(P) = target(V))");
+  // Both hosts run VMs.
+  EXPECT_EQ(result.rows.size(), 2u);
+}
+
+TEST_P(EngineAdvancedTest, NestedSubqueries) {
+  // Hosts that run a VM whose VFC belongs to vnf1 — phrased with two
+  // levels of EXISTS.
+  auto result = Run(
+      "Retrieve H From PATHS H "
+      "Where H MATCHES Host() "
+      "And EXISTS( Retrieve P From PATHS P "
+      "  Where P MATCHES VM()->Host() And target(P) = target(H) "
+      "  And EXISTS( Retrieve Q From PATHS Q "
+      "    Where Q MATCHES VNF(id=" +
+      std::to_string(net_.vnf1) +
+      ")->[Vertical()]{1,4}->VM() "
+      "    And target(Q) = source(P)))");
+  std::set<Uid> hosts;
+  for (const auto& row : result.rows) {
+    hosts.insert(row.paths[0].uids[0]);
+  }
+  EXPECT_EQ(hosts, (std::set<Uid>{net_.host1, net_.host2}));
+}
+
+TEST_P(EngineAdvancedTest, CountAndGroupBy) {
+  // How many VMs does each host carry?
+  auto result = Run(
+      "Select target(P).name, count(P) From PATHS P "
+      "Where P MATCHES VM()->Host() "
+      "Group By target(P).name");
+  ASSERT_EQ(result.rows.size(), 2u);
+  std::map<std::string, int64_t> by_host;
+  for (const auto& row : result.rows) {
+    by_host[row.values[0].AsString()] = row.values[1].AsInt();
+  }
+  EXPECT_EQ(by_host["host1"], 1);
+  EXPECT_EQ(by_host["host2"], 2);
+}
+
+TEST_P(EngineAdvancedTest, GlobalAggregatesWithoutGroupBy) {
+  auto result = Run(
+      "Select count(P), count(distinct target(P)), min(source(P).name), "
+      "max(source(P).name), sum(length(P)) "
+      "From PATHS P Where P MATCHES VM()->Host()");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].values[0], Value(int64_t{3}));  // 3 placements
+  EXPECT_EQ(result.rows[0].values[1], Value(int64_t{2}));  // 2 hosts
+  EXPECT_EQ(result.rows[0].values[2], Value("vm1"));
+  EXPECT_EQ(result.rows[0].values[3], Value("vm3"));
+  EXPECT_EQ(result.rows[0].values[4], Value(int64_t{9}));  // 3 paths x 3
+}
+
+TEST_P(EngineAdvancedTest, AggregateOverEmptyResultSet) {
+  auto result = Run(
+      "Select count(P) From PATHS P Where P MATCHES Docker()");
+  ASSERT_TRUE(result.rows.empty());  // no rows, no groups
+  result = Run(
+      "Select count(P), min(source(P).name) From PATHS P "
+      "Where P MATCHES VM() Group By length(P)");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].values[0], Value(int64_t{3}));
+}
+
+TEST_P(EngineAdvancedTest, AggregateValidationErrors) {
+  // Ungrouped plain item alongside an aggregate.
+  auto bad = engine_->Run(
+      "Select source(P).name, count(P) From PATHS P Where P MATCHES VM()");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  // Aggregates with Retrieve make no sense.
+  bad = engine_->Run(
+      "Retrieve P From PATHS P Where P MATCHES VM() Group By source(P)");
+  EXPECT_FALSE(bad.ok());
+  // sum over strings.
+  bad = engine_->Run(
+      "Select sum(source(P).name) From PATHS P Where P MATCHES VM()");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_P(EngineAdvancedTest, MaxRowsCap) {
+  nql::EngineOptions options;
+  options.max_rows = 2;
+  nql::QueryEngine capped(net_.db.get(), options);
+  auto result = capped.Run("Retrieve P From PATHS P Where P MATCHES VM()");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 2u);
+}
+
+TEST_P(EngineAdvancedTest, SelectLengthAndBareVariable) {
+  auto result = Run(
+      "Select length(P), P From PATHS P Where P MATCHES "
+      "VFC(name='vfc1')->VM()");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].values[0], Value(int64_t{3}));
+  EXPECT_NE(result.rows[0].values[1].AsString().find("VFC#"),
+            std::string::npos);
+}
+
+TEST_P(EngineAdvancedTest, SelectUnknownFieldFails) {
+  auto result = engine_->Run(
+      "Select source(P).wobble From PATHS P Where P MATCHES VM()");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_P(EngineAdvancedTest, ErrorsOnStructuralMisuse) {
+  // Unknown range variable in Retrieve.
+  EXPECT_FALSE(engine_->Run("Retrieve X From PATHS P Where P MATCHES VM()")
+                   .ok());
+  // Variable without a MATCHES predicate.
+  EXPECT_FALSE(engine_->Run("Retrieve P From PATHS P, PATHS Q "
+                            "Where P MATCHES VM()")
+                   .ok());
+  // Duplicate variable declaration.
+  EXPECT_FALSE(engine_->Run("Retrieve P From PATHS P, PATHS P "
+                            "Where P MATCHES VM()")
+                   .ok());
+  // Two MATCHES on one variable.
+  EXPECT_FALSE(engine_->Run("Retrieve P From PATHS P "
+                            "Where P MATCHES VM() And P MATCHES Host()")
+                   .ok());
+  // Comparison referencing a variable that exists nowhere.
+  EXPECT_FALSE(engine_->Run("Retrieve P From PATHS P Where P MATCHES VM() "
+                            "And source(Z) = target(P)")
+                   .ok());
+}
+
+TEST_P(EngineAdvancedTest, ExplainListsEveryVariableAndSeeds) {
+  auto plan = engine_->Explain(
+      "Retrieve Phys From PATHS D1, PATHS Phys "
+      "Where D1 MATCHES VNF(id=" + std::to_string(net_.vnf1) +
+      ")->[Vertical()]{1,6}->Host() "
+      "And Phys MATCHES [Connects()]{1,8} "
+      "And source(Phys) = target(D1)");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(plan->find("var D1"), std::string::npos);
+  EXPECT_NE(plan->find("anchor imported via join"), std::string::npos)
+      << *plan;
+}
+
+TEST_P(EngineAdvancedTest, SqlTraceOnRelationalBackend) {
+  if (GetParam() != BackendKind::kRelational) GTEST_SKIP();
+  auto plan = engine_->Explain(
+      "Retrieve P From PATHS P Where P MATCHES "
+      "VNF(id=" + std::to_string(net_.vnf1) + ")->composed_of()->VFC()");
+  ASSERT_TRUE(plan.ok());
+  // The relational executor renders the paper's TEMP-table SQL shape.
+  EXPECT_NE(plan->find("create TEMP table"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("uid_list"), std::string::npos);
+  EXPECT_NE(plan->find("curr_uid"), std::string::npos);
+  EXPECT_NE(plan->find("ANY(T.uid_list)"), std::string::npos);
+}
+
+TEST_P(EngineAdvancedTest, TimeRangeJoinCoalescesRowIntervals) {
+  // Build churn: vm1 status flips irrelevant to the join; the joined row's
+  // interval must stay maximal.
+  Timestamp t0 = net_.db->Now();
+  ASSERT_TRUE(net_.db->SetTime(t0 + 1000).ok());
+  ASSERT_TRUE(
+      net_.db->UpdateElement(net_.vm1, {{"status", Value("Yellow")}}).ok());
+  ASSERT_TRUE(net_.db->SetTime(t0 + 2000).ok());
+  ASSERT_TRUE(
+      net_.db->UpdateElement(net_.vm1, {{"status", Value("Green")}}).ok());
+  auto result = Run(
+      "AT '" + FormatTimestamp(t0) + "' : '" + FormatTimestamp(t0 + 5000) +
+      "' Retrieve P From PATHS P Where P MATCHES VFC()->VM(id=" +
+      std::to_string(net_.vm1) + ")");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].valid.end, kTimestampMax);
+}
+
+TEST_P(EngineAdvancedTest, PathwayViews) {
+  // A view naming the "implementation pathways" of the inventory.
+  ASSERT_TRUE(engine_
+                  ->DefineView("IMPLEMENTATIONS",
+                               "VNF()->[Vertical()]{1,6}->Host()")
+                  .ok());
+  // A view can stand in for the MATCHES predicate entirely...
+  auto all = Run("Retrieve P From IMPLEMENTATIONS P Where length(P) = 7");
+  EXPECT_EQ(all.rows.size(), 3u);
+  // ...or be narrowed further by one (intersection semantics).
+  auto narrowed = Run(
+      "Retrieve P From IMPLEMENTATIONS P "
+      "Where P MATCHES Node()->[Vertical()]{1,6}->Host(id=" +
+      std::to_string(net_.host2) + ")");
+  EXPECT_EQ(narrowed.rows.size(), 2u);
+  for (const auto& row : narrowed.rows) {
+    EXPECT_EQ(row.paths[0].target_uid(), net_.host2);
+    EXPECT_TRUE(row.paths[0].concepts[0]->IsSubclassOf(
+        net_.db->schema().FindClass("VNF")));
+  }
+  // Mixing views and PATHS in one query.
+  auto mixed = Run(
+      "Retrieve P, Q From IMPLEMENTATIONS P, PATHS Q "
+      "Where Q MATCHES Host() And target(P) = target(Q) "
+      "And length(P) = 7");
+  EXPECT_EQ(mixed.rows.size(), 3u);
+}
+
+TEST_P(EngineAdvancedTest, ViewErrors) {
+  EXPECT_FALSE(engine_->DefineView("PATHS", "VM()").ok());
+  EXPECT_FALSE(engine_->DefineView("BAD", "VM(").ok());
+  auto unknown = engine_->Run(
+      "Retrieve P From GHOSTVIEW P Where P MATCHES VM()");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+}
+
+TEST_P(EngineAdvancedTest, DeterministicResultsAcrossRuns) {
+  const std::string query =
+      "Retrieve P From PATHS P Where P MATCHES "
+      "VNF()->[Vertical()]{1,6}->Host()";
+  auto r1 = Run(query);
+  auto r2 = Run(query);
+  ASSERT_EQ(r1.rows.size(), r2.rows.size());
+  std::multiset<std::string> s1, s2;
+  for (const auto& row : r1.rows) s1.insert(row.paths[0].ToString());
+  for (const auto& row : r2.rows) s2.insert(row.paths[0].ToString());
+  EXPECT_EQ(s1, s2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, EngineAdvancedTest,
+    ::testing::Values(BackendKind::kGraphStore, BackendKind::kRelational),
+    [](const ::testing::TestParamInfo<BackendKind>& info) {
+      return nepal::testing::BackendName(info.param);
+    });
+
+}  // namespace
+}  // namespace nepal

@@ -1,0 +1,150 @@
+// Tests for the inventory feed loader/exporter.
+
+#include <gtest/gtest.h>
+
+#include "nepal/engine.h"
+#include "netmodel/feed.h"
+#include "tests/testutil.h"
+
+namespace nepal {
+namespace {
+
+using nepal::testing::BackendKind;
+
+class FeedTest : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    schema_ = nepal::testing::Figure3Schema();
+    db_ = std::make_unique<storage::GraphDb>(
+        schema_, nepal::testing::MakeBackend(GetParam(), schema_));
+    loader_ = std::make_unique<netmodel::FeedLoader>(db_.get());
+  }
+
+  schema::SchemaPtr schema_;
+  std::unique_ptr<storage::GraphDb> db_;
+  std::unique_ptr<netmodel::FeedLoader> loader_;
+};
+
+TEST_P(FeedTest, LoadsNodesEdgesAndChurn) {
+  auto stats = loader_->Load(R"(
+    # comment line
+    at 2017-02-15 09:00:00
+    node DNS vnf vnf_type='dns'   # trailing comment
+    node VFC vfc
+    node VMWare vm status='Green'
+    node Host host-a serial='SN1'
+    edge composed_of c vnf -> vfc
+    edge hosted_on h vfc -> vm
+    edge OnServer p vm -> host-a
+
+    at 2017-02-15 10:00:00
+    update vm status='Red'
+    at 2017-02-15 11:00:00
+    delete p
+  )");
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->nodes, 4u);
+  EXPECT_EQ(stats->edges, 3u);
+  EXPECT_EQ(stats->updates, 1u);
+  EXPECT_EQ(stats->deletes, 1u);
+
+  nql::QueryEngine engine(db_.get());
+  auto past = engine.Run(
+      "AT '2017-02-15 09:30' Select source(P).status From PATHS P "
+      "Where P MATCHES VM()->Host()");
+  ASSERT_TRUE(past.ok()) << past.status();
+  ASSERT_EQ(past->rows.size(), 1u);
+  EXPECT_EQ(past->rows[0].values[0], Value("Green"));
+  auto now = engine.Run("Retrieve P From PATHS P Where P MATCHES VM()->Host()");
+  ASSERT_TRUE(now.ok());
+  EXPECT_TRUE(now->rows.empty());  // placement deleted
+}
+
+TEST_P(FeedTest, LiteralKinds) {
+  ASSERT_TRUE(schema_ != nullptr);
+  auto stats = loader_->Load(
+      "node Host h serial='SN9'\n"
+      "node Host h2 serial='SN10'\n"
+      "node Switch s\n"
+      "edge Connects l h -> s bandwidth=25000\n");
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  auto edge = db_->GetCurrent(loader_->Lookup("l"));
+  ASSERT_TRUE(edge.ok());
+  EXPECT_EQ(edge->fields[static_cast<size_t>(
+                edge->cls->FieldIndex("bandwidth"))],
+            Value(25000));
+}
+
+TEST_P(FeedTest, ErrorsCarryLineNumbersAndApplyPrefix) {
+  auto stats = loader_->Load(
+      "node Host a serial='S1'\n"
+      "node Blimp b\n");  // unknown class on line 2
+  ASSERT_FALSE(stats.ok());
+  // The first directive applied; the loader reports the failing one.
+  EXPECT_NE(loader_->Lookup("a"), kInvalidUid);
+  EXPECT_EQ(loader_->Lookup("b"), kInvalidUid);
+}
+
+TEST_P(FeedTest, RejectsMalformedDirectives) {
+  EXPECT_FALSE(loader_->Load("launch Host x\n").ok());
+  EXPECT_FALSE(loader_->Load("node Host\n").ok());
+  EXPECT_FALSE(loader_->Load("node Host x serial'S1'\n").ok());
+  EXPECT_FALSE(loader_->Load("node Host x serial='unterminated\n").ok());
+  EXPECT_FALSE(
+      loader_->Load("node Host x serial='S'\nedge Connects e x -> ghost\n")
+          .ok());
+  EXPECT_FALSE(loader_->Load("at not-a-time\n").ok());
+  EXPECT_FALSE(loader_->Load("update ghost status='x'\n").ok());
+  EXPECT_FALSE(loader_->Load("delete ghost\n").ok());
+}
+
+TEST_P(FeedTest, DuplicateNamesRejected) {
+  EXPECT_FALSE(loader_->Load("node Host x serial='A'\n"
+                             "node Switch x\n")
+                   .ok());
+}
+
+TEST_P(FeedTest, ExportRoundTrips) {
+  ASSERT_TRUE(loader_
+                  ->Load("node DNS vnf\n"
+                         "node VFC vfc\n"
+                         "node VMWare vm status='Green'\n"
+                         "node Host host-a serial='SN1'\n"
+                         "edge composed_of c vnf -> vfc\n"
+                         "edge hosted_on h vfc -> vm\n"
+                         "edge OnServer p vm -> host-a\n")
+                  .ok());
+  size_t skipped = 0;
+  std::string feed = netmodel::ExportFeed(*db_, &skipped);
+  EXPECT_EQ(skipped, 0u);
+
+  // Reload into a fresh database; query results must agree.
+  auto db2 = std::make_unique<storage::GraphDb>(
+      schema_, nepal::testing::MakeBackend(GetParam(), schema_));
+  netmodel::FeedLoader loader2(db2.get());
+  auto stats = loader2.Load(feed);
+  ASSERT_TRUE(stats.ok()) << stats.status() << "\nfeed:\n" << feed;
+  EXPECT_EQ(stats->nodes, 4u);
+  EXPECT_EQ(stats->edges, 3u);
+
+  nql::QueryEngine e1(db_.get()), e2(db2.get());
+  const char* query =
+      "Select source(P).name, target(P).name From PATHS P "
+      "Where P MATCHES VNF()->[Vertical()]{1,4}->Host()";
+  auto r1 = e1.Run(query);
+  auto r2 = e2.Run(query);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r1->rows.size(), r2->rows.size());
+  EXPECT_EQ(r1->rows[0].values[0], r2->rows[0].values[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, FeedTest,
+    ::testing::Values(BackendKind::kGraphStore, BackendKind::kRelational),
+    [](const ::testing::TestParamInfo<BackendKind>& info) {
+      return nepal::testing::BackendName(info.param);
+    });
+
+}  // namespace
+}  // namespace nepal

@@ -1,0 +1,229 @@
+// Tests for the workload generators: structural invariants of the layered
+// virtualized network and of the legacy topology, determinism, and the
+// properties the benchmark harness relies on.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "nepal/engine.h"
+#include "netmodel/legacy.h"
+#include "netmodel/virtualized.h"
+#include "tests/testutil.h"
+
+namespace nepal {
+namespace {
+
+netmodel::BackendFactory GsFactory() {
+  return [](schema::SchemaPtr s) -> std::unique_ptr<storage::StorageBackend> {
+    return nepal::testing::MakeBackend(
+        nepal::testing::BackendKind::kGraphStore, std::move(s));
+  };
+}
+
+TEST(VirtualizedSchemaTest, ClassCountsMatchThePaper) {
+  schema::SchemaPtr s = netmodel::VirtualizedSchema();
+  size_t node_classes = 0, edge_classes = 0;
+  for (const schema::ClassDef* cls : s->classes()) {
+    if (cls->is_root()) continue;
+    (cls->is_node() ? node_classes : edge_classes)++;
+  }
+  EXPECT_EQ(node_classes, 54u);
+  EXPECT_EQ(edge_classes, 12u);
+}
+
+TEST(VirtualizedNetworkTest, SizesAndHistoryInPaperBallpark) {
+  netmodel::VirtualizedParams params;
+  auto net = BuildVirtualizedNetwork(params, GsFactory());
+  ASSERT_TRUE(net.ok()) << net.status();
+  // Paper: about 2,000 nodes and 11,000 edges, history ~6% larger.
+  EXPECT_GT(net->db->node_count(), 1500u);
+  EXPECT_LT(net->db->node_count(), 3000u);
+  EXPECT_GT(net->db->edge_count(), 6000u);
+  EXPECT_LT(net->db->edge_count(), 14000u);
+  double growth =
+      static_cast<double>(net->final_version_count -
+                          net->initial_version_count) /
+      static_cast<double>(net->initial_version_count);
+  EXPECT_GT(growth, 0.02);
+  EXPECT_LT(growth, 0.15);
+  EXPECT_EQ(net->vnfs.size(), 33u);  // 33 distinct VNFs, as in the paper
+}
+
+TEST(VirtualizedNetworkTest, EveryVnfReachesAHost) {
+  netmodel::VirtualizedParams params;
+  params.history_days = 0;
+  auto net = BuildVirtualizedNetwork(params, GsFactory());
+  ASSERT_TRUE(net.ok());
+  nql::QueryEngine engine(net->db.get());
+  for (Uid vnf : net->vnfs) {
+    auto result = engine.Run(
+        "Retrieve P From PATHS P Where P MATCHES VNF(id=" +
+        std::to_string(vnf) + ")->[Vertical()]{1,6}->Host()");
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_FALSE(result->rows.empty()) << "VNF " << vnf;
+    // Every dependency path descends VNF -> VFC -> container -> host.
+    for (const auto& row : result->rows) {
+      EXPECT_EQ(row.paths[0].uids.size(), 7u);
+    }
+  }
+}
+
+TEST(VirtualizedNetworkTest, DeterministicUnderSeed) {
+  netmodel::VirtualizedParams params;
+  params.history_days = 3;
+  auto n1 = BuildVirtualizedNetwork(params, GsFactory());
+  auto n2 = BuildVirtualizedNetwork(params, GsFactory());
+  ASSERT_TRUE(n1.ok());
+  ASSERT_TRUE(n2.ok());
+  EXPECT_EQ(n1->db->node_count(), n2->db->node_count());
+  EXPECT_EQ(n1->db->edge_count(), n2->db->edge_count());
+  EXPECT_EQ(n1->final_version_count, n2->final_version_count);
+  params.seed = 43;
+  auto n3 = BuildVirtualizedNetwork(params, GsFactory());
+  ASSERT_TRUE(n3.ok());
+  EXPECT_NE(n1->final_version_count, n3->final_version_count);
+}
+
+TEST(VirtualizedNetworkTest, HistoryPreservesPastPlacements) {
+  netmodel::VirtualizedParams params;
+  auto net = BuildVirtualizedNetwork(params, GsFactory());
+  ASSERT_TRUE(net.ok());
+  nql::QueryEngine engine(net->db.get());
+  // The initial snapshot state is reachable with a timeslice.
+  auto past = engine.Run(
+      "AT '" + FormatTimestamp(net->snapshot_time) + "' " +
+      "Retrieve P From PATHS P Where P MATCHES VM()->Host()");
+  auto now = engine.Run(
+      "Retrieve P From PATHS P Where P MATCHES VM()->Host()");
+  ASSERT_TRUE(past.ok());
+  ASSERT_TRUE(now.ok());
+  EXPECT_FALSE(past->rows.empty());
+  // Churn (migrations, scale events) changed placements.
+  EXPECT_NE(past->rows.size(), now->rows.size());
+}
+
+TEST(LegacySchemaTest, SubclassedSchemaHas66EdgeClasses) {
+  schema::SchemaPtr s = netmodel::LegacySubclassedSchema();
+  size_t edge_classes = 0;
+  for (const schema::ClassDef* cls : s->classes()) {
+    if (cls->is_edge() && !cls->is_root() && cls->name() != "legacy_link") {
+      ++edge_classes;
+    }
+  }
+  EXPECT_EQ(edge_classes, 66u);
+  // Every subclass derives from legacy_link.
+  EXPECT_TRUE(s->FindClass("contains")->IsSubclassOf(
+      s->FindClass("legacy_link")));
+  EXPECT_TRUE(s->FindClass("link_type_42") != nullptr);
+}
+
+class LegacyNetworkTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(LegacyNetworkTest, StructureAndQueries) {
+  netmodel::LegacyParams params;
+  params.num_devices = 120;
+  params.history_days = 5;
+  params.subclassed = GetParam();
+  auto net = BuildLegacyNetwork(params, GsFactory());
+  ASSERT_TRUE(net.ok()) << net.status();
+  EXPECT_EQ(net->devices.size(), 120u);
+  EXPECT_EQ(net->ports.size(), 120u * 32u);
+  EXPECT_FALSE(net->chain_heads.empty());
+  EXPECT_FALSE(net->egress_ports.empty());
+  EXPECT_FALSE(net->hub_devices.empty());
+
+  nql::QueryEngine engine(net->db.get());
+  // Vertical navigation: every device decomposes into 32 ports + group
+  // membership paths.
+  auto down = engine.Run(
+      "Retrieve P From PATHS P Where P MATCHES legacy_node(name='dev-0', "
+      "type_indicator='device')->[" +
+      net->EdgeAtom("contains") + "]{1,3}->" + net->NodeAtom("port"));
+  ASSERT_TRUE(down.ok()) << down.status();
+  EXPECT_GE(down->rows.size(), 32u);
+
+  // Forward service chains exist from every chain head.
+  auto v = net->db->GetCurrent(net->chain_heads[0]);
+  ASSERT_TRUE(v.ok());
+  std::string head =
+      v->fields[static_cast<size_t>(v->cls->FieldIndex("name"))].AsString();
+  auto forward = engine.Run(
+      "Retrieve P From PATHS P Where P MATCHES legacy_node(name='" + head +
+      "')->[" + net->EdgeAtom("service_hop") + "]{1,4}->" +
+      net->NodeAtom("port"));
+  ASSERT_TRUE(forward.ok());
+  EXPECT_GT(forward->rows.size(), 1u);
+
+  // The two load modes expose the same pathway semantics: class atoms in
+  // subclassed mode, type_indicator predicates in single-class mode.
+  double growth =
+      static_cast<double>(net->final_version_count -
+                          net->initial_version_count) /
+      static_cast<double>(net->initial_version_count);
+  EXPECT_GT(growth, 0.005);
+}
+
+TEST_P(LegacyNetworkTest, ReversePathsExplodeAtEgress) {
+  netmodel::LegacyParams params;
+  // Small but proportioned: with few devices the feeder pool is small, so
+  // keep the in-branching low or the converging trees turn into a dense
+  // multigraph with a combinatorially exploding number of simple paths.
+  params.num_devices = 80;
+  params.reverse_in_branching = 4;
+  params.history_days = 0;
+  params.subclassed = GetParam();
+  auto net = BuildLegacyNetwork(params, GsFactory());
+  ASSERT_TRUE(net.ok());
+  nql::QueryEngine engine(net->db.get());
+  auto v = net->db->GetCurrent(net->egress_ports[0]);
+  std::string egress =
+      v->fields[static_cast<size_t>(v->cls->FieldIndex("name"))].AsString();
+  auto reverse = engine.Run(
+      "Retrieve P From PATHS P Where P MATCHES " + net->NodeAtom("port") +
+      "->[" + net->EdgeAtom("service_hop") + "]{1,4}->legacy_node(name='" +
+      egress + "')");
+  ASSERT_TRUE(reverse.ok());
+  // Orders of magnitude more paths than a forward chain.
+  EXPECT_GT(reverse->rows.size(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, LegacyNetworkTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "subclassed" : "single_class";
+                         });
+
+TEST(LegacyModesTest, BothLoadsAgreeOnPathSets) {
+  // The defining property of the Section 6 reload: the subclassed graph
+  // answers the same queries with the same pathways.
+  netmodel::LegacyParams params;
+  params.num_devices = 40;
+  params.history_days = 0;
+  params.subclassed = false;
+  auto single = BuildLegacyNetwork(params, GsFactory());
+  params.subclassed = true;
+  auto sub = BuildLegacyNetwork(params, GsFactory());
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(sub.ok());
+  nql::QueryEngine e1(single->db.get());
+  nql::QueryEngine e2(sub->db.get());
+  for (const char* port : {"dev-3-sh0-c1-p2", "dev-7-sh1-c0-p0"}) {
+    auto q1 = e1.Run(
+        "Select source(P).name From PATHS P Where P MATCHES " +
+        single->NodeAtom("device") + "->[" + single->EdgeAtom("contains") +
+        "]{1,3}->legacy_node(name='" + std::string(port) + "')");
+    auto q2 = e2.Run(
+        "Select source(P).name From PATHS P Where P MATCHES " +
+        sub->NodeAtom("device") + "->[" + sub->EdgeAtom("contains") +
+        "]{1,3}->legacy_node(name='" + std::string(port) + "')");
+    ASSERT_TRUE(q1.ok());
+    ASSERT_TRUE(q2.ok());
+    std::multiset<std::string> s1, s2;
+    for (const auto& row : q1->rows) s1.insert(row.values[0].ToString());
+    for (const auto& row : q2->rows) s2.insert(row.values[0].ToString());
+    EXPECT_EQ(s1, s2) << port;
+  }
+}
+
+}  // namespace
+}  // namespace nepal

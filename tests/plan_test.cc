@@ -1,0 +1,175 @@
+// Unit tests for the query planner: anchor enumeration and costing,
+// RPE splitting around anchors, program compilation and reversal.
+
+#include <gtest/gtest.h>
+
+#include "graphstore/graph_store.h"
+#include "nepal/parser.h"
+#include "nepal/plan.h"
+#include "schema/dsl_parser.h"
+#include "storage/graphdb.h"
+
+namespace nepal::nql {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s = schema::ParseSchemaDsl(R"(
+      node A : Node { val: int; }
+      node B : Node {}
+      edge E : Edge {}
+      edge F : E {}
+      allow E (Node -> Node);
+    )");
+    ASSERT_TRUE(s.ok()) << s.status();
+    schema_ = *s;
+    db_ = std::make_unique<storage::GraphDb>(
+        schema_, std::make_unique<graphstore::GraphStore>(schema_));
+    // Population: 100 A nodes, 5 B nodes — the planner should prefer B
+    // anchors.
+    for (int i = 0; i < 100; ++i) {
+      a_.push_back(*db_->AddNode("A", {{"name", Value("a" +
+                                                       std::to_string(i))}}));
+    }
+    for (int i = 0; i < 5; ++i) {
+      b_.push_back(*db_->AddNode("B", {{"name", Value("b" +
+                                                       std::to_string(i))}}));
+    }
+    for (int i = 0; i + 1 < 100; ++i) {
+      ASSERT_TRUE(db_->AddEdge("E", a_[i], a_[i + 1], {}).ok());
+    }
+  }
+
+  RpeNode Resolved(const std::string& text) {
+    auto rpe = ParseRpe(text);
+    EXPECT_TRUE(rpe.ok()) << rpe.status();
+    RpeNode node = *rpe;
+    EXPECT_TRUE(ResolveRpe(*schema_, 32, &node).ok());
+    return node;
+  }
+
+  Result<MatchPlan> Plan(const std::string& text) {
+    return PlanMatch(Resolved(text), db_->backend(), PlanOptions{});
+  }
+
+  schema::SchemaPtr schema_;
+  std::unique_ptr<storage::GraphDb> db_;
+  std::vector<Uid> a_, b_;
+};
+
+TEST_F(PlanTest, PrefersSelectiveAnchor) {
+  auto plan = Plan("A()->[E()]{1,3}->B()");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->anchors.size(), 1u);
+  EXPECT_EQ(plan->anchors[0].anchor.cls->name(), "B");
+  // B is the last atom: the whole traversal runs backwards.
+  EXPECT_TRUE(plan->anchors[0].suffix.empty());
+  EXPECT_FALSE(plan->anchors[0].reversed_prefix.empty());
+}
+
+TEST_F(PlanTest, IdConstraintBeatsEverything) {
+  auto plan = Plan("A(id=7)->[E()]{1,3}->B()");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->anchors[0].anchor.cls->name(), "A");
+  EXPECT_DOUBLE_EQ(plan->anchors[0].anchor_cost, 1.0);
+  EXPECT_TRUE(plan->anchors[0].reversed_prefix.empty());
+}
+
+TEST_F(PlanTest, MidAnchorSplitsBothWays) {
+  auto plan = Plan("A()->B(id=3)->A()");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->anchors[0].anchor.cls->name(), "B");
+  EXPECT_FALSE(plan->anchors[0].suffix.empty());
+  EXPECT_FALSE(plan->anchors[0].reversed_prefix.empty());
+}
+
+TEST_F(PlanTest, AlternationProducesAnchorPerBranch) {
+  // The paper's example: (VM(id=55)|Docker(id=66)) inside a path.
+  auto plan = Plan("A()->[E()]{1,3}->(A(id=55)|B(id=66))->E()->A()");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->anchors.size(), 2u);
+  EXPECT_EQ(plan->anchors[0].anchor.cls->name(), "A");
+  EXPECT_EQ(plan->anchors[1].anchor.cls->name(), "B");
+}
+
+TEST_F(PlanTest, RepetitionAnchorsInFirstIteration) {
+  auto plan = Plan("[B()]{2,4}");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->anchors[0].anchor.cls->name(), "B");
+  // The suffix must cover the remaining {1,3} iterations.
+  ASSERT_EQ(plan->anchors[0].suffix.size(), 1u);
+  EXPECT_EQ(plan->anchors[0].suffix[0].kind, Step::Kind::kLoop);
+  EXPECT_EQ(plan->anchors[0].suffix[0].min_rep, 1);
+  EXPECT_EQ(plan->anchors[0].suffix[0].max_rep, 3);
+}
+
+TEST_F(PlanTest, RejectsAllOptionalRpe) {
+  // The paper's malformed example: [VNF()]{0,4}->[Vertical()]{0,4}.
+  auto plan = Plan("[A()]{0,4}->[E()]{0,4}");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kPlanError);
+}
+
+TEST_F(PlanTest, OptionalBlockDoesNotAnchorButNeighborsDo) {
+  auto plan = Plan("[E()]{0,4}->B()");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->anchors[0].anchor.cls->name(), "B");
+}
+
+TEST_F(PlanTest, AlternationWithUnanchorableBranchIsRejected) {
+  auto plan = Plan("([E()]{0,2}|B())->A()->A(id=1)");
+  // The Alt cannot anchor (one branch is all-optional), but the trailing
+  // A(id=1) can.
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->anchors[0].anchor_cost, 1.0);
+}
+
+TEST_F(PlanTest, LengthLimitEnforced) {
+  auto rpe = ParseRpe("[E()]{1,100}");
+  ASSERT_TRUE(rpe.ok());
+  RpeNode node = *rpe;
+  Status st = ResolveRpe(*schema_, 32, &node);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kPlanError);
+}
+
+TEST_F(PlanTest, ProgramReversalIsInvolutive) {
+  RpeNode rpe = Resolved("A()->[E()|F()]{1,3}->(B()|A()->E())");
+  Program program = CompileProgram(rpe, PlanOptions{});
+  Program twice = ReverseProgram(ReverseProgram(program));
+  EXPECT_EQ(ProgramToString(program), ProgramToString(twice));
+}
+
+TEST_F(PlanTest, UnrolledCompilationWhenExtendBlockDisabled) {
+  PlanOptions options;
+  options.use_extend_block = false;
+  RpeNode rpe = Resolved("[E()]{1,3}");
+  Program program = CompileProgram(rpe, options);
+  // body once + nested optionals; no Loop steps anywhere.
+  std::function<void(const Program&)> check = [&](const Program& p) {
+    for (const Step& step : p) {
+      EXPECT_NE(step.kind, Step::Kind::kLoop);
+      for (const Program& branch : step.branches) check(branch);
+      check(step.body);
+    }
+  };
+  check(program);
+}
+
+TEST_F(PlanTest, EstimateUsesStatistics) {
+  // B count is 5, A count is 100; schema-hint equality on A.val gives
+  // count/10 + 1 = 11.
+  storage::CompiledAtom a_atom;
+  a_atom.cls = schema_->FindClass("A");
+  storage::FieldCondition cond;
+  cond.field_index = a_atom.cls->FieldIndex("val");
+  cond.field_name = "val";
+  cond.op = storage::FieldCondition::Op::kEq;
+  cond.value = Value(1);
+  a_atom.conditions.push_back(cond);
+  EXPECT_DOUBLE_EQ(db_->backend().EstimateScan(a_atom.ToScanSpec()), 11.0);
+}
+
+}  // namespace
+}  // namespace nepal::nql

@@ -1,0 +1,298 @@
+// Unit tests for the schema system: builder, inheritance, DSL parsing,
+// allowed-edge rules, record validation, and the TOSCA-style data types.
+
+#include <gtest/gtest.h>
+
+#include "schema/dsl_parser.h"
+#include "schema/record.h"
+#include "schema/schema.h"
+
+namespace nepal::schema {
+namespace {
+
+SchemaPtr Build(SchemaBuilder& b) {
+  auto result = b.Build();
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? *result : nullptr;
+}
+
+TEST(SchemaBuilderTest, RootsExistWithNameField) {
+  SchemaBuilder b;
+  SchemaPtr s = Build(b);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->node_root()->name(), "Node");
+  EXPECT_EQ(s->edge_root()->name(), "Edge");
+  EXPECT_EQ(s->node_root()->FieldIndex("name"), 0);
+  EXPECT_TRUE(s->node_root()->is_root());
+}
+
+TEST(SchemaBuilderTest, InheritanceChainAndLayout) {
+  SchemaBuilder b;
+  b.NodeClass("Container").Field("status", ValueKind::kString);
+  b.NodeClass("VM", "Container").Field("ip", ValueKind::kIp);
+  b.NodeClass("VMWare", "VM");
+  SchemaPtr s = Build(b);
+  const ClassDef* vmware = s->FindClass("VMWare");
+  ASSERT_NE(vmware, nullptr);
+  EXPECT_EQ(vmware->label_path(), "Node:Container:VM:VMWare");
+  EXPECT_EQ(vmware->depth(), 3);
+  // Flattened layout: name (root), status, ip.
+  EXPECT_EQ(vmware->FieldIndex("name"), 0);
+  EXPECT_EQ(vmware->FieldIndex("status"), 1);
+  EXPECT_EQ(vmware->FieldIndex("ip"), 2);
+  EXPECT_EQ(vmware->inherited_field_count(), 3u);  // everything inherited
+  EXPECT_TRUE(vmware->IsSubclassOf(s->FindClass("Container")));
+  EXPECT_TRUE(vmware->IsSubclassOf(s->node_root()));
+  EXPECT_FALSE(s->FindClass("Container")->IsSubclassOf(vmware));
+}
+
+TEST(SchemaBuilderTest, DeclarationOrderDoesNotMatter) {
+  SchemaBuilder b;
+  b.NodeClass("VMWare", "VM");  // parent declared later
+  b.NodeClass("VM", "Container");
+  b.NodeClass("Container");
+  SchemaPtr s = Build(b);
+  EXPECT_EQ(s->FindClass("VMWare")->depth(), 3);
+}
+
+TEST(SchemaBuilderTest, SubtreeIntervalsMatchSubclassOf) {
+  SchemaBuilder b;
+  b.NodeClass("A");
+  b.NodeClass("B", "A");
+  b.NodeClass("C", "A");
+  b.NodeClass("D", "B");
+  b.EdgeClass("X");
+  SchemaPtr s = Build(b);
+  for (const ClassDef* a : s->classes()) {
+    for (const ClassDef* c : s->classes()) {
+      if (a->kind() != c->kind()) continue;
+      EXPECT_EQ(a->SubtreeContains(c), c->IsSubclassOf(a))
+          << a->name() << " vs " << c->name();
+    }
+  }
+}
+
+TEST(SchemaBuilderTest, RejectsDuplicatesAndCycles) {
+  {
+    SchemaBuilder b;
+    b.NodeClass("A");
+    b.NodeClass("A");
+    EXPECT_FALSE(b.Build().ok());
+  }
+  {
+    SchemaBuilder b;
+    b.NodeClass("A", "B");
+    b.NodeClass("B", "A");
+    EXPECT_FALSE(b.Build().ok());
+  }
+  {
+    SchemaBuilder b;
+    b.NodeClass("A", "Missing");
+    EXPECT_FALSE(b.Build().ok());
+  }
+}
+
+TEST(SchemaBuilderTest, RejectsNodeDerivingFromEdge) {
+  SchemaBuilder b;
+  b.NodeClass("A", "Edge");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(SchemaBuilderTest, RejectsFieldShadowing) {
+  SchemaBuilder b;
+  b.NodeClass("A").Field("x", ValueKind::kInt);
+  b.NodeClass("B", "A").Field("x", ValueKind::kString);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(SchemaBuilderTest, RejectsCyclicDataTypes) {
+  SchemaBuilder b;
+  b.DataType("T1").Field("a", TypeRef::Composite("T2"));
+  b.DataType("T2").Field("b", TypeRef::Composite("T1"));
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(SchemaBuilderTest, AcyclicDataTypeCompositionOk) {
+  SchemaBuilder b;
+  b.DataType("Inner").Field("x", ValueKind::kInt);
+  b.DataType("Outer").Field("in", TypeRef::Composite("Inner").InList());
+  b.NodeClass("N").Field("data", TypeRef::Composite("Outer"));
+  EXPECT_TRUE(b.Build().ok());
+}
+
+TEST(SchemaTest, LeastCommonAncestor) {
+  SchemaBuilder b;
+  b.NodeClass("A");
+  b.NodeClass("B", "A");
+  b.NodeClass("C", "A");
+  b.NodeClass("D", "B");
+  SchemaPtr s = Build(b);
+  EXPECT_EQ(s->LeastCommonAncestor(s->FindClass("D"), s->FindClass("C")),
+            s->FindClass("A"));
+  EXPECT_EQ(s->LeastCommonAncestor(s->FindClass("D"), s->FindClass("B")),
+            s->FindClass("B"));
+  EXPECT_EQ(s->LeastCommonAncestor(s->FindClass("D"), s->node_root()),
+            s->node_root());
+}
+
+TEST(SchemaTest, QualifiedNameLookup) {
+  SchemaBuilder b;
+  b.NodeClass("Container");
+  b.NodeClass("VM", "Container");
+  SchemaPtr s = Build(b);
+  EXPECT_NE(s->FindClass("Container:VM"), nullptr);
+  EXPECT_NE(s->FindClass("Node:Container:VM"), nullptr);
+  EXPECT_EQ(s->FindClass("Edge:VM"), nullptr);  // wrong chain
+  EXPECT_EQ(s->FindClass("Nope:VM"), nullptr);
+}
+
+TEST(SchemaTest, EdgeRulesRespectInheritance) {
+  SchemaBuilder b;
+  b.NodeClass("Container");
+  b.NodeClass("VM", "Container");
+  b.NodeClass("Host");
+  b.EdgeClass("Vertical");
+  b.EdgeClass("on_server", "Vertical");
+  b.AllowEdge("on_server", "Container", "Host");
+  SchemaPtr s = Build(b);
+  // A subclass endpoint satisfies the rule.
+  EXPECT_TRUE(s->EdgeAllowed(s->FindClass("on_server"), s->FindClass("VM"),
+                             s->FindClass("Host")));
+  // The parent edge class has no rule of its own.
+  EXPECT_FALSE(s->EdgeAllowed(s->FindClass("Vertical"), s->FindClass("VM"),
+                              s->FindClass("Host")));
+  // Wrong target.
+  EXPECT_FALSE(s->EdgeAllowed(s->FindClass("on_server"), s->FindClass("VM"),
+                              s->FindClass("Container")));
+}
+
+// ---- DSL ----
+
+TEST(DslTest, ParsesFullFeaturedSchema) {
+  auto s = ParseSchemaDsl(R"(
+    # a comment
+    data_type rte { address: ip; mask: int; }
+    node Router : Node { table: list<rte>; }  // trailing comment
+    node Core : Router {}
+    edge link : Edge { mtu: int required; }
+    node Port : Node { label: string unique; }
+    allow link (Router -> Router);
+  )");
+  ASSERT_TRUE(s.ok()) << s.status();
+  const ClassDef* router = (*s)->FindClass("Router");
+  ASSERT_NE(router, nullptr);
+  int idx = router->FieldIndex("table");
+  ASSERT_GE(idx, 0);
+  EXPECT_EQ(router->fields()[static_cast<size_t>(idx)].type.ToString(),
+            "list<rte>");
+  const ClassDef* port = (*s)->FindClass("Port");
+  EXPECT_TRUE(port->fields()[static_cast<size_t>(port->FieldIndex("label"))]
+                  .unique);
+  const ClassDef* link = (*s)->FindClass("link");
+  EXPECT_TRUE(link->fields()[static_cast<size_t>(link->FieldIndex("mtu"))]
+                  .required);
+}
+
+TEST(DslTest, ErrorsCarryLineNumbers) {
+  auto s = ParseSchemaDsl("node A : Node {}\nnode B Node {}\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.status().message().find("line 2"), std::string::npos)
+      << s.status();
+}
+
+TEST(DslTest, RejectsUnknownType) {
+  EXPECT_FALSE(ParseSchemaDsl("node A : Node { x: wobble; }").ok());
+}
+
+TEST(DslTest, RoundTripsThroughToDsl) {
+  const char* dsl = R"(
+    data_type rte { address: ip; }
+    node Router : Node { table: list<rte>; }
+    edge link : Edge {}
+    allow link (Router -> Router);
+  )";
+  auto s1 = ParseSchemaDsl(dsl);
+  ASSERT_TRUE(s1.ok());
+  auto s2 = ParseSchemaDsl((*s1)->ToDsl());
+  ASSERT_TRUE(s2.ok()) << s2.status() << "\n" << (*s1)->ToDsl();
+  EXPECT_EQ((*s1)->ToDsl(), (*s2)->ToDsl());
+}
+
+// ---- Record validation ----
+
+class RecordTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s = ParseSchemaDsl(R"(
+      data_type rte { address: ip; mask: int; interface: string; }
+      node Router : Node {
+        table: list<rte>;
+        uptime: double;
+        tags: map<string>;
+      }
+    )");
+    ASSERT_TRUE(s.ok()) << s.status();
+    schema_ = *s;
+    router_ = schema_->FindClass("Router");
+  }
+  SchemaPtr schema_;
+  const ClassDef* router_;
+};
+
+TEST_F(RecordTest, AcceptsValidStructuredData) {
+  Value entry = Value::Map({{"address", *Value::ParseIp("10.0.0.1")},
+                            {"mask", Value(24)},
+                            {"interface", Value("eth0")}});
+  auto row = ValidateRecord(
+      *schema_, *router_,
+      {{"name", Value("r1")},
+       {"table", Value::List({entry})},
+       {"uptime", Value(3)},  // int promotes to double
+       {"tags", Value::Map({{"site", Value("atl")}})}});
+  ASSERT_TRUE(row.ok()) << row.status();
+  EXPECT_EQ((*row).size(), router_->fields().size());
+}
+
+TEST_F(RecordTest, RejectsUnknownField) {
+  auto row = ValidateRecord(*schema_, *router_, {{"wobble", Value(1)}});
+  ASSERT_FALSE(row.ok());
+  EXPECT_EQ(row.status().code(), StatusCode::kSchemaViolation);
+}
+
+TEST_F(RecordTest, RejectsWrongPrimitiveKind) {
+  auto row = ValidateRecord(*schema_, *router_, {{"name", Value(5)}});
+  EXPECT_FALSE(row.ok());
+}
+
+TEST_F(RecordTest, RejectsWrongContainerShape) {
+  auto row = ValidateRecord(*schema_, *router_,
+                            {{"table", Value::Map({{"x", Value(1)}})}});
+  EXPECT_FALSE(row.ok());
+}
+
+TEST_F(RecordTest, RejectsUnknownCompositeMember) {
+  Value bad_entry = Value::Map({{"addres", *Value::ParseIp("10.0.0.1")}});
+  auto row = ValidateRecord(*schema_, *router_,
+                            {{"table", Value::List({bad_entry})}});
+  ASSERT_FALSE(row.ok());
+  EXPECT_NE(row.status().message().find("addres"), std::string::npos);
+}
+
+TEST_F(RecordTest, RejectsWrongCompositeMemberType) {
+  Value bad_entry = Value::Map({{"mask", Value("not an int")}});
+  auto row = ValidateRecord(*schema_, *router_,
+                            {{"table", Value::List({bad_entry})}});
+  EXPECT_FALSE(row.ok());
+}
+
+TEST_F(RecordTest, UpdateValidation) {
+  auto changes = ValidateUpdate(*schema_, *router_,
+                                {{"uptime", Value(1.5)}});
+  ASSERT_TRUE(changes.ok());
+  ASSERT_EQ(changes->size(), 1u);
+  EXPECT_EQ((*changes)[0].first, router_->FieldIndex("uptime"));
+  EXPECT_FALSE(ValidateUpdate(*schema_, *router_, {{"zz", Value(1)}}).ok());
+}
+
+}  // namespace
+}  // namespace nepal::schema

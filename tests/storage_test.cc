@@ -1,0 +1,266 @@
+// Unit tests for the storage layer: GraphDb semantics (validation, unique
+// constraints, cascades, the transaction clock) and backend behaviour
+// (version chains, scans under time views, incident-edge lookups,
+// statistics), run against both backends.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tests/testutil.h"
+
+namespace nepal {
+namespace {
+
+using nepal::testing::BackendKind;
+using storage::Direction;
+using storage::ElementVersion;
+using storage::TimeView;
+
+class StorageTest : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    auto s = schema::ParseSchemaDsl(R"(
+      node A : Node { val: int; serial: string unique; }
+      node A1 : A {}
+      node B : Node {}
+      edge E : Edge { w: int; }
+      edge E1 : E {}
+      allow E (Node -> Node);
+    )");
+    ASSERT_TRUE(s.ok()) << s.status();
+    schema_ = *s;
+    db_ = std::make_unique<storage::GraphDb>(
+        schema_, nepal::testing::MakeBackend(GetParam(), schema_));
+  }
+
+  size_t CountScan(const char* cls, const TimeView& view) {
+    storage::ScanSpec spec;
+    spec.cls = schema_->FindClass(cls);
+    size_t n = 0;
+    db_->backend().Scan(spec, view, [&](const ElementVersion&) { ++n; });
+    return n;
+  }
+
+  schema::SchemaPtr schema_;
+  std::unique_ptr<storage::GraphDb> db_;
+};
+
+TEST_P(StorageTest, InsertAndGetCurrent) {
+  auto uid = db_->AddNode("A", {{"val", Value(7)}, {"name", Value("x")},
+                                {"serial", Value("s1")}});
+  ASSERT_TRUE(uid.ok()) << uid.status();
+  auto v = db_->GetCurrent(*uid);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->cls->name(), "A");
+  EXPECT_EQ(v->fields[static_cast<size_t>(v->cls->FieldIndex("val"))],
+            Value(7));
+  EXPECT_TRUE(v->is_current());
+}
+
+TEST_P(StorageTest, PolymorphicScan) {
+  ASSERT_TRUE(db_->AddNode("A", {{"serial", Value("s1")}}).ok());
+  ASSERT_TRUE(db_->AddNode("A1", {{"serial", Value("s2")}}).ok());
+  ASSERT_TRUE(db_->AddNode("B", {}).ok());
+  EXPECT_EQ(CountScan("A", TimeView::Current()), 2u);   // A + A1
+  EXPECT_EQ(CountScan("A1", TimeView::Current()), 1u);
+  EXPECT_EQ(CountScan("Node", TimeView::Current()), 3u);
+  EXPECT_EQ(CountScan("B", TimeView::Current()), 1u);
+}
+
+TEST_P(StorageTest, UniqueConstraintEnforced) {
+  ASSERT_TRUE(db_->AddNode("A", {{"serial", Value("dup")}}).ok());
+  auto clash = db_->AddNode("A1", {{"serial", Value("dup")}});
+  ASSERT_FALSE(clash.ok());
+  EXPECT_EQ(clash.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_P(StorageTest, UniqueValueFreedByDeleteAndUpdate) {
+  Uid a = *db_->AddNode("A", {{"serial", Value("s1")}});
+  ASSERT_TRUE(db_->RemoveElement(a).ok());
+  EXPECT_TRUE(db_->AddNode("A", {{"serial", Value("s1")}}).ok());
+
+  Uid b = *db_->AddNode("A", {{"serial", Value("s2")}});
+  ASSERT_TRUE(db_->UpdateElement(b, {{"serial", Value("s3")}}).ok());
+  EXPECT_TRUE(db_->AddNode("A", {{"serial", Value("s2")}}).ok());
+  auto clash = db_->AddNode("A", {{"serial", Value("s3")}});
+  EXPECT_FALSE(clash.ok());
+}
+
+TEST_P(StorageTest, RequiredFieldEnforced) {
+  // `unique` in the DSL implies required.
+  auto missing = db_->AddNode("A", {{"val", Value(1)}});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kSchemaViolation);
+}
+
+TEST_P(StorageTest, EdgeEndpointAndRuleChecks) {
+  Uid a = *db_->AddNode("A", {{"serial", Value("s1")}});
+  Uid b = *db_->AddNode("B", {});
+  // Unknown endpoint.
+  EXPECT_FALSE(db_->AddEdge("E", a, 9999, {}).ok());
+  // Edge as endpoint.
+  Uid e = *db_->AddEdge("E", a, b, {});
+  EXPECT_FALSE(db_->AddEdge("E", a, e, {}).ok());
+  // No rule for E1? E1 derives from E whose rule (Node->Node) applies.
+  EXPECT_TRUE(db_->AddEdge("E1", b, a, {}).ok());
+}
+
+TEST_P(StorageTest, NodeRemovalCascadesToEdges) {
+  Uid a = *db_->AddNode("A", {{"serial", Value("s1")}});
+  Uid b = *db_->AddNode("B", {});
+  Uid c = *db_->AddNode("B", {{"name", Value("c")}});
+  Uid e1 = *db_->AddEdge("E", a, b, {});
+  Uid e2 = *db_->AddEdge("E", c, a, {});
+  Uid e3 = *db_->AddEdge("E", b, c, {});
+  ASSERT_TRUE(db_->RemoveElement(a).ok());
+  EXPECT_FALSE(db_->GetCurrent(e1).ok());
+  EXPECT_FALSE(db_->GetCurrent(e2).ok());
+  EXPECT_TRUE(db_->GetCurrent(e3).ok());
+  EXPECT_EQ(db_->edge_count(), 1u);
+}
+
+TEST_P(StorageTest, ClockIsMonotone) {
+  ASSERT_TRUE(db_->SetTime(db_->Now() + 100).ok());
+  EXPECT_FALSE(db_->SetTime(db_->Now() - 1).ok());
+}
+
+TEST_P(StorageTest, VersionChainAcrossUpdates) {
+  Timestamp t0 = db_->Now();
+  Uid a = *db_->AddNode("A", {{"serial", Value("s1")}, {"val", Value(1)}});
+  ASSERT_TRUE(db_->SetTime(t0 + 10).ok());
+  ASSERT_TRUE(db_->UpdateElement(a, {{"val", Value(2)}}).ok());
+  ASSERT_TRUE(db_->SetTime(t0 + 20).ok());
+  ASSERT_TRUE(db_->RemoveElement(a).ok());
+
+  std::vector<ElementVersion> versions;
+  db_->backend().Get(a, TimeView::Range(Interval::All()),
+                     [&](const ElementVersion& v) { versions.push_back(v); });
+  std::sort(versions.begin(), versions.end(),
+            [](const auto& x, const auto& y) {
+              return x.valid.start < y.valid.start;
+            });
+  ASSERT_EQ(versions.size(), 2u);
+  EXPECT_EQ(versions[0].valid, (Interval{t0, t0 + 10}));
+  EXPECT_EQ(versions[1].valid, (Interval{t0 + 10, t0 + 20}));
+  int val_idx = versions[0].cls->FieldIndex("val");
+  EXPECT_EQ(versions[0].fields[static_cast<size_t>(val_idx)], Value(1));
+  EXPECT_EQ(versions[1].fields[static_cast<size_t>(val_idx)], Value(2));
+}
+
+TEST_P(StorageTest, SameInstantUpdateCollapsesVersion) {
+  Uid a = *db_->AddNode("A", {{"serial", Value("s1")}, {"val", Value(1)}});
+  // Same transaction instant: the intermediate state never existed.
+  ASSERT_TRUE(db_->UpdateElement(a, {{"val", Value(2)}}).ok());
+  size_t count = 0;
+  db_->backend().Get(a, TimeView::Range(Interval::All()),
+                     [&](const ElementVersion&) { ++count; });
+  EXPECT_EQ(count, 1u);
+  auto cur = db_->GetCurrent(a);
+  EXPECT_EQ(cur->fields[static_cast<size_t>(cur->cls->FieldIndex("val"))],
+            Value(2));
+}
+
+TEST_P(StorageTest, ScanUnderTimeViews) {
+  Timestamp t0 = db_->Now();
+  Uid a = *db_->AddNode("A", {{"serial", Value("s1")}});
+  ASSERT_TRUE(db_->SetTime(t0 + 10).ok());
+  ASSERT_TRUE(db_->RemoveElement(a).ok());
+  ASSERT_TRUE(db_->SetTime(t0 + 20).ok());
+  ASSERT_TRUE(db_->AddNode("A", {{"serial", Value("s2")}}).ok());
+
+  EXPECT_EQ(CountScan("A", TimeView::Current()), 1u);
+  EXPECT_EQ(CountScan("A", TimeView::AsOf(t0 + 5)), 1u);
+  EXPECT_EQ(CountScan("A", TimeView::AsOf(t0 + 15)), 0u);
+  EXPECT_EQ(CountScan("A", TimeView::Range(t0, t0 + 30)), 2u);
+  EXPECT_EQ(CountScan("A", TimeView::Range(t0 + 11, t0 + 19)), 0u);
+}
+
+TEST_P(StorageTest, IncidentEdgesDirectionAndClassFilter) {
+  Uid a = *db_->AddNode("A", {{"serial", Value("s1")}});
+  Uid b = *db_->AddNode("B", {});
+  Uid e_out = *db_->AddEdge("E", a, b, {});
+  Uid e1_in = *db_->AddEdge("E1", b, a, {});
+  auto collect = [&](Direction dir, const char* cls) {
+    std::set<Uid> uids;
+    db_->backend().IncidentEdges(a, dir,
+                                 cls != nullptr ? schema_->FindClass(cls)
+                                                : nullptr,
+                                 TimeView::Current(),
+                                 [&](const ElementVersion& v) {
+                                   uids.insert(v.uid);
+                                 });
+    return uids;
+  };
+  EXPECT_EQ(collect(Direction::kOut, nullptr), (std::set<Uid>{e_out}));
+  EXPECT_EQ(collect(Direction::kIn, nullptr), (std::set<Uid>{e1_in}));
+  EXPECT_EQ(collect(Direction::kBoth, nullptr),
+            (std::set<Uid>{e_out, e1_in}));
+  EXPECT_EQ(collect(Direction::kBoth, "E1"), (std::set<Uid>{e1_in}));
+  EXPECT_EQ(collect(Direction::kBoth, "E"), (std::set<Uid>{e_out, e1_in}));
+}
+
+TEST_P(StorageTest, HistoricalIncidentEdges) {
+  Timestamp t0 = db_->Now();
+  Uid a = *db_->AddNode("A", {{"serial", Value("s1")}});
+  Uid b = *db_->AddNode("B", {});
+  Uid e = *db_->AddEdge("E", a, b, {});
+  ASSERT_TRUE(db_->SetTime(t0 + 10).ok());
+  ASSERT_TRUE(db_->RemoveElement(e).ok());
+  size_t current = 0, past = 0;
+  db_->backend().IncidentEdges(a, Direction::kOut, nullptr,
+                               TimeView::Current(),
+                               [&](const ElementVersion&) { ++current; });
+  db_->backend().IncidentEdges(a, Direction::kOut, nullptr,
+                               TimeView::AsOf(t0 + 5),
+                               [&](const ElementVersion&) { ++past; });
+  EXPECT_EQ(current, 0u);
+  EXPECT_EQ(past, 1u);
+}
+
+TEST_P(StorageTest, CountsAndEstimates) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        db_->AddNode("A", {{"serial", Value("s" + std::to_string(i))},
+                           {"name", Value("node-" + std::to_string(i))}})
+            .ok());
+  }
+  EXPECT_EQ(db_->backend().CountClass(schema_->FindClass("A")), 10u);
+  // uid lookup estimates to exactly 1.
+  storage::ScanSpec by_uid;
+  by_uid.cls = schema_->FindClass("A");
+  by_uid.uid = 3;
+  EXPECT_DOUBLE_EQ(db_->backend().EstimateScan(by_uid), 1.0);
+  // Indexed name equality uses real index statistics.
+  storage::ScanSpec by_name;
+  by_name.cls = schema_->FindClass("A");
+  by_name.eq = std::make_pair(by_name.cls->FieldIndex("name"),
+                              Value("node-3"));
+  EXPECT_DOUBLE_EQ(db_->backend().EstimateScan(by_name), 1.0);
+}
+
+TEST_P(StorageTest, MemoryUsageGrowsWithData) {
+  size_t before = db_->backend().MemoryUsage();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        db_->AddNode("A", {{"serial", Value("s" + std::to_string(i))}}).ok());
+  }
+  EXPECT_GT(db_->backend().MemoryUsage(), before);
+  EXPECT_EQ(db_->backend().VersionCount(), 50u);
+}
+
+TEST_P(StorageTest, RejectsWritesToMissingElements) {
+  EXPECT_FALSE(db_->UpdateElement(404, {{"val", Value(1)}}).ok());
+  EXPECT_FALSE(db_->RemoveElement(404).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, StorageTest,
+    ::testing::Values(BackendKind::kGraphStore, BackendKind::kRelational),
+    [](const ::testing::TestParamInfo<BackendKind>& info) {
+      return nepal::testing::BackendName(info.param);
+    });
+
+}  // namespace
+}  // namespace nepal

@@ -1,0 +1,148 @@
+// Structured-data predicates: dotted paths into composite (data_type)
+// members and map keys inside atom conditions — the feature the paper
+// lists as under development, implemented here as an extension.
+
+#include <gtest/gtest.h>
+
+#include "nepal/engine.h"
+#include "tests/testutil.h"
+
+namespace nepal {
+namespace {
+
+using nepal::testing::BackendKind;
+
+class StructuredDataTest : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    auto s = schema::ParseSchemaDsl(R"(
+      data_type mgmt_config { vrf: string; mtu: int; }
+      data_type device_config { mgmt: mgmt_config; owner: string; }
+      node Router : Node {
+        config: device_config;
+        tags: map<string>;
+        table: list<int>;
+      }
+      edge link : Edge {}
+      allow link (Router -> Router);
+    )");
+    ASSERT_TRUE(s.ok()) << s.status();
+    schema_ = *s;
+    db_ = std::make_unique<storage::GraphDb>(
+        schema_, nepal::testing::MakeBackend(GetParam(), schema_));
+    engine_ = std::make_unique<nql::QueryEngine>(db_.get());
+
+    auto add = [&](const char* name, const char* vrf, int mtu,
+                   const char* site) {
+      Value config = Value::Map(
+          {{"mgmt", Value::Map({{"vrf", Value(vrf)}, {"mtu", Value(mtu)}})},
+           {"owner", Value("core")}});
+      Value tags = Value::Map({{"site", Value(site)}});
+      auto uid = db_->AddNode("Router", {{"name", Value(name)},
+                                         {"config", config},
+                                         {"tags", tags}});
+      EXPECT_TRUE(uid.ok()) << uid.status();
+      return *uid;
+    };
+    r1_ = add("r1", "oam", 1500, "atl");
+    r2_ = add("r2", "oam", 9000, "dfw");
+    r3_ = add("r3", "cust", 9000, "atl");
+    ASSERT_TRUE(db_->AddEdge("link", r1_, r2_, {}).ok());
+    ASSERT_TRUE(db_->AddEdge("link", r2_, r3_, {}).ok());
+  }
+
+  nql::QueryResult Run(const std::string& query) {
+    auto result = engine_->Run(query);
+    EXPECT_TRUE(result.ok()) << result.status() << "\nquery: " << query;
+    return result.ok() ? *result : nql::QueryResult{};
+  }
+
+  schema::SchemaPtr schema_;
+  std::unique_ptr<storage::GraphDb> db_;
+  std::unique_ptr<nql::QueryEngine> engine_;
+  Uid r1_, r2_, r3_;
+};
+
+TEST_P(StructuredDataTest, NestedCompositeMemberPredicate) {
+  auto result = Run(
+      "Select source(P).name From PATHS P "
+      "Where P MATCHES Router(config.mgmt.vrf='oam')");
+  EXPECT_EQ(result.rows.size(), 2u);
+  result = Run(
+      "Select source(P).name From PATHS P "
+      "Where P MATCHES Router(config.mgmt.mtu>=9000)");
+  EXPECT_EQ(result.rows.size(), 2u);
+  result = Run(
+      "Select source(P).name From PATHS P "
+      "Where P MATCHES Router(config.mgmt.vrf='oam', config.mgmt.mtu<9000)");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].values[0], Value("r1"));
+}
+
+TEST_P(StructuredDataTest, MapKeyPredicate) {
+  auto result = Run(
+      "Select source(P).name From PATHS P "
+      "Where P MATCHES Router(tags.site='atl')");
+  EXPECT_EQ(result.rows.size(), 2u);
+  // A key nobody carries matches nothing.
+  result = Run(
+      "Retrieve P From PATHS P Where P MATCHES Router(tags.rack='r9')");
+  EXPECT_TRUE(result.rows.empty());
+}
+
+TEST_P(StructuredDataTest, StructuredPredicateInsidePathway) {
+  auto result = Run(
+      "Retrieve P From PATHS P Where P MATCHES "
+      "Router(config.mgmt.vrf='oam')->link()->Router(tags.site='atl')");
+  // r2 -> r3 (r2 has oam vrf, r3 sits in atl).
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].paths[0].source_uid(), r2_);
+  EXPECT_EQ(result.rows[0].paths[0].target_uid(), r3_);
+}
+
+TEST_P(StructuredDataTest, MissingMemberComparesFalseNotError) {
+  ASSERT_TRUE(db_->AddNode("Router", {{"name", Value("bare")}}).ok());
+  auto result = Run(
+      "Retrieve P From PATHS P Where P MATCHES Router(config.mgmt.mtu<99999)");
+  EXPECT_EQ(result.rows.size(), 3u);  // `bare` has no config at all
+}
+
+TEST_P(StructuredDataTest, TypeErrorsAreRejectedAtResolve) {
+  // Unknown member of a data type.
+  auto bad = engine_->Run(
+      "Retrieve P From PATHS P Where P MATCHES Router(config.mgmt.speed=1)");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  // Digging into a primitive.
+  bad = engine_->Run(
+      "Retrieve P From PATHS P Where P MATCHES Router(config.owner.x=1)");
+  EXPECT_FALSE(bad.ok());
+  // List elements are not addressable.
+  bad = engine_->Run(
+      "Retrieve P From PATHS P Where P MATCHES Router(table.first=1)");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kUnsupported);
+  // Whole-composite comparison is still unsupported.
+  bad = engine_->Run(
+      "Retrieve P From PATHS P Where P MATCHES Router(config='x')");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kUnsupported);
+  // Literal type mismatch at the end of the path.
+  bad = engine_->Run(
+      "Retrieve P From PATHS P Where P MATCHES Router(config.mgmt.mtu='x')");
+  EXPECT_FALSE(bad.ok());
+  // id has no members.
+  bad = engine_->Run(
+      "Retrieve P From PATHS P Where P MATCHES Router(id.x=1)");
+  EXPECT_FALSE(bad.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, StructuredDataTest,
+    ::testing::Values(BackendKind::kGraphStore, BackendKind::kRelational),
+    [](const ::testing::TestParamInfo<BackendKind>& info) {
+      return nepal::testing::BackendName(info.param);
+    });
+
+}  // namespace
+}  // namespace nepal

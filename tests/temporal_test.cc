@@ -1,0 +1,309 @@
+// Time-travel queries (paper Section 4): timeslice (AT point), time-range
+// with maximal validity intervals, per-variable time bindings, temporal
+// aggregations, path evolution, and the update-by-snapshot service.
+
+#include <gtest/gtest.h>
+
+#include "nepal/engine.h"
+#include "temporal/evolution.h"
+#include "temporal/snapshot.h"
+#include "tests/testutil.h"
+
+namespace nepal {
+namespace {
+
+using nepal::testing::BackendKind;
+
+constexpr const char* kT0 = "2017-02-15 08:00:00";
+constexpr const char* kT1 = "2017-02-15 09:00:00";
+constexpr const char* kT2 = "2017-02-15 10:00:00";
+constexpr const char* kT3 = "2017-02-15 11:00:00";
+constexpr const char* kT4 = "2017-02-15 12:00:00";
+
+Timestamp Ts(const char* s) {
+  auto r = ParseTimestamp(s);
+  EXPECT_TRUE(r.ok());
+  return *r;
+}
+
+/// A VNF whose hosting moves between two hosts over the morning:
+///   t0: vnf -> vfc -> vm -> host1
+///   t2: vm migrates to host2
+///   t3: vm status turns Red
+///   t4: vm is deleted
+class TemporalTest : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    schema::SchemaPtr schema = nepal::testing::Figure3Schema();
+    db_ = std::make_unique<storage::GraphDb>(
+        schema, nepal::testing::MakeBackend(GetParam(), schema));
+    engine_ = std::make_unique<nql::QueryEngine>(db_.get());
+
+    ASSERT_TRUE(db_->SetTime(Ts(kT0)).ok());
+    vnf_ = *db_->AddNode("DNS", {{"name", Value("vnf")}});
+    vfc_ = *db_->AddNode("VFC", {{"name", Value("vfc")}});
+    vm_ = *db_->AddNode("VMWare",
+                        {{"name", Value("vm")}, {"status", Value("Green")}});
+    host1_ = *db_->AddNode("Host", {{"name", Value("host1")}});
+    host2_ = *db_->AddNode("Host", {{"name", Value("host2")}});
+    ASSERT_TRUE(db_->AddEdge("composed_of", vnf_, vfc_, {}).ok());
+    ASSERT_TRUE(db_->AddEdge("hosted_on", vfc_, vm_, {}).ok());
+    placement1_ = *db_->AddEdge("OnServer", vm_, host1_, {});
+
+    ASSERT_TRUE(db_->SetTime(Ts(kT2)).ok());
+    ASSERT_TRUE(db_->RemoveElement(placement1_).ok());
+    placement2_ = *db_->AddEdge("OnServer", vm_, host2_, {});
+
+    ASSERT_TRUE(db_->SetTime(Ts(kT3)).ok());
+    ASSERT_TRUE(db_->UpdateElement(vm_, {{"status", Value("Red")}}).ok());
+
+    ASSERT_TRUE(db_->SetTime(Ts(kT4)).ok());
+    ASSERT_TRUE(db_->RemoveElement(vm_).ok());
+  }
+
+  nql::QueryResult Run(const std::string& query) {
+    auto result = engine_->Run(query);
+    EXPECT_TRUE(result.ok()) << result.status() << "\nquery: " << query;
+    return result.ok() ? *result : nql::QueryResult{};
+  }
+
+  std::string VerticalQuery(Uid host) {
+    return "Retrieve P From PATHS P Where P MATCHES "
+           "VNF()->[Vertical()]{1,6}->Host(id=" +
+           std::to_string(host) + ")";
+  }
+
+  std::unique_ptr<storage::GraphDb> db_;
+  std::unique_ptr<nql::QueryEngine> engine_;
+  Uid vnf_, vfc_, vm_, host1_, host2_, placement1_, placement2_;
+};
+
+TEST_P(TemporalTest, CurrentSnapshotSeesNothingAfterDeletion) {
+  // The VM is gone now; no current path to either host.
+  EXPECT_TRUE(Run(VerticalQuery(host1_)).rows.empty());
+  EXPECT_TRUE(Run(VerticalQuery(host2_)).rows.empty());
+}
+
+TEST_P(TemporalTest, TimesliceSeesThePast) {
+  auto at_t1 = Run("AT '" + std::string(kT1) + "' " + VerticalQuery(host1_));
+  ASSERT_EQ(at_t1.rows.size(), 1u);
+  EXPECT_EQ(at_t1.rows[0].paths[0].source_uid(), vnf_);
+
+  // At t1 the VM was on host1, not host2...
+  EXPECT_TRUE(
+      Run("AT '" + std::string(kT1) + "' " + VerticalQuery(host2_)).rows.empty());
+  // ...and after the migration, the other way round.
+  EXPECT_TRUE(
+      Run("AT '" + std::string(kT3) + "' " + VerticalQuery(host1_)).rows.empty());
+  EXPECT_EQ(
+      Run("AT '" + std::string(kT3) + "' " + VerticalQuery(host2_)).rows.size(),
+      1u);
+}
+
+TEST_P(TemporalTest, TimeRangeReturnsMaximalIntervals) {
+  auto result = Run("AT '" + std::string(kT0) + "' : '" + std::string(kT4) +
+                    "' " + VerticalQuery(host1_));
+  // The path over host1 existed exactly [t0, t2).
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].valid.start, Ts(kT0));
+  EXPECT_EQ(result.rows[0].valid.end, Ts(kT2));
+}
+
+TEST_P(TemporalTest, TimeRangeCoalescesIrrelevantFieldChanges) {
+  // The vm's status update at t3 creates a new version, but the pathway
+  // through host2 is continuously valid [t2, t4): the result must be the
+  // maximal interval, not split at t3.
+  auto result = Run("AT '" + std::string(kT0) + "' : '2017-02-16 00:00' " +
+                    VerticalQuery(host2_));
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].valid.start, Ts(kT2));
+  EXPECT_EQ(result.rows[0].valid.end, Ts(kT4));
+}
+
+TEST_P(TemporalTest, TimeRangeSplitsOnPredicateRelevantChanges) {
+  // Constraining the VM's status makes the t3 update relevant: the Green
+  // pathway exists only [t2, t3).
+  auto result = Run(
+      "AT '" + std::string(kT0) + "' : '2017-02-16 00:00' "
+      "Retrieve P From PATHS P Where P MATCHES "
+      "VNF()->VFC()->VM(status='Green')->Host(id=" +
+      std::to_string(host2_) + ")");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].valid.start, Ts(kT2));
+  EXPECT_EQ(result.rows[0].valid.end, Ts(kT3));
+}
+
+TEST_P(TemporalTest, PerVariableTimeBindings) {
+  // Paper Section 4: a VNF hosted on host1 at 9:00 and host2 at 11:00.
+  auto result = Run(
+      "Select source(P) From PATHS P(@'" + std::string(kT1) + "'), PATHS Q(@'" +
+      std::string(kT3) + "') " +
+      "Where P MATCHES VNF()->[Vertical()]{1,6}->Host(id=" +
+      std::to_string(host1_) +
+      ") And Q MATCHES VNF()->[Vertical()]{1,6}->Host(id=" +
+      std::to_string(host2_) + ") And source(P) = source(Q)");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].values[0], Value(static_cast<int64_t>(vnf_)));
+}
+
+TEST_P(TemporalTest, PerVariableBindingsAtDisjointTimesStillJoin) {
+  // With per-variable @, no coexistence is required — the same query with a
+  // query-level AT range would demand it.
+  auto p_at_t1_q_at_t1 = Run(
+      "Select source(P) From PATHS P(@'" + std::string(kT1) +
+      "'), PATHS Q(@'" + std::string(kT1) + "') " +
+      "Where P MATCHES VM()->Host(id=" + std::to_string(host1_) +
+      ") And Q MATCHES VM()->Host(id=" + std::to_string(host2_) +
+      ") And source(P) = source(Q)");
+  // At t1 the VM is only on host1; Q finds nothing.
+  EXPECT_TRUE(p_at_t1_q_at_t1.rows.empty());
+}
+
+TEST_P(TemporalTest, QueryLevelRangeRequiresCoexistence) {
+  // Both hosts' placements never coexist, so a joint time-range join over
+  // both is empty.
+  auto result = Run(
+      "AT '" + std::string(kT0) + "' : '" + std::string(kT4) + "' " +
+      "Retrieve P, Q From PATHS P, PATHS Q " +
+      "Where P MATCHES VM()->Host(id=" + std::to_string(host1_) +
+      ") And Q MATCHES VM()->Host(id=" + std::to_string(host2_) +
+      ") And source(P) = source(Q)");
+  EXPECT_TRUE(result.rows.empty());
+}
+
+TEST_P(TemporalTest, WhenExistsAggregation) {
+  auto result = Run("AT '" + std::string(kT0) + "' : '2017-02-16 00:00' " +
+                    "When Exists Retrieve P From PATHS P Where P MATCHES "
+                    "VNF()->[Vertical()]{1,6}->Host()");
+  // Hosted somewhere over [t0, t4) — continuous despite the migration.
+  ASSERT_EQ(result.when_exists.intervals().size(), 1u);
+  EXPECT_EQ(result.when_exists.intervals()[0].start, Ts(kT0));
+  EXPECT_EQ(result.when_exists.intervals()[0].end, Ts(kT4));
+}
+
+TEST_P(TemporalTest, FirstAndLastTimeWhenExists) {
+  std::string base =
+      "Retrieve P From PATHS P Where P MATCHES VM()->Host(id=" +
+      std::to_string(host2_) + ")";
+  std::string range = "AT '" + std::string(kT0) + "' : '2017-02-16 00:00' ";
+  auto first = Run(range + "First Time When Exists " + base);
+  ASSERT_TRUE(first.agg_time.has_value());
+  EXPECT_EQ(*first.agg_time, Ts(kT2));
+  auto last = Run(range + "Last Time When Exists " + base);
+  ASSERT_TRUE(last.agg_time.has_value());
+  EXPECT_EQ(*last.agg_time, Ts(kT4));
+}
+
+TEST_P(TemporalTest, AggregationOverEmptyResult) {
+  auto result = Run("AT '" + std::string(kT0) + "' : '" + std::string(kT4) +
+                    "' First Time When Exists Retrieve P From PATHS P "
+                    "Where P MATCHES Docker()");
+  EXPECT_FALSE(result.agg_time.has_value());
+  EXPECT_TRUE(result.when_exists.empty());
+}
+
+TEST_P(TemporalTest, PathEvolution) {
+  std::vector<Uid> path = {vfc_, vm_};
+  temporal::PathEvolution evo = temporal::TrackPathEvolution(
+      db_->backend(), path, Interval{Ts(kT0), Ts("2017-02-16 00:00")});
+  ASSERT_EQ(evo.elements.size(), 2u);
+  // The VFC never changed.
+  EXPECT_TRUE(evo.elements[0].transitions.empty());
+  // The VM changed status at t3.
+  ASSERT_EQ(evo.elements[1].transitions.size(), 1u);
+  EXPECT_EQ(evo.elements[1].transitions[0].at, Ts(kT3));
+  ASSERT_EQ(evo.elements[1].transitions[0].changes.size(), 1u);
+  EXPECT_EQ(evo.elements[1].transitions[0].changes[0].field, "status");
+  EXPECT_EQ(evo.elements[1].transitions[0].changes[0].after, Value("Red"));
+  // The joint existence ends when the VM is deleted.
+  EXPECT_EQ(evo.path_existence.LastTime(), Ts(kT4));
+}
+
+TEST_P(TemporalTest, HistoricalFieldAccessInSelect) {
+  // Select over a timeslice must fetch the field value as of that time.
+  auto at_t2 = Run("AT '" + std::string(kT2) + "' " +
+                   "Select source(P).status From PATHS P Where P MATCHES "
+                   "VM()->Host(id=" + std::to_string(host2_) + ")");
+  ASSERT_EQ(at_t2.rows.size(), 1u);
+  EXPECT_EQ(at_t2.rows[0].values[0], Value("Green"));
+  auto at_t3 = Run("AT '" + std::string(kT3) + "' " +
+                   "Select source(P).status From PATHS P Where P MATCHES "
+                   "VM()->Host(id=" + std::to_string(host2_) + ")");
+  ASSERT_EQ(at_t3.rows.size(), 1u);
+  EXPECT_EQ(at_t3.rows[0].values[0], Value("Red"));
+}
+
+// ---- Update-by-snapshot service ----
+
+TEST_P(TemporalTest, SnapshotUpdaterDiffsCorrectly) {
+  schema::SchemaPtr schema = nepal::testing::Figure3Schema();
+  storage::GraphDb db(schema, nepal::testing::MakeBackend(GetParam(), schema));
+  temporal::SnapshotUpdater updater(&db);
+
+  temporal::Snapshot snap1;
+  snap1.nodes = {{"vm-a", "VMWare",
+                  {{"name", Value("vm-a")}, {"status", Value("Green")}}},
+                 {"host-a", "Host", {{"name", Value("host-a")}}}};
+  snap1.edges = {{"pl-a", "OnServer", "vm-a", "host-a", {}}};
+  auto stats1 = updater.Apply(snap1, Ts(kT1));
+  ASSERT_TRUE(stats1.ok()) << stats1.status();
+  EXPECT_EQ(stats1->nodes_inserted, 2u);
+  EXPECT_EQ(stats1->edges_inserted, 1u);
+
+  // Same snapshot again: nothing changes, nothing is versioned.
+  size_t versions = db.backend().VersionCount();
+  auto stats2 = updater.Apply(snap1, Ts(kT2));
+  ASSERT_TRUE(stats2.ok());
+  EXPECT_EQ(stats2->unchanged, 3u);
+  EXPECT_EQ(db.backend().VersionCount(), versions);
+
+  // Field change + element disappearance.
+  temporal::Snapshot snap3;
+  snap3.nodes = {{"vm-a", "VMWare",
+                  {{"name", Value("vm-a")}, {"status", Value("Red")}}},
+                 {"host-a", "Host", {{"name", Value("host-a")}}},
+                 {"host-b", "Host", {{"name", Value("host-b")}}}};
+  snap3.edges = {{"pl-a", "OnServer", "vm-a", "host-b", {}}};  // rewired
+  auto stats3 = updater.Apply(snap3, Ts(kT3));
+  ASSERT_TRUE(stats3.ok()) << stats3.status();
+  EXPECT_EQ(stats3->nodes_updated, 1u);
+  EXPECT_EQ(stats3->nodes_inserted, 1u);
+  EXPECT_EQ(stats3->edges_deleted, 1u);  // rewire = delete + insert
+  EXPECT_EQ(stats3->edges_inserted, 1u);
+
+  // History reflects the diff stream: at t1 the vm was Green on host-a.
+  nql::QueryEngine engine(&db);
+  auto past = engine.Run(
+      "AT '" + std::string(kT2) +
+      "' Select target(P).name From PATHS P Where P MATCHES "
+      "VM(status='Green')->Host()");
+  ASSERT_TRUE(past.ok()) << past.status();
+  ASSERT_EQ(past->rows.size(), 1u);
+  EXPECT_EQ(past->rows[0].values[0], Value("host-a"));
+
+  Uid vm = updater.Lookup("vm-a");
+  auto cur = db.GetCurrent(vm);
+  ASSERT_TRUE(cur.ok());
+  EXPECT_EQ(cur->fields[cur->cls->FieldIndex("status")], Value("Red"));
+}
+
+TEST_P(TemporalTest, SnapshotUpdaterRejectsDanglingEdges) {
+  schema::SchemaPtr schema = nepal::testing::Figure3Schema();
+  storage::GraphDb db(schema, nepal::testing::MakeBackend(GetParam(), schema));
+  temporal::SnapshotUpdater updater(&db);
+  temporal::Snapshot bad;
+  bad.nodes = {{"vm-a", "VMWare", {}}};
+  bad.edges = {{"e", "OnServer", "vm-a", "missing-host", {}}};
+  auto stats = updater.Apply(bad, Ts(kT1));
+  EXPECT_FALSE(stats.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, TemporalTest,
+    ::testing::Values(BackendKind::kGraphStore, BackendKind::kRelational),
+    [](const ::testing::TestParamInfo<BackendKind>& info) {
+      return nepal::testing::BackendName(info.param);
+    });
+
+}  // namespace
+}  // namespace nepal
