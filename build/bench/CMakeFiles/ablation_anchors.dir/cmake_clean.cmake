@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_anchors.dir/ablation_anchors.cc.o"
+  "CMakeFiles/ablation_anchors.dir/ablation_anchors.cc.o.d"
+  "ablation_anchors"
+  "ablation_anchors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_anchors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

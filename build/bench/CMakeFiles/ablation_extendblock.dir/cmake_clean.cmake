@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_extendblock.dir/ablation_extendblock.cc.o"
+  "CMakeFiles/ablation_extendblock.dir/ablation_extendblock.cc.o.d"
+  "ablation_extendblock"
+  "ablation_extendblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_extendblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

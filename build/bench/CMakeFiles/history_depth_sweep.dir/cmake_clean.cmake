@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_depth_sweep.dir/history_depth_sweep.cc.o"
+  "CMakeFiles/history_depth_sweep.dir/history_depth_sweep.cc.o.d"
+  "history_depth_sweep"
+  "history_depth_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_depth_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ingest_throughput.dir/ingest_throughput.cc.o"
+  "CMakeFiles/ingest_throughput.dir/ingest_throughput.cc.o.d"
+  "ingest_throughput"
+  "ingest_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ingest_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_virtualized.dir/table1_virtualized.cc.o"
+  "CMakeFiles/table1_virtualized.dir/table1_virtualized.cc.o.d"
+  "table1_virtualized"
+  "table1_virtualized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_virtualized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_legacy.dir/table2_legacy.cc.o"
+  "CMakeFiles/table2_legacy.dir/table2_legacy.cc.o.d"
+  "table2_legacy"
+  "table2_legacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_legacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_subclassing.dir/table3_subclassing.cc.o"
+  "CMakeFiles/table3_subclassing.dir/table3_subclassing.cc.o.d"
+  "table3_subclassing"
+  "table3_subclassing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_subclassing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_storage_overhead.dir/table4_storage_overhead.cc.o"
+  "CMakeFiles/table4_storage_overhead.dir/table4_storage_overhead.cc.o.d"
+  "table4_storage_overhead"
+  "table4_storage_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_storage_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nepal_shell.dir/nepal_shell.cpp.o"
+  "CMakeFiles/nepal_shell.dir/nepal_shell.cpp.o.d"
+  "nepal_shell"
+  "nepal_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nepal_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_paths.dir/service_paths.cpp.o"
+  "CMakeFiles/service_paths.dir/service_paths.cpp.o.d"
+  "service_paths"
+  "service_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

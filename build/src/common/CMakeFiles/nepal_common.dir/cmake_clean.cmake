@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nepal_common.dir/status.cc.o"
+  "CMakeFiles/nepal_common.dir/status.cc.o.d"
+  "CMakeFiles/nepal_common.dir/time.cc.o"
+  "CMakeFiles/nepal_common.dir/time.cc.o.d"
+  "CMakeFiles/nepal_common.dir/value.cc.o"
+  "CMakeFiles/nepal_common.dir/value.cc.o.d"
+  "libnepal_common.a"
+  "libnepal_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nepal_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

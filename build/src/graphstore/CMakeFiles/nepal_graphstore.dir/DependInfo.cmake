@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graphstore/graph_store.cc" "src/graphstore/CMakeFiles/nepal_graphstore.dir/graph_store.cc.o" "gcc" "src/graphstore/CMakeFiles/nepal_graphstore.dir/graph_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/nepal_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/nepal_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nepal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

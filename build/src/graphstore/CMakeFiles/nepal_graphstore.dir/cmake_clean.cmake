@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nepal_graphstore.dir/graph_store.cc.o"
+  "CMakeFiles/nepal_graphstore.dir/graph_store.cc.o.d"
+  "libnepal_graphstore.a"
+  "libnepal_graphstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nepal_graphstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nepal/engine.cc" "src/nepal/CMakeFiles/nepal_core.dir/engine.cc.o" "gcc" "src/nepal/CMakeFiles/nepal_core.dir/engine.cc.o.d"
+  "/root/repo/src/nepal/executor.cc" "src/nepal/CMakeFiles/nepal_core.dir/executor.cc.o" "gcc" "src/nepal/CMakeFiles/nepal_core.dir/executor.cc.o.d"
+  "/root/repo/src/nepal/parser.cc" "src/nepal/CMakeFiles/nepal_core.dir/parser.cc.o" "gcc" "src/nepal/CMakeFiles/nepal_core.dir/parser.cc.o.d"
+  "/root/repo/src/nepal/plan.cc" "src/nepal/CMakeFiles/nepal_core.dir/plan.cc.o" "gcc" "src/nepal/CMakeFiles/nepal_core.dir/plan.cc.o.d"
+  "/root/repo/src/nepal/rpe.cc" "src/nepal/CMakeFiles/nepal_core.dir/rpe.cc.o" "gcc" "src/nepal/CMakeFiles/nepal_core.dir/rpe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/nepal_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/nepal_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/nepal_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nepal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

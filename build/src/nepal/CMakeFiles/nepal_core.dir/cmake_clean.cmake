@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nepal_core.dir/engine.cc.o"
+  "CMakeFiles/nepal_core.dir/engine.cc.o.d"
+  "CMakeFiles/nepal_core.dir/executor.cc.o"
+  "CMakeFiles/nepal_core.dir/executor.cc.o.d"
+  "CMakeFiles/nepal_core.dir/parser.cc.o"
+  "CMakeFiles/nepal_core.dir/parser.cc.o.d"
+  "CMakeFiles/nepal_core.dir/plan.cc.o"
+  "CMakeFiles/nepal_core.dir/plan.cc.o.d"
+  "CMakeFiles/nepal_core.dir/rpe.cc.o"
+  "CMakeFiles/nepal_core.dir/rpe.cc.o.d"
+  "libnepal_core.a"
+  "libnepal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nepal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

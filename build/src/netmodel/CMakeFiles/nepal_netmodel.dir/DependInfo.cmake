@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netmodel/feed.cc" "src/netmodel/CMakeFiles/nepal_netmodel.dir/feed.cc.o" "gcc" "src/netmodel/CMakeFiles/nepal_netmodel.dir/feed.cc.o.d"
+  "/root/repo/src/netmodel/legacy.cc" "src/netmodel/CMakeFiles/nepal_netmodel.dir/legacy.cc.o" "gcc" "src/netmodel/CMakeFiles/nepal_netmodel.dir/legacy.cc.o.d"
+  "/root/repo/src/netmodel/virtualized.cc" "src/netmodel/CMakeFiles/nepal_netmodel.dir/virtualized.cc.o" "gcc" "src/netmodel/CMakeFiles/nepal_netmodel.dir/virtualized.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/nepal_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/nepal_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nepal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nepal_netmodel.dir/feed.cc.o"
+  "CMakeFiles/nepal_netmodel.dir/feed.cc.o.d"
+  "CMakeFiles/nepal_netmodel.dir/legacy.cc.o"
+  "CMakeFiles/nepal_netmodel.dir/legacy.cc.o.d"
+  "CMakeFiles/nepal_netmodel.dir/virtualized.cc.o"
+  "CMakeFiles/nepal_netmodel.dir/virtualized.cc.o.d"
+  "libnepal_netmodel.a"
+  "libnepal_netmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nepal_netmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnepal_netmodel.a"
+)

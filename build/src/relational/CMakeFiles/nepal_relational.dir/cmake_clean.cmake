@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nepal_relational.dir/relational_store.cc.o"
+  "CMakeFiles/nepal_relational.dir/relational_store.cc.o.d"
+  "CMakeFiles/nepal_relational.dir/sql_executor.cc.o"
+  "CMakeFiles/nepal_relational.dir/sql_executor.cc.o.d"
+  "CMakeFiles/nepal_relational.dir/table.cc.o"
+  "CMakeFiles/nepal_relational.dir/table.cc.o.d"
+  "libnepal_relational.a"
+  "libnepal_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nepal_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

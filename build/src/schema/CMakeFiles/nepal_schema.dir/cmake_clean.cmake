@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nepal_schema.dir/dsl_parser.cc.o"
+  "CMakeFiles/nepal_schema.dir/dsl_parser.cc.o.d"
+  "CMakeFiles/nepal_schema.dir/record.cc.o"
+  "CMakeFiles/nepal_schema.dir/record.cc.o.d"
+  "CMakeFiles/nepal_schema.dir/schema.cc.o"
+  "CMakeFiles/nepal_schema.dir/schema.cc.o.d"
+  "libnepal_schema.a"
+  "libnepal_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nepal_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

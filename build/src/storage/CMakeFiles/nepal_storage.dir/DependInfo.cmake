@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/backend.cc" "src/storage/CMakeFiles/nepal_storage.dir/backend.cc.o" "gcc" "src/storage/CMakeFiles/nepal_storage.dir/backend.cc.o.d"
+  "/root/repo/src/storage/graphdb.cc" "src/storage/CMakeFiles/nepal_storage.dir/graphdb.cc.o" "gcc" "src/storage/CMakeFiles/nepal_storage.dir/graphdb.cc.o.d"
+  "/root/repo/src/storage/pathset.cc" "src/storage/CMakeFiles/nepal_storage.dir/pathset.cc.o" "gcc" "src/storage/CMakeFiles/nepal_storage.dir/pathset.cc.o.d"
+  "/root/repo/src/storage/traverser_executor.cc" "src/storage/CMakeFiles/nepal_storage.dir/traverser_executor.cc.o" "gcc" "src/storage/CMakeFiles/nepal_storage.dir/traverser_executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schema/CMakeFiles/nepal_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nepal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

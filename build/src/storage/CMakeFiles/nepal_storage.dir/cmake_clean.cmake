@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nepal_storage.dir/backend.cc.o"
+  "CMakeFiles/nepal_storage.dir/backend.cc.o.d"
+  "CMakeFiles/nepal_storage.dir/graphdb.cc.o"
+  "CMakeFiles/nepal_storage.dir/graphdb.cc.o.d"
+  "CMakeFiles/nepal_storage.dir/pathset.cc.o"
+  "CMakeFiles/nepal_storage.dir/pathset.cc.o.d"
+  "CMakeFiles/nepal_storage.dir/traverser_executor.cc.o"
+  "CMakeFiles/nepal_storage.dir/traverser_executor.cc.o.d"
+  "libnepal_storage.a"
+  "libnepal_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nepal_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

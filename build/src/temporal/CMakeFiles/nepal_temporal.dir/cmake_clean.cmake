@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nepal_temporal.dir/evolution.cc.o"
+  "CMakeFiles/nepal_temporal.dir/evolution.cc.o.d"
+  "CMakeFiles/nepal_temporal.dir/snapshot.cc.o"
+  "CMakeFiles/nepal_temporal.dir/snapshot.cc.o.d"
+  "libnepal_temporal.a"
+  "libnepal_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nepal_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

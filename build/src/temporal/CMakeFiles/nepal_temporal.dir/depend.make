@@ -1,0 +1,2 @@
+# Empty dependencies file for nepal_temporal.
+# This may be replaced when dependencies are built.

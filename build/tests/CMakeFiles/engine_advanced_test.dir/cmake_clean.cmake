@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_advanced_test.dir/engine_advanced_test.cc.o"
+  "CMakeFiles/engine_advanced_test.dir/engine_advanced_test.cc.o.d"
+  "engine_advanced_test"
+  "engine_advanced_test.pdb"
+  "engine_advanced_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_advanced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

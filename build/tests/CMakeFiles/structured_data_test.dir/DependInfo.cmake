@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/structured_data_test.cc" "tests/CMakeFiles/structured_data_test.dir/structured_data_test.cc.o" "gcc" "tests/CMakeFiles/structured_data_test.dir/structured_data_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nepal/CMakeFiles/nepal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/nepal_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphstore/CMakeFiles/nepal_graphstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/nepal_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmodel/CMakeFiles/nepal_netmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/nepal_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/nepal_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nepal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

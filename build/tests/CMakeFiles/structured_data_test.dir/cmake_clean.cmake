@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structured_data_test.dir/structured_data_test.cc.o"
+  "CMakeFiles/structured_data_test.dir/structured_data_test.cc.o.d"
+  "structured_data_test"
+  "structured_data_test.pdb"
+  "structured_data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structured_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/engine_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/temporal_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/schema_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/netmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/federation_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_advanced_test[1]_include.cmake")
+include("/root/repo/build/tests/structured_data_test[1]_include.cmake")
+include("/root/repo/build/tests/feed_test[1]_include.cmake")
+include("/root/repo/build/tests/relational_test[1]_include.cmake")
+include("/root/repo/build/tests/graphstore_test[1]_include.cmake")
