@@ -1,0 +1,109 @@
+// Parallel scaling: the same multi-hop RPE workload at parallelism
+// 1/2/4/8. The parallelism=1 rows are the exact pre-concurrency serial
+// executor; on a multi-core machine the 8-lane rows should come in at
+// least 2x faster on the frontier-heavy query types (on a single-core
+// machine all rows degenerate to serial and merely measure the sharding
+// overhead, which kMinStatesPerShard keeps small).
+//
+// Query mix (frontier-heavy on purpose):
+//   topdown    — VNF()->[Vertical()]{1,6}->Host() with an unconditioned
+//                VNF anchor class: hundreds of seed states fan out.
+//   fullsweep  — every VNF-to-Host vertical pathway in one query.
+//   eastwest   — Host()->[connects()]{1,4}->Host(): the physical-layer
+//                neighborhood walk with the widest frontiers.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/bench_util.h"
+
+namespace nepal::bench {
+namespace {
+
+struct ScalingLoad {
+  netmodel::VirtualizedNetwork net;
+  /// One engine per parallelism level, all over the same store.
+  std::map<int, std::unique_ptr<nql::QueryEngine>> engines;
+};
+
+struct ScalingFixture {
+  ScalingLoad graphstore, relational;
+
+  static void Build(const netmodel::BackendFactory& factory,
+                    ScalingLoad* load) {
+    netmodel::VirtualizedParams params;
+    params.history_days = 0;
+    auto built = BuildVirtualizedNetwork(params, factory);
+    if (!built.ok()) std::abort();
+    load->net = std::move(*built);
+    for (int parallelism : {1, 2, 4, 8}) {
+      nql::EngineOptions options;
+      options.plan.parallelism = parallelism;
+      load->engines[parallelism] =
+          std::make_unique<nql::QueryEngine>(load->net.db.get(), options);
+    }
+  }
+
+  ScalingFixture() {
+    Build(GraphStoreFactory(), &graphstore);
+    Build(RelationalFactory(), &relational);
+  }
+};
+
+ScalingFixture& Fixture() {
+  static ScalingFixture* fixture = new ScalingFixture();
+  return *fixture;
+}
+
+const char* QueryFor(const std::string& kind) {
+  if (kind == "topdown") {
+    return "Retrieve P From PATHS P Where P MATCHES "
+           "VNF()->[Vertical()]{1,6}->Host()";
+  }
+  if (kind == "fullsweep") {
+    return "Retrieve P From PATHS P Where P MATCHES "
+           "Service()->[Vertical()]{1,7}->Host()";
+  }
+  return "Retrieve P From PATHS P Where P MATCHES "
+         "Host()->[connects()]{1,4}->Host()";
+}
+
+void RunScaling(benchmark::State& state, ScalingLoad& load,
+                const std::string& kind) {
+  const int parallelism = static_cast<int>(state.range(0));
+  const nql::QueryEngine& engine = *load.engines.at(parallelism);
+  const std::string query = QueryFor(kind);
+  size_t paths = 0;
+  size_t iters = 0;
+  for (auto _ : state) {
+    paths += MustRun(engine, query);
+    ++iters;
+  }
+  state.counters["paths"] =
+      static_cast<double>(paths) / static_cast<double>(iters == 0 ? 1 : iters);
+  state.counters["lanes"] = parallelism;
+}
+
+#define SCALING_BENCH(kind)                                                 \
+  void BM_##kind##_GraphStore(benchmark::State& state) {                    \
+    RunScaling(state, Fixture().graphstore, #kind);                         \
+  }                                                                         \
+  BENCHMARK(BM_##kind##_GraphStore)                                         \
+      ->Arg(1)->Arg(2)->Arg(4)->Arg(8)                                      \
+      ->Unit(benchmark::kMillisecond)->UseRealTime();                       \
+  void BM_##kind##_Relational(benchmark::State& state) {                    \
+    RunScaling(state, Fixture().relational, #kind);                         \
+  }                                                                         \
+  BENCHMARK(BM_##kind##_Relational)                                         \
+      ->Arg(1)->Arg(2)->Arg(4)->Arg(8)                                      \
+      ->Unit(benchmark::kMillisecond)->UseRealTime()
+
+SCALING_BENCH(topdown);
+SCALING_BENCH(fullsweep);
+SCALING_BENCH(eastwest);
+
+}  // namespace
+}  // namespace nepal::bench
+
+BENCHMARK_MAIN();

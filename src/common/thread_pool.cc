@@ -1,0 +1,122 @@
+#include "common/thread_pool.h"
+
+namespace nepal::common {
+
+ThreadPool::ThreadPool(size_t workers) {
+  deques_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    deques_.push_back(std::make_unique<WorkDeque>());
+  }
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked on purpose: joining workers during static destruction races
+  // other global teardown.
+  static ThreadPool* pool = [] {
+    size_t hw = std::thread::hardware_concurrency();
+    return new ThreadPool(hw == 0 ? 1 : hw);
+  }();
+  return *pool;
+}
+
+bool ThreadPool::TryTake(size_t home, Task* out) {
+  const size_t n = deques_.size();
+  bool found = false;
+  if (home < n) {
+    WorkDeque& mine = *deques_[home];
+    std::lock_guard<std::mutex> lock(mine.mu);
+    if (!mine.tasks.empty()) {
+      *out = std::move(mine.tasks.back());
+      mine.tasks.pop_back();
+      found = true;
+    }
+  }
+  for (size_t k = 0; !found && k < n; ++k) {
+    size_t victim = (home + 1 + k) % n;
+    if (victim == home) continue;
+    WorkDeque& theirs = *deques_[victim];
+    std::lock_guard<std::mutex> lock(theirs.mu);
+    if (!theirs.tasks.empty()) {
+      *out = std::move(theirs.tasks.front());
+      theirs.tasks.pop_front();
+      found = true;
+    }
+  }
+  if (!found) return false;
+  std::lock_guard<std::mutex> lock(wake_mu_);
+  --queued_;
+  return true;
+}
+
+void ThreadPool::Execute(const Task& task) {
+  task.batch->tasks[task.index]();
+  size_t done = task.batch->done.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (done == task.batch->tasks.size()) {
+    // Lock before notifying so the completion cannot slip between the
+    // waiter's done-check and its wait.
+    std::lock_guard<std::mutex> lock(task.batch->mu);
+    task.batch->cv.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t id) {
+  for (;;) {
+    Task task;
+    if (TryTake(id, &task)) {
+      Execute(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    if (stop_) return;
+  }
+}
+
+void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty() || tasks.size() == 1) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->tasks = std::move(tasks);
+  const size_t n = batch->tasks.size();
+  for (size_t i = 0; i < n; ++i) {
+    size_t slot = push_cursor_.fetch_add(1, std::memory_order_relaxed) %
+                  deques_.size();
+    std::lock_guard<std::mutex> lock(deques_[slot]->mu);
+    deques_[slot]->tasks.push_back(Task{batch, i});
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    queued_ += n;
+  }
+  wake_cv_.notify_all();
+  // Help-first wait: execute queued tasks (this batch's or another's)
+  // instead of blocking, then sleep only when every task is claimed.
+  while (batch->done.load(std::memory_order_acquire) < n) {
+    Task task;
+    if (TryTake(deques_.size(), &task)) {
+      Execute(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(batch->mu);
+    if (batch->done.load(std::memory_order_acquire) >= n) break;
+    batch->cv.wait(lock);
+  }
+}
+
+}  // namespace nepal::common

@@ -1,0 +1,81 @@
+// A small work-stealing thread pool for frontier-parallel query evaluation.
+//
+// Tasks are submitted in batches; each batch's tasks are spread round-robin
+// over per-worker deques. A worker pops from the back of its own deque
+// (LIFO, cache-warm) and steals from the front of other workers' deques
+// (FIFO, coarse-grained work first). The thread that calls RunBatch also
+// claims and steals tasks while it waits, so RunBatch may be invoked from
+// inside a running task — nested parallelism cannot deadlock the pool.
+
+#ifndef NEPAL_COMMON_THREAD_POOL_H_
+#define NEPAL_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nepal::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. With zero workers the pool still works:
+  /// RunBatch simply runs every task inline on the calling thread.
+  explicit ThreadPool(size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t worker_count() const { return workers_.size(); }
+
+  /// Process-wide pool sized to the hardware. Constructed on first use and
+  /// intentionally never destroyed (no shutdown races at process exit).
+  static ThreadPool& Shared();
+
+  /// Runs every task and returns once all have finished. The calling thread
+  /// participates (it executes queued tasks while waiting), so total
+  /// concurrency is worker_count() + 1. Safe to call concurrently from
+  /// several threads and from inside a task.
+  void RunBatch(std::vector<std::function<void()>> tasks);
+
+ private:
+  struct Batch {
+    std::vector<std::function<void()>> tasks;
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  struct Task {
+    std::shared_ptr<Batch> batch;
+    size_t index = 0;
+  };
+  struct WorkDeque {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  /// Pops a task: from `home`'s own deque back, else steals from another
+  /// deque's front. `home >= deques_.size()` means "external thief" (a
+  /// RunBatch caller), which only steals.
+  bool TryTake(size_t home, Task* out);
+  static void Execute(const Task& task);
+  void WorkerLoop(size_t id);
+
+  std::vector<std::unique_ptr<WorkDeque>> deques_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  size_t queued_ = 0;   // unclaimed tasks, guarded by wake_mu_
+  bool stop_ = false;   // guarded by wake_mu_
+  std::atomic<size_t> push_cursor_{0};
+};
+
+}  // namespace nepal::common
+
+#endif  // NEPAL_COMMON_THREAD_POOL_H_

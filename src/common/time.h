@@ -51,8 +51,17 @@ struct Interval {
     return start <= o.end && o.start <= end;
   }
 
+  /// Canonical empty interval (all empty intersections normalize to this,
+  /// so empty results compare equal and never carry garbage endpoints).
+  static Interval None() { return {kTimestampMin, kTimestampMin}; }
+
   Interval Intersect(const Interval& o) const {
-    return {start > o.start ? start : o.start, end < o.end ? end : o.end};
+    Interval out{start > o.start ? start : o.start,
+                 end < o.end ? end : o.end};
+    // Disjoint or touching operands ([a,b) ∩ [b,c)) would otherwise yield a
+    // non-canonical start > end pair; normalize every empty result.
+    if (out.start >= out.end) return None();
+    return out;
   }
   /// Union of two meeting intervals; caller must check Meets() first.
   Interval Span(const Interval& o) const {

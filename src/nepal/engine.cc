@@ -4,8 +4,12 @@
 #include <cctype>
 #include <functional>
 #include <set>
+#include <shared_mutex>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "common/thread_pool.h"
 
 namespace nepal::nql {
 
@@ -236,10 +240,28 @@ Uid EndpointOf(const PathState& state, PathExpr::Kind kind) {
 
 Result<QueryResult> QueryEngine::RunInternal(
     const Query& query, const OuterEnv& outer,
-    std::vector<std::string>* explain) const {
+    std::vector<std::string>* explain, bool locks_held) const {
   // ---- Validate structure and set up variable states ----
   if (query.range_vars.empty()) {
     return Status::InvalidArgument("a query needs at least one range variable");
+  }
+
+  // ---- Read locks ----
+  // Query evaluation only reads the stores, but writers may run
+  // concurrently: hold every involved data source's mutex shared for the
+  // whole evaluation (all operator calls plus result post-processing see
+  // one consistent store state). Acquisition is in ascending address order
+  // — writers only ever hold a single lock, so readers locking a sorted
+  // set cannot form a cycle. Subquery recursion runs on the same thread
+  // over the same source set and must not re-lock.
+  std::vector<std::shared_lock<std::shared_mutex>> read_locks;
+  if (!locks_held) {
+    std::vector<storage::GraphDb*> dbs{default_db_};
+    for (const auto& [name, db] : sources_) dbs.push_back(db);
+    std::sort(dbs.begin(), dbs.end());
+    dbs.erase(std::unique(dbs.begin(), dbs.end()), dbs.end());
+    read_locks.reserve(dbs.size());
+    for (storage::GraphDb* db : dbs) read_locks.emplace_back(db->mutex());
   }
   std::map<std::string, size_t> var_index;
   std::vector<VarState> vars(query.range_vars.size());
@@ -364,9 +386,110 @@ Result<QueryResult> QueryEngine::RunInternal(
     return false;
   };
 
+  // Post-evaluation per-variable steps shared by the serial and parallel
+  // paths: named-view intersection and Range-view coalescing.
+  auto finish_var = [&](VarState& vs) -> Status {
+    if (vs.view_rpe.has_value()) {
+      // Intersect with the named view: a pathway qualifies when the view
+      // RPE also matches it, over the overlap of their validity.
+      NEPAL_ASSIGN_OR_RETURN(PathSet view_paths,
+                             EvaluateMatch(*vs.exec, vs.db->backend(),
+                                           *vs.view_rpe, vs.view,
+                                           options_.plan));
+      std::unordered_map<std::string, std::vector<const PathState*>> by_uids;
+      for (const PathState& state : view_paths) {
+        std::string key;
+        for (Uid u : state.uids) {
+          key.append(reinterpret_cast<const char*>(&u), sizeof(u));
+        }
+        by_uids[key].push_back(&state);
+      }
+      PathSet intersected;
+      for (PathState& state : vs.paths) {
+        std::string key;
+        for (Uid u : state.uids) {
+          key.append(reinterpret_cast<const char*>(&u), sizeof(u));
+        }
+        auto it = by_uids.find(key);
+        if (it == by_uids.end()) continue;
+        for (const PathState* other : it->second) {
+          Interval overlap = state.valid.Intersect(other->valid);
+          if (overlap.empty()) continue;
+          PathState keep = state;
+          keep.valid = overlap;
+          intersected.push_back(std::move(keep));
+        }
+      }
+      storage::DedupPaths(&intersected);
+      vs.paths = std::move(intersected);
+    }
+    if (vs.view.kind() == TimeView::Kind::kRange) {
+      CoalescePathSet(&vs.paths);
+    }
+    return Status::OK();
+  };
+
+  size_t effective_parallelism = 1;
+  if (options_.plan.parallelism > 1) {
+    effective_parallelism = static_cast<size_t>(options_.plan.parallelism);
+  } else if (options_.plan.parallelism <= 0) {
+    size_t hw = std::thread::hardware_concurrency();
+    effective_parallelism = hw == 0 ? 1 : hw;
+  }
+
   // ---- Evaluate range variables, cheapest anchor first ----
   std::vector<size_t> eval_order;
-  for (size_t done = 0; done < vars.size(); ++done) {
+  size_t remaining = vars.size();
+  while (remaining > 0) {
+    // Independent structurally-anchored variables (typically federated
+    // sub-matches over different sources) have no evaluation-order
+    // dependency: run them as one concurrent batch. Variables that a join
+    // could seed stay serial so the cheapest-first seeding still applies.
+    if (effective_parallelism > 1 && explain == nullptr) {
+      std::vector<size_t> batch;
+      for (size_t i = 0; i < vars.size(); ++i) {
+        if (vars[i].evaluated || vars[i].structural_cost < 0) continue;
+        std::vector<Uid> seeds;
+        SeedSide side;
+        if (find_seed(i, &seeds, &side)) continue;
+        batch.push_back(i);
+      }
+      if (batch.size() >= 2) {
+        // Deterministic evaluation order: cheapest first, index breaking
+        // ties — the same order the serial loop would have produced.
+        std::sort(batch.begin(), batch.end(), [&](size_t a, size_t b) {
+          if (vars[a].structural_cost != vars[b].structural_cost) {
+            return vars[a].structural_cost < vars[b].structural_cost;
+          }
+          return a < b;
+        });
+        std::vector<Status> statuses(batch.size(), Status::OK());
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(batch.size());
+        for (size_t k = 0; k < batch.size(); ++k) {
+          VarState& vs = vars[batch[k]];
+          Status& status = statuses[k];
+          tasks.push_back([this, &vs, &status, &finish_var] {
+            auto paths = EvaluateMatch(*vs.exec, vs.db->backend(), vs.rpe,
+                                       vs.view, options_.plan);
+            if (!paths.ok()) {
+              status = paths.status();
+              return;
+            }
+            vs.paths = *std::move(paths);
+            status = finish_var(vs);
+          });
+        }
+        common::ThreadPool::Shared().RunBatch(std::move(tasks));
+        for (const Status& status : statuses) NEPAL_RETURN_NOT_OK(status);
+        for (size_t vi : batch) {
+          vars[vi].evaluated = true;
+          eval_order.push_back(vi);
+        }
+        remaining -= batch.size();
+        continue;
+      }
+    }
     double best_cost = -1;
     size_t best_var = vars.size();
     bool best_seeded = false;
@@ -423,46 +546,10 @@ Result<QueryResult> QueryEngine::RunInternal(
                              EvaluateMatch(*vs.exec, vs.db->backend(), vs.rpe,
                                            vs.view, options_.plan));
     }
-    if (vs.view_rpe.has_value()) {
-      // Intersect with the named view: a pathway qualifies when the view
-      // RPE also matches it, over the overlap of their validity.
-      NEPAL_ASSIGN_OR_RETURN(PathSet view_paths,
-                             EvaluateMatch(*vs.exec, vs.db->backend(),
-                                           *vs.view_rpe, vs.view,
-                                           options_.plan));
-      std::unordered_map<std::string, std::vector<const PathState*>>
-          by_uids;
-      for (const PathState& state : view_paths) {
-        std::string key;
-        for (Uid u : state.uids) {
-          key.append(reinterpret_cast<const char*>(&u), sizeof(u));
-        }
-        by_uids[key].push_back(&state);
-      }
-      PathSet intersected;
-      for (PathState& state : vs.paths) {
-        std::string key;
-        for (Uid u : state.uids) {
-          key.append(reinterpret_cast<const char*>(&u), sizeof(u));
-        }
-        auto it = by_uids.find(key);
-        if (it == by_uids.end()) continue;
-        for (const PathState* other : it->second) {
-          Interval overlap = state.valid.Intersect(other->valid);
-          if (overlap.empty()) continue;
-          PathState keep = state;
-          keep.valid = overlap;
-          intersected.push_back(std::move(keep));
-        }
-      }
-      storage::DedupPaths(&intersected);
-      vs.paths = std::move(intersected);
-    }
-    if (vs.view.kind() == TimeView::Kind::kRange) {
-      CoalescePathSet(&vs.paths);
-    }
+    NEPAL_RETURN_NOT_OK(finish_var(vs));
     vs.evaluated = true;
     eval_order.push_back(best_var);
+    --remaining;
     if (explain != nullptr) {
       explain->push_back("var " + vs.decl->name + ": " +
                          std::to_string(vs.paths.size()) + " pathway(s)");
@@ -696,7 +783,8 @@ Result<QueryResult> QueryEngine::RunInternal(
                                                 vars[vi].db};
       }
       NEPAL_ASSIGN_OR_RETURN(QueryResult sub,
-                             RunInternal(*pred->subquery, env, nullptr));
+                             RunInternal(*pred->subquery, env, nullptr,
+                                         /*locks_held=*/true));
       bool exists = !sub.rows.empty();
       if (exists != pred->negate_exists) kept.push_back(row);
     }

@@ -104,8 +104,12 @@ class QueryEngine {
   };
   using OuterEnv = std::map<std::string, OuterBinding>;
 
+  /// `locks_held` is set on recursive (subquery) calls: the top-level call
+  /// already holds shared locks on every data source, and shared_mutex
+  /// must not be re-acquired recursively on the same thread.
   Result<QueryResult> RunInternal(const Query& query, const OuterEnv& outer,
-                                  std::vector<std::string>* explain) const;
+                                  std::vector<std::string>* explain,
+                                  bool locks_held = false) const;
 
   Result<storage::GraphDb*> SourceFor(const RangeVarDecl& decl) const;
 

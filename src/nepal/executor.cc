@@ -1,6 +1,11 @@
 #include "nepal/executor.h"
 
+#include <algorithm>
+#include <functional>
 #include <optional>
+#include <thread>
+
+#include "common/thread_pool.h"
 
 namespace nepal::nql {
 
@@ -10,6 +15,36 @@ using storage::PathState;
 using storage::TimeView;
 
 namespace {
+
+/// Below this many frontier states a shard is not worth the scheduling
+/// overhead; the step runs serially.
+constexpr size_t kMinStatesPerShard = 8;
+
+/// Resolved concurrency settings for one MATCHES evaluation. Per-state
+/// independence of Extend/ExtendBlock (the paper's Section 3.3 operators
+/// never look across states) is what makes frontier sharding legal.
+struct ParallelContext {
+  common::ThreadPool* pool = nullptr;
+  size_t parallelism = 1;
+
+  bool enabled() const { return pool != nullptr && parallelism > 1; }
+};
+
+ParallelContext ContextFor(const storage::PathOperatorExecutor& exec,
+                           const PlanOptions& options) {
+  ParallelContext ctx;
+  if (options.parallelism > 1) {
+    ctx.parallelism = static_cast<size_t>(options.parallelism);
+  } else if (options.parallelism <= 0) {
+    size_t hw = std::thread::hardware_concurrency();
+    ctx.parallelism = hw == 0 ? 1 : hw;
+  }
+  // Tracing (EXPLAIN) appends to a shared per-executor buffer; keep traced
+  // runs serial so the rendered operator/SQL sequence stays coherent.
+  if (exec.trace_enabled()) ctx.parallelism = 1;
+  if (ctx.parallelism > 1) ctx.pool = &common::ThreadPool::Shared();
+  return ctx;
+}
 
 /// If the loop body is an atom or an alternation of atoms (the ExtendBlock
 /// payload restriction), returns the atom list.
@@ -33,15 +68,85 @@ std::optional<std::vector<storage::CompiledAtom>> AsAtomAlternation(
   return std::nullopt;
 }
 
-PathSet RunStep(storage::PathOperatorExecutor& exec, const Step& step,
-                const PathSet& frontier, Direction dir, const TimeView& view) {
+PathSet RunProgramCtx(storage::PathOperatorExecutor& exec,
+                      const Program& program, PathSet frontier, Direction dir,
+                      const TimeView& view, const ParallelContext& ctx);
+
+PathSet RunStepCtx(storage::PathOperatorExecutor& exec, const Step& step,
+                   PathSet frontier, Direction dir, const TimeView& view,
+                   const ParallelContext& ctx);
+
+/// Splits `frontier` into `shards` contiguous chunks, runs the step over
+/// each chunk on the pool, and merges the outputs in shard order. Because
+/// sharding is a pure function of (frontier size, parallelism) and each
+/// state extends independently, the merged output is deterministic; the
+/// cross-shard DedupPaths restores the single-frontier dedup semantics of
+/// the serial step.
+PathSet RunStepSharded(storage::PathOperatorExecutor& exec, const Step& step,
+                       PathSet frontier, Direction dir, const TimeView& view,
+                       const ParallelContext& ctx, size_t shards) {
+  std::vector<PathSet> inputs(shards);
+  const size_t base = frontier.size() / shards;
+  const size_t rem = frontier.size() % shards;
+  size_t pos = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    size_t len = base + (s < rem ? 1 : 0);
+    inputs[s].reserve(len);
+    for (size_t k = 0; k < len; ++k) {
+      inputs[s].push_back(std::move(frontier[pos++]));
+    }
+  }
+  frontier.clear();
+  frontier.shrink_to_fit();
+
+  // Each shard runs the step serially; the parallelism budget is already
+  // spent on the shard fan-out itself.
+  const ParallelContext serial;
+  std::vector<PathSet> outputs(shards);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    tasks.push_back([&exec, &step, dir, &view, &serial, &inputs, &outputs,
+                     s] {
+      outputs[s] =
+          RunStepCtx(exec, step, std::move(inputs[s]), dir, view, serial);
+    });
+  }
+  ctx.pool->RunBatch(std::move(tasks));
+
+  size_t total = 0;
+  for (const PathSet& out : outputs) total += out.size();
+  PathSet merged;
+  merged.reserve(total);
+  for (PathSet& out : outputs) {
+    merged.insert(merged.end(), std::make_move_iterator(out.begin()),
+                  std::make_move_iterator(out.end()));
+  }
+  // A plain Extend never dedups serially, so neither does its sharded form
+  // (multiplicity must match); Union/Loop steps dedup their whole output.
+  if (step.kind != Step::Kind::kAtom) storage::DedupPaths(&merged);
+  return merged;
+}
+
+PathSet RunStepCtx(storage::PathOperatorExecutor& exec, const Step& step,
+                   PathSet frontier, Direction dir, const TimeView& view,
+                   const ParallelContext& ctx) {
+  if (ctx.enabled()) {
+    size_t shards = std::min(ctx.parallelism * 2,
+                             frontier.size() / kMinStatesPerShard);
+    if (shards >= 2) {
+      return RunStepSharded(exec, step, std::move(frontier), dir, view, ctx,
+                            shards);
+    }
+  }
   switch (step.kind) {
     case Step::Kind::kAtom:
       return exec.ExtendAtom(frontier, step.atom, dir, view);
     case Step::Kind::kUnion: {
       PathSet out;
       for (const Program& branch : step.branches) {
-        PathSet result = RunProgram(exec, branch, frontier, dir, view);
+        PathSet result = RunProgramCtx(exec, branch, frontier, dir, view,
+                                       ctx);
         out.insert(out.end(), std::make_move_iterator(result.begin()),
                    std::make_move_iterator(result.end()));
       }
@@ -63,7 +168,8 @@ PathSet RunStep(storage::PathOperatorExecutor& exec, const Step& step,
         collected.insert(collected.end(), current.begin(), current.end());
       }
       for (int k = 1; k <= step.max_rep && !current.empty(); ++k) {
-        current = RunProgram(exec, step.body, std::move(current), dir, view);
+        current = RunProgramCtx(exec, step.body, std::move(current), dir,
+                                view, ctx);
         storage::DedupPaths(&current);
         if (k >= step.min_rep) {
           collected.insert(collected.end(), current.begin(), current.end());
@@ -76,19 +182,43 @@ PathSet RunStep(storage::PathOperatorExecutor& exec, const Step& step,
   return {};
 }
 
+PathSet RunProgramCtx(storage::PathOperatorExecutor& exec,
+                      const Program& program, PathSet frontier, Direction dir,
+                      const TimeView& view, const ParallelContext& ctx) {
+  for (const Step& step : program) {
+    if (frontier.empty()) return frontier;
+    frontier = RunStepCtx(exec, step, std::move(frontier), dir, view, ctx);
+  }
+  return frontier;
+}
+
 void ReverseAll(PathSet* paths) {
   for (PathState& state : *paths) state = state.Reversed();
+}
+
+/// One anchored plan, end to end: Select the anchor, grow the suffix
+/// forwards, then the prefix backwards over the reversed states.
+PathSet RunAnchoredPlan(storage::PathOperatorExecutor& exec,
+                        const AnchoredPlan& anchored, const TimeView& view,
+                        const ParallelContext& ctx) {
+  PathSet current = exec.Select(anchored.anchor, view);
+  current = RunProgramCtx(exec, anchored.suffix, std::move(current),
+                          Direction::kOut, view, ctx);
+  current = exec.FinalizeTail(current, view);
+  ReverseAll(&current);
+  current = RunProgramCtx(exec, anchored.reversed_prefix, std::move(current),
+                          Direction::kIn, view, ctx);
+  current = exec.FinalizeTail(current, view);
+  ReverseAll(&current);
+  return current;
 }
 
 }  // namespace
 
 PathSet RunProgram(storage::PathOperatorExecutor& exec, const Program& program,
                    PathSet frontier, Direction dir, const TimeView& view) {
-  for (const Step& step : program) {
-    if (frontier.empty()) return frontier;
-    frontier = RunStep(exec, step, frontier, dir, view);
-  }
-  return frontier;
+  return RunProgramCtx(exec, program, std::move(frontier), dir, view,
+                       ParallelContext{});
 }
 
 Result<PathSet> EvaluateMatch(storage::PathOperatorExecutor& exec,
@@ -98,21 +228,36 @@ Result<PathSet> EvaluateMatch(storage::PathOperatorExecutor& exec,
                               const PlanOptions& options) {
   NEPAL_ASSIGN_OR_RETURN(MatchPlan plan,
                          PlanMatch(resolved_rpe, backend, options));
+  ParallelContext ctx = ContextFor(exec, options);
   PathSet all;
-  for (const AnchoredPlan& anchored : plan.anchors) {
-    PathSet current = exec.Select(anchored.anchor, view);
-    current = RunProgram(exec, anchored.suffix, std::move(current),
-                         Direction::kOut, view);
-    current = exec.FinalizeTail(current, view);
-    ReverseAll(&current);
-    current = RunProgram(exec, anchored.reversed_prefix, std::move(current),
-                         Direction::kIn, view);
-    current = exec.FinalizeTail(current, view);
-    ReverseAll(&current);
-    all.insert(all.end(), std::make_move_iterator(current.begin()),
-               std::make_move_iterator(current.end()));
+  if (ctx.enabled() && plan.anchors.size() > 1) {
+    // Anchored plans are independent of one another (their union is the
+    // match result): evaluate them concurrently, merge in plan order.
+    std::vector<PathSet> results(plan.anchors.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(plan.anchors.size());
+    for (size_t i = 0; i < plan.anchors.size(); ++i) {
+      tasks.push_back([&exec, &plan, &view, &ctx, &results, i] {
+        results[i] = RunAnchoredPlan(exec, plan.anchors[i], view, ctx);
+      });
+    }
+    ctx.pool->RunBatch(std::move(tasks));
+    for (PathSet& result : results) {
+      all.insert(all.end(), std::make_move_iterator(result.begin()),
+                 std::make_move_iterator(result.end()));
+    }
+  } else {
+    for (const AnchoredPlan& anchored : plan.anchors) {
+      PathSet current = RunAnchoredPlan(exec, anchored, view, ctx);
+      all.insert(all.end(), std::make_move_iterator(current.begin()),
+                 std::make_move_iterator(current.end()));
+    }
   }
   storage::DedupPaths(&all);
+  // Parallel mode pins the output to canonical order: the result is then
+  // byte-identical for every thread count, machine, and anchor choice.
+  // parallelism == 1 keeps the historical serial order untouched.
+  if (ctx.enabled()) storage::CanonicalizePaths(&all);
   return all;
 }
 
@@ -121,18 +266,20 @@ PathSet EvaluateMatchSeeded(storage::PathOperatorExecutor& exec,
                             const std::vector<Uid>& seeds, SeedSide side,
                             const TimeView& view, const PlanOptions& options) {
   Program program = CompileProgram(resolved_rpe, options);
+  ParallelContext ctx = ContextFor(exec, options);
   PathSet current = exec.SelectSeeds(seeds, view);
   if (side == SeedSide::kSource) {
-    current = RunProgram(exec, program, std::move(current), Direction::kOut,
-                         view);
+    current = RunProgramCtx(exec, program, std::move(current),
+                            Direction::kOut, view, ctx);
     current = exec.FinalizeTail(current, view);
   } else {
-    current = RunProgram(exec, ReverseProgram(program), std::move(current),
-                         Direction::kIn, view);
+    current = RunProgramCtx(exec, ReverseProgram(program), std::move(current),
+                            Direction::kIn, view, ctx);
     current = exec.FinalizeTail(current, view);
     ReverseAll(&current);
   }
   storage::DedupPaths(&current);
+  if (ctx.enabled()) storage::CanonicalizePaths(&current);
   return current;
 }
 

@@ -73,6 +73,13 @@ struct PlanOptions {
   /// When false, Loop steps are unrolled into plain atom steps instead of
   /// being delegated to ExtendBlock (the ablation knob).
   bool use_extend_block = true;
+  /// Worker lanes for frontier-parallel evaluation. 1 runs the exact serial
+  /// executor (pre-concurrency behavior, byte-identical output); 0 resolves
+  /// to std::thread::hardware_concurrency(). Values > 1 shard each
+  /// Extend/ExtendBlock frontier over the shared work-stealing pool and
+  /// merge with canonical-order deduplication, so parallel results are
+  /// deterministic regardless of thread count or scheduling.
+  int parallelism = 0;
 };
 
 /// Builds the anchored plan for a resolved, normalized RPE against the

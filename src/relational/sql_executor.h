@@ -15,6 +15,7 @@
 #ifndef NEPAL_RELATIONAL_SQL_EXECUTOR_H_
 #define NEPAL_RELATIONAL_SQL_EXECUTOR_H_
 
+#include <atomic>
 #include <unordered_map>
 #include <vector>
 
@@ -56,11 +57,13 @@ class SqlBulkExecutor : public storage::PathOperatorExecutor {
                 const storage::CompiledAtom& atom, storage::Direction dir,
                 const storage::TimeView& view, storage::PathSet* out);
 
-  int NextTempId() { return ++temp_counter_; }
+  // Atomic: operator calls run concurrently under the parallel executor and
+  // every one draws a TEMP-table id, trace on or off.
+  int NextTempId() { return temp_counter_.fetch_add(1) + 1; }
   std::string ViewSql(const storage::TimeView& view) const;
 
   const RelationalStore* store_;
-  int temp_counter_ = 0;
+  std::atomic<int> temp_counter_{0};
 };
 
 }  // namespace nepal::relational

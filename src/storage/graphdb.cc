@@ -1,5 +1,6 @@
 #include "storage/graphdb.h"
 
+#include <mutex>
 #include <vector>
 
 namespace nepal::storage {
@@ -16,6 +17,7 @@ GraphDb::GraphDb(schema::SchemaPtr schema,
       now_(kEpoch2017) {}
 
 Status GraphDb::SetTime(Timestamp t) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   if (t < now_) {
     return Status::InvalidArgument(
         "transaction time must be monotone: cannot move clock from " +
@@ -73,6 +75,7 @@ Result<Uid> GraphDb::AddNode(const std::string& class_name,
     return Status::SchemaViolation("class '" + class_name +
                                    "' is an edge class, not a node class");
   }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   NEPAL_ASSIGN_OR_RETURN(std::vector<Value> row,
                          schema::ValidateRecord(*schema_, *cls, fields));
   Uid uid = next_uid_++;
@@ -90,8 +93,9 @@ Result<Uid> GraphDb::AddEdge(const std::string& class_name, Uid source,
     return Status::SchemaViolation("class '" + class_name +
                                    "' is a node class, not an edge class");
   }
-  NEPAL_ASSIGN_OR_RETURN(ElementVersion src, GetCurrent(source));
-  NEPAL_ASSIGN_OR_RETURN(ElementVersion tgt, GetCurrent(target));
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  NEPAL_ASSIGN_OR_RETURN(ElementVersion src, GetCurrentLocked(source));
+  NEPAL_ASSIGN_OR_RETURN(ElementVersion tgt, GetCurrentLocked(target));
   if (src.is_edge() || tgt.is_edge()) {
     return Status::SchemaViolation("edge endpoints must be nodes");
   }
@@ -111,7 +115,8 @@ Result<Uid> GraphDb::AddEdge(const std::string& class_name, Uid source,
 }
 
 Status GraphDb::UpdateElement(Uid uid, const schema::FieldValues& fields) {
-  NEPAL_ASSIGN_OR_RETURN(ElementVersion cur, GetCurrent(uid));
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  NEPAL_ASSIGN_OR_RETURN(ElementVersion cur, GetCurrentLocked(uid));
   NEPAL_ASSIGN_OR_RETURN(auto changes,
                          schema::ValidateUpdate(*schema_, *cur.cls, fields));
   // Re-check unique constraints for changed unique fields.
@@ -145,7 +150,8 @@ Status GraphDb::UpdateElement(Uid uid, const schema::FieldValues& fields) {
 }
 
 Status GraphDb::RemoveElement(Uid uid) {
-  NEPAL_ASSIGN_OR_RETURN(ElementVersion cur, GetCurrent(uid));
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  NEPAL_ASSIGN_OR_RETURN(ElementVersion cur, GetCurrentLocked(uid));
   if (!cur.is_edge()) {
     // Cascade: a node's incident edges cannot outlive it.
     std::vector<ElementVersion> incident;
@@ -171,6 +177,11 @@ Status GraphDb::RemoveElement(Uid uid) {
 }
 
 Result<ElementVersion> GraphDb::GetCurrent(Uid uid) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return GetCurrentLocked(uid);
+}
+
+Result<ElementVersion> GraphDb::GetCurrentLocked(Uid uid) const {
   ElementVersion out;
   bool found = false;
   backend_->Get(uid, TimeView::Current(), [&](const ElementVersion& v) {

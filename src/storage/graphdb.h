@@ -14,6 +14,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <tuple>
 
@@ -38,7 +39,10 @@ class GraphDb {
   /// Transaction time the next write will carry. Starts at
   /// 2017-01-01 00:00:00 and only moves when SetTime advances it, so all
   /// writes of one batch (e.g. one snapshot diff) share an instant.
-  Timestamp Now() const { return now_; }
+  Timestamp Now() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return now_;
+  }
   /// Moves the clock forward (replay loading). Rejects going backwards.
   Status SetTime(Timestamp t);
 
@@ -59,8 +63,23 @@ class GraphDb {
   /// Looks up the current version of an element by uid.
   Result<ElementVersion> GetCurrent(Uid uid) const;
 
-  size_t node_count() const { return node_count_; }
-  size_t edge_count() const { return edge_count_; }
+  size_t node_count() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return node_count_;
+  }
+  size_t edge_count() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return edge_count_;
+  }
+
+  // ---- Concurrency ----
+
+  /// Guards the backend and all GraphDb bookkeeping: every write method
+  /// takes it exclusively; concurrent readers (the query engine holds it
+  /// shared for the whole evaluation) see a consistent store. Exposed so
+  /// the engine can span one shared-lock scope over many operator calls —
+  /// do not lock it around GraphDb's own methods, they lock internally.
+  std::shared_mutex& mutex() const { return mutex_; }
 
  private:
   /// Class the unique field at layout index `idx` was declared on.
@@ -69,7 +88,11 @@ class GraphDb {
   Status CheckAndIndexUniques(const schema::ClassDef* cls,
                               const std::vector<Value>& row, Uid uid);
   void DropUniques(const ElementVersion& v);
+  /// GetCurrent body without locking, for use inside write methods that
+  /// already hold `mutex_` exclusively.
+  Result<ElementVersion> GetCurrentLocked(Uid uid) const;
 
+  mutable std::shared_mutex mutex_;
   schema::SchemaPtr schema_;
   std::unique_ptr<StorageBackend> backend_;
   Timestamp now_;

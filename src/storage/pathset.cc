@@ -1,6 +1,8 @@
 #include "storage/pathset.h"
 
+#include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 namespace nepal::storage {
 
@@ -162,6 +164,22 @@ void DedupPaths(PathSet* paths) {
     if (seen.insert(state.DedupKey()).second) {
       out.push_back(std::move(state));
     }
+  }
+  *paths = std::move(out);
+}
+
+void CanonicalizePaths(PathSet* paths) {
+  std::vector<std::pair<std::string, size_t>> keys;
+  keys.reserve(paths->size());
+  for (size_t i = 0; i < paths->size(); ++i) {
+    keys.emplace_back((*paths)[i].DedupKey(), i);
+  }
+  std::sort(keys.begin(), keys.end());
+  PathSet out;
+  out.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0 && keys[i].first == keys[i - 1].first) continue;
+    out.push_back(std::move((*paths)[keys[i].second]));
   }
   *paths = std::move(out);
 }

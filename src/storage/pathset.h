@@ -95,8 +95,17 @@ struct PathState {
 
 using PathSet = std::vector<PathState>;
 
-/// Removes duplicate states (same uids, frontier and interval).
+/// Removes duplicate states (same uids, frontier and interval), keeping the
+/// first occurrence. The surviving set is input-order independent; the
+/// output order is not.
 void DedupPaths(PathSet* paths);
+
+/// Sorts states into canonical (DedupKey) order and removes duplicates.
+/// Unlike DedupPaths the result — including its order — is fully
+/// independent of the input order, which makes merged shard outputs of the
+/// parallel executor deterministic and lets tests compare path sets across
+/// different anchor choices byte-for-byte.
+void CanonicalizePaths(PathSet* paths);
 
 /// The retargetable operator set. One instance per (backend, query).
 class PathOperatorExecutor {
@@ -136,6 +145,9 @@ class PathOperatorExecutor {
 
   // ---- Operator tracing (EXPLAIN support) ----
   void EnableTrace(bool on) { trace_enabled_ = on; }
+  /// Tracing appends to a shared per-executor buffer, so parallel plan
+  /// evaluation must fall back to serial execution while it is on.
+  bool trace_enabled() const { return trace_enabled_; }
   const std::vector<std::string>& trace() const { return trace_; }
   void ClearTrace() { trace_.clear(); }
 

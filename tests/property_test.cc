@@ -639,5 +639,167 @@ TEST(PropertyTest, TimesliceEqualsRebuiltSnapshot) {
   }
 }
 
+// ---- Interval intersection canonicality (touching-endpoint hardening) ----
+
+TEST(PropertyTest, EmptyIntersectionsAreCanonical) {
+  // [a,b) ∩ [b,c) is empty (half-open semantics); every empty intersection
+  // must normalize to the one canonical empty interval, never to a
+  // non-canonical start > end pair that downstream code could mistake for
+  // a valid period.
+  const Interval none = Interval::None();
+  EXPECT_TRUE(none.empty());
+
+  // Touching endpoints, both orders.
+  Interval ab{10, 20}, bc{20, 30};
+  EXPECT_EQ(ab.Intersect(bc), none);
+  EXPECT_EQ(bc.Intersect(ab), none);
+  // Disjoint with a gap.
+  EXPECT_EQ(Interval({0, 5}).Intersect({50, 60}), none);
+  // Empty operand.
+  EXPECT_EQ(none.Intersect(Interval::All()), none);
+  EXPECT_EQ(Interval::All().Intersect(none), none);
+
+  // Randomized: Intersect is empty exactly when the operands do not
+  // overlap, every empty result is canonical, and every non-empty result
+  // is the true set intersection of the two half-open ranges.
+  Rng rng(112358);
+  for (int i = 0; i < 20000; ++i) {
+    auto pick = [&] {
+      Timestamp a = static_cast<Timestamp>(rng.Below(40));
+      Timestamp b = static_cast<Timestamp>(rng.Below(40));
+      return Interval{a, b};
+    };
+    Interval x = pick(), y = pick();
+    Interval got = x.Intersect(y);
+    bool expect_empty = x.empty() || y.empty() || !x.Overlaps(y);
+    ASSERT_EQ(got.empty(), expect_empty)
+        << x.ToString() << " ∩ " << y.ToString();
+    if (expect_empty) {
+      ASSERT_EQ(got, none) << x.ToString() << " ∩ " << y.ToString();
+    } else {
+      for (Timestamp t = 0; t < 40; ++t) {
+        ASSERT_EQ(got.Contains(t), x.Contains(t) && y.Contains(t))
+            << x.ToString() << " ∩ " << y.ToString() << " at " << t;
+      }
+    }
+    // An empty interval must never be added to an IntervalSet's coverage.
+    IntervalSet set;
+    set.Add(got);
+    ASSERT_EQ(set.empty(), got.empty());
+  }
+}
+
+TEST(PropertyTest, NoZeroWidthValidityReachesResultRows) {
+  // Over randomized element churn (whose version boundaries routinely make
+  // intervals touch), no result row of a time-range query may carry an
+  // empty validity — neither the row's joint interval nor any pathway's.
+  schema::SchemaPtr schema = *schema::ParseSchemaDsl(kPropertySchema);
+  Rng rng(424242);
+  const Timestamp base = *ParseTimestamp("2017-05-01 00:00:00");
+  for (auto kind : {nepal::testing::BackendKind::kGraphStore,
+                    nepal::testing::BackendKind::kRelational}) {
+    for (int round = 0; round < 10; ++round) {
+      auto db = std::make_unique<storage::GraphDb>(
+          schema, nepal::testing::MakeBackend(kind, schema));
+      Rng ops_rng(rng.Next());
+      std::vector<Uid> nodes;
+      for (int step = 0; step < 50; ++step) {
+        ASSERT_TRUE(
+            db->SetTime(base + static_cast<Timestamp>(step) * 1000000).ok());
+        double dice = ops_rng.NextDouble();
+        if (dice < 0.4 || nodes.size() < 2) {
+          auto u = db->AddNode(
+              ops_rng.Chance(0.5) ? "A" : "B",
+              {{"name", Value("n" + std::to_string(step))},
+               {"val", Value(static_cast<int64_t>(ops_rng.Below(3)))}});
+          ASSERT_TRUE(u.ok());
+          nodes.push_back(*u);
+        } else if (dice < 0.7) {
+          Uid s = nodes[ops_rng.Below(nodes.size())];
+          Uid t = nodes[ops_rng.Below(nodes.size())];
+          if (s != t) (void)db->AddEdge("E", s, t, {});
+        } else if (dice < 0.9) {
+          (void)db->UpdateElement(
+              nodes[ops_rng.Below(nodes.size())],
+              {{"val", Value(static_cast<int64_t>(ops_rng.Below(3)))}});
+        } else {
+          (void)db->RemoveElement(nodes[ops_rng.Below(nodes.size())]);
+        }
+      }
+      nql::QueryEngine engine(db.get());
+      std::string range = "AT '" + FormatTimestamp(base) + "' : '" +
+                          FormatTimestamp(base + 60 * 1000000) + "' ";
+      for (const char* q :
+           {"Retrieve P From PATHS P Where P MATCHES A()->E()->Node()",
+            "Retrieve P From PATHS P Where P MATCHES "
+            "Node(name<>'zz')->[E()]{1,2}->Node(name<>'zz')",
+            "Retrieve P, Q From PATHS P, PATHS Q "
+            "Where P MATCHES A()->E()->Node() And Q MATCHES B()"}) {
+        auto result = engine.Run(range + std::string(q));
+        ASSERT_TRUE(result.ok()) << result.status();
+        for (const auto& row : result->rows) {
+          EXPECT_FALSE(row.valid.empty())
+              << nepal::testing::BackendName(kind) << " row validity "
+              << row.valid.ToString() << "\nquery: " << q;
+          for (const auto& path : row.paths) {
+            EXPECT_FALSE(path.valid.empty())
+                << nepal::testing::BackendName(kind) << " pathway validity "
+                << path.valid.ToString() << "\nquery: " << q;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PropertyTest, TouchingValidityPeriodsNeverCoexist) {
+  // Deterministic touching-endpoint scenario: P lives on [t0, t1), Q on
+  // [t1, t2). A query-level range demands coexistence — the joint validity
+  // is the empty intersection at the shared boundary t1, so no row may
+  // survive.
+  schema::SchemaPtr schema = *schema::ParseSchemaDsl(kPropertySchema);
+  const Timestamp t0 = *ParseTimestamp("2017-06-01 00:00:00");
+  const Timestamp t1 = t0 + 3600 * 1000000LL;
+  const Timestamp t2 = t1 + 3600 * 1000000LL;
+  for (auto kind : {nepal::testing::BackendKind::kGraphStore,
+                    nepal::testing::BackendKind::kRelational}) {
+    auto db = std::make_unique<storage::GraphDb>(
+        schema, nepal::testing::MakeBackend(kind, schema));
+    ASSERT_TRUE(db->SetTime(t0).ok());
+    Uid a = *db->AddNode("A", {{"name", Value("a")}, {"val", Value(1)}});
+    Uid b = *db->AddNode("B", {{"name", Value("b")}, {"val", Value(1)}});
+    Uid e = *db->AddEdge("E", a, b, {});
+    // At t1 the A->B edge dies and a B-side marker node is born: the edge
+    // pathway's validity [t0,t1) exactly touches the marker's [t1,t2).
+    ASSERT_TRUE(db->SetTime(t1).ok());
+    ASSERT_TRUE(db->RemoveElement(e).ok());
+    Uid marker =
+        *db->AddNode("A1", {{"name", Value("m")}, {"val", Value(7)}});
+    ASSERT_TRUE(db->SetTime(t2).ok());
+    ASSERT_TRUE(db->RemoveElement(marker).ok());
+
+    nql::QueryEngine engine(db.get());
+    std::string range = "AT '" + FormatTimestamp(t0) + "' : '" +
+                        FormatTimestamp(t2 + 1000000) + "' ";
+    auto result = engine.Run(range +
+                             "Retrieve P, Q From PATHS P, PATHS Q "
+                             "Where P MATCHES A(name='a')->E()->B() "
+                             "And Q MATCHES A1(val=7)");
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(result->rows.empty())
+        << nepal::testing::BackendName(kind)
+        << ": touching validity periods produced a coexistence row with "
+        << "joint validity "
+        << (result->rows.empty() ? "" : result->rows[0].valid.ToString());
+
+    // Each variable alone is still found with its true (non-empty) period.
+    auto p_only = engine.Run(
+        range + "Retrieve P From PATHS P Where P MATCHES A(name='a')->E()->B()");
+    ASSERT_TRUE(p_only.ok()) << p_only.status();
+    ASSERT_EQ(p_only->rows.size(), 1u);
+    EXPECT_EQ(p_only->rows[0].valid, Interval({t0, t1}));
+  }
+}
+
 }  // namespace
 }  // namespace nepal
