@@ -55,11 +55,14 @@ AnchorFixture& Fixture() {
   return *fixture;
 }
 
-void RunInstances(benchmark::State& state, const InstanceSet& set) {
+void RunInstances(benchmark::State& state, const char* label,
+                  const InstanceSet& set) {
   if (set.queries.empty()) {
     state.SkipWithError("no non-empty instances sampled");
     return;
   }
+  BenchJson::Instance().Begin(label, Fixture().net.db->backend().name(),
+                              set.queries.front());
   size_t i = 0;
   size_t paths = 0;
   for (auto _ : state) {
@@ -70,21 +73,21 @@ void RunInstances(benchmark::State& state, const InstanceSet& set) {
 }
 
 void BM_Anchor_BothEnds(benchmark::State& state) {
-  RunInstances(state, Fixture().both_ends);
+  RunInstances(state, "Anchor_BothEnds", Fixture().both_ends);
 }
 BENCHMARK(BM_Anchor_BothEnds)->Unit(benchmark::kMillisecond);
 
 void BM_Anchor_StartOnly(benchmark::State& state) {
-  RunInstances(state, Fixture().start_only);
+  RunInstances(state, "Anchor_StartOnly", Fixture().start_only);
 }
 BENCHMARK(BM_Anchor_StartOnly)->Unit(benchmark::kMillisecond);
 
 void BM_Anchor_EndOnly(benchmark::State& state) {
-  RunInstances(state, Fixture().end_only);
+  RunInstances(state, "Anchor_EndOnly", Fixture().end_only);
 }
 BENCHMARK(BM_Anchor_EndOnly)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace nepal::bench
 
-BENCHMARK_MAIN();
+NEPAL_BENCH_MAIN("ablation_anchors");

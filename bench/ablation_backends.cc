@@ -75,12 +75,14 @@ BackendsFixture& Fixture() {
   return *fixture;
 }
 
-void RunInstances(benchmark::State& state, const BackendLoad& load,
-                  const InstanceSet& set) {
+void RunInstances(benchmark::State& state, const char* label,
+                  const BackendLoad& load, const InstanceSet& set) {
   if (set.queries.empty()) {
     state.SkipWithError("no non-empty instances sampled");
     return;
   }
+  BenchJson::Instance().Begin(label, load.net.db->backend().name(),
+                              set.queries.front());
   size_t i = 0;
   size_t paths = 0;
   for (auto _ : state) {
@@ -92,11 +94,13 @@ void RunInstances(benchmark::State& state, const BackendLoad& load,
 
 #define BACKEND_BENCH(query)                                        \
   void BM_##query##_GraphStore(benchmark::State& state) {          \
-    RunInstances(state, Fixture().graphstore, Fixture().graphstore.query); \
+    RunInstances(state, #query "_GraphStore", Fixture().graphstore, \
+                 Fixture().graphstore.query);                       \
   }                                                                 \
   BENCHMARK(BM_##query##_GraphStore)->Unit(benchmark::kMillisecond); \
   void BM_##query##_Relational(benchmark::State& state) {          \
-    RunInstances(state, Fixture().relational, Fixture().relational.query); \
+    RunInstances(state, #query "_Relational", Fixture().relational, \
+                 Fixture().relational.query);                       \
   }                                                                 \
   BENCHMARK(BM_##query##_Relational)->Unit(benchmark::kMillisecond)
 
@@ -107,4 +111,4 @@ BACKEND_BENCH(vmvm);
 }  // namespace
 }  // namespace nepal::bench
 
-BENCHMARK_MAIN();
+NEPAL_BENCH_MAIN("ablation_backends");

@@ -63,12 +63,14 @@ EbFixture& Fixture() {
   return *fixture;
 }
 
-void RunInstances(benchmark::State& state, const nql::QueryEngine& engine,
-                  const InstanceSet& set) {
+void RunInstances(benchmark::State& state, const char* label,
+                  const nql::QueryEngine& engine, const InstanceSet& set) {
   if (set.queries.empty()) {
     state.SkipWithError("no non-empty instances sampled");
     return;
   }
+  BenchJson::Instance().Begin(label, Fixture().net.db->backend().name(),
+                              set.queries.front());
   size_t i = 0;
   size_t paths = 0;
   for (auto _ : state) {
@@ -79,26 +81,29 @@ void RunInstances(benchmark::State& state, const nql::QueryEngine& engine,
 }
 
 void BM_VmVm4_ExtendBlock(benchmark::State& state) {
-  RunInstances(state, *Fixture().with_block, Fixture().vmvm);
+  RunInstances(state, "VmVm4_ExtendBlock", *Fixture().with_block,
+               Fixture().vmvm);
 }
 BENCHMARK(BM_VmVm4_ExtendBlock)->Unit(benchmark::kMillisecond);
 
 void BM_VmVm4_Unrolled(benchmark::State& state) {
-  RunInstances(state, *Fixture().unrolled, Fixture().vmvm);
+  RunInstances(state, "VmVm4_Unrolled", *Fixture().unrolled, Fixture().vmvm);
 }
 BENCHMARK(BM_VmVm4_Unrolled)->Unit(benchmark::kMillisecond);
 
 void BM_HostHost6_ExtendBlock(benchmark::State& state) {
-  RunInstances(state, *Fixture().with_block, Fixture().hosthost6);
+  RunInstances(state, "HostHost6_ExtendBlock", *Fixture().with_block,
+               Fixture().hosthost6);
 }
 BENCHMARK(BM_HostHost6_ExtendBlock)->Unit(benchmark::kMillisecond);
 
 void BM_HostHost6_Unrolled(benchmark::State& state) {
-  RunInstances(state, *Fixture().unrolled, Fixture().hosthost6);
+  RunInstances(state, "HostHost6_Unrolled", *Fixture().unrolled,
+               Fixture().hosthost6);
 }
 BENCHMARK(BM_HostHost6_Unrolled)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace nepal::bench
 
-BENCHMARK_MAIN();
+NEPAL_BENCH_MAIN("ablation_extendblock");

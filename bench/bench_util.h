@@ -1,5 +1,6 @@
 // Shared benchmark fixtures: lazily-built networks, query-instance
-// sampling (zero-path instances excluded, as in the paper), and helpers.
+// sampling (zero-path instances excluded, as in the paper), helpers, and
+// the machine-readable result recorder (BENCH_<name>.json).
 //
 // Scale knobs (environment variables):
 //   NEPAL_BENCH_LEGACY_DEVICES  — legacy topology size (default 1000;
@@ -10,16 +11,24 @@
 #ifndef NEPAL_BENCH_BENCH_UTIL_H_
 #define NEPAL_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
+
+#include <benchmark/benchmark.h>
 
 #include "graphstore/graph_store.h"
 #include "nepal/engine.h"
 #include "netmodel/legacy.h"
 #include "netmodel/virtualized.h"
+#include "obs/metrics.h"
+#include "obs/query_stats.h"
 #include "relational/relational_store.h"
 
 namespace nepal::bench {
@@ -42,16 +51,156 @@ inline netmodel::BackendFactory GraphStoreFactory() {
   };
 }
 
+/// Machine-readable benchmark results. Each benchmark's measurement helper
+/// calls Begin(label, backend, query) before its timing loop to mark the
+/// active record; MustRun then feeds every execution's wall time, row count
+/// and per-operator stats (engine.LastQueryStats()) into it. Benchmarks
+/// without a query loop record plain Counter values instead. The
+/// NEPAL_BENCH_MAIN macro writes the accumulated records to
+/// BENCH_<bench_name>.json in the working directory — the file the CI
+/// bench-smoke step validates and archives.
+class BenchJson {
+ public:
+  static BenchJson& Instance() {
+    static BenchJson* instance = new BenchJson();
+    return *instance;
+  }
+
+  /// Marks (creating on first use) the record that subsequent Observe
+  /// calls accumulate into. Re-running the same benchmark (estimation
+  /// passes) keeps accumulating into the same record.
+  void Begin(const std::string& name, const std::string& backend,
+             const std::string& query) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Record& r = Lookup(name);
+    r.backend = backend;
+    r.query = query;
+    active_ = &r;
+  }
+
+  /// One query execution. No-op while no record is active (fixture setup,
+  /// instance sampling).
+  void Observe(double ms, size_t rows, obs::QueryStats stats) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (active_ == nullptr) return;
+    ++active_->executions;
+    active_->total_rows += static_cast<double>(rows);
+    active_->ms_samples.push_back(ms);
+    active_->stats.MergeFrom(stats);
+  }
+
+  /// Standalone numeric result for non-query benchmarks (storage overhead,
+  /// ingest throughput).
+  void Counter(const std::string& name, const std::string& key,
+               double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Lookup(name).counters[key] = value;
+  }
+
+  /// Writes BENCH_<bench_name>.json. Query records carry
+  /// executions/paths/mean_ms/median_ms plus the merged per-operator
+  /// stats; counter records carry their key/value map.
+  void WriteFile(const std::string& bench_name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out = "{\"bench\":\"" + obs::JsonEscape(bench_name) +
+                      "\",\"records\":[";
+    bool first = true;
+    for (const std::string& name : order_) {
+      Record& r = records_.at(name);
+      if (!first) out += ",";
+      first = false;
+      out += "{\"name\":\"" + obs::JsonEscape(name) + "\"";
+      if (r.executions > 0) {
+        double n = static_cast<double>(r.executions);
+        double mean = 0;
+        for (double ms : r.ms_samples) mean += ms;
+        mean /= n;
+        std::vector<double> sorted = r.ms_samples;
+        std::sort(sorted.begin(), sorted.end());
+        double median = sorted[sorted.size() / 2];
+        out += ",\"backend\":\"" + obs::JsonEscape(r.backend) + "\"";
+        out += ",\"query\":\"" + obs::JsonEscape(r.query) + "\"";
+        out += ",\"executions\":" + std::to_string(r.executions);
+        out += ",\"paths\":" + FormatDouble(r.total_rows / n);
+        out += ",\"mean_ms\":" + FormatDouble(mean);
+        out += ",\"median_ms\":" + FormatDouble(median);
+        out += ",\"operators\":[";
+        for (size_t i = 0; i < r.stats.operators.size(); ++i) {
+          if (i > 0) out += ",";
+          r.stats.operators[i].AppendJson(&out);
+        }
+        out += "]";
+      }
+      if (!r.counters.empty()) {
+        out += ",\"counters\":{";
+        bool first_counter = true;
+        for (const auto& [key, value] : r.counters) {
+          if (!first_counter) out += ",";
+          first_counter = false;
+          out += "\"" + obs::JsonEscape(key) + "\":" + FormatDouble(value);
+        }
+        out += "}";
+      }
+      out += "}";
+    }
+    out += "]}\n";
+    const std::string path = "BENCH_" + bench_name + ".json";
+    FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s (%zu record(s))\n", path.c_str(),
+                 records_.size());
+  }
+
+ private:
+  struct Record {
+    std::string backend, query;
+    size_t executions = 0;
+    double total_rows = 0;
+    std::vector<double> ms_samples;
+    obs::QueryStats stats;
+    std::map<std::string, double> counters;
+  };
+
+  Record& Lookup(const std::string& name) {
+    auto [it, inserted] = records_.try_emplace(name);
+    if (inserted) order_.push_back(name);
+    return it->second;
+  }
+
+  static std::string FormatDouble(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  std::mutex mu_;
+  std::map<std::string, Record> records_;
+  std::vector<std::string> order_;  // insertion order for stable output
+  Record* active_ = nullptr;        // stable: map nodes don't move
+};
+
 /// Runs a query, aborting the benchmark on error (a bench must not silently
-/// measure failures).
+/// measure failures). Feeds timing, row count and per-operator stats into
+/// the active BenchJson record.
 inline size_t MustRun(const nql::QueryEngine& engine,
                       const std::string& query) {
+  auto start = std::chrono::steady_clock::now();
   auto result = engine.Run(query);
   if (!result.ok()) {
     std::fprintf(stderr, "bench query failed: %s\n  query: %s\n",
                  result.status().ToString().c_str(), query.c_str());
     std::abort();
   }
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  BenchJson::Instance().Observe(ms, result->rows.size(),
+                                engine.LastQueryStats());
   return result->rows.size();
 }
 
@@ -105,5 +254,16 @@ inline std::string OnHistory(const std::string& query, Timestamp t) {
 }
 
 }  // namespace nepal::bench
+
+/// BENCHMARK_MAIN plus the BENCH_<name>.json dump after the run.
+#define NEPAL_BENCH_MAIN(bench_name)                                    \
+  int main(int argc, char** argv) {                                     \
+    ::benchmark::Initialize(&argc, argv);                               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                              \
+    ::benchmark::Shutdown();                                            \
+    ::nepal::bench::BenchJson::Instance().WriteFile(bench_name);        \
+    return 0;                                                           \
+  }
 
 #endif  // NEPAL_BENCH_BENCH_UTIL_H_

@@ -43,6 +43,13 @@ DepthLoad& LoadFor(int days) {
 
 void BM_HistoryDepth_Snapshot(benchmark::State& state) {
   DepthLoad& load = LoadFor(static_cast<int>(state.range(0)));
+  if (load.topdown.queries.empty()) {
+    state.SkipWithError("no non-empty instances sampled");
+    return;
+  }
+  BenchJson::Instance().Begin(
+      "HistoryDepth_Snapshot/days:" + std::to_string(state.range(0)),
+      load.net.db->backend().name(), load.topdown.queries.front());
   size_t i = 0;
   for (auto _ : state) {
     MustRun(*load.engine, load.topdown.Next(i++));
@@ -57,10 +64,18 @@ BENCHMARK(BM_HistoryDepth_Snapshot)
 
 void BM_HistoryDepth_Timeslice(benchmark::State& state) {
   DepthLoad& load = LoadFor(static_cast<int>(state.range(0)));
+  if (load.topdown.queries.empty()) {
+    state.SkipWithError("no non-empty instances sampled");
+    return;
+  }
   // Slice in the middle of the recorded history.
   Timestamp mid =
       load.net.snapshot_time +
       (load.net.end_time - load.net.snapshot_time) / 2;
+  BenchJson::Instance().Begin(
+      "HistoryDepth_Timeslice/days:" + std::to_string(state.range(0)),
+      load.net.db->backend().name(),
+      OnHistory(load.topdown.queries.front(), mid));
   size_t i = 0;
   for (auto _ : state) {
     MustRun(*load.engine, OnHistory(load.topdown.Next(i++), mid));
@@ -76,4 +91,4 @@ BENCHMARK(BM_HistoryDepth_Timeslice)
 }  // namespace
 }  // namespace nepal::bench
 
-BENCHMARK_MAIN();
+NEPAL_BENCH_MAIN("history_depth_sweep");

@@ -50,6 +50,9 @@ void BM_InsertNodes(benchmark::State& state) {
     if (!uid.ok()) state.SkipWithError("insert failed");
   }
   state.SetItemsProcessed(state.iterations());
+  BenchJson::Instance().Counter(
+      std::string("InsertNodes/") + db->backend().name(), "items",
+      static_cast<double>(state.iterations()));
 }
 BENCHMARK(BM_InsertNodes)->Arg(0)->Arg(1)->ArgName("relational");
 
@@ -69,6 +72,9 @@ void BM_InsertEdges(benchmark::State& state) {
     if (!uid.ok()) state.SkipWithError("insert failed");
   }
   state.SetItemsProcessed(state.iterations());
+  BenchJson::Instance().Counter(
+      std::string("InsertEdges/") + db->backend().name(), "items",
+      static_cast<double>(state.iterations()));
 }
 BENCHMARK(BM_InsertEdges)->Arg(0)->Arg(1)->ArgName("relational");
 
@@ -94,6 +100,9 @@ void BM_TemporalUpdates(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
   state.counters["versions"] =
       static_cast<double>(db->backend().VersionCount());
+  BenchJson::Instance().Counter(
+      std::string("TemporalUpdates/") + db->backend().name(), "versions",
+      static_cast<double>(db->backend().VersionCount()));
 }
 BENCHMARK(BM_TemporalUpdates)->Arg(0)->Arg(1)->ArgName("relational");
 
@@ -138,6 +147,13 @@ void BM_SnapshotDiff(benchmark::State& state) {
       static_cast<double>(snap.nodes.size() + snap.edges.size());
   state.counters["versions"] =
       static_cast<double>(db->backend().VersionCount());
+  const std::string label =
+      "SnapshotDiff/change_permille:" + std::to_string(change_permille);
+  BenchJson::Instance().Counter(
+      label, "elements",
+      static_cast<double>(snap.nodes.size() + snap.edges.size()));
+  BenchJson::Instance().Counter(
+      label, "versions", static_cast<double>(db->backend().VersionCount()));
 }
 BENCHMARK(BM_SnapshotDiff)
     ->Arg(0)     // unchanged snapshot: pure diff detection
@@ -149,4 +165,4 @@ BENCHMARK(BM_SnapshotDiff)
 }  // namespace
 }  // namespace nepal::bench
 
-BENCHMARK_MAIN();
+NEPAL_BENCH_MAIN("ingest_throughput");

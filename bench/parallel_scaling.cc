@@ -69,11 +69,14 @@ const char* QueryFor(const std::string& kind) {
          "Host()->[connects()]{1,4}->Host()";
 }
 
-void RunScaling(benchmark::State& state, ScalingLoad& load,
-                const std::string& kind) {
+void RunScaling(benchmark::State& state, const char* label,
+                ScalingLoad& load, const std::string& kind) {
   const int parallelism = static_cast<int>(state.range(0));
   const nql::QueryEngine& engine = *load.engines.at(parallelism);
   const std::string query = QueryFor(kind);
+  BenchJson::Instance().Begin(
+      std::string(label) + "/lanes:" + std::to_string(parallelism),
+      load.net.db->backend().name(), query);
   size_t paths = 0;
   size_t iters = 0;
   for (auto _ : state) {
@@ -87,13 +90,13 @@ void RunScaling(benchmark::State& state, ScalingLoad& load,
 
 #define SCALING_BENCH(kind)                                                 \
   void BM_##kind##_GraphStore(benchmark::State& state) {                    \
-    RunScaling(state, Fixture().graphstore, #kind);                         \
+    RunScaling(state, #kind "_GraphStore", Fixture().graphstore, #kind);    \
   }                                                                         \
   BENCHMARK(BM_##kind##_GraphStore)                                         \
       ->Arg(1)->Arg(2)->Arg(4)->Arg(8)                                      \
       ->Unit(benchmark::kMillisecond)->UseRealTime();                       \
   void BM_##kind##_Relational(benchmark::State& state) {                    \
-    RunScaling(state, Fixture().relational, #kind);                         \
+    RunScaling(state, #kind "_Relational", Fixture().relational, #kind);    \
   }                                                                         \
   BENCHMARK(BM_##kind##_Relational)                                         \
       ->Arg(1)->Arg(2)->Arg(4)->Arg(8)                                      \
@@ -106,4 +109,4 @@ SCALING_BENCH(eastwest);
 }  // namespace
 }  // namespace nepal::bench
 
-BENCHMARK_MAIN();
+NEPAL_BENCH_MAIN("parallel_scaling");

@@ -103,13 +103,17 @@ Table1Fixture& Fixture() {
   return *fixture;
 }
 
-void RunInstances(benchmark::State& state, const InstanceSet& set,
-                  bool history) {
+void RunInstances(benchmark::State& state, const char* label,
+                  const InstanceSet& set, bool history) {
   Table1Fixture& fx = Fixture();
   if (set.queries.empty()) {
     state.SkipWithError("no non-empty instances sampled");
     return;
   }
+  BenchJson::Instance().Begin(
+      label, fx.net.db->backend().name(),
+      history ? OnHistory(set.queries.front(), fx.net.end_time)
+              : set.queries.front());
   size_t i = 0;
   size_t paths = 0;
   for (auto _ : state) {
@@ -124,11 +128,13 @@ void RunInstances(benchmark::State& state, const InstanceSet& set,
 
 #define TABLE1_BENCH(name, member)                              \
   void BM_##name##_Snapshot(benchmark::State& state) {          \
-    RunInstances(state, Fixture().member, /*history=*/false);   \
+    RunInstances(state, #name "_Snapshot", Fixture().member,    \
+                 /*history=*/false);                            \
   }                                                             \
   BENCHMARK(BM_##name##_Snapshot)->Unit(benchmark::kMillisecond); \
   void BM_##name##_History(benchmark::State& state) {           \
-    RunInstances(state, Fixture().member, /*history=*/true);    \
+    RunInstances(state, #name "_History", Fixture().member,     \
+                 /*history=*/true);                             \
   }                                                             \
   BENCHMARK(BM_##name##_History)->Unit(benchmark::kMillisecond)
 
@@ -141,4 +147,4 @@ TABLE1_BENCH(Table1_HostHost6, hosthost6);
 }  // namespace
 }  // namespace nepal::bench
 
-BENCHMARK_MAIN();
+NEPAL_BENCH_MAIN("table1_virtualized");

@@ -112,13 +112,17 @@ Table2Fixture& Fixture() {
   return *fixture;
 }
 
-void RunInstances(benchmark::State& state, const InstanceSet& set,
-                  bool history) {
+void RunInstances(benchmark::State& state, const char* label,
+                  const InstanceSet& set, bool history) {
   Table2Fixture& fx = Fixture();
   if (set.queries.empty()) {
     state.SkipWithError("no non-empty instances sampled");
     return;
   }
+  BenchJson::Instance().Begin(
+      label, fx.net.db->backend().name(),
+      history ? OnHistory(set.queries.front(), fx.net.end_time)
+              : set.queries.front());
   size_t i = 0;
   size_t paths = 0;
   for (auto _ : state) {
@@ -133,13 +137,15 @@ void RunInstances(benchmark::State& state, const InstanceSet& set,
 
 #define TABLE2_BENCH(name, member, iters)                        \
   void BM_##name##_Snapshot(benchmark::State& state) {           \
-    RunInstances(state, Fixture().member, /*history=*/false);    \
+    RunInstances(state, #name "_Snapshot", Fixture().member,     \
+                 /*history=*/false);                             \
   }                                                              \
   BENCHMARK(BM_##name##_Snapshot)                                \
       ->Unit(benchmark::kMillisecond)                            \
       ->Iterations(iters);                                       \
   void BM_##name##_History(benchmark::State& state) {            \
-    RunInstances(state, Fixture().member, /*history=*/true);     \
+    RunInstances(state, #name "_History", Fixture().member,      \
+                 /*history=*/true);                              \
   }                                                              \
   BENCHMARK(BM_##name##_History)                                 \
       ->Unit(benchmark::kMillisecond)                            \
@@ -153,4 +159,4 @@ TABLE2_BENCH(Table2_BottomUp, bottomup, 50);
 }  // namespace
 }  // namespace nepal::bench
 
-BENCHMARK_MAIN();
+NEPAL_BENCH_MAIN("table2_legacy");

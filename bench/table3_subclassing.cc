@@ -88,12 +88,14 @@ Table3Fixture& Fixture() {
   return *fixture;
 }
 
-void RunInstances(benchmark::State& state, const Load& load,
-                  const InstanceSet& set) {
+void RunInstances(benchmark::State& state, const char* label,
+                  const Load& load, const InstanceSet& set) {
   if (set.queries.empty()) {
     state.SkipWithError("no non-empty instances sampled");
     return;
   }
+  BenchJson::Instance().Begin(label, load.net.db->backend().name(),
+                              set.queries.front());
   size_t i = 0;
   size_t paths = 0;
   for (auto _ : state) {
@@ -104,28 +106,32 @@ void RunInstances(benchmark::State& state, const Load& load,
 }
 
 void BM_Table3_ReversePath_SingleClass(benchmark::State& state) {
-  RunInstances(state, Fixture().single, Fixture().single.reverse_path);
+  RunInstances(state, "Table3_ReversePath_SingleClass", Fixture().single,
+               Fixture().single.reverse_path);
 }
 BENCHMARK(BM_Table3_ReversePath_SingleClass)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(4);
 
 void BM_Table3_ReversePath_Subclassed(benchmark::State& state) {
-  RunInstances(state, Fixture().subclassed, Fixture().subclassed.reverse_path);
+  RunInstances(state, "Table3_ReversePath_Subclassed", Fixture().subclassed,
+               Fixture().subclassed.reverse_path);
 }
 BENCHMARK(BM_Table3_ReversePath_Subclassed)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(4);
 
 void BM_Table3_BottomUp_SingleClass(benchmark::State& state) {
-  RunInstances(state, Fixture().single, Fixture().single.bottomup);
+  RunInstances(state, "Table3_BottomUp_SingleClass", Fixture().single,
+               Fixture().single.bottomup);
 }
 BENCHMARK(BM_Table3_BottomUp_SingleClass)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(50);
 
 void BM_Table3_BottomUp_Subclassed(benchmark::State& state) {
-  RunInstances(state, Fixture().subclassed, Fixture().subclassed.bottomup);
+  RunInstances(state, "Table3_BottomUp_Subclassed", Fixture().subclassed,
+               Fixture().subclassed.bottomup);
 }
 BENCHMARK(BM_Table3_BottomUp_Subclassed)
     ->Unit(benchmark::kMillisecond)
@@ -134,4 +140,4 @@ BENCHMARK(BM_Table3_BottomUp_Subclassed)
 }  // namespace
 }  // namespace nepal::bench
 
-BENCHMARK_MAIN();
+NEPAL_BENCH_MAIN("table3_subclassing");

@@ -52,10 +52,17 @@ void BM_Table4_StorageOverhead(benchmark::State& state) {
       static_cast<double>(with_history->final_version_count -
                           with_history->initial_version_count) /
       static_cast<double>(with_history->initial_version_count);
+  BenchJson& json = BenchJson::Instance();
+  json.Counter("Table4_StorageOverhead", "snapshot_mb", snapshot_bytes / 1e6);
+  json.Counter("Table4_StorageOverhead", "temporal_mb", temporal_bytes / 1e6);
+  json.Counter("Table4_StorageOverhead", "temporal_overhead_pct",
+               100.0 * (temporal_bytes - snapshot_bytes) / snapshot_bytes);
+  json.Counter("Table4_StorageOverhead", "naive_overhead_pct",
+               100.0 * (naive_bytes - snapshot_bytes) / snapshot_bytes);
 }
 BENCHMARK(BM_Table4_StorageOverhead)->Iterations(1);
 
 }  // namespace
 }  // namespace nepal::bench
 
-BENCHMARK_MAIN();
+NEPAL_BENCH_MAIN("table4_storage_overhead");

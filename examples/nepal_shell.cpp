@@ -14,6 +14,11 @@
 //   .export             dump the current snapshot as a feed
 //   .explain <query>;   show anchor choice, programs and backend trace
 //   .quit               exit
+// Observability commands:
+//   \metrics [json]     dump the process-wide metrics registry
+//   \timing             toggle per-query wall time + operator summary
+//   \slow               show the engine's slow-query log
+// And EXPLAIN ANALYZE <query>; runs the query with per-operator stats.
 
 #include <cstdio>
 #include <cstring>
@@ -23,6 +28,7 @@
 #include "graphstore/graph_store.h"
 #include "nepal/engine.h"
 #include "netmodel/feed.h"
+#include "obs/metrics.h"
 #include "relational/relational_store.h"
 #include "schema/dsl_parser.h"
 #include "storage/graphdb.h"
@@ -33,7 +39,12 @@ void PrintHelp() {
   std::printf(
       "Enter NQL queries terminated by ';'. Dot-commands:\n"
       "  .help / .schema / .stats / .load <file> / .export / .quit\n"
-      "  .explain <query>;   show the plan and executor trace\n");
+      "  .explain <query>;   show the plan and executor trace\n"
+      "Observability:\n"
+      "  \\metrics [json]     dump the metrics registry (text or JSON)\n"
+      "  \\timing             toggle per-query timing output\n"
+      "  \\slow               show the slow-query log\n"
+      "  EXPLAIN ANALYZE <query>;   per-operator execution stats\n");
 }
 
 }  // namespace
@@ -102,11 +113,34 @@ int main(int argc, char** argv) {
 
   std::string pending;
   std::string line;
+  bool timing = false;
   while (true) {
     std::fputs(pending.empty() ? "nepal> " : "  ...> ", stdout);
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
 
+    if (pending.empty() && !line.empty() && line[0] == '\\') {
+      if (line == "\\metrics") {
+        std::printf("%s", obs::MetricsRegistry::Global().RenderText().c_str());
+      } else if (line == "\\metrics json") {
+        std::printf("%s\n",
+                    obs::MetricsRegistry::Global().RenderJson().c_str());
+      } else if (line == "\\timing") {
+        timing = !timing;
+        std::printf("timing %s\n", timing ? "on" : "off");
+      } else if (line == "\\slow") {
+        auto slow = engine.SlowQueries();
+        if (slow.empty()) std::printf("slow-query log is empty\n");
+        for (const auto& entry : slow) {
+          std::printf("%10.3f ms  %zu row(s)  %s\n",
+                      static_cast<double>(entry.wall_ns) / 1e6, entry.rows,
+                      entry.query.c_str());
+        }
+      } else {
+        std::printf("unknown command; try .help\n");
+      }
+      continue;
+    }
     if (pending.empty() && !line.empty() && line[0] == '.') {
       if (line == ".quit" || line == ".exit") break;
       if (line == ".help") {
@@ -173,6 +207,12 @@ int main(int argc, char** argv) {
       std::printf("error: %s\n", result.status().ToString().c_str());
     } else {
       std::printf("%s", result->ToString(50).c_str());
+      if (timing) {
+        auto stats = engine.LastQueryStats();
+        std::printf("Time: %.3f ms  (%zu operator(s), parallelism %d)\n",
+                    static_cast<double>(stats.wall_ns) / 1e6,
+                    stats.operators.size(), stats.parallelism);
+      }
     }
   }
   std::printf("\n");

@@ -3,6 +3,10 @@
 namespace nepal::common {
 
 ThreadPool::ThreadPool(size_t workers) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  tasks_run_metric_ = registry.GetCounter("nepal.pool.tasks_run");
+  steals_metric_ = registry.GetCounter("nepal.pool.steals");
+  queue_depth_metric_ = registry.GetGauge("nepal.pool.queue_depth");
   deques_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
     deques_.push_back(std::make_unique<WorkDeque>());
@@ -35,6 +39,7 @@ ThreadPool& ThreadPool::Shared() {
 bool ThreadPool::TryTake(size_t home, Task* out) {
   const size_t n = deques_.size();
   bool found = false;
+  bool stolen = false;
   if (home < n) {
     WorkDeque& mine = *deques_[home];
     std::lock_guard<std::mutex> lock(mine.mu);
@@ -53,16 +58,26 @@ bool ThreadPool::TryTake(size_t home, Task* out) {
       *out = std::move(theirs.tasks.front());
       theirs.tasks.pop_front();
       found = true;
+      stolen = true;
     }
   }
   if (!found) return false;
-  std::lock_guard<std::mutex> lock(wake_mu_);
-  --queued_;
+  if (stolen) {
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    steals_metric_->Add(1);
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    --queued_;
+  }
+  queue_depth_metric_->Add(-1);
   return true;
 }
 
 void ThreadPool::Execute(const Task& task) {
   task.batch->tasks[task.index]();
+  tasks_run_.fetch_add(1, std::memory_order_relaxed);
+  tasks_run_metric_->Add(1);
   size_t done = task.batch->done.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (done == task.batch->tasks.size()) {
     // Lock before notifying so the completion cannot slip between the
@@ -89,6 +104,8 @@ void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
   if (workers_.empty() || tasks.size() == 1) {
     for (auto& task : tasks) task();
+    tasks_run_.fetch_add(tasks.size(), std::memory_order_relaxed);
+    tasks_run_metric_->Add(tasks.size());
     return;
   }
   auto batch = std::make_shared<Batch>();
@@ -104,6 +121,8 @@ void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
     std::lock_guard<std::mutex> lock(wake_mu_);
     queued_ += n;
   }
+  queue_depth_metric_->Add(static_cast<int64_t>(n));
+  batches_.fetch_add(1, std::memory_order_relaxed);
   wake_cv_.notify_all();
   // Help-first wait: execute queued tasks (this batch's or another's)
   // instead of blocking, then sleep only when every task is claimed.

@@ -13,12 +13,15 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace nepal::common {
 
@@ -44,6 +47,19 @@ class ThreadPool {
   /// several threads and from inside a task.
   void RunBatch(std::vector<std::function<void()>> tasks);
 
+  /// Pool-local introspection counters (this pool only; the registry
+  /// metrics below aggregate over every pool in the process).
+  struct Stats {
+    uint64_t tasks_run = 0;  // tasks executed to completion
+    uint64_t steals = 0;     // tasks taken from another worker's deque
+    uint64_t batches = 0;    // RunBatch calls that reached the deques
+  };
+  Stats stats() const {
+    return Stats{tasks_run_.load(std::memory_order_relaxed),
+                 steals_.load(std::memory_order_relaxed),
+                 batches_.load(std::memory_order_relaxed)};
+  }
+
  private:
   struct Batch {
     std::vector<std::function<void()>> tasks;
@@ -64,7 +80,7 @@ class ThreadPool {
   /// deque's front. `home >= deques_.size()` means "external thief" (a
   /// RunBatch caller), which only steals.
   bool TryTake(size_t home, Task* out);
-  static void Execute(const Task& task);
+  void Execute(const Task& task);
   void WorkerLoop(size_t id);
 
   std::vector<std::unique_ptr<WorkDeque>> deques_;
@@ -74,6 +90,17 @@ class ThreadPool {
   size_t queued_ = 0;   // unclaimed tasks, guarded by wake_mu_
   bool stop_ = false;   // guarded by wake_mu_
   std::atomic<size_t> push_cursor_{0};
+
+  // Introspection: pool-local atomics plus process-wide registry metrics
+  // ("nepal.pool.tasks_run" / "nepal.pool.steals" counters and the
+  // "nepal.pool.queue_depth" gauge). The metric pointers are cached at
+  // construction — registry lookups never sit on the hot path.
+  std::atomic<uint64_t> tasks_run_{0};
+  std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> batches_{0};
+  obs::Counter* tasks_run_metric_ = nullptr;
+  obs::Counter* steals_metric_ = nullptr;
+  obs::Gauge* queue_depth_metric_ = nullptr;
 };
 
 }  // namespace nepal::common

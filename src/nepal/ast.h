@@ -89,7 +89,18 @@ struct Predicate {
 
 enum class TemporalAgg { kNone, kFirstTime, kLastTime, kWhenExists };
 
+/// EXPLAIN prefix of a top-level query.
+///  - kPlan    (`EXPLAIN`): anchor choices, programs and result counts;
+///    runs at full PlanOptions::parallelism.
+///  - kAnalyze (`EXPLAIN ANALYZE`): per-operator execution stats
+///    (obs::QueryStats); runs at full parallelism.
+///  - kVerbose (`EXPLAIN VERBOSE`): adds the legacy backend string trace
+///    (operator/SQL lines); trace buffers are order-sensitive, so the run
+///    is forced serial (see storage/pathset.h).
+enum class ExplainMode { kNone, kPlan, kAnalyze, kVerbose };
+
 struct Query {
+  ExplainMode explain = ExplainMode::kNone;
   std::optional<TimeSpec> at;  // query-level AT
   TemporalAgg agg = TemporalAgg::kNone;
   bool is_select = false;  // Select (post-processing) vs Retrieve (pathways)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <functional>
 #include <set>
 #include <shared_mutex>
@@ -10,6 +11,7 @@
 #include <unordered_set>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace nepal::nql {
 
@@ -22,6 +24,13 @@ namespace {
 std::string RenderInterval(const Interval& iv) {
   if (iv == Interval::All()) return "";
   return " @" + iv.ToString();
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 /// Converts a completed PathState into a result Pathway.
@@ -107,6 +116,7 @@ std::string Pathway::ToString() const {
 }
 
 std::string QueryResult::ToString(size_t max_rows) const {
+  if (!explain_text.empty()) return explain_text;
   std::string out;
   if (agg != TemporalAgg::kNone) {
     switch (agg) {
@@ -183,23 +193,97 @@ Result<storage::GraphDb*> QueryEngine::SourceFor(
 
 Result<QueryResult> QueryEngine::Run(const std::string& nql) const {
   NEPAL_ASSIGN_OR_RETURN(Query query, ParseQuery(nql));
-  return RunInternal(query, OuterEnv{}, nullptr);
+  return RunParsed(query, nql);
 }
 
 Result<QueryResult> QueryEngine::RunQuery(const Query& query) const {
-  return RunInternal(query, OuterEnv{}, nullptr);
+  return RunParsed(query, "<ast>");
 }
 
 Result<std::string> QueryEngine::Explain(const std::string& nql) const {
   NEPAL_ASSIGN_OR_RETURN(Query query, ParseQuery(nql));
+  query.explain = ExplainMode::kVerbose;
+  NEPAL_ASSIGN_OR_RETURN(QueryResult result, RunParsed(query, nql));
+  return result.explain_text;
+}
+
+obs::QueryStats QueryEngine::LastQueryStats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return last_stats_;
+}
+
+std::vector<SlowQuery> QueryEngine::SlowQueries() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return std::vector<SlowQuery>(slow_log_.begin(), slow_log_.end());
+}
+
+Result<QueryResult> QueryEngine::RunParsed(const Query& query,
+                                           const std::string& text) const {
+  const std::string& backend_name = default_db_->backend().name();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+
+  ExplainCapture capture;
   std::vector<std::string> lines;
-  NEPAL_RETURN_NOT_OK(RunInternal(query, OuterEnv{}, &lines).status());
-  std::string out;
-  for (const std::string& line : lines) {
-    out += line;
-    out += "\n";
+  if (query.explain == ExplainMode::kPlan ||
+      query.explain == ExplainMode::kVerbose) {
+    capture.lines = &lines;
+    capture.trace = query.explain == ExplainMode::kVerbose;
   }
-  return out;
+
+  obs::QueryStatsBuilder builder;
+  const uint64_t start = NowNs();
+  Result<QueryResult> result = RunInternal(query, OuterEnv{}, capture,
+                                           &builder);
+  const uint64_t wall_ns = NowNs() - start;
+
+  if (!result.ok()) {
+    registry.GetCounter("nepal.query_errors." + backend_name)->Add(1);
+    return result;
+  }
+  registry.GetCounter("nepal.queries." + backend_name)->Add(1);
+  registry.GetHistogram("nepal.query_wall_ns." + backend_name)
+      ->Observe(wall_ns);
+
+  obs::QueryStats stats = builder.Snapshot();
+  stats.backend = backend_name;
+  stats.query = text;
+  stats.wall_ns = wall_ns;
+  stats.result_rows = result->rows.size();
+  stats.parallelism =
+      static_cast<int>(EffectiveParallelism(options_.plan));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    last_stats_ = stats;
+    if (options_.slow_query_ms > 0 &&
+        static_cast<double>(wall_ns) / 1e6 >= options_.slow_query_ms) {
+      slow_log_.push_back(SlowQuery{text, wall_ns, result->rows.size()});
+      if (slow_log_.size() > kSlowLogCapacity) slow_log_.pop_front();
+    }
+  }
+  if (options_.slow_query_ms > 0 &&
+      static_cast<double>(wall_ns) / 1e6 >= options_.slow_query_ms) {
+    registry.GetCounter("nepal.slow_queries." + backend_name)->Add(1);
+  }
+
+  switch (query.explain) {
+    case ExplainMode::kNone:
+      return result;
+    case ExplainMode::kAnalyze: {
+      QueryResult out;
+      out.explain_text = stats.ToString();
+      return out;
+    }
+    case ExplainMode::kPlan:
+    case ExplainMode::kVerbose: {
+      QueryResult out;
+      for (const std::string& line : lines) {
+        out.explain_text += line;
+        out.explain_text += "\n";
+      }
+      return out;
+    }
+  }
+  return result;
 }
 
 namespace {
@@ -216,6 +300,10 @@ struct VarState {
   double structural_cost = -1;  // < 0: no structural anchor
   bool evaluated = false;
   PathSet paths;
+  /// Operator-stats group for this variable (null when not collected).
+  /// Pre-created in declaration order so snapshots are deterministic even
+  /// when variables evaluate as a parallel batch.
+  obs::QueryStatsGroup* stats = nullptr;
 };
 
 /// True when the expression is a bare source()/target() endpoint reference
@@ -239,8 +327,9 @@ Uid EndpointOf(const PathState& state, PathExpr::Kind kind) {
 }  // namespace
 
 Result<QueryResult> QueryEngine::RunInternal(
-    const Query& query, const OuterEnv& outer,
-    std::vector<std::string>* explain, bool locks_held) const {
+    const Query& query, const OuterEnv& outer, const ExplainCapture& capture,
+    obs::QueryStatsBuilder* stats, bool locks_held) const {
+  std::vector<std::string>* explain = capture.lines;
   // ---- Validate structure and set up variable states ----
   if (query.range_vars.empty()) {
     return Status::InvalidArgument("a query needs at least one range variable");
@@ -274,7 +363,13 @@ Result<QueryResult> QueryEngine::RunInternal(
     vars[i].decl = &decl;
     NEPAL_ASSIGN_OR_RETURN(vars[i].db, SourceFor(decl));
     vars[i].exec = vars[i].db->backend().CreateExecutor();
-    if (explain != nullptr) vars[i].exec->EnableTrace(true);
+    // Only EXPLAIN VERBOSE turns the legacy string trace on (and thereby
+    // forces serial evaluation); EXPLAIN and EXPLAIN ANALYZE rely on the
+    // structured stats and keep full parallelism.
+    if (explain != nullptr && capture.trace) vars[i].exec->EnableTrace(true);
+    if (stats != nullptr) {
+      vars[i].stats = stats->AddGroup("var " + decl.name);
+    }
     vars[i].view = ViewFor(decl.at, query.at);
     std::string view_name = decl.view;
     for (char& c : view_name) c = static_cast<char>(std::toupper(c));
@@ -395,7 +490,7 @@ Result<QueryResult> QueryEngine::RunInternal(
       NEPAL_ASSIGN_OR_RETURN(PathSet view_paths,
                              EvaluateMatch(*vs.exec, vs.db->backend(),
                                            *vs.view_rpe, vs.view,
-                                           options_.plan));
+                                           options_.plan, vs.stats));
       std::unordered_map<std::string, std::vector<const PathState*>> by_uids;
       for (const PathState& state : view_paths) {
         std::string key;
@@ -429,13 +524,7 @@ Result<QueryResult> QueryEngine::RunInternal(
     return Status::OK();
   };
 
-  size_t effective_parallelism = 1;
-  if (options_.plan.parallelism > 1) {
-    effective_parallelism = static_cast<size_t>(options_.plan.parallelism);
-  } else if (options_.plan.parallelism <= 0) {
-    size_t hw = std::thread::hardware_concurrency();
-    effective_parallelism = hw == 0 ? 1 : hw;
-  }
+  const size_t effective_parallelism = EffectiveParallelism(options_.plan);
 
   // ---- Evaluate range variables, cheapest anchor first ----
   std::vector<size_t> eval_order;
@@ -471,7 +560,7 @@ Result<QueryResult> QueryEngine::RunInternal(
           Status& status = statuses[k];
           tasks.push_back([this, &vs, &status, &finish_var] {
             auto paths = EvaluateMatch(*vs.exec, vs.db->backend(), vs.rpe,
-                                       vs.view, options_.plan);
+                                       vs.view, options_.plan, vs.stats);
             if (!paths.ok()) {
               status = paths.status();
               return;
@@ -534,7 +623,7 @@ Result<QueryResult> QueryEngine::RunInternal(
                            " seed nodes)");
       }
       vs.paths = EvaluateMatchSeeded(*vs.exec, vs.rpe, best_seeds, best_side,
-                                     vs.view, options_.plan);
+                                     vs.view, options_.plan, vs.stats);
     } else {
       if (explain != nullptr) {
         NEPAL_ASSIGN_OR_RETURN(MatchPlan plan,
@@ -544,7 +633,7 @@ Result<QueryResult> QueryEngine::RunInternal(
       }
       NEPAL_ASSIGN_OR_RETURN(vs.paths,
                              EvaluateMatch(*vs.exec, vs.db->backend(), vs.rpe,
-                                           vs.view, options_.plan));
+                                           vs.view, options_.plan, vs.stats));
     }
     NEPAL_RETURN_NOT_OK(finish_var(vs));
     vs.evaluated = true;
@@ -658,6 +747,10 @@ Result<QueryResult> QueryEngine::RunInternal(
   };
 
   // ---- Join phase ----
+  // The join runs after every variable has finished evaluating, so op
+  // registration and recording are strictly sequential here.
+  obs::QueryStatsGroup* join_stats =
+      stats != nullptr ? stats->AddGroup("join") : nullptr;
   std::vector<JoinedRow> rows;
   {
     std::unordered_set<size_t> bound;
@@ -665,6 +758,9 @@ Result<QueryResult> QueryEngine::RunInternal(
     for (size_t k = 0; k < eval_order.size(); ++k) {
       size_t vi = eval_order[k];
       bound.insert(vi);
+      const uint64_t join_start = join_stats != nullptr ? NowNs() : 0;
+      const size_t join_rows_in = k == 0 ? vars[vi].paths.size()
+                                         : rows.size();
       std::vector<const Predicate*> now_evaluable;
       for (const Predicate* pred : compare_preds) {
         if (applied.count(pred)) continue;
@@ -754,6 +850,22 @@ Result<QueryResult> QueryEngine::RunInternal(
         next = std::move(filtered);
       }
       rows = std::move(next);
+      if (join_stats != nullptr) {
+        std::string label =
+            k == 0 ? "Init " + vars[vi].decl->name
+                   : "Join " + vars[vi].decl->name +
+                         (hash_pred != nullptr ? " (hash)" : " (product)");
+        if (!now_evaluable.empty()) {
+          label += " +" + std::to_string(now_evaluable.size()) + " filter(s)";
+        }
+        obs::OpSample sample;
+        sample.rows_in = join_rows_in;
+        sample.rows_out = rows.size();
+        sample.shards = 1;
+        sample.wall_ns = NowNs() - join_start;
+        sample.invocations = 1;
+        join_stats->Record(join_stats->AddOp(std::move(label)), sample);
+      }
       if (rows.empty()) break;
     }
     // Any compare predicate never applied references unknown variables.
@@ -769,6 +881,8 @@ Result<QueryResult> QueryEngine::RunInternal(
 
   // ---- Subqueries ----
   for (const Predicate* pred : exists_preds) {
+    const uint64_t exists_start = join_stats != nullptr ? NowNs() : 0;
+    const size_t exists_rows_in = rows.size();
     std::vector<JoinedRow> kept;
     for (const JoinedRow& row : rows) {
       OuterEnv env = outer;
@@ -782,13 +896,28 @@ Result<QueryResult> QueryEngine::RunInternal(
         env[vars[vi].decl->name] = OuterBinding{owned.back().get(),
                                                 vars[vi].db};
       }
+      // Subqueries are not instrumented: their per-row operator stats
+      // would swamp the outer query's table.
       NEPAL_ASSIGN_OR_RETURN(QueryResult sub,
-                             RunInternal(*pred->subquery, env, nullptr,
+                             RunInternal(*pred->subquery, env,
+                                         ExplainCapture{}, nullptr,
                                          /*locks_held=*/true));
       bool exists = !sub.rows.empty();
       if (exists != pred->negate_exists) kept.push_back(row);
     }
     rows = std::move(kept);
+    if (join_stats != nullptr) {
+      obs::OpSample sample;
+      sample.rows_in = exists_rows_in;
+      sample.rows_out = rows.size();
+      sample.shards = 1;
+      sample.wall_ns = NowNs() - exists_start;
+      sample.invocations = 1;
+      join_stats->Record(
+          join_stats->AddOp(std::string(pred->negate_exists ? "Not " : "") +
+                            "Exists subquery"),
+          sample);
+    }
   }
 
   // ---- Joint temporal semantics ----
@@ -943,9 +1072,22 @@ Result<QueryResult> QueryEngine::RunInternal(
         break;
       }
     }
+    if (stats != nullptr) {
+      obs::QueryStatsGroup* result_stats = stats->AddGroup("result");
+      obs::OpSample sample;
+      sample.rows_in = rows.size();
+      sample.rows_out = result.rows.size();
+      sample.shards = 1;
+      sample.invocations = 1;
+      result_stats->Record(result_stats->AddOp("Aggregate"), sample);
+    }
     return result;
   }
 
+  obs::QueryStatsGroup* result_stats =
+      stats != nullptr ? stats->AddGroup("result") : nullptr;
+  const uint64_t materialize_start = result_stats != nullptr ? NowNs() : 0;
+  const size_t materialize_rows_in = rows.size();
   for (const JoinedRow& row : rows) {
     ResultRow out_row;
     Interval joint = Interval::All();
@@ -982,9 +1124,20 @@ Result<QueryResult> QueryEngine::RunInternal(
       break;
     }
   }
+  if (result_stats != nullptr) {
+    obs::OpSample sample;
+    sample.rows_in = materialize_rows_in;
+    sample.rows_out = result.rows.size();
+    sample.shards = 1;
+    sample.wall_ns = NowNs() - materialize_start;
+    sample.invocations = 1;
+    result_stats->Record(result_stats->AddOp("Materialize"), sample);
+  }
 
   // ---- Row-level dedup / coalescing ----
   {
+    const uint64_t coalesce_start = result_stats != nullptr ? NowNs() : 0;
+    const size_t coalesce_rows_in = result.rows.size();
     std::unordered_map<std::string, std::vector<size_t>> groups;
     std::vector<std::string> order;
     for (size_t i = 0; i < result.rows.size(); ++i) {
@@ -1024,6 +1177,16 @@ Result<QueryResult> QueryEngine::RunInternal(
       }
     }
     result.rows = std::move(coalesced);
+    if (result_stats != nullptr) {
+      obs::OpSample sample;
+      sample.rows_in = coalesce_rows_in;
+      sample.rows_out = result.rows.size();
+      sample.dedup_dropped = coalesce_rows_in - result.rows.size();
+      sample.shards = 1;
+      sample.wall_ns = NowNs() - coalesce_start;
+      sample.invocations = 1;
+      result_stats->Record(result_stats->AddOp("Coalesce"), sample);
+    }
   }
 
   // ---- Temporal aggregation ----

@@ -15,8 +15,10 @@
 #ifndef NEPAL_NEPAL_ENGINE_H_
 #define NEPAL_NEPAL_ENGINE_H_
 
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -24,6 +26,7 @@
 #include "nepal/ast.h"
 #include "nepal/executor.h"
 #include "nepal/parser.h"
+#include "obs/query_stats.h"
 #include "storage/graphdb.h"
 
 namespace nepal::nql {
@@ -56,6 +59,11 @@ struct QueryResult {
   std::vector<std::string> value_columns;  // Select: expression renderings
   std::vector<ResultRow> rows;
 
+  /// Non-empty for EXPLAIN / EXPLAIN ANALYZE / EXPLAIN VERBOSE queries:
+  /// the rendered plan or per-operator stats. ToString() returns it
+  /// directly and `rows` stays empty.
+  std::string explain_text;
+
   TemporalAgg agg = TemporalAgg::kNone;
   /// When Exists: union of validity intervals of all results.
   IntervalSet when_exists;
@@ -69,6 +77,16 @@ struct EngineOptions {
   PlanOptions plan;
   /// Hard cap on result rows after join (0 = unlimited).
   size_t max_rows = 0;
+  /// Top-level queries slower than this land in the slow-query log
+  /// (SlowQueries()); 0 disables the log.
+  double slow_query_ms = 250.0;
+};
+
+/// One slow-query log entry (see EngineOptions::slow_query_ms).
+struct SlowQuery {
+  std::string query;  // NQL text ("<ast>" for RunQuery callers)
+  uint64_t wall_ns = 0;
+  size_t rows = 0;
 };
 
 class QueryEngine {
@@ -87,7 +105,9 @@ class QueryEngine {
 
   EngineOptions& options() { return options_; }
 
-  /// Parses and runs an NQL query.
+  /// Parses and runs an NQL query. An `EXPLAIN [ANALYZE|VERBOSE]` prefix
+  /// returns the plan / per-operator stats / backend trace as
+  /// QueryResult::explain_text (see ExplainMode in ast.h).
   Result<QueryResult> Run(const std::string& nql) const;
 
   /// Runs a pre-built AST (programmatic clients, subqueries).
@@ -95,7 +115,18 @@ class QueryEngine {
 
   /// Parses and plans the query, returning the anchor choices, per-variable
   /// programs, and (for the relational backend) the generated SQL.
+  /// Equivalent to Run("EXPLAIN VERBOSE " + nql): the run is serial (the
+  /// string trace is order-sensitive) — prefer EXPLAIN ANALYZE for runtime
+  /// numbers under parallelism.
   Result<std::string> Explain(const std::string& nql) const;
+
+  /// Per-operator stats of the most recent successful top-level query run
+  /// on this engine (thread-safe; concurrent runs race benignly on "most
+  /// recent").
+  obs::QueryStats LastQueryStats() const;
+
+  /// The most recent slow queries (newest last, bounded ring).
+  std::vector<SlowQuery> SlowQueries() const;
 
  private:
   struct OuterBinding {
@@ -104,11 +135,26 @@ class QueryEngine {
   };
   using OuterEnv = std::map<std::string, OuterBinding>;
 
+  /// Plan-line capture for EXPLAIN modes. `lines` collects the per-variable
+  /// plan text; `trace` additionally turns on the executors' legacy string
+  /// trace (EXPLAIN VERBOSE only — forces serial evaluation).
+  struct ExplainCapture {
+    std::vector<std::string>* lines = nullptr;
+    bool trace = false;
+  };
+
+  /// Top-level entry shared by Run/RunQuery/Explain: routes the explain
+  /// mode, collects per-operator stats, updates engine metrics and the
+  /// slow-query log.
+  Result<QueryResult> RunParsed(const Query& query,
+                                const std::string& text) const;
+
   /// `locks_held` is set on recursive (subquery) calls: the top-level call
   /// already holds shared locks on every data source, and shared_mutex
   /// must not be re-acquired recursively on the same thread.
   Result<QueryResult> RunInternal(const Query& query, const OuterEnv& outer,
-                                  std::vector<std::string>* explain,
+                                  const ExplainCapture& capture,
+                                  obs::QueryStatsBuilder* stats,
                                   bool locks_held = false) const;
 
   Result<storage::GraphDb*> SourceFor(const RangeVarDecl& decl) const;
@@ -117,6 +163,11 @@ class QueryEngine {
   std::map<std::string, storage::GraphDb*> sources_;
   std::map<std::string, RpeNode> views_;
   EngineOptions options_;
+
+  static constexpr size_t kSlowLogCapacity = 32;
+  mutable std::mutex stats_mu_;
+  mutable obs::QueryStats last_stats_;
+  mutable std::deque<SlowQuery> slow_log_;
 };
 
 }  // namespace nepal::nql

@@ -1,9 +1,9 @@
 #include "nepal/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <optional>
-#include <thread>
 
 #include "common/thread_pool.h"
 
@@ -20,12 +20,21 @@ namespace {
 /// overhead; the step runs serially.
 constexpr size_t kMinStatesPerShard = 8;
 
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 /// Resolved concurrency settings for one MATCHES evaluation. Per-state
 /// independence of Extend/ExtendBlock (the paper's Section 3.3 operators
 /// never look across states) is what makes frontier sharding legal.
 struct ParallelContext {
   common::ThreadPool* pool = nullptr;
   size_t parallelism = 1;
+  /// Operator-stats sink for this evaluation (null: not instrumented).
+  obs::QueryStatsGroup* stats = nullptr;
 
   bool enabled() const { return pool != nullptr && parallelism > 1; }
 };
@@ -33,14 +42,12 @@ struct ParallelContext {
 ParallelContext ContextFor(const storage::PathOperatorExecutor& exec,
                            const PlanOptions& options) {
   ParallelContext ctx;
-  if (options.parallelism > 1) {
-    ctx.parallelism = static_cast<size_t>(options.parallelism);
-  } else if (options.parallelism <= 0) {
-    size_t hw = std::thread::hardware_concurrency();
-    ctx.parallelism = hw == 0 ? 1 : hw;
-  }
-  // Tracing (EXPLAIN) appends to a shared per-executor buffer; keep traced
-  // runs serial so the rendered operator/SQL sequence stays coherent.
+  ctx.parallelism = EffectiveParallelism(options);
+  // The legacy string trace (EXPLAIN VERBOSE) appends to a shared
+  // per-executor buffer; keep traced runs serial so the rendered
+  // operator/SQL sequence stays coherent. Structured stats (EXPLAIN /
+  // EXPLAIN ANALYZE) merge associatively and put no such restriction on
+  // parallelism.
   if (exec.trace_enabled()) ctx.parallelism = 1;
   if (ctx.parallelism > 1) ctx.pool = &common::ThreadPool::Shared();
   return ctx;
@@ -68,23 +75,71 @@ std::optional<std::vector<storage::CompiledAtom>> AsAtomAlternation(
   return std::nullopt;
 }
 
+/// Short operator rendering for the stats table.
+std::string StepLabel(const Step& step) {
+  switch (step.kind) {
+    case Step::Kind::kAtom:
+      return "Extend " + step.atom.ToString();
+    case Step::Kind::kUnion:
+      return "Union x" + std::to_string(step.branches.size());
+    case Step::Kind::kLoop: {
+      std::string rep = "{" + std::to_string(step.min_rep) + "," +
+                        std::to_string(step.max_rep) + "}";
+      if (auto atoms = AsAtomAlternation(step.body)) {
+        std::string alts;
+        for (size_t i = 0; i < atoms->size(); ++i) {
+          if (i > 0) alts += "|";
+          alts += (*atoms)[i].ToString();
+        }
+        return "ExtendBlock" + rep + " " + alts;
+      }
+      return "Loop" + rep;
+    }
+  }
+  return "?";
+}
+
+/// Registers one stats node per step, recursing into union branches and
+/// general loop bodies. Bodies delegated to ExtendBlock are not recursed
+/// into — their steps never execute individually.
+void RegisterProgram(Program* program, obs::QueryStatsGroup* stats) {
+  for (Step& step : *program) {
+    step.op_id = stats->AddOp(StepLabel(step));
+    if (step.kind == Step::Kind::kUnion) {
+      for (Program& branch : step.branches) RegisterProgram(&branch, stats);
+    } else if (step.kind == Step::Kind::kLoop &&
+               !AsAtomAlternation(step.body).has_value()) {
+      RegisterProgram(&step.body, stats);
+    }
+  }
+}
+
+/// How much a step invocation records about itself. Shard slices of a
+/// sharded step contribute only strategy-level fields (wall time, shard
+/// count); the enclosing logical invocation records the partition-invariant
+/// row counts once.
+enum class RecordKind { kFull, kShardSlice };
+
 PathSet RunProgramCtx(storage::PathOperatorExecutor& exec,
                       const Program& program, PathSet frontier, Direction dir,
                       const TimeView& view, const ParallelContext& ctx);
 
 PathSet RunStepCtx(storage::PathOperatorExecutor& exec, const Step& step,
                    PathSet frontier, Direction dir, const TimeView& view,
-                   const ParallelContext& ctx);
+                   const ParallelContext& ctx,
+                   RecordKind record_kind = RecordKind::kFull);
 
 /// Splits `frontier` into `shards` contiguous chunks, runs the step over
 /// each chunk on the pool, and merges the outputs in shard order. Because
 /// sharding is a pure function of (frontier size, parallelism) and each
 /// state extends independently, the merged output is deterministic; the
 /// cross-shard DedupPaths restores the single-frontier dedup semantics of
-/// the serial step.
+/// the serial step. `merged_before_dedup` reports the summed shard output
+/// size (the pre-dedup row count of the logical invocation).
 PathSet RunStepSharded(storage::PathOperatorExecutor& exec, const Step& step,
                        PathSet frontier, Direction dir, const TimeView& view,
-                       const ParallelContext& ctx, size_t shards) {
+                       const ParallelContext& ctx, size_t shards,
+                       size_t* merged_before_dedup) {
   std::vector<PathSet> inputs(shards);
   const size_t base = frontier.size() / shards;
   const size_t rem = frontier.size() % shards;
@@ -100,22 +155,25 @@ PathSet RunStepSharded(storage::PathOperatorExecutor& exec, const Step& step,
   frontier.shrink_to_fit();
 
   // Each shard runs the step serially; the parallelism budget is already
-  // spent on the shard fan-out itself.
-  const ParallelContext serial;
+  // spent on the shard fan-out itself. The stats sink is carried over so
+  // slices report their wall time and nested steps keep recording.
+  ParallelContext serial;
+  serial.stats = ctx.stats;
   std::vector<PathSet> outputs(shards);
   std::vector<std::function<void()>> tasks;
   tasks.reserve(shards);
   for (size_t s = 0; s < shards; ++s) {
     tasks.push_back([&exec, &step, dir, &view, &serial, &inputs, &outputs,
                      s] {
-      outputs[s] =
-          RunStepCtx(exec, step, std::move(inputs[s]), dir, view, serial);
+      outputs[s] = RunStepCtx(exec, step, std::move(inputs[s]), dir, view,
+                              serial, RecordKind::kShardSlice);
     });
   }
   ctx.pool->RunBatch(std::move(tasks));
 
   size_t total = 0;
   for (const PathSet& out : outputs) total += out.size();
+  *merged_before_dedup = total;
   PathSet merged;
   merged.reserve(total);
   for (PathSet& out : outputs) {
@@ -130,35 +188,59 @@ PathSet RunStepSharded(storage::PathOperatorExecutor& exec, const Step& step,
 
 PathSet RunStepCtx(storage::PathOperatorExecutor& exec, const Step& step,
                    PathSet frontier, Direction dir, const TimeView& view,
-                   const ParallelContext& ctx) {
+                   const ParallelContext& ctx, RecordKind record_kind) {
+  obs::QueryStatsGroup* stats = ctx.stats;
+  const bool record = stats != nullptr && step.op_id >= 0;
+  const size_t rows_in = frontier.size();
+  const uint64_t start = record ? NowNs() : 0;
+
   if (ctx.enabled()) {
     size_t shards = std::min(ctx.parallelism * 2,
                              frontier.size() / kMinStatesPerShard);
     if (shards >= 2) {
-      return RunStepSharded(exec, step, std::move(frontier), dir, view, ctx,
-                            shards);
+      size_t before_dedup = 0;
+      PathSet out = RunStepSharded(exec, step, std::move(frontier), dir, view,
+                                   ctx, shards, &before_dedup);
+      if (record) {
+        // The logical invocation: partition-invariant row counts. Wall
+        // time and shard counts were recorded by the slices themselves.
+        obs::OpSample sample;
+        sample.rows_in = rows_in;
+        sample.rows_out = out.size();
+        sample.dedup_dropped = before_dedup - out.size();
+        sample.invocations = 1;
+        stats->Record(step.op_id, sample);
+      }
+      return out;
     }
   }
+
+  size_t before_dedup = 0;
+  PathSet out;
   switch (step.kind) {
     case Step::Kind::kAtom:
-      return exec.ExtendAtom(frontier, step.atom, dir, view);
+      out = exec.ExtendAtom(frontier, step.atom, dir, view);
+      before_dedup = out.size();
+      break;
     case Step::Kind::kUnion: {
-      PathSet out;
       for (const Program& branch : step.branches) {
         PathSet result = RunProgramCtx(exec, branch, frontier, dir, view,
                                        ctx);
         out.insert(out.end(), std::make_move_iterator(result.begin()),
                    std::make_move_iterator(result.end()));
       }
+      before_dedup = out.size();
       storage::DedupPaths(&out);
-      return out;
+      break;
     }
     case Step::Kind::kLoop: {
       if (auto atoms = AsAtomAlternation(step.body)) {
         // Delegate to the backend's ExtendBlock operator (loop unrolling
         // inside the store, no per-step frontier shipping).
-        return exec.ExtendBlock(frontier, *atoms, step.min_rep, step.max_rep,
-                                dir, view);
+        out = exec.ExtendBlock(frontier, *atoms, step.min_rep, step.max_rep,
+                               dir, view);
+        before_dedup = out.size();
+        break;
       }
       // General repetition: iterate the body program, collecting the
       // frontier after every admissible repetition count.
@@ -175,11 +257,26 @@ PathSet RunStepCtx(storage::PathOperatorExecutor& exec, const Step& step,
           collected.insert(collected.end(), current.begin(), current.end());
         }
       }
+      before_dedup = collected.size();
       storage::DedupPaths(&collected);
-      return collected;
+      out = std::move(collected);
+      break;
     }
   }
-  return {};
+
+  if (record) {
+    obs::OpSample sample;
+    sample.wall_ns = NowNs() - start;
+    sample.shards = 1;
+    if (record_kind == RecordKind::kFull) {
+      sample.rows_in = rows_in;
+      sample.rows_out = out.size();
+      sample.dedup_dropped = before_dedup - out.size();
+      sample.invocations = 1;
+    }
+    stats->Record(step.op_id, sample);
+  }
+  return out;
 }
 
 PathSet RunProgramCtx(storage::PathOperatorExecutor& exec,
@@ -196,19 +293,50 @@ void ReverseAll(PathSet* paths) {
   for (PathState& state : *paths) state = state.Reversed();
 }
 
+/// Stats node ids of the non-step operators of one anchored plan.
+struct AnchorOpIds {
+  int select = -1;
+  int finalize_tail = -1;
+  int finalize_head = -1;
+};
+
+/// Times `fn` and records an (rows_in, rows_out) sample against `op_id`.
+PathSet RecordedCall(obs::QueryStatsGroup* stats, int op_id, size_t rows_in,
+                     const std::function<PathSet()>& fn) {
+  if (stats == nullptr || op_id < 0) return fn();
+  const uint64_t start = NowNs();
+  PathSet out = fn();
+  obs::OpSample sample;
+  sample.rows_in = rows_in;
+  sample.rows_out = out.size();
+  sample.shards = 1;
+  sample.wall_ns = NowNs() - start;
+  sample.invocations = 1;
+  stats->Record(op_id, sample);
+  return out;
+}
+
 /// One anchored plan, end to end: Select the anchor, grow the suffix
 /// forwards, then the prefix backwards over the reversed states.
 PathSet RunAnchoredPlan(storage::PathOperatorExecutor& exec,
                         const AnchoredPlan& anchored, const TimeView& view,
-                        const ParallelContext& ctx) {
-  PathSet current = exec.Select(anchored.anchor, view);
+                        const ParallelContext& ctx, const AnchorOpIds& ids) {
+  PathSet current = RecordedCall(ctx.stats, ids.select, 0, [&] {
+    return exec.Select(anchored.anchor, view);
+  });
   current = RunProgramCtx(exec, anchored.suffix, std::move(current),
                           Direction::kOut, view, ctx);
-  current = exec.FinalizeTail(current, view);
+  size_t in = current.size();
+  current = RecordedCall(ctx.stats, ids.finalize_tail, in, [&] {
+    return exec.FinalizeTail(current, view);
+  });
   ReverseAll(&current);
   current = RunProgramCtx(exec, anchored.reversed_prefix, std::move(current),
                           Direction::kIn, view, ctx);
-  current = exec.FinalizeTail(current, view);
+  in = current.size();
+  current = RecordedCall(ctx.stats, ids.finalize_head, in, [&] {
+    return exec.FinalizeTail(current, view);
+  });
   ReverseAll(&current);
   return current;
 }
@@ -225,10 +353,31 @@ Result<PathSet> EvaluateMatch(storage::PathOperatorExecutor& exec,
                               const storage::StorageBackend& backend,
                               const RpeNode& resolved_rpe,
                               const TimeView& view,
-                              const PlanOptions& options) {
+                              const PlanOptions& options,
+                              obs::QueryStatsGroup* stats) {
   NEPAL_ASSIGN_OR_RETURN(MatchPlan plan,
                          PlanMatch(resolved_rpe, backend, options));
   ParallelContext ctx = ContextFor(exec, options);
+  ctx.stats = stats;
+
+  // Register every operator node up front — ids live in this call's own
+  // MatchPlan, and registration must be sequenced before any (possibly
+  // concurrent) recording.
+  std::vector<AnchorOpIds> ids(plan.anchors.size());
+  int merge_id = -1;
+  if (stats != nullptr) {
+    for (size_t i = 0; i < plan.anchors.size(); ++i) {
+      AnchoredPlan& anchored = plan.anchors[i];
+      ids[i].select = stats->AddOp("Select " + anchored.anchor.ToString());
+      RegisterProgram(&anchored.suffix, stats);
+      ids[i].finalize_tail = stats->AddOp("Finalize(tail)");
+      RegisterProgram(&anchored.reversed_prefix, stats);
+      ids[i].finalize_head = stats->AddOp("Finalize(head)");
+    }
+    merge_id = stats->AddOp("Merge " + std::to_string(plan.anchors.size()) +
+                            " anchor(s)");
+  }
+
   PathSet all;
   if (ctx.enabled() && plan.anchors.size() > 1) {
     // Anchored plans are independent of one another (their union is the
@@ -237,8 +386,9 @@ Result<PathSet> EvaluateMatch(storage::PathOperatorExecutor& exec,
     std::vector<std::function<void()>> tasks;
     tasks.reserve(plan.anchors.size());
     for (size_t i = 0; i < plan.anchors.size(); ++i) {
-      tasks.push_back([&exec, &plan, &view, &ctx, &results, i] {
-        results[i] = RunAnchoredPlan(exec, plan.anchors[i], view, ctx);
+      tasks.push_back([&exec, &plan, &view, &ctx, &results, &ids, i] {
+        results[i] = RunAnchoredPlan(exec, plan.anchors[i], view, ctx,
+                                     ids[i]);
       });
     }
     ctx.pool->RunBatch(std::move(tasks));
@@ -247,39 +397,76 @@ Result<PathSet> EvaluateMatch(storage::PathOperatorExecutor& exec,
                  std::make_move_iterator(result.end()));
     }
   } else {
-    for (const AnchoredPlan& anchored : plan.anchors) {
-      PathSet current = RunAnchoredPlan(exec, anchored, view, ctx);
+    for (size_t i = 0; i < plan.anchors.size(); ++i) {
+      PathSet current = RunAnchoredPlan(exec, plan.anchors[i], view, ctx,
+                                        ids[i]);
       all.insert(all.end(), std::make_move_iterator(current.begin()),
                  std::make_move_iterator(current.end()));
     }
   }
+  const size_t before_dedup = all.size();
+  const uint64_t merge_start = stats != nullptr ? NowNs() : 0;
   storage::DedupPaths(&all);
   // Parallel mode pins the output to canonical order: the result is then
   // byte-identical for every thread count, machine, and anchor choice.
   // parallelism == 1 keeps the historical serial order untouched.
   if (ctx.enabled()) storage::CanonicalizePaths(&all);
+  if (stats != nullptr) {
+    obs::OpSample sample;
+    sample.rows_in = before_dedup;
+    sample.rows_out = all.size();
+    sample.dedup_dropped = before_dedup - all.size();
+    sample.shards = 1;
+    sample.wall_ns = NowNs() - merge_start;
+    sample.invocations = 1;
+    stats->Record(merge_id, sample);
+  }
   return all;
 }
 
 PathSet EvaluateMatchSeeded(storage::PathOperatorExecutor& exec,
                             const RpeNode& resolved_rpe,
                             const std::vector<Uid>& seeds, SeedSide side,
-                            const TimeView& view, const PlanOptions& options) {
-  Program program = CompileProgram(resolved_rpe, options);
+                            const TimeView& view, const PlanOptions& options,
+                            obs::QueryStatsGroup* stats) {
+  Program compiled = CompileProgram(resolved_rpe, options);
+  Program program = side == SeedSide::kSource ? std::move(compiled)
+                                              : ReverseProgram(compiled);
   ParallelContext ctx = ContextFor(exec, options);
-  PathSet current = exec.SelectSeeds(seeds, view);
-  if (side == SeedSide::kSource) {
-    current = RunProgramCtx(exec, program, std::move(current),
-                            Direction::kOut, view, ctx);
-    current = exec.FinalizeTail(current, view);
-  } else {
-    current = RunProgramCtx(exec, ReverseProgram(program), std::move(current),
-                            Direction::kIn, view, ctx);
-    current = exec.FinalizeTail(current, view);
-    ReverseAll(&current);
+  ctx.stats = stats;
+  int select_id = -1, finalize_id = -1, merge_id = -1;
+  if (stats != nullptr) {
+    select_id = stats->AddOp("SelectSeeds");
+    RegisterProgram(&program, stats);
+    finalize_id = stats->AddOp("Finalize(tail)");
+    merge_id = stats->AddOp("Merge 1 anchor(s)");
   }
+  PathSet current = RecordedCall(stats, select_id, seeds.size(), [&] {
+    return exec.SelectSeeds(seeds, view);
+  });
+  current = RunProgramCtx(exec, program, std::move(current),
+                          side == SeedSide::kSource ? Direction::kOut
+                                                    : Direction::kIn,
+                          view, ctx);
+  size_t in = current.size();
+  current = RecordedCall(stats, finalize_id, in, [&] {
+    return exec.FinalizeTail(current, view);
+  });
+  if (side == SeedSide::kTarget) ReverseAll(&current);
+  const size_t before_dedup = current.size();
+  const uint64_t merge_start = stats != nullptr ? NowNs() : 0;
   storage::DedupPaths(&current);
   if (ctx.enabled()) storage::CanonicalizePaths(&current);
+  if (stats != nullptr) {
+    obs::OpSample sample;
+    sample.rows_in = before_dedup;
+    sample.rows_out = current.size();
+    sample.dedup_dropped = before_dedup - current.size();
+    sample.shards = 1;
+    sample.wall_ns = NowNs() - merge_start;
+    sample.invocations = 1;
+    stats->Record(merge_id, sample);
+  }
   return current;
 }
 

@@ -5,6 +5,7 @@
 #define NEPAL_NEPAL_EXECUTOR_H_
 
 #include "nepal/plan.h"
+#include "obs/query_stats.h"
 #include "storage/pathset.h"
 
 namespace nepal::nql {
@@ -19,11 +20,18 @@ storage::PathSet RunProgram(storage::PathOperatorExecutor& exec,
 /// Full evaluation of one MATCHES predicate: plan, Select each anchor,
 /// extend forwards/backwards, finalize both ends. Returns canonical
 /// (source-to-target ordered) completed paths, deduplicated.
+///
+/// When `stats` is non-null, the evaluation registers one operator node
+/// per Select/Extend/ExtendBlock/Union/Loop step and records rows_in /
+/// rows_out / dedup_dropped / shards / wall_ns samples into it; recording
+/// is associative (see obs/query_stats.h), so it works under any
+/// PlanOptions::parallelism.
 Result<storage::PathSet> EvaluateMatch(storage::PathOperatorExecutor& exec,
                                        const storage::StorageBackend& backend,
                                        const RpeNode& resolved_rpe,
                                        const storage::TimeView& view,
-                                       const PlanOptions& options);
+                                       const PlanOptions& options,
+                                       obs::QueryStatsGroup* stats = nullptr);
 
 enum class SeedSide { kSource, kTarget };
 
@@ -34,7 +42,8 @@ storage::PathSet EvaluateMatchSeeded(storage::PathOperatorExecutor& exec,
                                      const std::vector<Uid>& seeds,
                                      SeedSide side,
                                      const storage::TimeView& view,
-                                     const PlanOptions& options);
+                                     const PlanOptions& options,
+                                     obs::QueryStatsGroup* stats = nullptr);
 
 }  // namespace nepal::nql
 

@@ -108,7 +108,21 @@ class Parser {
 
   Result<Query> ParseFullQuery() {
     NEPAL_RETURN_NOT_OK(Advance());
+    ExplainMode explain = ExplainMode::kNone;
+    if (IsKeyword("EXPLAIN")) {
+      NEPAL_RETURN_NOT_OK(Advance());
+      if (IsKeyword("ANALYZE")) {
+        explain = ExplainMode::kAnalyze;
+        NEPAL_RETURN_NOT_OK(Advance());
+      } else if (IsKeyword("VERBOSE")) {
+        explain = ExplainMode::kVerbose;
+        NEPAL_RETURN_NOT_OK(Advance());
+      } else {
+        explain = ExplainMode::kPlan;
+      }
+    }
     NEPAL_ASSIGN_OR_RETURN(Query q, ParseQueryBody());
+    q.explain = explain;
     if (cur_.kind != Token::kEnd) {
       return Status::ParseError("trailing input after query: '" + cur_.text +
                                 "'");

@@ -2,8 +2,20 @@
 
 #include <algorithm>
 #include <limits>
+#include <thread>
 
 namespace nepal::nql {
+
+size_t EffectiveParallelism(const PlanOptions& options) {
+  if (options.parallelism > 1) {
+    return static_cast<size_t>(options.parallelism);
+  }
+  if (options.parallelism <= 0) {
+    size_t hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+  return 1;
+}
 
 std::string Step::ToString() const {
   switch (kind) {

@@ -42,6 +42,11 @@ struct Step {
   int min_rep = 1;                 // kLoop
   int max_rep = 1;                 // kLoop
 
+  /// Operator-stats node id (obs::QueryStatsGroup), assigned by the
+  /// executor when it registers the plan for EXPLAIN ANALYZE; -1 when the
+  /// step is not instrumented.
+  int op_id = -1;
+
   std::string ToString() const;
 };
 
@@ -81,6 +86,10 @@ struct PlanOptions {
   /// deterministic regardless of thread count or scheduling.
   int parallelism = 0;
 };
+
+/// Resolves PlanOptions::parallelism to the worker-lane count actually
+/// used (0 maps to std::thread::hardware_concurrency()).
+size_t EffectiveParallelism(const PlanOptions& options);
 
 /// Builds the anchored plan for a resolved, normalized RPE against the
 /// statistics of `backend`. Fails with PlanError if the RPE has no anchor

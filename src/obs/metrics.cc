@@ -1,0 +1,203 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace nepal::obs {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+size_t ThreadShardSlot() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)), shards_(kShards) {
+  for (Shard& shard : shards_) {
+    shard.counts =
+        std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+    for (size_t i = 0; i <= bounds_.size(); ++i) shard.counts[i] = 0;
+  }
+}
+
+void Histogram::Observe(uint64_t value) {
+  size_t bucket = std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+                  bounds_.begin();
+  Shard& shard = shards_[ThreadShardSlot() % kShards];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      snap.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (uint64_t c : snap.counts) snap.count += c;
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      shard.counts[i].store(0, std::memory_order_relaxed);
+    }
+    shard.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (seen + counts[i] > rank) {
+      // Interpolate within (lo, hi] by the rank's one-based position in the
+      // bucket, so the last rank of a bucket reports the bucket's upper
+      // bound rather than its lower one.
+      uint64_t lo = i == 0 ? 0 : bounds[i - 1];
+      uint64_t hi = i < bounds.size() ? bounds[i] : lo * 2 + 1;
+      double frac = static_cast<double>(rank - seen + 1) /
+                    static_cast<double>(counts[i]);
+      return lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
+    }
+    seen += counts[i];
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+const std::vector<uint64_t>& DefaultLatencyBucketsNs() {
+  static const std::vector<uint64_t>* buckets = new std::vector<uint64_t>{
+      10'000,        30'000,        100'000,        300'000,
+      1'000'000,     3'000'000,     10'000'000,     30'000'000,
+      100'000'000,   300'000'000,   1'000'000'000,  3'000'000'000,
+      10'000'000'000, 30'000'000'000};
+  return *buckets;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: hot paths cache metric pointers and worker threads
+  // may still increment them during static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<uint64_t>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return slot.get();
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += "counter " + name + " " + std::to_string(counter->Value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += "gauge " + name + " " + std::to_string(gauge->Value()) + "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    Histogram::Snapshot snap = hist->Snap();
+    out += "histogram " + name + " count=" + std::to_string(snap.count) +
+           " sum=" + std::to_string(snap.sum) +
+           " p50=" + std::to_string(snap.Quantile(0.5)) +
+           " p95=" + std::to_string(snap.Quantile(0.95)) +
+           " p99=" + std::to_string(snap.Quantile(0.99)) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(counter->Value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(gauge->Value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    Histogram::Snapshot snap = hist->Snap();
+    out += "\"" + JsonEscape(name) +
+           "\":{\"count\":" + std::to_string(snap.count) +
+           ",\"sum\":" + std::to_string(snap.sum) + ",\"buckets\":[";
+    for (size_t i = 0; i < snap.counts.size(); ++i) {
+      if (i > 0) out += ",";
+      std::string le = i < snap.bounds.size()
+                           ? std::to_string(snap.bounds[i])
+                           : "\"+inf\"";
+      out += "{\"le\":" + le + ",\"count\":" +
+             std::to_string(snap.counts[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::ResetValuesForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace nepal::obs

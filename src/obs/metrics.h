@@ -1,0 +1,143 @@
+// Process-wide metrics: counters, gauges and fixed-bucket histograms,
+// collected in a name-keyed registry with text and JSON exposition.
+//
+// Counters and histograms are written from query hot paths (one increment
+// per operator invocation, one observation per query), so their cells are
+// sharded: each thread picks a cache-line-padded atomic slot by a
+// thread-local index and increments without contending with other threads.
+// Reads (Value / Snapshot / Render*) sum over the shards; they are
+// wait-free for writers and only approximately ordered against concurrent
+// increments, which is the usual contract for monitoring data.
+//
+// Metric objects are owned by the registry and never deallocated, so
+// callers may cache the returned pointers (the thread pool does).
+
+#ifndef NEPAL_OBS_METRICS_H_
+#define NEPAL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nepal::obs {
+
+/// Escapes `s` as the body of a JSON string literal (no quotes added).
+std::string JsonEscape(const std::string& s);
+
+/// Index of the calling thread into a fixed shard array: threads get
+/// monotonically increasing slots on first use, wrapped by the caller.
+size_t ThreadShardSlot();
+
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Add(uint64_t n = 1) {
+    shards_[ThreadShardSlot() % kShards].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+  void Reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// A point-in-time signed value (queue depths, live object counts).
+/// Gauges are read-modify-write by many threads but only a handful of
+/// times per batch, so a single atomic cell suffices.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. `bounds` are ascending upper bounds (inclusive);
+/// an implicit overflow bucket catches everything above the last bound.
+class Histogram {
+ public:
+  static constexpr size_t kShards = 8;
+
+  explicit Histogram(std::vector<uint64_t> bounds);
+
+  void Observe(uint64_t value);
+
+  struct Snapshot {
+    std::vector<uint64_t> bounds;   // same size as counts minus overflow
+    std::vector<uint64_t> counts;   // bounds.size() + 1 (last = overflow)
+    uint64_t count = 0;
+    uint64_t sum = 0;
+
+    /// Bucket-interpolated quantile estimate (q in [0, 1]); 0 when empty.
+    uint64_t Quantile(double q) const;
+  };
+  Snapshot Snap() const;
+  void Reset();
+
+ private:
+  struct Shard {
+    alignas(64) std::unique_ptr<std::atomic<uint64_t>[]> counts;
+    std::atomic<uint64_t> sum{0};
+  };
+  std::vector<uint64_t> bounds_;
+  std::vector<Shard> shards_;
+};
+
+/// Default latency bucket ladder (nanoseconds): 10us .. 30s, roughly
+/// half-decade steps — wide enough for single-operator and whole-query
+/// timings alike.
+const std::vector<uint64_t>& DefaultLatencyBucketsNs();
+
+/// Name-keyed metric registry. Get* registers on first use and returns a
+/// stable pointer; the process-wide instance lives for the program's
+/// lifetime.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` only applies on first registration of `name`.
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<uint64_t>& bounds =
+                              DefaultLatencyBucketsNs());
+
+  /// One metric per line: `counter nepal.queries.graphstore 42`;
+  /// histograms add count/sum/p50/p95/p99.
+  std::string RenderText() const;
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  ///  {"count":..,"sum":..,"buckets":[{"le":..,"count":..},...]}}}
+  std::string RenderJson() const;
+
+  /// Zeroes every metric value but keeps all registrations (cached
+  /// pointers stay valid). Intended for tests.
+  void ResetValuesForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace nepal::obs
+
+#endif  // NEPAL_OBS_METRICS_H_

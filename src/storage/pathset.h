@@ -143,10 +143,16 @@ class PathOperatorExecutor {
   virtual PathSet FinalizeTail(const PathSet& frontier,
                                const TimeView& view) = 0;
 
-  // ---- Operator tracing (EXPLAIN support) ----
+  // ---- Legacy operator tracing (EXPLAIN VERBOSE support) ----
+  // Structured per-operator stats (obs::QueryStats, surfaced by EXPLAIN
+  // and EXPLAIN ANALYZE) merge associatively and work under any
+  // parallelism; this string trace is kept only for EXPLAIN VERBOSE,
+  // whose rendered operator/SQL line sequence is meaningful precisely
+  // because it reflects serial execution order.
   void EnableTrace(bool on) { trace_enabled_ = on; }
-  /// Tracing appends to a shared per-executor buffer, so parallel plan
-  /// evaluation must fall back to serial execution while it is on.
+  /// Tracing appends to a shared per-executor buffer in execution order,
+  /// so traced (EXPLAIN VERBOSE) plan evaluation must fall back to serial
+  /// execution while it is on.
   bool trace_enabled() const { return trace_enabled_; }
   const std::vector<std::string>& trace() const { return trace_; }
   void ClearTrace() { trace_.clear(); }

@@ -230,6 +230,95 @@ TEST_P(EngineAdvancedTest, SqlTraceOnRelationalBackend) {
   EXPECT_NE(plan->find("uid_list"), std::string::npos);
   EXPECT_NE(plan->find("curr_uid"), std::string::npos);
   EXPECT_NE(plan->find("ANY(T.uid_list)"), std::string::npos);
+  // The EXPLAIN VERBOSE query form routes to the same trace.
+  auto verbose = Run(
+      "EXPLAIN VERBOSE Retrieve P From PATHS P Where P MATCHES "
+      "VNF(id=" + std::to_string(net_.vnf1) + ")->composed_of()->VFC()");
+  EXPECT_TRUE(verbose.rows.empty());
+  EXPECT_NE(verbose.explain_text.find("create TEMP table"),
+            std::string::npos)
+      << verbose.explain_text;
+}
+
+TEST_P(EngineAdvancedTest, ExplainAnalyzeReportsPerOperatorStats) {
+  const std::string query =
+      "Retrieve P From PATHS P Where P MATCHES "
+      "VNF()->[Vertical()]{1,6}->Host()";
+  auto plain = Run(query);
+  ASSERT_FALSE(plain.rows.empty());
+  auto analyzed = Run("EXPLAIN ANALYZE " + query);
+  EXPECT_TRUE(analyzed.rows.empty());
+  const std::string& text = analyzed.explain_text;
+  EXPECT_NE(text.find("rows_in"), std::string::npos) << text;
+  EXPECT_NE(text.find("ExtendBlock{1,6}"), std::string::npos) << text;
+  EXPECT_NE(text.find("total: " + std::to_string(plain.rows.size()) +
+                      " row(s)"),
+            std::string::npos)
+      << text;
+
+  auto stats = engine_->LastQueryStats();
+  EXPECT_EQ(stats.result_rows, plain.rows.size());
+  EXPECT_GT(stats.wall_ns, 0u);
+  ASSERT_FALSE(stats.operators.empty());
+  bool saw_select = false;
+  uint64_t op_wall = 0;
+  for (const auto& op : stats.operators) {
+    if (op.op.rfind("Select", 0) == 0) {
+      saw_select = true;
+      EXPECT_GT(op.rows_out, 0u);
+    }
+    op_wall += op.wall_ns;
+  }
+  EXPECT_TRUE(saw_select);
+  EXPECT_GT(op_wall, 0u);
+}
+
+TEST_P(EngineAdvancedTest, ExplainAnalyzeStatsInvariantAcrossParallelism) {
+  const std::string query =
+      "EXPLAIN ANALYZE Retrieve P From PATHS P Where P MATCHES "
+      "VNF()->[Vertical()]{1,6}->Host()";
+  nql::EngineOptions serial;
+  serial.plan.parallelism = 1;
+  nql::EngineOptions wide;
+  wide.plan.parallelism = 8;
+  nql::QueryEngine e1(net_.db.get(), serial);
+  nql::QueryEngine e8(net_.db.get(), wide);
+  ASSERT_TRUE(e1.Run(query).ok());
+  ASSERT_TRUE(e8.Run(query).ok());
+  auto s1 = e1.LastQueryStats();
+  auto s8 = e8.LastQueryStats();
+  EXPECT_EQ(s1.parallelism, 1);
+  EXPECT_EQ(s8.parallelism, 8);
+  EXPECT_EQ(s1.result_rows, s8.result_rows);
+  // rows_in / rows_out are recorded at the logical invocation level and
+  // must be partition-invariant (see obs/query_stats.h); wall_ns and
+  // shards deliberately reflect the execution strategy and are excluded.
+  auto tuples = [](const obs::QueryStats& s) {
+    std::vector<std::string> v;
+    for (const auto& op : s.operators) {
+      v.push_back(op.group + "|" + op.op + "|" + std::to_string(op.rows_in) +
+                  "|" + std::to_string(op.rows_out));
+    }
+    return v;
+  };
+  EXPECT_EQ(tuples(s1), tuples(s8));
+}
+
+TEST_P(EngineAdvancedTest, ExplainModesDoNotForceSerial) {
+  nql::EngineOptions wide;
+  wide.plan.parallelism = 8;
+  nql::QueryEngine engine(net_.db.get(), wide);
+  const std::string body =
+      "Retrieve P From PATHS P Where P MATCHES "
+      "VNF()->[Vertical()]{1,6}->Host()";
+  auto plan = engine.Run("EXPLAIN " + body);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->rows.empty());
+  EXPECT_NE(plan->explain_text.find("var P"), std::string::npos)
+      << plan->explain_text;
+  EXPECT_EQ(engine.LastQueryStats().parallelism, 8);
+  ASSERT_TRUE(engine.Run("EXPLAIN ANALYZE " + body).ok());
+  EXPECT_EQ(engine.LastQueryStats().parallelism, 8);
 }
 
 TEST_P(EngineAdvancedTest, TimeRangeJoinCoalescesRowIntervals) {

@@ -5,8 +5,10 @@
 // matter which end the planner anchors.
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -15,6 +17,7 @@
 #include "nepal/engine.h"
 #include "nepal/plan.h"
 #include "nepal/rpe.h"
+#include "obs/metrics.h"
 #include "tests/testutil.h"
 
 namespace nepal {
@@ -61,6 +64,48 @@ TEST(ThreadPoolTest, NestedBatchesComplete) {
   }
   pool.RunBatch(std::move(outer));
   EXPECT_EQ(count.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, StatsCountEveryTask) {
+  common::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) tasks.push_back([&count] { ++count; });
+  pool.RunBatch(std::move(tasks));
+  common::ThreadPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.tasks_run, 100u);
+  EXPECT_EQ(stats.batches, 1u);
+
+  // The inline fast path (no workers) still counts its tasks.
+  common::ThreadPool inline_pool(0);
+  std::vector<std::function<void()>> inline_tasks;
+  for (int i = 0; i < 5; ++i) inline_tasks.push_back([] {});
+  inline_pool.RunBatch(std::move(inline_tasks));
+  EXPECT_EQ(inline_pool.stats().tasks_run, 5u);
+}
+
+TEST(ThreadPoolTest, ParallelBatchUsesMultipleWorkers) {
+  // Two tasks rendezvous: each only finishes once it has seen the other
+  // start, so the batch can only complete if two threads really execute
+  // concurrently (the deadline keeps a broken pool from hanging the test).
+  common::ThreadPool pool(3);
+  std::atomic<int> started{0};
+  std::atomic<int> rendezvoused{0};
+  auto task = [&started, &rendezvoused] {
+    started.fetch_add(1);
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (started.load() < 2) {
+      if (std::chrono::steady_clock::now() > deadline) return;
+      std::this_thread::yield();
+    }
+    rendezvoused.fetch_add(1);
+  };
+  std::vector<std::function<void()>> tasks = {task, task};
+  pool.RunBatch(std::move(tasks));
+  EXPECT_EQ(rendezvoused.load(), 2)
+      << "two tasks never ran concurrently on a 3-worker pool";
+  EXPECT_EQ(pool.stats().tasks_run, 2u);
 }
 
 TEST(ThreadPoolTest, ConcurrentCallersShareThePool) {
@@ -221,6 +266,45 @@ TEST_P(ParallelExecTest, MultiVariableJoinMatchesSerial) {
   nql::QueryResult parallel = RunWith(8, q);
   EXPECT_GT(serial.rows.size(), 0u);
   EXPECT_EQ(RowKeys(serial), RowKeys(parallel));
+}
+
+TEST_P(ParallelExecTest, StatsPartitionInvariantWithShardingEngaged) {
+  // The Connects walk pushes 24+ states through the loop step, past
+  // kMinStatesPerShard, so parallelism 8 genuinely shards — and the
+  // logical-invocation row counts must still match the serial run.
+  const std::string q =
+      "EXPLAIN ANALYZE Retrieve P From PATHS P Where P MATCHES "
+      "Host()->[Connects()]{1,4}->Host()";
+  obs::Counter* pool_tasks =
+      obs::MetricsRegistry::Global().GetCounter("nepal.pool.tasks_run");
+  const uint64_t tasks_before = pool_tasks->Value();
+  auto run = [&](int parallelism) {
+    nql::EngineOptions options;
+    options.plan.parallelism = parallelism;
+    nql::QueryEngine engine(net_.db.get(), options);
+    auto result = engine.Run(q);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return engine.LastQueryStats();
+  };
+  obs::QueryStats s1 = run(1);
+  obs::QueryStats s8 = run(8);
+  EXPECT_GT(pool_tasks->Value(), tasks_before)
+      << "the parallel run should schedule thread-pool tasks";
+  bool sharded = false;
+  for (const auto& op : s8.operators) {
+    if (op.shards > op.invocations) sharded = true;
+  }
+  EXPECT_TRUE(sharded) << "expected at least one operator to run sharded";
+  ASSERT_EQ(s1.operators.size(), s8.operators.size());
+  for (size_t i = 0; i < s1.operators.size(); ++i) {
+    EXPECT_EQ(s1.operators[i].group, s8.operators[i].group);
+    EXPECT_EQ(s1.operators[i].op, s8.operators[i].op);
+    EXPECT_EQ(s1.operators[i].rows_in, s8.operators[i].rows_in)
+        << s1.operators[i].op;
+    EXPECT_EQ(s1.operators[i].rows_out, s8.operators[i].rows_out)
+        << s1.operators[i].op;
+  }
+  EXPECT_EQ(s1.result_rows, s8.result_rows);
 }
 
 // ---- Regression: anchor-side independence of symmetric RPEs ----
