@@ -29,7 +29,7 @@ struct EbFixture {
     net = std::move(*built);
     with_block = std::make_unique<nql::QueryEngine>(net.db.get());
     nql::EngineOptions no_block;
-    no_block.plan.use_extend_block = false;
+    no_block.plan.loop_strategy = nql::LoopStrategy::kUnroll;
     unrolled = std::make_unique<nql::QueryEngine>(net.db.get(), no_block);
 
     Rng rng(23);

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -124,6 +125,19 @@ class BenchJson {
         out += ",\"paths\":" + FormatDouble(r.total_rows / n);
         out += ",\"mean_ms\":" + FormatDouble(mean);
         out += ",\"median_ms\":" + FormatDouble(median);
+        // Mean MatchPlan cost per execution (QueryStats::plan_cost sums
+        // across merged runs) and the optimizer's aggregate row-estimation
+        // error: sum |est - actual| over estimated operators, normalized by
+        // the actual rows they emitted.
+        out += ",\"plan_cost\":" + FormatDouble(r.stats.plan_cost / n);
+        double err_num = 0, err_den = 0;
+        for (const auto& op : r.stats.operators) {
+          if (op.est_rows < 0) continue;
+          err_num += std::fabs(op.est_rows - static_cast<double>(op.rows_out));
+          err_den += static_cast<double>(op.rows_out);
+        }
+        out += ",\"est_row_error\":" +
+               FormatDouble(err_den > 0 ? err_num / err_den : err_num);
         out += ",\"operators\":[";
         for (size_t i = 0; i < r.stats.operators.size(); ++i) {
           if (i > 0) out += ",";

@@ -12,8 +12,16 @@ using storage::TimeView;
 using storage::VersionChain;
 
 GraphStore::GraphStore(schema::SchemaPtr schema, GraphStoreOptions options)
-    : schema_(std::move(schema)), options_(std::move(options)) {
+    : StorageBackend(schema.get()),
+      schema_(std::move(schema)),
+      options_(std::move(options)) {
   buckets_.resize(schema_->classes().size());
+}
+
+const schema::ClassDef* GraphStore::CurrentClassOf(Uid uid) const {
+  const VersionChain* chain = FindChain(uid);
+  if (chain == nullptr || chain->Current() == nullptr) return nullptr;
+  return chain->Current()->cls;
 }
 
 const VersionChain* GraphStore::FindChain(Uid uid) const {
@@ -67,6 +75,7 @@ Status GraphStore::InsertNode(Uid uid, const schema::ClassDef* cls,
   bucket.uids.push_back(uid);
   ++bucket.current_count;
   ++version_count_;
+  stats_.OnInsert(cls, chain.Current()->fields);
   return Status::OK();
 }
 
@@ -92,6 +101,9 @@ Status GraphStore::InsertEdge(Uid uid, const schema::ClassDef* cls,
   ++version_count_;
   out_edges_[source].push_back(uid);
   in_edges_[target].push_back(uid);
+  stats_.OnInsert(cls, chain.Current()->fields);
+  stats_.OnEdgeLinked(cls, source, CurrentClassOf(source), target,
+                      CurrentClassOf(target));
   return Status::OK();
 }
 
@@ -104,6 +116,7 @@ Status GraphStore::Update(Uid uid,
                             std::to_string(uid));
   }
   ElementVersion next = *it->second.Current();
+  std::vector<Value> old_fields = next.fields;
   IndexRemove(next.cls, next.fields, uid);
   for (const auto& [idx, value] : changes) {
     next.fields[static_cast<size_t>(idx)] = value;
@@ -113,6 +126,7 @@ Status GraphStore::Update(Uid uid,
   const ElementVersion* cur = it->second.Current();
   IndexInsert(cur->cls, cur->fields, uid);
   ++version_count_;
+  stats_.OnUpdate(cur->cls, old_fields, cur->fields);
   return Status::OK();
 }
 
@@ -125,6 +139,11 @@ Status GraphStore::Delete(Uid uid, Timestamp t) {
   const ElementVersion* cur = it->second.Current();
   IndexRemove(cur->cls, cur->fields, uid);
   --BucketFor(cur->cls).current_count;
+  stats_.OnRemove(cur->cls, cur->fields);
+  if (cur->is_edge()) {
+    stats_.OnEdgeUnlinked(cur->cls, cur->source, CurrentClassOf(cur->source),
+                          cur->target, CurrentClassOf(cur->target));
+  }
   return it->second.Close(t);
 }
 
@@ -218,34 +237,6 @@ size_t GraphStore::CountClass(const schema::ClassDef* cls) const {
     count += buckets_[static_cast<size_t>(order)].current_count;
   }
   return count;
-}
-
-double GraphStore::EstimateScan(const ScanSpec& spec) const {
-  if (spec.uid) return 1.0;
-  if (spec.eq) {
-    const std::string& field_name =
-        spec.cls->fields()[static_cast<size_t>(spec.eq->first)].name;
-    bool indexed =
-        std::find(options_.indexed_fields.begin(),
-                  options_.indexed_fields.end(),
-                  field_name) != options_.indexed_fields.end();
-    if (indexed) {
-      // Statistics: actual index bucket size.
-      double hits = 0;
-      for (int order = spec.cls->order(); order < spec.cls->subtree_end();
-           ++order) {
-        const ClassBucket& bucket = buckets_[static_cast<size_t>(order)];
-        auto field_it = bucket.indexes.find(field_name);
-        if (field_it == bucket.indexes.end()) continue;
-        auto val_it = field_it->second.find(spec.eq->second);
-        if (val_it != field_it->second.end()) {
-          hits += static_cast<double>(val_it->second.size());
-        }
-      }
-      return hits;
-    }
-  }
-  return StorageBackend::EstimateScan(spec);
 }
 
 size_t GraphStore::MemoryUsage() const {

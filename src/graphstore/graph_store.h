@@ -63,7 +63,6 @@ class GraphStore final : public storage::StorageBackend {
   bool Exists(Uid uid, const storage::TimeView& view) const override;
 
   size_t CountClass(const schema::ClassDef* cls) const override;
-  double EstimateScan(const storage::ScanSpec& spec) const override;
   size_t MemoryUsage() const override;
   size_t VersionCount() const override;
 
@@ -80,6 +79,7 @@ class GraphStore final : public storage::StorageBackend {
   };
 
   const storage::VersionChain* FindChain(Uid uid) const;
+  const schema::ClassDef* CurrentClassOf(Uid uid) const;
   ClassBucket& BucketFor(const schema::ClassDef* cls);
   void IndexInsert(const schema::ClassDef* cls, const std::vector<Value>& row,
                    Uid uid);

@@ -436,7 +436,7 @@ Result<QueryResult> QueryEngine::RunInternal(
   // ---- Structural anchor costs ----
   for (VarState& vs : vars) {
     Result<MatchPlan> plan = PlanMatch(vs.rpe, vs.db->backend(),
-                                       options_.plan);
+                                       options_.plan, vs.view);
     vs.structural_cost = plan.ok() ? plan->total_cost : -1;
   }
 
@@ -574,6 +574,7 @@ Result<QueryResult> QueryEngine::RunInternal(
         for (size_t vi : batch) {
           vars[vi].evaluated = true;
           eval_order.push_back(vi);
+          if (stats != nullptr) stats->AddPlanCost(vars[vi].structural_cost);
         }
         remaining -= batch.size();
         continue;
@@ -622,18 +623,20 @@ Result<QueryResult> QueryEngine::RunInternal(
                            "join (" + std::to_string(best_seeds.size()) +
                            " seed nodes)");
       }
-      vs.paths = EvaluateMatchSeeded(*vs.exec, vs.rpe, best_seeds, best_side,
-                                     vs.view, options_.plan, vs.stats);
+      vs.paths = EvaluateMatchSeeded(*vs.exec, vs.db->backend(), vs.rpe,
+                                     best_seeds, best_side, vs.view,
+                                     options_.plan, vs.stats);
     } else {
       if (explain != nullptr) {
         NEPAL_ASSIGN_OR_RETURN(MatchPlan plan,
                                PlanMatch(vs.rpe, vs.db->backend(),
-                                         options_.plan));
+                                         options_.plan, vs.view));
         explain->push_back("var " + vs.decl->name + ":\n" + plan.ToString());
       }
       NEPAL_ASSIGN_OR_RETURN(vs.paths,
                              EvaluateMatch(*vs.exec, vs.db->backend(), vs.rpe,
                                            vs.view, options_.plan, vs.stats));
+      if (stats != nullptr) stats->AddPlanCost(vs.structural_cost);
     }
     NEPAL_RETURN_NOT_OK(finish_var(vs));
     vs.evaluated = true;

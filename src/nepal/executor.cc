@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "common/thread_pool.h"
+#include "nepal/optimizer.h"
 
 namespace nepal::nql {
 
@@ -104,7 +105,7 @@ std::string StepLabel(const Step& step) {
 /// into — their steps never execute individually.
 void RegisterProgram(Program* program, obs::QueryStatsGroup* stats) {
   for (Step& step : *program) {
-    step.op_id = stats->AddOp(StepLabel(step));
+    step.op_id = stats->AddOp(StepLabel(step), step.est_rows);
     if (step.kind == Step::Kind::kUnion) {
       for (Program& branch : step.branches) RegisterProgram(&branch, stats);
     } else if (step.kind == Step::Kind::kLoop &&
@@ -356,7 +357,7 @@ Result<PathSet> EvaluateMatch(storage::PathOperatorExecutor& exec,
                               const PlanOptions& options,
                               obs::QueryStatsGroup* stats) {
   NEPAL_ASSIGN_OR_RETURN(MatchPlan plan,
-                         PlanMatch(resolved_rpe, backend, options));
+                         PlanMatch(resolved_rpe, backend, options, view));
   ParallelContext ctx = ContextFor(exec, options);
   ctx.stats = stats;
 
@@ -366,16 +367,24 @@ Result<PathSet> EvaluateMatch(storage::PathOperatorExecutor& exec,
   std::vector<AnchorOpIds> ids(plan.anchors.size());
   int merge_id = -1;
   if (stats != nullptr) {
+    double merge_est = plan.anchors.empty() ? 0 : -1;
     for (size_t i = 0; i < plan.anchors.size(); ++i) {
       AnchoredPlan& anchored = plan.anchors[i];
-      ids[i].select = stats->AddOp("Select " + anchored.anchor.ToString());
+      ids[i].select = stats->AddOp("Select " + anchored.anchor.ToString(),
+                                   anchored.anchor_cost);
       RegisterProgram(&anchored.suffix, stats);
-      ids[i].finalize_tail = stats->AddOp("Finalize(tail)");
+      ids[i].finalize_tail =
+          stats->AddOp("Finalize(tail)", anchored.est_after_suffix);
       RegisterProgram(&anchored.reversed_prefix, stats);
-      ids[i].finalize_head = stats->AddOp("Finalize(head)");
+      ids[i].finalize_head = stats->AddOp("Finalize(head)", anchored.est_rows);
+      if (anchored.est_rows >= 0) {
+        merge_est = merge_est < 0 ? anchored.est_rows
+                                  : merge_est + anchored.est_rows;
+      }
     }
     merge_id = stats->AddOp("Merge " + std::to_string(plan.anchors.size()) +
-                            " anchor(s)");
+                                " anchor(s)",
+                            merge_est);
   }
 
   PathSet all;
@@ -425,21 +434,36 @@ Result<PathSet> EvaluateMatch(storage::PathOperatorExecutor& exec,
 }
 
 PathSet EvaluateMatchSeeded(storage::PathOperatorExecutor& exec,
+                            const storage::StorageBackend& backend,
                             const RpeNode& resolved_rpe,
                             const std::vector<Uid>& seeds, SeedSide side,
                             const TimeView& view, const PlanOptions& options,
                             obs::QueryStatsGroup* stats) {
-  Program compiled = CompileProgram(resolved_rpe, options);
+  // Compile unannotated, orient for the seeded side, then annotate with
+  // row estimates in the direction the program will actually run.
+  Program compiled =
+      CompileSeededProgram(resolved_rpe, backend, options, view, -1);
   Program program = side == SeedSide::kSource ? std::move(compiled)
                                               : ReverseProgram(compiled);
+  const Direction dir =
+      side == SeedSide::kSource ? Direction::kOut : Direction::kIn;
+  double final_est = -1;
+  {
+    CostEstimator est(backend, view);
+    TraversalState st{nullptr, false};  // seeds: bare node frontiers
+    double work = 0;
+    final_est = AnnotateProgram(&program, static_cast<double>(seeds.size()),
+                                dir, &st, est, &work);
+  }
   ParallelContext ctx = ContextFor(exec, options);
   ctx.stats = stats;
   int select_id = -1, finalize_id = -1, merge_id = -1;
   if (stats != nullptr) {
-    select_id = stats->AddOp("SelectSeeds");
+    select_id =
+        stats->AddOp("SelectSeeds", static_cast<double>(seeds.size()));
     RegisterProgram(&program, stats);
-    finalize_id = stats->AddOp("Finalize(tail)");
-    merge_id = stats->AddOp("Merge 1 anchor(s)");
+    finalize_id = stats->AddOp("Finalize(tail)", final_est);
+    merge_id = stats->AddOp("Merge 1 anchor(s)", final_est);
   }
   PathSet current = RecordedCall(stats, select_id, seeds.size(), [&] {
     return exec.SelectSeeds(seeds, view);

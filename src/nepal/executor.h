@@ -37,7 +37,10 @@ enum class SeedSide { kSource, kTarget };
 
 /// Seeded evaluation (imported anchor): the pathway's source (or target)
 /// node is pinned to one of `seeds`, so no structural anchor is needed.
+/// The backend supplies the statistics for the optimizer rewrites and the
+/// row estimates (seeded from `seeds.size()`).
 storage::PathSet EvaluateMatchSeeded(storage::PathOperatorExecutor& exec,
+                                     const storage::StorageBackend& backend,
                                      const RpeNode& resolved_rpe,
                                      const std::vector<Uid>& seeds,
                                      SeedSide side,

@@ -1,8 +1,13 @@
 #include "nepal/plan.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <limits>
+#include <map>
 #include <thread>
+
+#include "nepal/optimizer.h"
 
 namespace nepal::nql {
 
@@ -46,6 +51,31 @@ std::string ProgramToString(const Program& program) {
   return out;
 }
 
+namespace {
+
+std::string FormatEstimate(double rows) {
+  char buf[32];
+  if (rows >= 100.0 || rows == std::floor(rows)) {
+    std::snprintf(buf, sizeof(buf), "~%.0f", rows);
+  } else {
+    std::snprintf(buf, sizeof(buf), "~%.2f", rows);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string ProgramToStringWithEstimates(const Program& program) {
+  if (program.empty()) return "<empty>";
+  std::string out;
+  for (size_t i = 0; i < program.size(); ++i) {
+    if (i > 0) out += " ; ";
+    out += program[i].ToString();
+    if (program[i].est_rows >= 0) out += FormatEstimate(program[i].est_rows);
+  }
+  return out;
+}
+
 Program ReverseProgram(const Program& program) {
   Program out;
   out.reserve(program.size());
@@ -63,62 +93,85 @@ Program ReverseProgram(const Program& program) {
   return out;
 }
 
-Program CompileProgram(const RpeNode& rpe, const PlanOptions& options) {
-  switch (rpe.kind) {
-    case RpeNode::Kind::kAtom: {
+// ---- Physical emission (stage 3) ----
+
+Program EmitProgram(const LogicalNode& node, const PlanOptions& options) {
+  switch (node.kind) {
+    case LogicalNode::Kind::kAtom: {
+      if (node.pruned) return {};
       Step step;
       step.kind = Step::Kind::kAtom;
-      step.atom = rpe.atom;
+      step.atom = node.atom;
       return {std::move(step)};
     }
-    case RpeNode::Kind::kSeq: {
+    case LogicalNode::Kind::kSeq: {
       Program out;
-      for (const RpeNode& child : rpe.children) {
-        Program part = CompileProgram(child, options);
+      for (const LogicalNode& child : node.children) {
+        // A pruned optional child matches only the empty sequence.
+        if (child.pruned) continue;
+        Program part = EmitProgram(child, options);
         out.insert(out.end(), std::make_move_iterator(part.begin()),
                    std::make_move_iterator(part.end()));
       }
       return out;
     }
-    case RpeNode::Kind::kAlt: {
+    case LogicalNode::Kind::kAlt: {
       Step step;
       step.kind = Step::Kind::kUnion;
-      for (const RpeNode& child : rpe.children) {
-        step.branches.push_back(CompileProgram(child, options));
+      for (const LogicalNode& child : node.children) {
+        if (child.pruned) {
+          // A pruned optional branch still matches the empty sequence; a
+          // pruned mandatory branch emits nothing at all.
+          if (child.is_optional()) step.branches.push_back(Program{});
+          continue;
+        }
+        step.branches.push_back(EmitProgram(child, options));
       }
       return {std::move(step)};
     }
-    case RpeNode::Kind::kRep: {
-      Program body = CompileProgram(rpe.children[0], options);
-      if (options.use_extend_block) {
-        Step step;
-        step.kind = Step::Kind::kLoop;
-        step.body = std::move(body);
-        step.min_rep = rpe.min_rep;
-        step.max_rep = rpe.max_rep;
-        return {std::move(step)};
+    case LogicalNode::Kind::kRep: {
+      if (node.pruned) return {};
+      Program body = EmitProgram(node.children[0], options);
+      if (options.loop_strategy == LoopStrategy::kUnroll) {
+        // Unrolled form: body^min followed by nested optionals.
+        // Opt(p) = Union(<empty> | p);
+        // Rep{m,n} = body^m -> Opt(body -> Opt(...)).
+        Program tail;
+        for (int i = 0; i < node.max_rep - node.min_rep; ++i) {
+          Program inner = body;
+          inner.insert(inner.end(), std::make_move_iterator(tail.begin()),
+                       std::make_move_iterator(tail.end()));
+          Step opt;
+          opt.kind = Step::Kind::kUnion;
+          opt.branches.push_back(Program{});  // zero more iterations
+          opt.branches.push_back(std::move(inner));
+          tail.clear();
+          tail.push_back(std::move(opt));
+        }
+        Program out;
+        for (int i = 0; i < node.min_rep; ++i) {
+          out.insert(out.end(), body.begin(), body.end());
+        }
+        out.insert(out.end(), std::make_move_iterator(tail.begin()),
+                   std::make_move_iterator(tail.end()));
+        return out;
       }
-      // Unrolled form: body^min followed by nested optionals.
-      // Opt(p) = Union(<empty> | p); Rep{m,n} = body^m -> Opt(body -> Opt(...)).
-      Program tail;
-      for (int i = 0; i < rpe.max_rep - rpe.min_rep; ++i) {
-        Program inner = body;
-        inner.insert(inner.end(), std::make_move_iterator(tail.begin()),
-                     std::make_move_iterator(tail.end()));
-        Step opt;
-        opt.kind = Step::Kind::kUnion;
-        opt.branches.push_back(Program{});  // zero more iterations
-        opt.branches.push_back(std::move(inner));
-        tail.clear();
-        tail.push_back(std::move(opt));
+      if (node.unroll && node.min_rep == node.max_rep) {
+        // Cost-gated inline unroll of a fixed-count repetition: only the
+        // final frontier is admissible, so body^n is output-identical to
+        // the Loop but exposes per-step operator stats.
+        Program out;
+        for (int i = 0; i < node.min_rep; ++i) {
+          out.insert(out.end(), body.begin(), body.end());
+        }
+        return out;
       }
-      Program out;
-      for (int i = 0; i < rpe.min_rep; ++i) {
-        out.insert(out.end(), body.begin(), body.end());
-      }
-      out.insert(out.end(), std::make_move_iterator(tail.begin()),
-                 std::make_move_iterator(tail.end()));
-      return out;
+      Step step;
+      step.kind = Step::Kind::kLoop;
+      step.body = std::move(body);
+      step.min_rep = node.min_rep;
+      step.max_rep = node.max_rep;
+      return {std::move(step)};
     }
   }
   return {};
@@ -126,72 +179,97 @@ Program CompileProgram(const RpeNode& rpe, const PlanOptions& options) {
 
 namespace {
 
-struct Occurrence {
-  const RpeNode* atom;
-  double cost;
+/// Marks fixed-count repetitions for inline unrolling when no statistics
+/// are available (the backend-free compile path under kCostBased).
+void MarkStructuralUnroll(LogicalNode* node) {
+  for (LogicalNode& child : node->children) MarkStructuralUnroll(&child);
+  if (node->kind == LogicalNode::Kind::kRep &&
+      node->min_rep == node->max_rep && node->min_rep <= 8) {
+    node->unroll = true;
+  }
+}
+
+}  // namespace
+
+Program CompileProgram(const RpeNode& rpe, const PlanOptions& options) {
+  LogicalPlan plan = BuildLogicalPlan(rpe);
+  if (options.loop_strategy == LoopStrategy::kCostBased) {
+    MarkStructuralUnroll(&plan.root);
+  }
+  return EmitProgram(plan.root, options);
+}
+
+Program CompileSeededProgram(const RpeNode& rpe,
+                             const storage::StorageBackend& backend,
+                             const PlanOptions& options,
+                             const storage::TimeView& view, double seed_rows) {
+  LogicalPlan plan = BuildLogicalPlan(rpe);
+  OptimizeLogicalPlan(&plan, backend, options, view);
+  if (plan.statically_empty) {
+    // A Union with zero branches yields the empty path set: the seeds are
+    // dropped instead of being finalized as trivial matches.
+    Step dead;
+    dead.kind = Step::Kind::kUnion;
+    dead.est_rows = 0;
+    return {std::move(dead)};
+  }
+  Program program = EmitProgram(plan.root, options);
+  if (seed_rows >= 0) {
+    CostEstimator est(backend, view);
+    // Seeds are bare node frontiers not yet recorded in the path.
+    TraversalState st{nullptr, false};
+    double work = 0;
+    AnnotateProgram(&program, seed_rows, storage::Direction::kOut, &st, est,
+                    &work);
+  }
+  return program;
+}
+
+// ---- Anchor selection (stage 2, candidate enumeration) ----
+
+namespace {
+
+/// One costed anchor occurrence: the split programs plus the figures the
+/// optimizer minimizes. Memoized per logical atom node.
+struct CostedOccurrence {
+  double scan_raw = 0;   // bare EstimateScan (the legacy anchor cost)
+  double total = 0;      // scan + estimated traversal work (or scan_raw
+                         // when the cost-based rule is disabled)
+  int conditions = 0;
+  Program reversed_prefix;
+  Program suffix;
+  double est_after_suffix = -1;
+  double est_rows = -1;
 };
 
 struct Candidate {
-  std::vector<Occurrence> atoms;
-  double cost = 0;
+  std::vector<const LogicalNode*> atoms;
+  double total = 0;
+  double scan_total = 0;
+  int conditions = 0;
 };
 
-/// Enumerates anchor candidates per the paper's rules. Empty result means
-/// "no anchor in this subtree".
-std::vector<Candidate> EnumerateCandidates(
-    const RpeNode& node, const storage::StorageBackend& backend) {
-  switch (node.kind) {
-    case RpeNode::Kind::kAtom: {
-      double cost = backend.EstimateScan(node.atom.ToScanSpec());
-      return {Candidate{{Occurrence{&node, cost}}, cost}};
-    }
-    case RpeNode::Kind::kSeq: {
-      std::vector<Candidate> out;
-      for (const RpeNode& child : node.children) {
-        std::vector<Candidate> sub = EnumerateCandidates(child, backend);
-        out.insert(out.end(), std::make_move_iterator(sub.begin()),
-                   std::make_move_iterator(sub.end()));
-      }
-      return out;
-    }
-    case RpeNode::Kind::kAlt: {
-      // Cross product of per-branch candidate sets, approximated by the
-      // union of each branch's best (avoids the exponential blowup the
-      // paper describes).
-      Candidate combined;
-      for (const RpeNode& child : node.children) {
-        std::vector<Candidate> sub = EnumerateCandidates(child, backend);
-        if (sub.empty()) return {};  // one branch unanchorable => Alt is too
-        const Candidate* best = &sub[0];
-        for (const Candidate& c : sub) {
-          if (c.cost < best->cost) best = c.cost < best->cost ? &c : best;
-        }
-        combined.atoms.insert(combined.atoms.end(), best->atoms.begin(),
-                              best->atoms.end());
-        combined.cost += best->cost;
-      }
-      return {std::move(combined)};
-    }
-    case RpeNode::Kind::kRep:
-      // Rep(r,n,m) ~ Seq(r, Rep(r,n-1,m-1)): the first iteration is
-      // mandatory iff n >= 1.
-      if (node.min_rep == 0) return {};
-      return EnumerateCandidates(node.children[0], backend);
-  }
-  return {};
+/// Strict "a beats b" with a relative epsilon: on (near-)equal totals the
+/// candidate carrying more conditions wins (a conditioned atom is the
+/// better anchor even when the estimates tie), then the earlier one.
+bool Better(double a_total, int a_conds, double b_total, int b_conds) {
+  double eps = 1e-9 * std::max({1.0, std::fabs(a_total), std::fabs(b_total)});
+  if (a_total < b_total - eps) return true;
+  if (a_total > b_total + eps) return false;
+  return a_conds > b_conds;
 }
 
-/// Splits `node` around the `target` atom. On success, `prefix` holds the
-/// program for everything left of the anchor (in RPE order) and `suffix`
-/// everything right of it.
-bool SplitAroundAnchor(const RpeNode& node, const RpeNode* target,
+/// Splits the optimized logical tree around the `target` atom: `prefix`
+/// holds the program for everything left of the anchor (in RPE order) and
+/// `suffix` everything right of it.
+bool SplitAroundAnchor(const LogicalNode& node, const LogicalNode* target,
                        const PlanOptions& options, Program* prefix,
                        Program* suffix) {
   if (&node == target) return true;
   switch (node.kind) {
-    case RpeNode::Kind::kAtom:
+    case LogicalNode::Kind::kAtom:
       return false;
-    case RpeNode::Kind::kSeq: {
+    case LogicalNode::Kind::kSeq: {
       for (size_t i = 0; i < node.children.size(); ++i) {
         if (!SplitAroundAnchor(node.children[i], target, options, prefix,
                                suffix)) {
@@ -199,7 +277,7 @@ bool SplitAroundAnchor(const RpeNode& node, const RpeNode* target,
         }
         Program before;
         for (size_t j = 0; j < i; ++j) {
-          Program part = CompileProgram(node.children[j], options);
+          Program part = EmitProgram(node.children[j], options);
           before.insert(before.end(), std::make_move_iterator(part.begin()),
                         std::make_move_iterator(part.end()));
         }
@@ -207,7 +285,7 @@ bool SplitAroundAnchor(const RpeNode& node, const RpeNode* target,
                        std::make_move_iterator(before.begin()),
                        std::make_move_iterator(before.end()));
         for (size_t j = i + 1; j < node.children.size(); ++j) {
-          Program part = CompileProgram(node.children[j], options);
+          Program part = EmitProgram(node.children[j], options);
           suffix->insert(suffix->end(), std::make_move_iterator(part.begin()),
                          std::make_move_iterator(part.end()));
         }
@@ -215,8 +293,9 @@ bool SplitAroundAnchor(const RpeNode& node, const RpeNode* target,
       }
       return false;
     }
-    case RpeNode::Kind::kAlt: {
-      for (const RpeNode& child : node.children) {
+    case LogicalNode::Kind::kAlt: {
+      for (const LogicalNode& child : node.children) {
+        if (child.pruned) continue;
         if (SplitAroundAnchor(child, target, options, prefix, suffix)) {
           // The other branches are covered by their own anchor occurrences.
           return true;
@@ -224,7 +303,7 @@ bool SplitAroundAnchor(const RpeNode& node, const RpeNode* target,
       }
       return false;
     }
-    case RpeNode::Kind::kRep: {
+    case LogicalNode::Kind::kRep: {
       if (!SplitAroundAnchor(node.children[0], target, options, prefix,
                              suffix)) {
         return false;
@@ -232,10 +311,13 @@ bool SplitAroundAnchor(const RpeNode& node, const RpeNode* target,
       // The anchor sits in the first iteration; the remaining iterations
       // form Rep(r, n-1, m-1) on the suffix side.
       if (node.max_rep - 1 >= 1) {
-        RpeNode rest = RpeNode::Rep(node.children[0],
-                                    std::max(node.min_rep - 1, 0),
-                                    node.max_rep - 1);
-        Program part = CompileProgram(rest, options);
+        LogicalNode rest;
+        rest.kind = LogicalNode::Kind::kRep;
+        rest.children.push_back(node.children[0]);
+        rest.min_rep = std::max(node.min_rep - 1, 0);
+        rest.max_rep = node.max_rep - 1;
+        rest.unroll = node.unroll && rest.min_rep == rest.max_rep;
+        Program part = EmitProgram(rest, options);
         suffix->insert(suffix->end(), std::make_move_iterator(part.begin()),
                        std::make_move_iterator(part.end()));
       }
@@ -245,12 +327,121 @@ bool SplitAroundAnchor(const RpeNode& node, const RpeNode* target,
   return false;
 }
 
+struct AnchorContext {
+  const LogicalNode* root;
+  const PlanOptions* options;
+  const CostEstimator* est;
+  std::map<const LogicalNode*, CostedOccurrence> memo;
+};
+
+CostedOccurrence& CostOccurrence(AnchorContext* ctx, const LogicalNode* atom) {
+  auto it = ctx->memo.find(atom);
+  if (it != ctx->memo.end()) return it->second;
+  CostedOccurrence occ;
+  occ.scan_raw = ctx->est->ScanRaw(atom->atom);
+  occ.conditions = static_cast<int>(atom->atom.conditions.size());
+  Program prefix;
+  SplitAroundAnchor(*ctx->root, atom, *ctx->options, &prefix, &occ.suffix);
+  occ.reversed_prefix = ReverseProgram(prefix);
+  // Annotate both sides with row estimates (cardinality × expected
+  // traversal fan-out). Execution runs the suffix forwards first, then the
+  // reversed prefix backwards over the survivors.
+  double work = 0;
+  TraversalState st =
+      AnchorState(atom->atom, storage::Direction::kOut, *ctx->est);
+  double rows = ctx->est->Scan(atom->atom);
+  occ.est_after_suffix = AnnotateProgram(&occ.suffix, rows,
+                                         storage::Direction::kOut, &st,
+                                         *ctx->est, &work);
+  TraversalState pst =
+      AnchorState(atom->atom, storage::Direction::kIn, *ctx->est);
+  occ.est_rows = AnnotateProgram(&occ.reversed_prefix, occ.est_after_suffix,
+                                 storage::Direction::kIn, &pst, *ctx->est,
+                                 &work);
+  occ.total = ctx->options->optimize_cost_anchor
+                  ? ctx->est->Scan(atom->atom) + work
+                  : occ.scan_raw;
+  return ctx->memo.emplace(atom, std::move(occ)).first->second;
+}
+
+/// Enumerates anchor candidates per the paper's rules (Section 5.1). Empty
+/// result means "no anchor in this subtree".
+std::vector<Candidate> EnumerateCandidates(const LogicalNode& node,
+                                           AnchorContext* ctx) {
+  if (node.pruned) return {};
+  switch (node.kind) {
+    case LogicalNode::Kind::kAtom: {
+      const CostedOccurrence& occ = CostOccurrence(ctx, &node);
+      Candidate c;
+      c.atoms = {&node};
+      c.total = occ.total;
+      c.scan_total = occ.scan_raw;
+      c.conditions = occ.conditions;
+      return {std::move(c)};
+    }
+    case LogicalNode::Kind::kSeq: {
+      std::vector<Candidate> out;
+      for (const LogicalNode& child : node.children) {
+        std::vector<Candidate> sub = EnumerateCandidates(child, ctx);
+        out.insert(out.end(), std::make_move_iterator(sub.begin()),
+                   std::make_move_iterator(sub.end()));
+      }
+      return out;
+    }
+    case LogicalNode::Kind::kAlt: {
+      // Cross product of per-branch candidate sets, approximated (as in
+      // the paper) by the union of each branch's best. Pruned mandatory
+      // branches need no anchor; a branch reduced to the empty match makes
+      // the whole Alt unanchorable (like any other unanchorable branch).
+      Candidate combined;
+      for (const LogicalNode& child : node.children) {
+        if (child.pruned && !child.is_optional()) continue;
+        std::vector<Candidate> sub = EnumerateCandidates(child, ctx);
+        if (sub.empty()) return {};  // unanchorable branch => Alt is too
+        const Candidate* best = &sub[0];
+        for (const Candidate& c : sub) {
+          if (Better(c.total, c.conditions, best->total, best->conditions)) {
+            best = &c;
+          }
+        }
+        combined.atoms.insert(combined.atoms.end(), best->atoms.begin(),
+                              best->atoms.end());
+        combined.total += best->total;
+        combined.scan_total += best->scan_total;
+        combined.conditions += best->conditions;
+      }
+      if (combined.atoms.empty()) return {};
+      return {std::move(combined)};
+    }
+    case LogicalNode::Kind::kRep:
+      // Rep(r,n,m) ~ Seq(r, Rep(r,n-1,m-1)): the first iteration is
+      // mandatory iff n >= 1.
+      if (node.min_rep == 0) return {};
+      return EnumerateCandidates(node.children[0], ctx);
+  }
+  return {};
+}
+
 }  // namespace
 
 Result<MatchPlan> PlanMatch(const RpeNode& rpe,
                             const storage::StorageBackend& backend,
-                            const PlanOptions& options) {
-  std::vector<Candidate> candidates = EnumerateCandidates(rpe, backend);
+                            const PlanOptions& options,
+                            const storage::TimeView& view) {
+  LogicalPlan logical = BuildLogicalPlan(rpe);
+  OptimizeLogicalPlan(&logical, backend, options, view);
+
+  MatchPlan plan;
+  plan.logical = logical.ToString();
+  plan.rewrites = logical.rewrites;
+  if (logical.statically_empty) {
+    plan.statically_empty = true;
+    return plan;
+  }
+
+  CostEstimator est(backend, view);
+  AnchorContext ctx{&logical.root, &options, &est, {}};
+  std::vector<Candidate> candidates = EnumerateCandidates(logical.root, &ctx);
   if (candidates.empty()) {
     return Status::PlanError(
         "RPE '" + rpe.ToString() +
@@ -259,20 +450,21 @@ Result<MatchPlan> PlanMatch(const RpeNode& rpe,
   }
   const Candidate* best = &candidates[0];
   for (const Candidate& c : candidates) {
-    if (c.cost < best->cost) best = &c;
-  }
-  MatchPlan plan;
-  plan.total_cost = best->cost;
-  for (const Occurrence& occ : best->atoms) {
-    AnchoredPlan anchored;
-    anchored.anchor = occ.atom->atom;
-    anchored.anchor_cost = occ.cost;
-    Program prefix, suffix;
-    if (!SplitAroundAnchor(rpe, occ.atom, options, &prefix, &suffix)) {
-      return Status::Internal("anchor occurrence not found in RPE tree");
+    if (Better(c.total, c.conditions, best->total, best->conditions)) {
+      best = &c;
     }
-    anchored.reversed_prefix = ReverseProgram(prefix);
-    anchored.suffix = std::move(suffix);
+  }
+  plan.total_cost = best->scan_total;
+  plan.optimizer_cost = best->total;
+  for (const LogicalNode* atom : best->atoms) {
+    CostedOccurrence& occ = CostOccurrence(&ctx, atom);
+    AnchoredPlan anchored;
+    anchored.anchor = atom->atom;
+    anchored.anchor_cost = occ.scan_raw;
+    anchored.est_after_suffix = occ.est_after_suffix;
+    anchored.est_rows = occ.est_rows;
+    anchored.reversed_prefix = std::move(occ.reversed_prefix);
+    anchored.suffix = std::move(occ.suffix);
     plan.anchors.push_back(std::move(anchored));
   }
   return plan;
@@ -280,13 +472,21 @@ Result<MatchPlan> PlanMatch(const RpeNode& rpe,
 
 std::string MatchPlan::ToString() const {
   std::string out;
+  if (!logical.empty()) out += "logical  : " + logical + "\n";
+  for (const std::string& rw : rewrites) {
+    out += "rewrite  : " + rw + "\n";
+  }
+  if (statically_empty) {
+    out += "statically empty: the allowed-edge rules admit no match";
+    return out;
+  }
   for (size_t i = 0; i < anchors.size(); ++i) {
     const AnchoredPlan& a = anchors[i];
     if (i > 0) out += "\n";
     out += "anchor " + a.anchor.ToString() + " (cost " +
            std::to_string(a.anchor_cost) + ")\n";
-    out += "  forwards : " + ProgramToString(a.suffix) + "\n";
-    out += "  backwards: " + ProgramToString(a.reversed_prefix);
+    out += "  forwards : " + ProgramToStringWithEstimates(a.suffix) + "\n";
+    out += "  backwards: " + ProgramToStringWithEstimates(a.reversed_prefix);
   }
   return out;
 }

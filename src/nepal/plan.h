@@ -1,15 +1,25 @@
 // Query planning for one MATCHES predicate.
 //
-// A resolved RPE is compiled into an anchored plan (Section 5.1):
-//  1. enumerate anchor candidates following the paper's rules —
+// Planning is a three-stage pipeline:
+//  1. logical plan — an Atom/Seq/Alt/Rep algebra tree built from the
+//     resolved RPE (nepal/logical_plan.h);
+//  2. cost-based optimizer — rewrite rules (predicate pushdown, dead-branch
+//     pruning against allowed-edge rules, cost-gated loop unrolling) and
+//     anchor selection over the statistics subsystem (nepal/optimizer.h,
+//     src/stats);
+//  3. physical plan — the Step/Program operator DAG emitted below.
+//
+// Anchored evaluation follows Section 5.1 of the paper:
+//  1. enumerate anchor candidates —
 //       Atom: the atom itself;
 //       Sequence: candidates of every child (all are mandatory);
 //       Alternation: the cross product of the children's candidates,
 //         approximated (as in the paper) by the union of each child's best;
 //       Repetition: Rep(r,n,m) -> Seq(r, Rep(r,n-1,m-1)), candidates of the
 //         first r; repetitions with n == 0 contribute none;
-//  2. cost every candidate with backend statistics / schema hints and pick
-//     the cheapest;
+//  2. cost every candidate — by estimated scan rows plus expected traversal
+//     fan-out of its prefix/suffix programs (or bare scan estimates when the
+//     cost-based rule is disabled) — and pick the cheapest;
 //  3. split the RPE around each anchor occurrence into a prefix program
 //     (run backwards) and a suffix program (run forwards).
 //
@@ -23,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "nepal/logical_plan.h"
 #include "nepal/rpe.h"
 #include "storage/backend.h"
 #include "storage/pathset.h"
@@ -42,6 +53,11 @@ struct Step {
   int min_rep = 1;                 // kLoop
   int max_rep = 1;                 // kLoop
 
+  /// Optimizer row estimate for this step's output (cardinality × expected
+  /// fan-out); -1 when not annotated. Threaded into obs::QueryStats so
+  /// EXPLAIN ANALYZE can report estimated vs actual rows.
+  double est_rows = -1;
+
   /// Operator-stats node id (obs::QueryStatsGroup), assigned by the
   /// executor when it registers the plan for EXPLAIN ANALYZE; -1 when the
   /// step is not instrumented.
@@ -54,12 +70,18 @@ struct Step {
 Program ReverseProgram(const Program& program);
 
 std::string ProgramToString(const Program& program);
+/// As ProgramToString, appending "~N" row estimates to annotated steps.
+std::string ProgramToStringWithEstimates(const Program& program);
 
 /// One way to evaluate the RPE: Select the anchor atom, extend forwards
 /// through `suffix`, then backwards through `prefix` (already reversed).
 struct AnchoredPlan {
   storage::CompiledAtom anchor;
+  /// Estimated rows the anchor Select emits (bare scan estimate).
   double anchor_cost = 0;
+  /// Estimated rows after the suffix / after both sides; -1 if unannotated.
+  double est_after_suffix = -1;
+  double est_rows = -1;
   Program reversed_prefix;  // run with Direction::kIn after reversal
   Program suffix;           // run with Direction::kOut
 };
@@ -68,16 +90,47 @@ struct AnchoredPlan {
 /// set (one AnchoredPlan per alternation branch covered).
 struct MatchPlan {
   std::vector<AnchoredPlan> anchors;
+  /// Estimated anchor scan rows of the chosen candidate (the legacy cost
+  /// metric; the engine compares it against join-seed counts).
   double total_cost = 0;
+  /// Full cost-model total: scan + estimated traversal work. This is the
+  /// figure the optimizer minimized and the one recorded in bench output.
+  double optimizer_cost = 0;
+  /// True when dead-branch pruning proved the RPE matches nothing under
+  /// the allowed-edge rules; `anchors` is empty and evaluation yields an
+  /// empty pathway set.
+  bool statically_empty = false;
+  /// Rendered logical plan and the optimizer rewrites applied to it.
+  std::string logical;
+  std::vector<std::string> rewrites;
   std::string ToString() const;
+};
+
+/// How Rep blocks are emitted into the physical plan.
+enum class LoopStrategy {
+  /// Cost-gated: fixed-count repetitions ({n,n}) whose estimated fan-out is
+  /// small are unrolled inline (identical output order to ExtendBlock);
+  /// everything else becomes a Loop step delegated to ExtendBlock.
+  kCostBased,
+  /// Always delegate to the backend's ExtendBlock (the legacy behaviour).
+  kExtendBlock,
+  /// Always unroll into body^min plus nested optional Unions (ablation).
+  kUnroll,
 };
 
 struct PlanOptions {
   /// Upper bound accepted for repetition maxima (length limitation).
   int max_repetition = 32;
-  /// When false, Loop steps are unrolled into plain atom steps instead of
-  /// being delegated to ExtendBlock (the ablation knob).
-  bool use_extend_block = true;
+  LoopStrategy loop_strategy = LoopStrategy::kCostBased;
+  // ---- Optimizer rewrite rules, individually toggleable for ablation ----
+  /// Push the most selective equality (by value-counter statistics) into
+  /// the ScanSpec instead of the first one.
+  bool optimize_pushdown = true;
+  /// Prune alternation branches that the allowed-edge rules prove empty.
+  bool optimize_prune = true;
+  /// Pick anchors by estimated scan rows × expected traversal fan-out
+  /// instead of bare EstimateScan.
+  bool optimize_cost_anchor = true;
   /// Worker lanes for frontier-parallel evaluation. 1 runs the exact serial
   /// executor (pre-concurrency behavior, byte-identical output); 0 resolves
   /// to std::thread::hardware_concurrency(). Values > 1 shard each
@@ -91,16 +144,32 @@ struct PlanOptions {
 /// used (0 maps to std::thread::hardware_concurrency()).
 size_t EffectiveParallelism(const PlanOptions& options);
 
-/// Builds the anchored plan for a resolved, normalized RPE against the
-/// statistics of `backend`. Fails with PlanError if the RPE has no anchor
-/// (every atom sits inside a {0,n} repetition).
-Result<MatchPlan> PlanMatch(const RpeNode& rpe,
-                            const storage::StorageBackend& backend,
-                            const PlanOptions& options);
+/// Builds the anchored plan for a resolved, normalized RPE: logical plan,
+/// optimizer rewrites, anchor selection, physical emission. The `view`
+/// scales estimates for historical reads (history-depth statistics). Fails
+/// with PlanError if the RPE has no anchor (every atom sits inside a {0,n}
+/// repetition).
+Result<MatchPlan> PlanMatch(
+    const RpeNode& rpe, const storage::StorageBackend& backend,
+    const PlanOptions& options,
+    const storage::TimeView& view = storage::TimeView::Current());
 
-/// Compiles an RPE (sub)tree into a program (used for seeded evaluation,
-/// where the anchor is imported and no split is needed).
+/// Emits the physical program for an optimized logical subtree.
+Program EmitProgram(const LogicalNode& node, const PlanOptions& options);
+
+/// Compiles an RPE (sub)tree into a program without optimizer rewrites
+/// (no backend statistics available; fixed-count loops still unroll under
+/// LoopStrategy::kCostBased).
 Program CompileProgram(const RpeNode& rpe, const PlanOptions& options);
+
+/// Compiles an RPE for seeded evaluation (imported anchor, no split):
+/// builds the logical plan, applies the optimizer rewrites, and emits the
+/// physical program annotated with row estimates starting from `seed_rows`
+/// seed states (skipped when seed_rows < 0).
+Program CompileSeededProgram(const RpeNode& rpe,
+                             const storage::StorageBackend& backend,
+                             const PlanOptions& options,
+                             const storage::TimeView& view, double seed_rows);
 
 }  // namespace nepal::nql
 

@@ -15,12 +15,28 @@ void OperatorStats::MergeCountsFrom(const OperatorStats& other) {
   shards += other.shards;
   wall_ns += other.wall_ns;
   invocations += other.invocations;
+  // Estimates are per-execution figures: merging repeated runs of the same
+  // plan sums them alongside the actual rows (est/actual ratios survive).
+  if (other.est_rows >= 0) {
+    est_rows = est_rows >= 0 ? est_rows + other.est_rows : other.est_rows;
+  }
 }
+
+namespace {
+
+std::string JsonDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
 
 void OperatorStats::AppendJson(std::string* out) const {
   *out += "{\"group\":\"" + JsonEscape(group) + "\",\"op\":\"" +
           JsonEscape(op) + "\",\"rows_in\":" + std::to_string(rows_in) +
           ",\"rows_out\":" + std::to_string(rows_out) +
+          ",\"est_rows\":" + JsonDouble(est_rows) +
           ",\"dedup_dropped\":" + std::to_string(dedup_dropped) +
           ",\"shards\":" + std::to_string(shards) +
           ",\"wall_ns\":" + std::to_string(wall_ns) +
@@ -43,6 +59,7 @@ void QueryStats::MergeFrom(const QueryStats& other) {
   }
   wall_ns += other.wall_ns;
   result_rows += other.result_rows;
+  plan_cost += other.plan_cost;
 }
 
 std::string QueryStats::ToString() const {
@@ -53,9 +70,9 @@ std::string QueryStats::ToString() const {
   op_width = std::min<size_t>(op_width, 60);
   std::string out;
   char line[256];
-  std::snprintf(line, sizeof(line), "%-*s %9s %9s %7s %6s %6s %10s\n",
+  std::snprintf(line, sizeof(line), "%-*s %9s %9s %9s %7s %6s %6s %10s\n",
                 static_cast<int>(op_width), "operator", "rows_in", "rows_out",
-                "dedup", "shards", "invocs", "wall_ms");
+                "est_rows", "dedup", "shards", "invocs", "wall_ms");
   out += line;
   std::string current_group;
   for (const OperatorStats& op : operators) {
@@ -65,11 +82,17 @@ std::string QueryStats::ToString() const {
     }
     std::string name = "  " + op.op;
     if (name.size() > op_width) name = name.substr(0, op_width - 3) + "...";
+    char est[16];
+    if (op.est_rows >= 0) {
+      std::snprintf(est, sizeof(est), "%9.1f", op.est_rows);
+    } else {
+      std::snprintf(est, sizeof(est), "%9s", "-");
+    }
     std::snprintf(line, sizeof(line),
-                  "%-*s %9llu %9llu %7llu %6llu %6llu %10.3f\n",
+                  "%-*s %9llu %9llu %s %7llu %6llu %6llu %10.3f\n",
                   static_cast<int>(op_width), name.c_str(),
                   static_cast<unsigned long long>(op.rows_in),
-                  static_cast<unsigned long long>(op.rows_out),
+                  static_cast<unsigned long long>(op.rows_out), est,
                   static_cast<unsigned long long>(op.dedup_dropped),
                   static_cast<unsigned long long>(op.shards),
                   static_cast<unsigned long long>(op.invocations),
@@ -90,6 +113,7 @@ void QueryStats::AppendJson(std::string* out) const {
           JsonEscape(query) + "\",\"wall_ns\":" + std::to_string(wall_ns) +
           ",\"result_rows\":" + std::to_string(result_rows) +
           ",\"parallelism\":" + std::to_string(parallelism) +
+          ",\"plan_cost\":" + JsonDouble(plan_cost) +
           ",\"operators\":[";
   for (size_t i = 0; i < operators.size(); ++i) {
     if (i > 0) *out += ",";
@@ -98,8 +122,8 @@ void QueryStats::AppendJson(std::string* out) const {
   *out += "]}";
 }
 
-int QueryStatsGroup::AddOp(std::string op) {
-  nodes_.emplace_back(std::move(op));
+int QueryStatsGroup::AddOp(std::string op, double est_rows) {
+  nodes_.emplace_back(std::move(op), est_rows);
   return static_cast<int>(nodes_.size()) - 1;
 }
 
@@ -121,14 +145,21 @@ QueryStatsGroup* QueryStatsBuilder::AddGroup(std::string name) {
   return &groups_.back();
 }
 
+void QueryStatsBuilder::AddPlanCost(double cost) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_cost_ += cost;
+}
+
 QueryStats QueryStatsBuilder::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   QueryStats stats;
+  stats.plan_cost = plan_cost_;
   for (const QueryStatsGroup& group : groups_) {
     for (const QueryStatsGroup::Node& node : group.nodes_) {
       OperatorStats op;
       op.group = group.name();
       op.op = node.op;
+      op.est_rows = node.est_rows;
       op.rows_in = node.rows_in.load(std::memory_order_relaxed);
       op.rows_out = node.rows_out.load(std::memory_order_relaxed);
       op.dedup_dropped = node.dedup_dropped.load(std::memory_order_relaxed);

@@ -48,6 +48,10 @@ struct OperatorStats {
   uint64_t shards = 0;       // shard slices executed (serial: = invocations)
   uint64_t wall_ns = 0;      // summed across shard slices
   uint64_t invocations = 0;  // logical invocations
+  /// Optimizer row estimate for this operator's output, set at plan
+  /// registration time; -1 when the plan carried no estimate. EXPLAIN
+  /// ANALYZE reports it next to the actual rows_out.
+  double est_rows = -1;
 
   /// Adds `other`'s numeric fields into this node (labels must match).
   void MergeCountsFrom(const OperatorStats& other);
@@ -71,6 +75,9 @@ struct QueryStats {
   uint64_t wall_ns = 0;
   uint64_t result_rows = 0;
   int parallelism = 0;
+  /// Summed MatchPlan::total_cost of the plans this run evaluated (the
+  /// optimizer's anchor-scan estimate); 0 when no MATCHES plan ran.
+  double plan_cost = 0;
   std::vector<OperatorStats> operators;  // group order, then op order
 
   /// Folds `other` in, matching operators by (group, op) label and
@@ -90,9 +97,10 @@ class QueryStatsGroup {
  public:
   explicit QueryStatsGroup(std::string name) : name_(std::move(name)) {}
 
-  /// Registers an operator node; returns its id. Must not race with
+  /// Registers an operator node; returns its id. `est_rows` is the
+  /// optimizer's output-row estimate (-1: no estimate). Must not race with
   /// Record on the same group (see the threading contract above).
-  int AddOp(std::string op);
+  int AddOp(std::string op, double est_rows = -1);
 
   /// Atomically folds `sample` into node `op_id`. Thread-safe.
   void Record(int op_id, const OpSample& sample);
@@ -103,13 +111,14 @@ class QueryStatsGroup {
   friend class QueryStatsBuilder;
   struct Node {
     std::string op;
+    double est_rows = -1;  // fixed at registration, no atomics needed
     std::atomic<uint64_t> rows_in{0};
     std::atomic<uint64_t> rows_out{0};
     std::atomic<uint64_t> dedup_dropped{0};
     std::atomic<uint64_t> shards{0};
     std::atomic<uint64_t> wall_ns{0};
     std::atomic<uint64_t> invocations{0};
-    explicit Node(std::string o) : op(std::move(o)) {}
+    Node(std::string o, double est) : op(std::move(o)), est_rows(est) {}
   };
   std::string name_;
   std::deque<Node> nodes_;  // deque: stable references across AddOp
@@ -123,6 +132,10 @@ class QueryStatsBuilder {
   /// Thread-safe; the returned handle stays valid for the builder's life.
   QueryStatsGroup* AddGroup(std::string name);
 
+  /// Accumulates the MatchPlan cost of a structurally-anchored evaluation
+  /// into the run's QueryStats::plan_cost. Thread-safe.
+  void AddPlanCost(double cost);
+
   /// Flattens all groups into a QueryStats (operators only; the caller
   /// fills the query-level fields). Call after evaluation has finished.
   QueryStats Snapshot() const;
@@ -130,6 +143,7 @@ class QueryStatsBuilder {
  private:
   mutable std::mutex mu_;
   std::deque<QueryStatsGroup> groups_;
+  double plan_cost_ = 0;
 };
 
 }  // namespace nepal::obs

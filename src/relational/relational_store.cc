@@ -12,7 +12,9 @@ using storage::TimeView;
 
 RelationalStore::RelationalStore(schema::SchemaPtr schema,
                                  RelationalStoreOptions options)
-    : schema_(std::move(schema)), options_(std::move(options)) {
+    : StorageBackend(schema.get()),
+      schema_(std::move(schema)),
+      options_(std::move(options)) {
   current_.resize(schema_->classes().size());
   history_.resize(schema_->classes().size());
   for (const schema::ClassDef* cls : schema_->classes()) {
@@ -32,8 +34,20 @@ Status RelationalStore::InsertCommon(Uid uid, ElementVersion v, Timestamp t) {
                                  " already registered");
   }
   v.valid = Interval{t, kTimestampMax};
+  const schema::ClassDef* cls = v.cls;
+  Uid source = v.source;
+  Uid target = v.target;
   Status st = CurrentTable(v.cls).Insert(std::move(v));
-  if (!st.ok()) uid_registry_.erase(uid);
+  if (!st.ok()) {
+    uid_registry_.erase(uid);
+    return st;
+  }
+  CurrentTable(cls).ForEachById(
+      uid, [&](const ElementVersion& cur) { stats_.OnInsert(cls, cur.fields); });
+  if (cls->is_edge()) {
+    stats_.OnEdgeLinked(cls, source, RegisteredClassOf(source), target,
+                        RegisteredClassOf(target));
+  }
   return st;
 }
 
@@ -74,6 +88,7 @@ Status RelationalStore::Update(Uid uid,
   }
   new_row.valid = Interval{t, kTimestampMax};
   old_row.valid.end = t;
+  stats_.OnUpdate(it->second, old_row.fields, new_row.fields);
   // A version opened and replaced at the same instant never existed.
   if (!old_row.valid.empty()) {
     NEPAL_RETURN_NOT_OK(HistoryTable(it->second).Insert(std::move(old_row)));
@@ -89,6 +104,12 @@ Status RelationalStore::Delete(Uid uid, Timestamp t) {
   NEPAL_ASSIGN_OR_RETURN(ElementVersion old_row,
                          CurrentTable(it->second).Remove(uid));
   old_row.valid.end = t;
+  stats_.OnRemove(it->second, old_row.fields);
+  if (old_row.is_edge()) {
+    stats_.OnEdgeUnlinked(it->second, old_row.source,
+                          RegisteredClassOf(old_row.source), old_row.target,
+                          RegisteredClassOf(old_row.target));
+  }
   if (old_row.valid.empty()) return Status::OK();
   return HistoryTable(it->second).Insert(std::move(old_row));
 }
@@ -183,26 +204,6 @@ size_t RelationalStore::CountClass(const schema::ClassDef* cls) const {
     count += table->row_count();
   }
   return count;
-}
-
-double RelationalStore::EstimateScan(const ScanSpec& spec) const {
-  if (spec.uid) return 1.0;
-  if (spec.eq) {
-    const std::string& field =
-        spec.cls->fields()[static_cast<size_t>(spec.eq->first)].name;
-    double hits = 0;
-    bool all_indexed = true;
-    for (const Table* table : SubtreeTables(spec.cls, /*history=*/false)) {
-      if (!table->HasFieldIndex(field)) {
-        all_indexed = false;
-        break;
-      }
-      hits += static_cast<double>(
-          table->IndexBucketSize(field, spec.eq->second));
-    }
-    if (all_indexed) return hits;
-  }
-  return StorageBackend::EstimateScan(spec);
 }
 
 size_t RelationalStore::MemoryUsage() const {

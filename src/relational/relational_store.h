@@ -59,7 +59,6 @@ class RelationalStore final : public storage::StorageBackend {
   bool Exists(Uid uid, const storage::TimeView& view) const override;
 
   size_t CountClass(const schema::ClassDef* cls) const override;
-  double EstimateScan(const storage::ScanSpec& spec) const override;
   size_t MemoryUsage() const override;
   size_t VersionCount() const override;
   std::unique_ptr<storage::PathOperatorExecutor> CreateExecutor()
@@ -84,6 +83,10 @@ class RelationalStore final : public storage::StorageBackend {
     return *history_[static_cast<size_t>(cls->order())];
   }
   Status InsertCommon(Uid uid, storage::ElementVersion v, Timestamp t);
+  const schema::ClassDef* RegisteredClassOf(Uid uid) const {
+    auto it = uid_registry_.find(uid);
+    return it == uid_registry_.end() ? nullptr : it->second;
+  }
 
   schema::SchemaPtr schema_;
   RelationalStoreOptions options_;

@@ -15,6 +15,11 @@ double StorageBackend::EstimateScan(const ScanSpec& spec) const {
     const schema::FieldDef& field =
         spec.cls->fields()[static_cast<size_t>(spec.eq->first)];
     if (field.unique) return 1.0;
+    // Exact per-value counter maintained by the stats subsystem.
+    if (auto exact =
+            stats_.EqCount(spec.cls, spec.eq->first, spec.eq->second)) {
+      return *exact;
+    }
     // Schema hint: an equality predicate on a non-unique field is assumed to
     // select ~10% of the class (matches the paper's fallback of using schema
     // hints when statistics are unavailable).

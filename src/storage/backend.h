@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "stats/stats.h"
 #include "storage/element.h"
 
 namespace nepal::storage {
@@ -71,8 +72,15 @@ class StorageBackend {
   /// Current-snapshot cardinality of a class subtree.
   virtual size_t CountClass(const schema::ClassDef* cls) const = 0;
 
-  /// Estimated number of rows a scan would emit.
-  virtual double EstimateScan(const ScanSpec& spec) const;
+  /// Estimated number of rows a scan would emit. Implemented once here from
+  /// the maintained statistics so both backends cost identically for
+  /// identical data: exact per-value counters when available, schema hints
+  /// (unique -> 1, equality -> ~10% of the class) otherwise.
+  double EstimateScan(const ScanSpec& spec) const;
+
+  /// Incrementally maintained statistics (cardinalities, degrees, value
+  /// counters, history depth). Backends update them on every write.
+  const stats::GraphStats& stats() const { return stats_; }
 
   /// Approximate resident bytes (storage-overhead experiments).
   virtual size_t MemoryUsage() const = 0;
@@ -86,6 +94,12 @@ class StorageBackend {
   /// The default is the step-wise TraverserExecutor; backends with a bulk
   /// execution strategy override this.
   virtual std::unique_ptr<PathOperatorExecutor> CreateExecutor() const;
+
+ protected:
+  StorageBackend() = default;
+  explicit StorageBackend(const schema::Schema* schema) : stats_(schema) {}
+
+  stats::GraphStats stats_;
 };
 
 }  // namespace nepal::storage

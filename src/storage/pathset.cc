@@ -81,6 +81,18 @@ ScanSpec CompiledAtom::ToScanSpec() const {
   ScanSpec spec;
   spec.cls = cls;
   std::vector<FieldCondition> residual;
+  auto pushable_eq = [](const FieldCondition& cond) {
+    return cond.op == FieldCondition::Op::kEq && cond.field_index >= 0 &&
+           cond.subpath.empty();
+  };
+  // The optimizer may have chosen which equality to push (the most
+  // selective one); otherwise the first pushable equality wins.
+  const FieldCondition* chosen = nullptr;
+  if (pushdown_condition >= 0 &&
+      static_cast<size_t>(pushdown_condition) < conditions.size() &&
+      pushable_eq(conditions[static_cast<size_t>(pushdown_condition)])) {
+    chosen = &conditions[static_cast<size_t>(pushdown_condition)];
+  }
   for (const FieldCondition& cond : conditions) {
     if (cond.op == FieldCondition::Op::kEq && cond.field_index < 0 &&
         !spec.uid && cond.value.kind() == ValueKind::kInt &&
@@ -88,8 +100,8 @@ ScanSpec CompiledAtom::ToScanSpec() const {
       spec.uid = static_cast<Uid>(cond.value.AsInt());
       continue;
     }
-    if (cond.op == FieldCondition::Op::kEq && cond.field_index >= 0 &&
-        cond.subpath.empty() && !spec.eq) {
+    if (pushable_eq(cond) && !spec.eq &&
+        (chosen == nullptr || chosen == &cond)) {
       spec.eq = std::make_pair(cond.field_index, cond.value);
       continue;
     }

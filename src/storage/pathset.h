@@ -51,6 +51,10 @@ struct FieldCondition {
 struct CompiledAtom {
   const schema::ClassDef* cls = nullptr;
   std::vector<FieldCondition> conditions;
+  /// Index into `conditions` of the equality the optimizer chose to push
+  /// into the ScanSpec (predicate-pushdown rewrite). -1 keeps the default
+  /// behaviour: the first pushable equality wins.
+  int pushdown_condition = -1;
 
   bool is_edge() const { return cls->is_edge(); }
   bool Matches(const ElementVersion& v) const;

@@ -130,9 +130,18 @@ TEST_F(GraphStoreTest, EstimateScanUsesIndexStatistics) {
   EXPECT_DOUBLE_EQ(db_->backend().EstimateScan(spec), 20.0);
   spec.eq = std::make_pair(spec.cls->FieldIndex("name"), Value("absent"));
   EXPECT_DOUBLE_EQ(db_->backend().EstimateScan(spec), 0.0);
-  // Unindexed fields fall back to the schema hint (count/10 + 1).
+  // The stats counters cover unindexed fields too: no VM sets status, so
+  // the estimate is an exact zero rather than the old schema hint.
   spec.eq = std::make_pair(spec.cls->FieldIndex("status"), Value("x"));
-  EXPECT_DOUBLE_EQ(db_->backend().EstimateScan(spec), 21.0 / 10.0 + 1.0);
+  EXPECT_DOUBLE_EQ(db_->backend().EstimateScan(spec), 0.0);
+  // Past kMaxDistinctValues distinct values the counter saturates and the
+  // estimate degrades to the schema hint (count/10 + 1).
+  for (int i = 0; i < 1100; ++i) {
+    ASSERT_TRUE(
+        db_->AddNode("VM", {{"name", Value("u" + std::to_string(i))}}).ok());
+  }
+  spec.eq = std::make_pair(spec.cls->FieldIndex("name"), Value("dup"));
+  EXPECT_DOUBLE_EQ(db_->backend().EstimateScan(spec), 1121.0 / 10.0 + 1.0);
 }
 
 TEST_F(GraphStoreTest, VersionCountTracksEveryWrite) {

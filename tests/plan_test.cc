@@ -143,7 +143,7 @@ TEST_F(PlanTest, ProgramReversalIsInvolutive) {
 
 TEST_F(PlanTest, UnrolledCompilationWhenExtendBlockDisabled) {
   PlanOptions options;
-  options.use_extend_block = false;
+  options.loop_strategy = LoopStrategy::kUnroll;
   RpeNode rpe = Resolved("[E()]{1,3}");
   Program program = CompileProgram(rpe, options);
   // body once + nested optionals; no Loop steps anywhere.
@@ -158,17 +158,31 @@ TEST_F(PlanTest, UnrolledCompilationWhenExtendBlockDisabled) {
 }
 
 TEST_F(PlanTest, EstimateUsesStatistics) {
-  // B count is 5, A count is 100; schema-hint equality on A.val gives
-  // count/10 + 1 = 11.
-  storage::CompiledAtom a_atom;
-  a_atom.cls = schema_->FindClass("A");
-  storage::FieldCondition cond;
-  cond.field_index = a_atom.cls->FieldIndex("val");
-  cond.field_name = "val";
-  cond.op = storage::FieldCondition::Op::kEq;
-  cond.value = Value(1);
-  a_atom.conditions.push_back(cond);
-  EXPECT_DOUBLE_EQ(db_->backend().EstimateScan(a_atom.ToScanSpec()), 11.0);
+  // The stats subsystem maintains exact per-value counters, so an equality
+  // estimate is the true matching-row count rather than the count/10 + 1
+  // schema hint the planner used before statistics existed.
+  auto spec_for = [&](int val) {
+    storage::CompiledAtom a_atom;
+    a_atom.cls = schema_->FindClass("A");
+    storage::FieldCondition cond;
+    cond.field_index = a_atom.cls->FieldIndex("val");
+    cond.field_name = "val";
+    cond.op = storage::FieldCondition::Op::kEq;
+    cond.value = Value(val);
+    a_atom.conditions.push_back(cond);
+    return a_atom.ToScanSpec();
+  };
+  // None of the fixture's A rows sets val: the counter proves zero matches.
+  EXPECT_DOUBLE_EQ(db_->backend().EstimateScan(spec_for(1)), 0.0);
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(db_->AddNode("A", {{"val", Value(1)}}).ok());
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(db_->AddNode("A", {{"val", Value(2)}}).ok());
+  }
+  EXPECT_DOUBLE_EQ(db_->backend().EstimateScan(spec_for(1)), 7.0);
+  EXPECT_DOUBLE_EQ(db_->backend().EstimateScan(spec_for(2)), 3.0);
+  EXPECT_DOUBLE_EQ(db_->backend().EstimateScan(spec_for(99)), 0.0);
 }
 
 }  // namespace

@@ -393,7 +393,7 @@ TEST(PropertyTest, ExtendBlockAndUnrolledPlansAgree) {
                                     &graph_rng, 12, 24);
     nql::QueryEngine with_block(g.db.get());
     nql::EngineOptions unrolled_options;
-    unrolled_options.plan.use_extend_block = false;
+    unrolled_options.plan.loop_strategy = nql::LoopStrategy::kUnroll;
     nql::QueryEngine unrolled(g.db.get(), unrolled_options);
     for (int r = 0; r < 6; ++r) {
       nql::RpeNode rpe = nql::Normalize(RandomRpe(&rng, 2));

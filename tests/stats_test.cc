@@ -1,0 +1,198 @@
+// Statistics subsystem tests: incremental maintenance of cardinalities,
+// per-value counters, degree statistics and history depth on every write
+// path — and the guarantee that both backends, fed identical data, produce
+// identical scan estimates (EstimateScan is implemented once over the
+// shared statistics).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/stats.h"
+#include "storage/graphdb.h"
+#include "tests/testutil.h"
+
+namespace nepal {
+namespace {
+
+using nepal::testing::BackendKind;
+
+class StatsTest : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    schema_ = nepal::testing::Figure3Schema();
+    db_ = std::make_unique<storage::GraphDb>(
+        schema_, nepal::testing::MakeBackend(GetParam(), schema_));
+  }
+
+  const stats::GraphStats& Stats() { return db_->backend().stats(); }
+  const schema::ClassDef* Cls(const std::string& name) {
+    return schema_->FindClass(name);
+  }
+
+  schema::SchemaPtr schema_;
+  std::unique_ptr<storage::GraphDb> db_;
+};
+
+TEST_P(StatsTest, CardinalityTracksInsertAndRemove) {
+  EXPECT_DOUBLE_EQ(Stats().Cardinality(Cls("VM")), 0.0);
+  Uid a = *db_->AddNode("VMWare", {{"name", Value("a")}});
+  Uid b = *db_->AddNode("OnMetal", {{"name", Value("b")}});
+  *db_->AddNode("Host", {{"name", Value("h")}});
+  // Subclass instances count toward every ancestor.
+  EXPECT_DOUBLE_EQ(Stats().Cardinality(Cls("VMWare")), 1.0);
+  EXPECT_DOUBLE_EQ(Stats().Cardinality(Cls("VM")), 2.0);
+  EXPECT_DOUBLE_EQ(Stats().Cardinality(Cls("Container")), 2.0);
+  EXPECT_DOUBLE_EQ(Stats().Cardinality(Cls("Node")), 3.0);
+  ASSERT_TRUE(db_->SetTime(db_->Now() + 1).ok());
+  ASSERT_TRUE(db_->RemoveElement(a).ok());
+  EXPECT_DOUBLE_EQ(Stats().Cardinality(Cls("VM")), 1.0);
+  ASSERT_TRUE(db_->RemoveElement(b).ok());
+  EXPECT_DOUBLE_EQ(Stats().Cardinality(Cls("VM")), 0.0);
+  EXPECT_DOUBLE_EQ(Stats().Cardinality(Cls("Node")), 1.0);
+}
+
+TEST_P(StatsTest, EqCountFollowsUpdatesAndRemoves) {
+  const schema::ClassDef* vm = Cls("VMWare");
+  int status = vm->FieldIndex("status");
+  Uid a = *db_->AddNode("VMWare", {{"status", Value("Red")}});
+  *db_->AddNode("VMWare", {{"status", Value("Red")}});
+  EXPECT_EQ(Stats().EqCount(vm, status, Value("Red")), 2.0);
+  EXPECT_EQ(Stats().EqCount(vm, status, Value("Green")), 0.0);
+  ASSERT_TRUE(db_->SetTime(db_->Now() + 1).ok());
+  ASSERT_TRUE(db_->UpdateElement(a, {{"status", Value("Green")}}).ok());
+  EXPECT_EQ(Stats().EqCount(vm, status, Value("Red")), 1.0);
+  EXPECT_EQ(Stats().EqCount(vm, status, Value("Green")), 1.0);
+  ASSERT_TRUE(db_->SetTime(db_->Now() + 1).ok());
+  ASSERT_TRUE(db_->RemoveElement(a).ok());
+  EXPECT_EQ(Stats().EqCount(vm, status, Value("Green")), 0.0);
+  // Counters roll up through the class hierarchy like cardinalities.
+  EXPECT_EQ(Stats().EqCount(Cls("Container"), status, Value("Red")), 1.0);
+}
+
+TEST_P(StatsTest, DegreeStatsTrackEdgeLinks) {
+  const schema::ClassDef* host = Cls("Host");
+  const schema::ClassDef* on_server = Cls("OnServer");
+  Uid h = *db_->AddNode("Host", {});
+  Uid v1 = *db_->AddNode("VMWare", {});
+  Uid v2 = *db_->AddNode("VMWare", {});
+  Uid e1 = *db_->AddEdge("OnServer", v1, h, {});
+  *db_->AddEdge("OnServer", v2, h, {});
+  EXPECT_DOUBLE_EQ(Stats().AvgDegree(host, stats::DegreeDir::kIn, on_server),
+                   2.0);
+  EXPECT_EQ(Stats().MaxDegree(host, stats::DegreeDir::kIn, on_server), 2u);
+  EXPECT_DOUBLE_EQ(
+      Stats().AvgDegree(Cls("VM"), stats::DegreeDir::kOut, on_server), 1.0);
+  // Degree statistics respect the edge-class subtree: OnServer is a
+  // hosted_on, which is a Vertical.
+  EXPECT_DOUBLE_EQ(
+      Stats().AvgDegree(host, stats::DegreeDir::kIn, Cls("Vertical")), 2.0);
+  EXPECT_DOUBLE_EQ(
+      Stats().AvgDegree(host, stats::DegreeDir::kIn, Cls("composed_of")), 0.0);
+  ASSERT_TRUE(db_->SetTime(db_->Now() + 1).ok());
+  ASSERT_TRUE(db_->RemoveElement(e1).ok());
+  EXPECT_DOUBLE_EQ(Stats().AvgDegree(host, stats::DegreeDir::kIn, on_server),
+                   1.0);
+}
+
+TEST_P(StatsTest, RemovingANodeUnlinksItsIncidentEdges) {
+  // Cascade deletes must keep the degree totals consistent: removing the
+  // host also removes the OnServer edge, so the VM's out-degree drops too.
+  Uid h = *db_->AddNode("Host", {});
+  Uid v = *db_->AddNode("VMWare", {});
+  *db_->AddEdge("OnServer", v, h, {});
+  EXPECT_DOUBLE_EQ(
+      Stats().AvgDegree(Cls("VM"), stats::DegreeDir::kOut, Cls("OnServer")),
+      1.0);
+  ASSERT_TRUE(db_->SetTime(db_->Now() + 1).ok());
+  ASSERT_TRUE(db_->RemoveElement(h).ok());
+  EXPECT_DOUBLE_EQ(
+      Stats().AvgDegree(Cls("VM"), stats::DegreeDir::kOut, Cls("OnServer")),
+      0.0);
+  EXPECT_DOUBLE_EQ(Stats().Cardinality(Cls("OnServer")), 0.0);
+}
+
+TEST_P(StatsTest, HistoryDepthGrowsWithVersions) {
+  Uid a = *db_->AddNode("VMWare", {{"status", Value("Red")}});
+  EXPECT_DOUBLE_EQ(Stats().HistoryDepth(Cls("VM")), 1.0);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(db_->SetTime(db_->Now() + 1).ok());
+    ASSERT_TRUE(
+        db_->UpdateElement(a, {{"status", Value("v" + std::to_string(i))}})
+            .ok());
+  }
+  // 4 versions over 1 current element.
+  EXPECT_DOUBLE_EQ(Stats().HistoryDepth(Cls("VM")), 4.0);
+  EXPECT_EQ(Stats().VersionCount(Cls("VM")), 4u);
+}
+
+TEST_P(StatsTest, EstimateScanUsesExactCountersWithClassRollup) {
+  for (int i = 0; i < 4; ++i) {
+    *db_->AddNode("VMWare", {{"status", Value("Red")}});
+  }
+  *db_->AddNode("OnMetal", {{"status", Value("Red")}});
+  *db_->AddNode("OnMetal", {{"status", Value("Green")}});
+  storage::ScanSpec spec;
+  spec.cls = Cls("VM");
+  EXPECT_DOUBLE_EQ(db_->backend().EstimateScan(spec), 6.0);
+  spec.eq = std::make_pair(spec.cls->FieldIndex("status"), Value("Red"));
+  EXPECT_DOUBLE_EQ(db_->backend().EstimateScan(spec), 5.0);
+  spec.cls = Cls("OnMetal");
+  spec.eq = std::make_pair(spec.cls->FieldIndex("status"), Value("Red"));
+  EXPECT_DOUBLE_EQ(db_->backend().EstimateScan(spec), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, StatsTest,
+    ::testing::Values(BackendKind::kGraphStore, BackendKind::kRelational),
+    [](const ::testing::TestParamInfo<BackendKind>& info) {
+      return nepal::testing::BackendName(info.param);
+    });
+
+// ---- Cross-backend estimate parity (the consolidated EstimateScan) ----
+
+TEST(StatsParityTest, BackendsProduceIdenticalEstimates) {
+  auto build = [](BackendKind kind) {
+    schema::SchemaPtr schema = nepal::testing::Figure3Schema();
+    auto db = std::make_unique<storage::GraphDb>(
+        schema, nepal::testing::MakeBackend(kind, schema));
+    std::vector<Uid> hosts, vms;
+    for (int h = 0; h < 3; ++h) {
+      hosts.push_back(*db->AddNode(
+          "Host", {{"name", Value("h" + std::to_string(h))},
+                   {"serial", Value(h == 0 ? "rack-a" : "rack-b")}}));
+    }
+    for (int v = 0; v < 12; ++v) {
+      vms.push_back(*db->AddNode(
+          "VMWare", {{"name", Value("vm" + std::to_string(v))},
+                     {"status", Value(v % 3 == 0 ? "Red" : "Green")}}));
+      *db->AddEdge("OnServer", vms.back(), hosts[v % 3], {});
+    }
+    return db;
+  };
+  auto g = build(BackendKind::kGraphStore);
+  auto r = build(BackendKind::kRelational);
+  const schema::Schema& schema = g->schema();
+  auto check = [&](const std::string& cls, const char* field,
+                   const Value& value) {
+    storage::ScanSpec spec;
+    spec.cls = schema.FindClass(cls);
+    if (field != nullptr) {
+      spec.eq = std::make_pair(spec.cls->FieldIndex(field), value);
+    }
+    EXPECT_DOUBLE_EQ(g->backend().EstimateScan(spec),
+                     r->backend().EstimateScan(spec))
+        << cls << "." << (field ? field : "<none>");
+  };
+  check("VM", nullptr, Value());
+  check("Host", nullptr, Value());
+  check("VM", "status", Value("Red"));
+  check("VM", "status", Value("Green"));
+  check("Host", "serial", Value("rack-a"));
+  check("Host", "serial", Value("rack-z"));
+  check("OnServer", nullptr, Value());
+}
+
+}  // namespace
+}  // namespace nepal
