@@ -1,0 +1,262 @@
+// Durability microbenchmarks (the src/persist subsystem):
+//
+//   - WAL append throughput (MB/s) under each fsync policy,
+//   - crash-recovery replay rate (logged elements/s through the public
+//     GraphDb API, uid verification included),
+//   - checkpoint save and cold-start load latency (ms) — the load path
+//     restores GraphStats wholesale instead of re-deriving them.
+//
+// Scale knob: NEPAL_BENCH_RECOVERY_ELEMENTS (default 2000 nodes+edges).
+// Results land in BENCH_recovery_replay.json as counter records.
+
+#include <filesystem>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "persist/durable_store.h"
+#include "persist/wal.h"
+#include "persist/wal_format.h"
+#include "schema/dsl_parser.h"
+
+namespace nepal::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+schema::SchemaPtr RecoverySchema() {
+  static schema::SchemaPtr schema = [] {
+    auto s = schema::ParseSchemaDsl(R"(
+      node Host : Node { serial: string; }
+      node VM : Node { status: string; }
+      edge OnServer : Edge {}
+      allow OnServer (VM -> Host);
+    )");
+    if (!s.ok()) std::abort();
+    return *s;
+  }();
+  return schema;
+}
+
+int NumElements() { return EnvInt("NEPAL_BENCH_RECOVERY_ELEMENTS", 2000); }
+
+std::string FreshDir(const std::string& name) {
+  fs::path dir = fs::temp_directory_path() / ("nepal_bench_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+persist::BackendFactory Factory(bool relational) {
+  return [relational](schema::SchemaPtr s)
+             -> std::unique_ptr<storage::StorageBackend> {
+    if (relational) {
+      return std::make_unique<relational::RelationalStore>(std::move(s));
+    }
+    return std::make_unique<graphstore::GraphStore>(std::move(s));
+  };
+}
+
+/// Hosts, VMs and placements — every write a WAL record.
+void Ingest(storage::GraphDb& db, int elements) {
+  std::vector<Uid> hosts;
+  for (int i = 0; i < elements; ++i) {
+    if (i % 3 == 0 || hosts.empty()) {
+      hosts.push_back(*db.AddNode(
+          "Host", {{"name", Value("h" + std::to_string(i))},
+                   {"serial", Value("sn" + std::to_string(i))}}));
+    } else {
+      Uid vm = *db.AddNode("VM", {{"name", Value("vm" + std::to_string(i))},
+                                  {"status", Value("up")}});
+      if (!db.AddEdge("OnServer", vm, hosts.back(), {}).ok()) std::abort();
+    }
+  }
+}
+
+// ---- WAL append throughput ----
+
+void BM_WalAppend(benchmark::State& state) {
+  const auto policy = static_cast<persist::FsyncPolicy>(state.range(0));
+  const std::string dir = FreshDir("wal_append");
+  fs::create_directories(dir);
+  persist::WalRecord rec;
+  rec.type = persist::WalRecordType::kAddNode;
+  rec.uid = 42;
+  rec.class_name = "VM";
+  rec.time = 1500000000000000;
+  rec.row = {Value("vm-sample"), Value("Green")};
+  std::string payload;
+  persist::EncodeWalRecord(rec, &payload);
+
+  persist::WalWriterOptions options;
+  options.fsync_policy = policy;
+  auto writer = persist::WalWriter::Create(dir + "/wal-00000001.log",
+                                           /*segment_seq=*/1,
+                                           /*fingerprint=*/0, options);
+  if (!writer.ok()) {
+    state.SkipWithError(writer.status().ToString().c_str());
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    if (!(*writer)->Append(payload).ok()) {
+      state.SkipWithError("append failed");
+      return;
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double bytes = static_cast<double>(state.iterations()) *
+                       static_cast<double>(payload.size() +
+                                           persist::kWalFrameHeaderSize);
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+  const std::string label =
+      std::string("WalAppend/") + persist::FsyncPolicyToString(policy);
+  BenchJson::Instance().Counter(label, "record_bytes",
+                                static_cast<double>(payload.size()));
+  if (seconds > 0) {
+    BenchJson::Instance().Counter(label, "append_mb_per_s",
+                                  bytes / 1e6 / seconds);
+  }
+  (*writer)->Close().IgnoreError();
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_WalAppend)
+    ->Arg(static_cast<int>(persist::FsyncPolicy::kNone))
+    ->Arg(static_cast<int>(persist::FsyncPolicy::kInterval))
+    ->Arg(static_cast<int>(persist::FsyncPolicy::kAlways))
+    ->ArgName("fsync");
+
+// ---- Recovery replay rate ----
+
+void BM_RecoveryReplay(benchmark::State& state) {
+  const bool relational = state.range(0) != 0;
+  const std::string dir = FreshDir(std::string("replay_") +
+                                   (relational ? "rel" : "gs"));
+  const int elements = NumElements();
+  persist::DurableOptions options;
+  options.fsync_policy = persist::FsyncPolicy::kNone;
+  {
+    auto store = persist::DurableStore::Open(dir, RecoverySchema(),
+                                             Factory(relational), options);
+    if (!store.ok()) {
+      state.SkipWithError(store.status().ToString().c_str());
+      return;
+    }
+    Ingest((*store)->db(), elements);
+  }
+  size_t replayed = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    auto store = persist::DurableStore::Open(dir, RecoverySchema(),
+                                             Factory(relational), options);
+    if (!store.ok()) {
+      state.SkipWithError(store.status().ToString().c_str());
+      return;
+    }
+    replayed = (*store)->recovery_info().records_replayed;
+    benchmark::DoNotOptimize(replayed);
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(replayed));
+  const std::string label = std::string("RecoveryReplay/") +
+                            (relational ? "relational" : "graphstore");
+  BenchJson::Instance().Counter(label, "records_replayed",
+                                static_cast<double>(replayed));
+  if (seconds > 0 && state.iterations() > 0) {
+    BenchJson::Instance().Counter(
+        label, "replay_elements_per_s",
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(replayed) / seconds);
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_RecoveryReplay)->Arg(0)->Arg(1)->ArgName("relational");
+
+// ---- Checkpoint save / cold-start load ----
+
+void BM_CheckpointSave(benchmark::State& state) {
+  const std::string dir = FreshDir("ckpt_save");
+  persist::DurableOptions options;
+  options.fsync_policy = persist::FsyncPolicy::kNone;
+  auto store = persist::DurableStore::Open(dir, RecoverySchema(),
+                                           Factory(false), options);
+  if (!store.ok()) {
+    state.SkipWithError(store.status().ToString().c_str());
+    return;
+  }
+  Ingest((*store)->db(), NumElements());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    if (!(*store)->Checkpoint().ok()) {
+      state.SkipWithError("checkpoint failed");
+      return;
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(NumElements()));
+  BenchJson::Instance().Counter("CheckpointSave", "elements",
+                                static_cast<double>(NumElements()));
+  if (state.iterations() > 0) {
+    BenchJson::Instance().Counter(
+        "CheckpointSave", "save_ms",
+        seconds * 1e3 / static_cast<double>(state.iterations()));
+  }
+  store->reset();
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_CheckpointSave);
+
+void BM_CheckpointLoad(benchmark::State& state) {
+  const std::string dir = FreshDir("ckpt_load");
+  persist::DurableOptions options;
+  options.fsync_policy = persist::FsyncPolicy::kNone;
+  {
+    auto store = persist::DurableStore::Open(dir, RecoverySchema(),
+                                             Factory(false), options);
+    if (!store.ok()) {
+      state.SkipWithError(store.status().ToString().c_str());
+      return;
+    }
+    Ingest((*store)->db(), NumElements());
+    if (!(*store)->Checkpoint().ok()) {
+      state.SkipWithError("checkpoint failed");
+      return;
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    auto store = persist::DurableStore::Open(dir, RecoverySchema(),
+                                             Factory(false), options);
+    if (!store.ok() || !(*store)->recovery_info().restored_checkpoint) {
+      state.SkipWithError("cold start did not restore the checkpoint");
+      return;
+    }
+    benchmark::DoNotOptimize((*store)->db().backend().VersionCount());
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(NumElements()));
+  BenchJson::Instance().Counter("CheckpointLoad", "elements",
+                                static_cast<double>(NumElements()));
+  if (state.iterations() > 0) {
+    BenchJson::Instance().Counter(
+        "CheckpointLoad", "load_ms",
+        seconds * 1e3 / static_cast<double>(state.iterations()));
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_CheckpointLoad);
+
+}  // namespace
+}  // namespace nepal::bench
+
+NEPAL_BENCH_MAIN("recovery_replay");

@@ -18,6 +18,13 @@
 //   \metrics [json]     dump the process-wide metrics registry
 //   \timing             toggle per-query wall time + operator summary
 //   \slow               show the engine's slow-query log
+// Durability commands (src/persist):
+//   \save <dir>         write a loadable snapshot of the current state
+//   \load <dir>         open a data directory (recovers, then runs durably)
+//   \checkpoint         rotate the WAL and write a checkpoint (durable mode)
+// With --data-dir <dir> the shell opens the directory at startup (crash
+// recovery included) and every subsequent write is logged to its WAL;
+// --fsync always|interval|none picks the commit durability policy.
 // And EXPLAIN ANALYZE <query>; runs the query with per-operator stats.
 
 #include <cstdio>
@@ -29,6 +36,7 @@
 #include "nepal/engine.h"
 #include "netmodel/feed.h"
 #include "obs/metrics.h"
+#include "persist/durable_store.h"
 #include "relational/relational_store.h"
 #include "schema/dsl_parser.h"
 #include "storage/graphdb.h"
@@ -44,6 +52,10 @@ void PrintHelp() {
       "  \\metrics [json]     dump the metrics registry (text or JSON)\n"
       "  \\timing             toggle per-query timing output\n"
       "  \\slow               show the slow-query log\n"
+      "Durability:\n"
+      "  \\save <dir>         write a loadable snapshot of the current state\n"
+      "  \\load <dir>         open a data directory and switch to it\n"
+      "  \\checkpoint         rotate the WAL and write a checkpoint\n"
       "  EXPLAIN ANALYZE <query>;   per-operator execution stats\n");
 }
 
@@ -52,12 +64,23 @@ void PrintHelp() {
 int main(int argc, char** argv) {
   using namespace nepal;
   bool relational = false;
+  std::string data_dir;
+  persist::DurableOptions durable_options;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--relational") == 0) {
       relational = true;
     } else if (std::strcmp(argv[i], "--graphstore") == 0) {
       relational = false;
+    } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      data_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--fsync") == 0 && i + 1 < argc) {
+      auto policy = persist::ParseFsyncPolicy(argv[++i]);
+      if (!policy.ok()) {
+        std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+        return 2;
+      }
+      durable_options.fsync_policy = *policy;
     } else {
       files.emplace_back(argv[i]);
     }
@@ -65,7 +88,8 @@ int main(int argc, char** argv) {
   if (files.empty()) {
     std::fprintf(stderr,
                  "usage: nepal_shell <schema.dsl> [feed.txt ...] "
-                 "[--relational|--graphstore]\n");
+                 "[--relational|--graphstore] [--data-dir <dir>] "
+                 "[--fsync always|interval|none]\n");
     return 2;
   }
 
@@ -90,16 +114,41 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::unique_ptr<storage::StorageBackend> backend;
-  if (relational) {
-    backend = std::make_unique<relational::RelationalStore>(*schema);
+  auto make_backend =
+      [relational](schema::SchemaPtr s) -> std::unique_ptr<storage::StorageBackend> {
+    if (relational) return std::make_unique<relational::RelationalStore>(std::move(s));
+    return std::make_unique<graphstore::GraphStore>(std::move(s));
+  };
+  auto print_recovery = [](const persist::DurableStore& store) {
+    const persist::RecoveryInfo& info = store.recovery_info();
+    std::printf("data dir %s: %s, %zu record(s) replayed from %zu segment(s)%s\n",
+                store.dir().c_str(),
+                info.restored_checkpoint ? "checkpoint restored"
+                                         : "no checkpoint",
+                info.records_replayed, info.segments_replayed,
+                info.torn_tail ? " (torn tail truncated)" : "");
+  };
+
+  std::unique_ptr<storage::GraphDb> mem_db;          // in-memory mode
+  std::unique_ptr<persist::DurableStore> store;      // durable mode
+  storage::GraphDb* db = nullptr;
+  if (!data_dir.empty()) {
+    auto opened = persist::DurableStore::Open(data_dir, *schema, make_backend,
+                                              durable_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    store = std::move(*opened);
+    db = &store->db();
+    print_recovery(*store);
   } else {
-    backend = std::make_unique<graphstore::GraphStore>(*schema);
+    mem_db = std::make_unique<storage::GraphDb>(*schema, make_backend(*schema));
+    db = mem_db.get();
   }
-  storage::GraphDb db(*schema, std::move(backend));
-  netmodel::FeedLoader loader(&db);
+  auto loader = std::make_unique<netmodel::FeedLoader>(db);
   for (size_t i = 1; i < files.size(); ++i) {
-    auto stats = loader.LoadFile(files[i]);
+    auto stats = loader->LoadFile(files[i]);
     if (!stats.ok()) {
       std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
       return 1;
@@ -107,9 +156,9 @@ int main(int argc, char** argv) {
     std::printf("loaded %s: %s\n", files[i].c_str(),
                 stats->ToString().c_str());
   }
-  nql::QueryEngine engine(&db);
+  auto engine = std::make_unique<nql::QueryEngine>(db);
   std::printf("Nepal shell — backend: %s. Type .help for help.\n",
-              db.backend().name().c_str());
+              db->backend().name().c_str());
 
   std::string pending;
   std::string line;
@@ -129,12 +178,39 @@ int main(int argc, char** argv) {
         timing = !timing;
         std::printf("timing %s\n", timing ? "on" : "off");
       } else if (line == "\\slow") {
-        auto slow = engine.SlowQueries();
+        auto slow = engine->SlowQueries();
         if (slow.empty()) std::printf("slow-query log is empty\n");
         for (const auto& entry : slow) {
           std::printf("%10.3f ms  %zu row(s)  %s\n",
                       static_cast<double>(entry.wall_ns) / 1e6, entry.rows,
                       entry.query.c_str());
+        }
+      } else if (line.rfind("\\save ", 0) == 0) {
+        auto s = persist::DurableStore::SaveSnapshot(line.substr(6), *db);
+        std::printf("%s\n", s.ok() ? "saved" : s.ToString().c_str());
+      } else if (line.rfind("\\load ", 0) == 0) {
+        auto opened = persist::DurableStore::Open(line.substr(6), *schema,
+                                                  make_backend,
+                                                  durable_options);
+        if (!opened.ok()) {
+          std::printf("error: %s\n", opened.status().ToString().c_str());
+          continue;
+        }
+        engine.reset();
+        loader.reset();
+        store = std::move(*opened);  // detaches and frees any previous store
+        mem_db.reset();
+        db = &store->db();
+        loader = std::make_unique<netmodel::FeedLoader>(db);
+        engine = std::make_unique<nql::QueryEngine>(db);
+        print_recovery(*store);
+      } else if (line == "\\checkpoint") {
+        if (store == nullptr) {
+          std::printf("not in durable mode; start with --data-dir or use "
+                      "\\load <dir>\n");
+        } else {
+          auto s = store->Checkpoint();
+          std::printf("%s\n", s.ok() ? "checkpoint written" : s.ToString().c_str());
         }
       } else {
         std::printf("unknown command; try .help\n");
@@ -148,19 +224,19 @@ int main(int argc, char** argv) {
         continue;
       }
       if (line == ".schema") {
-        std::printf("%s", db.schema().ToDsl().c_str());
+        std::printf("%s", db->schema().ToDsl().c_str());
         continue;
       }
       if (line == ".stats") {
         std::printf("%zu nodes, %zu edges, %zu versions, ~%.1f MB, now=%s\n",
-                    db.node_count(), db.edge_count(),
-                    db.backend().VersionCount(),
-                    static_cast<double>(db.backend().MemoryUsage()) / 1e6,
-                    FormatTimestamp(db.Now()).c_str());
+                    db->node_count(), db->edge_count(),
+                    db->backend().VersionCount(),
+                    static_cast<double>(db->backend().MemoryUsage()) / 1e6,
+                    FormatTimestamp(db->Now()).c_str());
         continue;
       }
       if (line.rfind(".load ", 0) == 0) {
-        auto stats = loader.LoadFile(line.substr(6));
+        auto stats = loader->LoadFile(line.substr(6));
         if (!stats.ok()) {
           std::printf("error: %s\n", stats.status().ToString().c_str());
         } else {
@@ -170,7 +246,7 @@ int main(int argc, char** argv) {
       }
       if (line == ".export") {
         size_t skipped = 0;
-        std::printf("%s", netmodel::ExportFeed(db, &skipped).c_str());
+        std::printf("%s", netmodel::ExportFeed(*db, &skipped).c_str());
         if (skipped > 0) {
           std::printf("# %zu unnamed element(s) skipped\n", skipped);
         }
@@ -194,7 +270,7 @@ int main(int argc, char** argv) {
                                        semi - (explain ? 1 : 0));
     pending.clear();
     if (explain) {
-      auto plan = engine.Explain(query);
+      auto plan = engine->Explain(query);
       if (!plan.ok()) {
         std::printf("error: %s\n", plan.status().ToString().c_str());
       } else {
@@ -202,13 +278,13 @@ int main(int argc, char** argv) {
       }
       continue;
     }
-    auto result = engine.Run(query);
+    auto result = engine->Run(query);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
     } else {
       std::printf("%s", result->ToString(50).c_str());
       if (timing) {
-        auto stats = engine.LastQueryStats();
+        auto stats = engine->LastQueryStats();
         std::printf("Time: %.3f ms  (%zu operator(s), parallelism %d)\n",
                     static_cast<double>(stats.wall_ns) / 1e6,
                     stats.operators.size(), stats.parallelism);

@@ -1,19 +1,25 @@
 // Quickstart: define a schema, load a small inventory, ask path questions.
 //
 //   $ ./build/examples/quickstart
+//   $ ./build/examples/quickstart --data-dir /tmp/nepal-data   # durable
 //
 // Walks through the core Nepal workflow:
 //   1. parse a TOSCA-flavoured schema (strongly-typed node/edge classes),
-//   2. open a GraphDb on an execution backend,
+//   2. open a GraphDb on an execution backend — with --data-dir, behind
+//      the durability layer (WAL + checkpoints; a second run recovers the
+//      inventory instead of re-inserting it),
 //   3. insert nodes and edges (validated against the schema),
 //   4. run NQL pathway queries, including the paper's generic
 //      VNF -> ... -> Host navigation,
 //   5. inspect the query plan with Explain.
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
 
 #include "graphstore/graph_store.h"
 #include "nepal/engine.h"
+#include "persist/durable_store.h"
 #include "schema/dsl_parser.h"
 #include "storage/graphdb.h"
 
@@ -40,8 +46,14 @@ allow connects (Host -> Host);
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nepal;
+  std::string data_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      data_dir = argv[++i];
+    }
+  }
 
   // 1. Schema.
   auto schema = schema::ParseSchemaDsl(kSchema);
@@ -51,17 +63,38 @@ int main() {
     return 1;
   }
 
-  // 2. Database on the property-graph backend (swap in
-  //    relational::RelationalStore for the relational one — queries are
-  //    backend-agnostic).
-  storage::GraphDb db(*schema,
-                      std::make_unique<graphstore::GraphStore>(*schema));
-
-  // 3. A miniature deployment: one DNS VNF on two hosts.
   auto die = [](const Status& st) {
     std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
     std::exit(1);
   };
+
+  // 2. Database on the property-graph backend (swap in
+  //    relational::RelationalStore for the relational one — queries are
+  //    backend-agnostic). With --data-dir, the durability layer wraps the
+  //    database: writes go to a write-ahead log and a rerun recovers them.
+  std::unique_ptr<storage::GraphDb> mem_db;
+  std::unique_ptr<persist::DurableStore> store;
+  bool fresh = true;
+  if (!data_dir.empty()) {
+    auto opened = persist::DurableStore::Open(
+        data_dir, *schema, [](schema::SchemaPtr s) {
+          return std::make_unique<graphstore::GraphStore>(std::move(s));
+        });
+    if (!opened.ok()) die(opened.status());
+    store = std::move(*opened);
+    const persist::RecoveryInfo& info = store->recovery_info();
+    fresh = !info.restored_checkpoint && info.records_replayed == 0;
+    std::printf("durable mode: %s (%zu record(s) replayed%s)\n\n",
+                data_dir.c_str(), info.records_replayed,
+                info.restored_checkpoint ? ", checkpoint restored" : "");
+  } else {
+    mem_db = std::make_unique<storage::GraphDb>(
+        *schema, std::make_unique<graphstore::GraphStore>(*schema));
+  }
+  storage::GraphDb& db = store ? store->db() : *mem_db;
+
+  // 3. A miniature deployment: one DNS VNF on two hosts.
+  if (fresh) {
   auto node = [&](const char* cls, const char* name,
                   schema::FieldValues extra = {}) {
     extra.emplace_back("name", Value(name));
@@ -94,6 +127,10 @@ int main() {
   auto rejected = db.AddEdge("on_server", vfc1, host1, {});
   std::printf("inserting VFC -on_server-> Host: %s\n\n",
               rejected.status().ToString().c_str());
+  } else {
+    std::printf("inventory recovered from %s; skipping inserts\n\n",
+                data_dir.c_str());
+  }
 
   // 4. Pathway queries.
   nql::QueryEngine engine(&db);

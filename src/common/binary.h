@@ -1,0 +1,141 @@
+// Little-endian binary encoding primitives shared by the durability layer
+// (src/persist) and the statistics snapshot codec (src/stats).
+//
+// Writers append fixed-width little-endian integers and length-prefixed
+// strings to a std::string buffer. BinaryReader consumes the same layout
+// with bounds-checked reads that surface truncation as a Status instead of
+// reading past the end — the property recovery depends on to turn a torn
+// file into a clean error rather than undefined behavior.
+
+#ifndef NEPAL_COMMON_BINARY_H_
+#define NEPAL_COMMON_BINARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace nepal {
+
+inline void PutFixed8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutFixed32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 8);
+}
+
+inline void PutFixedI64(std::string* out, int64_t v) {
+  PutFixed64(out, static_cast<uint64_t>(v));
+}
+
+inline void PutDouble(std::string* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  PutFixed64(out, bits);
+}
+
+/// u32 length prefix + raw bytes.
+inline void PutString(std::string* out, std::string_view s) {
+  PutFixed32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+/// Bounds-checked sequential reader over an in-memory buffer. Every Read*
+/// returns a non-OK Status on truncation; the caller's NEPAL_RETURN_NOT_OK
+/// chain then propagates a single clear "truncated" error.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ >= data_.size(); }
+  size_t position() const { return pos_; }
+
+  Status ReadFixed8(uint8_t* v) {
+    NEPAL_RETURN_NOT_OK(Need(1));
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return Status::OK();
+  }
+
+  Status ReadFixed32(uint32_t* v) {
+    NEPAL_RETURN_NOT_OK(Need(4));
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 4;
+    return Status::OK();
+  }
+
+  Status ReadFixed64(uint64_t* v) {
+    NEPAL_RETURN_NOT_OK(Need(8));
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 8;
+    return Status::OK();
+  }
+
+  Status ReadFixedI64(int64_t* v) {
+    uint64_t u = 0;
+    NEPAL_RETURN_NOT_OK(ReadFixed64(&u));
+    *v = static_cast<int64_t>(u);
+    return Status::OK();
+  }
+
+  Status ReadDouble(double* v) {
+    uint64_t bits = 0;
+    NEPAL_RETURN_NOT_OK(ReadFixed64(&bits));
+    __builtin_memcpy(v, &bits, sizeof(*v));
+    return Status::OK();
+  }
+
+  /// Raw bytes of a known length (no prefix).
+  Status ReadBytes(size_t n, std::string* s) {
+    NEPAL_RETURN_NOT_OK(Need(n));
+    s->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* s) {
+    uint32_t len = 0;
+    NEPAL_RETURN_NOT_OK(ReadFixed32(&len));
+    NEPAL_RETURN_NOT_OK(Need(len));
+    s->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+ private:
+  Status Need(size_t n) {
+    if (remaining() < n) {
+      return Status::Corruption(
+          "truncated binary buffer: need " + std::to_string(n) +
+          " byte(s) at offset " + std::to_string(pos_) + ", have " +
+          std::to_string(remaining()));
+    }
+    return Status::OK();
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace nepal
+
+#endif  // NEPAL_COMMON_BINARY_H_

@@ -22,6 +22,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unsupported";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kIoError:
+      return "IoError";
   }
   return "Unknown";
 }

@@ -25,6 +25,8 @@ enum class StatusCode {
   kPlanError,         // query cannot be planned (e.g. no anchor)
   kUnsupported,       // feature not available on this backend
   kInternal,          // invariant violation inside Nepal
+  kCorruption,        // on-disk data failed a CRC / framing / schema check
+  kIoError,           // the operating system refused a file operation
 };
 
 /// Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -62,8 +64,16 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  /// Explicitly discards the status (destructor paths that cannot report).
+  void IgnoreError() const {}
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <functional>
 
+#include "common/binary.h"
+
 namespace nepal {
 
 const char* ValueKindToString(ValueKind kind) {
@@ -264,6 +266,117 @@ std::string Value::ToString() const {
     }
   }
   return "?";
+}
+
+void Value::EncodeBinary(std::string* out) const {
+  ValueKind k = kind();
+  PutFixed8(out, static_cast<uint8_t>(k));
+  switch (k) {
+    case ValueKind::kNull:
+      break;
+    case ValueKind::kBool:
+      PutFixed8(out, AsBool() ? 1 : 0);
+      break;
+    case ValueKind::kInt:
+      PutFixedI64(out, AsInt());
+      break;
+    case ValueKind::kDouble:
+      PutDouble(out, AsDouble());
+      break;
+    case ValueKind::kString:
+      PutString(out, AsString());
+      break;
+    case ValueKind::kIp:
+      PutFixed32(out, AsIp());
+      break;
+    case ValueKind::kList:
+    case ValueKind::kSet: {
+      const ValueList& elems = AsList();
+      PutFixed32(out, static_cast<uint32_t>(elems.size()));
+      for (const Value& v : elems) v.EncodeBinary(out);
+      break;
+    }
+    case ValueKind::kMap: {
+      const ValueMap& entries = AsMap();
+      PutFixed32(out, static_cast<uint32_t>(entries.size()));
+      for (const auto& [key, v] : entries) {
+        PutString(out, key);
+        v.EncodeBinary(out);
+      }
+      break;
+    }
+  }
+}
+
+Result<Value> Value::DecodeBinary(BinaryReader* reader) {
+  uint8_t tag = 0;
+  NEPAL_RETURN_NOT_OK(reader->ReadFixed8(&tag));
+  switch (static_cast<ValueKind>(tag)) {
+    case ValueKind::kNull:
+      return Value::Null();
+    case ValueKind::kBool: {
+      uint8_t b = 0;
+      NEPAL_RETURN_NOT_OK(reader->ReadFixed8(&b));
+      return Value(b != 0);
+    }
+    case ValueKind::kInt: {
+      int64_t i = 0;
+      NEPAL_RETURN_NOT_OK(reader->ReadFixedI64(&i));
+      return Value(i);
+    }
+    case ValueKind::kDouble: {
+      double d = 0;
+      NEPAL_RETURN_NOT_OK(reader->ReadDouble(&d));
+      return Value(d);
+    }
+    case ValueKind::kString: {
+      std::string s;
+      NEPAL_RETURN_NOT_OK(reader->ReadString(&s));
+      return Value(std::move(s));
+    }
+    case ValueKind::kIp: {
+      uint32_t addr = 0;
+      NEPAL_RETURN_NOT_OK(reader->ReadFixed32(&addr));
+      return Value::Ip(addr);
+    }
+    case ValueKind::kList:
+    case ValueKind::kSet: {
+      uint32_t n = 0;
+      NEPAL_RETURN_NOT_OK(reader->ReadFixed32(&n));
+      if (n > reader->remaining()) {
+        return Status::Corruption("container length " + std::to_string(n) +
+                                  " exceeds remaining buffer");
+      }
+      ValueList elems;
+      elems.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        NEPAL_ASSIGN_OR_RETURN(Value v, DecodeBinary(reader));
+        elems.push_back(std::move(v));
+      }
+      // Sets were sorted and deduped at construction; Value::Set re-derives
+      // that invariant, so a decoded set equals the encoded one.
+      return static_cast<ValueKind>(tag) == ValueKind::kList
+                 ? Value::List(std::move(elems))
+                 : Value::Set(std::move(elems));
+    }
+    case ValueKind::kMap: {
+      uint32_t n = 0;
+      NEPAL_RETURN_NOT_OK(reader->ReadFixed32(&n));
+      if (n > reader->remaining()) {
+        return Status::Corruption("map length " + std::to_string(n) +
+                                  " exceeds remaining buffer");
+      }
+      ValueMap entries;
+      for (uint32_t i = 0; i < n; ++i) {
+        std::string key;
+        NEPAL_RETURN_NOT_OK(reader->ReadString(&key));
+        NEPAL_ASSIGN_OR_RETURN(Value v, DecodeBinary(reader));
+        entries.emplace(std::move(key), std::move(v));
+      }
+      return Value::Map(std::move(entries));
+    }
+  }
+  return Status::Corruption("unknown value tag " + std::to_string(tag));
 }
 
 size_t Value::MemoryUsage() const {

@@ -34,6 +34,7 @@ enum class ValueKind {
 
 const char* ValueKindToString(ValueKind kind);
 
+class BinaryReader;
 class Value;
 
 /// Ordered element container; kSet keeps elements sorted and unique.
@@ -91,6 +92,13 @@ class Value {
 
   /// Approximate heap footprint in bytes, used by storage accounting.
   size_t MemoryUsage() const;
+
+  /// Appends the canonical binary form (1 kind byte + payload) used by the
+  /// durability layer. Lossless for every kind, including containers.
+  void EncodeBinary(std::string* out) const;
+  /// Inverse of EncodeBinary; fails with Corruption on truncated or
+  /// malformed input.
+  static Result<Value> DecodeBinary(BinaryReader* reader);
 
  private:
   struct IpRep {

@@ -130,6 +130,46 @@ Status GraphStore::Update(Uid uid,
   return Status::OK();
 }
 
+Status GraphStore::RestoreChain(Uid uid, std::vector<ElementVersion> chain) {
+  if (chain.empty()) {
+    return Status::Corruption("checkpoint chain for uid " +
+                              std::to_string(uid) + " is empty");
+  }
+  if (FindChain(uid) != nullptr) {
+    return Status::Corruption("checkpoint restores uid " +
+                              std::to_string(uid) + " twice");
+  }
+  const schema::ClassDef* cls = chain.front().cls;
+  const Uid source = chain.front().source;
+  const Uid target = chain.front().target;
+  VersionChain& vc = elements_[uid];
+  for (ElementVersion& v : chain) {
+    if (v.uid != uid || v.cls != cls) {
+      return Status::Corruption("inconsistent checkpoint chain for uid " +
+                                std::to_string(uid));
+    }
+    const Interval valid = v.valid;
+    NEPAL_RETURN_NOT_OK(vc.Open(std::move(v), valid.start));
+    if (valid.end != kTimestampMax) {
+      NEPAL_RETURN_NOT_OK(vc.Close(valid.end));
+    }
+  }
+  ClassBucket& bucket = BucketFor(cls);
+  bucket.uids.push_back(uid);
+  version_count_ += vc.versions().size();
+  if (const ElementVersion* cur = vc.Current()) {
+    ++bucket.current_count;
+    IndexInsert(cur->cls, cur->fields, uid);
+  }
+  // Adjacency keeps every edge ever inserted (visibility is resolved on the
+  // chain), so deleted edges are linked too — exactly as InsertEdge did.
+  if (cls->is_edge()) {
+    out_edges_[source].push_back(uid);
+    in_edges_[target].push_back(uid);
+  }
+  return Status::OK();
+}
+
 Status GraphStore::Delete(Uid uid, Timestamp t) {
   auto it = elements_.find(uid);
   if (it == elements_.end() || it->second.Current() == nullptr) {

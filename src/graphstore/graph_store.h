@@ -51,6 +51,8 @@ class GraphStore final : public storage::StorageBackend {
   Status Update(Uid uid, const std::vector<std::pair<int, Value>>& changes,
                 Timestamp t) override;
   Status Delete(Uid uid, Timestamp t) override;
+  Status RestoreChain(Uid uid,
+                      std::vector<storage::ElementVersion> chain) override;
 
   void Scan(const storage::ScanSpec& spec, const storage::TimeView& view,
             const storage::ElementSink& sink) const override;

@@ -202,7 +202,12 @@ Result<FeedStats> FeedLoader::LoadFile(const std::string& path) {
 }
 
 std::string ExportFeed(const storage::GraphDb& db, size_t* skipped) {
-  std::string out = "# exported Nepal inventory feed\n";
+  std::string out =
+      "# exported Nepal inventory feed\n"
+      "# limitation: this is the CURRENT snapshot only. The feed format\n"
+      "# cannot express version history, so AsOf/Range queries against a\n"
+      "# reloaded feed see a single epoch. Use the durability subsystem\n"
+      "# (WAL + checkpoints, src/persist) to preserve temporal history.\n";
   size_t skipped_count = 0;
   auto render_fields = [](const storage::ElementVersion& v) {
     std::string text;

@@ -1,0 +1,227 @@
+#include "persist/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "common/binary.h"
+#include "persist/crc32c.h"
+
+namespace nepal::persist {
+
+namespace {
+
+std::string ErrnoMessage(const char* what, const std::string& path) {
+  return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+void EncodeChain(Uid uid, const std::vector<storage::ElementVersion>& chain,
+                 std::string* out) {
+  PutFixed64(out, uid);
+  PutString(out, chain.front().cls->name());
+  PutFixed64(out, chain.front().source);
+  PutFixed64(out, chain.front().target);
+  PutFixed32(out, static_cast<uint32_t>(chain.size()));
+  for (const storage::ElementVersion& v : chain) {
+    PutFixedI64(out, v.valid.start);
+    PutFixedI64(out, v.valid.end);
+    PutFixed32(out, static_cast<uint32_t>(v.fields.size()));
+    for (const Value& f : v.fields) f.EncodeBinary(out);
+  }
+}
+
+}  // namespace
+
+std::string EncodeCheckpointLocked(const storage::GraphDb& db,
+                                   uint64_t fingerprint, uint64_t wal_seq) {
+  // Gather every version ever stored. Relational scans emit current rows
+  // before history rows, so chains are re-sorted by start time below.
+  std::map<Uid, std::vector<storage::ElementVersion>> chains;
+  const storage::TimeView everything =
+      storage::TimeView::Range(Interval::All());
+  storage::ScanSpec spec;
+  const auto collect = [&chains](const storage::ElementVersion& v) {
+    chains[v.uid].push_back(v);
+  };
+  spec.cls = db.schema().node_root();
+  db.backend().Scan(spec, everything, collect);
+  spec.cls = db.schema().edge_root();
+  db.backend().Scan(spec, everything, collect);
+
+  std::string out(kCheckpointMagic, sizeof(kCheckpointMagic));
+  PutFixed8(&out, kCheckpointFormatVersion);
+  PutFixed64(&out, fingerprint);
+  PutFixed64(&out, wal_seq);
+  PutFixedI64(&out, db.NowLocked());
+  PutFixed64(&out, db.NextUidLocked());
+  PutFixed64(&out, chains.size());
+  for (auto& [uid, chain] : chains) {
+    std::sort(chain.begin(), chain.end(),
+              [](const storage::ElementVersion& a,
+                 const storage::ElementVersion& b) {
+                return a.valid.start < b.valid.start;
+              });
+    EncodeChain(uid, chain, &out);
+  }
+  std::string stats_blob;
+  db.backend().stats().SerializeTo(&stats_blob);
+  PutFixed64(&out, stats_blob.size());
+  out += stats_blob;
+  PutFixed32(&out, MaskCrc(Crc32c(out.data(), out.size())));
+  return out;
+}
+
+Result<CheckpointContents> LoadCheckpoint(const std::string& path,
+                                          const schema::Schema& schema) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open checkpoint " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+
+  if (data.size() < sizeof(kCheckpointMagic) + 4) {
+    return Status::Corruption("checkpoint " + path + " is truncated");
+  }
+  if (std::memcmp(data.data(), kCheckpointMagic, sizeof(kCheckpointMagic)) !=
+      0) {
+    return Status::Corruption("bad checkpoint magic in " + path);
+  }
+  // CRC covers everything before the trailing 4 bytes; verify before
+  // trusting any length field.
+  {
+    BinaryReader crc_reader(
+        std::string_view(data.data() + data.size() - 4, 4));
+    uint32_t masked = 0;
+    crc_reader.ReadFixed32(&masked).IgnoreError();
+    if (UnmaskCrc(masked) != Crc32c(data.data(), data.size() - 4)) {
+      return Status::Corruption("checkpoint crc mismatch in " + path);
+    }
+  }
+
+  BinaryReader reader(std::string_view(data.data() + sizeof(kCheckpointMagic),
+                                       data.size() - sizeof(kCheckpointMagic) -
+                                           4));
+  CheckpointContents out;
+  uint8_t version = 0;
+  NEPAL_RETURN_NOT_OK(reader.ReadFixed8(&version));
+  if (version != kCheckpointFormatVersion) {
+    return Status::Corruption("unsupported checkpoint format version " +
+                              std::to_string(version) + " in " + path);
+  }
+  NEPAL_RETURN_NOT_OK(reader.ReadFixed64(&out.fingerprint));
+  NEPAL_RETURN_NOT_OK(reader.ReadFixed64(&out.wal_seq));
+  NEPAL_RETURN_NOT_OK(reader.ReadFixedI64(&out.now));
+  NEPAL_RETURN_NOT_OK(reader.ReadFixed64(&out.next_uid));
+  uint64_t nchains = 0;
+  NEPAL_RETURN_NOT_OK(reader.ReadFixed64(&nchains));
+  out.chains.reserve(static_cast<size_t>(
+      std::min<uint64_t>(nchains, reader.remaining() / 8)));
+  Uid prev_uid = 0;
+  for (uint64_t c = 0; c < nchains; ++c) {
+    Uid uid = 0;
+    NEPAL_RETURN_NOT_OK(reader.ReadFixed64(&uid));
+    if (uid <= prev_uid) {
+      return Status::Corruption("checkpoint chains out of uid order in " +
+                                path);
+    }
+    prev_uid = uid;
+    std::string class_name;
+    NEPAL_RETURN_NOT_OK(reader.ReadString(&class_name));
+    const schema::ClassDef* cls = schema.FindClass(class_name);
+    if (cls == nullptr) {
+      return Status::Corruption("checkpoint " + path +
+                                " references unknown class '" + class_name +
+                                "'");
+    }
+    Uid source = 0, target = 0;
+    NEPAL_RETURN_NOT_OK(reader.ReadFixed64(&source));
+    NEPAL_RETURN_NOT_OK(reader.ReadFixed64(&target));
+    uint32_t nversions = 0;
+    NEPAL_RETURN_NOT_OK(reader.ReadFixed32(&nversions));
+    if (nversions == 0) {
+      return Status::Corruption("checkpoint chain for uid " +
+                                std::to_string(uid) + " is empty in " + path);
+    }
+    std::vector<storage::ElementVersion> chain;
+    chain.reserve(std::min<uint32_t>(
+        nversions, static_cast<uint32_t>(reader.remaining() / 16 + 1)));
+    for (uint32_t i = 0; i < nversions; ++i) {
+      storage::ElementVersion v;
+      v.uid = uid;
+      v.cls = cls;
+      v.source = source;
+      v.target = target;
+      NEPAL_RETURN_NOT_OK(reader.ReadFixedI64(&v.valid.start));
+      NEPAL_RETURN_NOT_OK(reader.ReadFixedI64(&v.valid.end));
+      uint32_t nfields = 0;
+      NEPAL_RETURN_NOT_OK(reader.ReadFixed32(&nfields));
+      if (nfields != cls->fields().size()) {
+        return Status::Corruption(
+            "checkpoint row for uid " + std::to_string(uid) + " has " +
+            std::to_string(nfields) + " fields, class " + class_name +
+            " declares " + std::to_string(cls->fields().size()));
+      }
+      v.fields.reserve(nfields);
+      for (uint32_t f = 0; f < nfields; ++f) {
+        NEPAL_ASSIGN_OR_RETURN(Value val, Value::DecodeBinary(&reader));
+        v.fields.push_back(std::move(val));
+      }
+      chain.push_back(std::move(v));
+    }
+    out.chains.emplace_back(uid, std::move(chain));
+  }
+  uint64_t stats_len = 0;
+  NEPAL_RETURN_NOT_OK(reader.ReadFixed64(&stats_len));
+  if (stats_len != reader.remaining()) {
+    return Status::Corruption("checkpoint stats length mismatch in " + path);
+  }
+  NEPAL_RETURN_NOT_OK(reader.ReadBytes(stats_len, &out.stats_blob));
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& dir, const std::string& name,
+                       const std::string& data) {
+  const std::string tmp_path = dir + "/." + name + ".tmp";
+  const std::string final_path = dir + "/" + name;
+  int fd = ::open(tmp_path.c_str(),
+                  O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::IoError(ErrnoMessage("open", tmp_path));
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t w = ::write(fd, data.data() + done, data.size() - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      return Status::IoError(ErrnoMessage("write", tmp_path));
+    }
+    done += static_cast<size_t>(w);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return Status::IoError(ErrnoMessage("fsync", tmp_path));
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp_path.c_str());
+    return Status::IoError(ErrnoMessage("close", tmp_path));
+  }
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    return Status::IoError(ErrnoMessage("rename", final_path));
+  }
+  // Persist the rename itself.
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+}  // namespace nepal::persist

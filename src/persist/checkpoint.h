@@ -1,0 +1,81 @@
+// Checkpoints: a full serialized image of the temporal store.
+//
+// A checkpoint captures everything a cold start needs — the clock, the uid
+// allocator, every element's complete version chain (current and history),
+// and the backend's GraphStats, serialized exactly. Restoring one therefore
+// rebuilds the optimizer's statistics without replaying a single element;
+// only the WAL tail written after the checkpoint is replayed.
+//
+// File layout (all little-endian, via common/binary.h):
+//
+//   magic "NPLCKP01"
+//   u8  format version (1)
+//   u64 schema fingerprint
+//   u64 wal_seq        — first WAL segment whose records post-date this image
+//   i64 now            — transaction clock
+//   u64 next_uid       — uid allocator
+//   u64 chain count
+//   per chain (ascending uid):
+//     u64 uid, string class name, u64 source, u64 target
+//     u32 version count
+//     per version (ascending start): i64 start, i64 end,
+//       u32 field count, encoded Values
+//   u64 stats length, stats bytes (stats::GraphStats::SerializeTo)
+//   u32 masked CRC32C of every preceding byte
+//
+// Files are written to a temp name and atomically renamed, so a crash mid-
+// write never leaves a half checkpoint under the real name; the CRC catches
+// any later damage.
+
+#ifndef NEPAL_PERSIST_CHECKPOINT_H_
+#define NEPAL_PERSIST_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/element.h"
+#include "storage/graphdb.h"
+
+namespace nepal::persist {
+
+inline constexpr char kCheckpointMagic[8] = {'N', 'P', 'L', 'C',
+                                             'K', 'P', '0', '1'};
+inline constexpr uint8_t kCheckpointFormatVersion = 1;
+
+/// Decoded checkpoint, ready for restore.
+struct CheckpointContents {
+  uint64_t fingerprint = 0;
+  uint64_t wal_seq = 0;
+  Timestamp now = 0;
+  Uid next_uid = 1;
+  /// (uid, version chain ordered by start time), ascending uid.
+  std::vector<std::pair<Uid, std::vector<storage::ElementVersion>>> chains;
+  /// Serialized stats::GraphStats (deserialized by the restorer, which
+  /// knows the schema).
+  std::string stats_blob;
+};
+
+/// Serializes the database's full state. The caller must hold db.mutex()
+/// shared across this call (the checkpoint writer spans one lock scope over
+/// the clock/uid reads and the backend scans, so the image is a consistent
+/// cut).
+std::string EncodeCheckpointLocked(const storage::GraphDb& db,
+                                   uint64_t fingerprint, uint64_t wal_seq);
+
+/// Parses and CRC-verifies a checkpoint file, resolving class names against
+/// `schema`. Any mismatch — bad magic, bad CRC, unknown class, fingerprint
+/// drift — is Corruption.
+Result<CheckpointContents> LoadCheckpoint(const std::string& path,
+                                          const schema::Schema& schema);
+
+/// Writes `data` to `dir/name` via a temp file + fsync + atomic rename
+/// (+ directory fsync), so the file is either absent or complete.
+Status WriteFileAtomic(const std::string& dir, const std::string& name,
+                       const std::string& data);
+
+}  // namespace nepal::persist
+
+#endif  // NEPAL_PERSIST_CHECKPOINT_H_

@@ -1,0 +1,46 @@
+#include "persist/crc32c.h"
+
+namespace nepal::persist {
+
+namespace {
+
+constexpr uint32_t kCastagnoliPoly = 0x82f63b78u;  // reflected 0x1EDC6F41
+
+struct Crc32cTable {
+  uint32_t entries[256];
+  constexpr Crc32cTable() : entries{} {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kCastagnoliPoly : 0);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+constexpr Crc32cTable kTable;
+
+constexpr uint32_t kMaskDelta = 0xa282ead8u;
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    crc = (crc >> 8) ^ kTable.entries[(crc ^ p[i]) & 0xff];
+  }
+  return ~crc;
+}
+
+uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - kMaskDelta;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace nepal::persist

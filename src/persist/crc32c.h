@@ -1,0 +1,28 @@
+// CRC32C (Castagnoli): the checksum guarding every WAL record frame and
+// checkpoint file. Software slice-by-one implementation — ingest is bounded
+// by fsync, not checksumming, at the scales this repo targets.
+
+#ifndef NEPAL_PERSIST_CRC32C_H_
+#define NEPAL_PERSIST_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace nepal::persist {
+
+/// CRC32C of `data`, continuing from `seed` (0 for a fresh checksum).
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32c(std::string_view data, uint32_t seed = 0) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+/// Masked form stored on disk (RocksDB-style rotation + offset), so a CRC
+/// of data that itself contains CRCs does not degenerate.
+uint32_t MaskCrc(uint32_t crc);
+uint32_t UnmaskCrc(uint32_t masked);
+
+}  // namespace nepal::persist
+
+#endif  // NEPAL_PERSIST_CRC32C_H_

@@ -1,0 +1,431 @@
+#include "persist/durable_store.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <shared_mutex>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "persist/checkpoint.h"
+#include "persist/wal_format.h"
+#include "stats/stats.h"
+
+namespace nepal::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kSegmentPrefix = "wal-";
+constexpr const char* kSegmentSuffix = ".log";
+constexpr const char* kCheckpointPrefix = "checkpoint-";
+constexpr const char* kCheckpointSuffix = ".ckp";
+
+std::string SegmentFileName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%08llu.log",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::string CheckpointFileName(uint64_t seq) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "checkpoint-%08llu.ckp",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+/// Parses "<prefix><digits><suffix>" file names; false for anything else.
+bool ParseSeq(const std::string& name, const char* prefix, const char* suffix,
+              uint64_t* seq) {
+  const size_t plen = std::strlen(prefix);
+  const size_t slen = std::strlen(suffix);
+  if (name.size() <= plen + slen) return false;
+  if (name.compare(0, plen, prefix) != 0) return false;
+  if (name.compare(name.size() - slen, slen, suffix) != 0) return false;
+  uint64_t v = 0;
+  for (size_t i = plen; i < name.size() - slen; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *seq = v;
+  return true;
+}
+
+struct DirListing {
+  std::vector<uint64_t> segments;     // ascending
+  std::vector<uint64_t> checkpoints;  // ascending
+};
+
+Result<DirListing> ListDataDir(const std::string& dir) {
+  DirListing out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    uint64_t seq = 0;
+    if (ParseSeq(name, kSegmentPrefix, kSegmentSuffix, &seq)) {
+      out.segments.push_back(seq);
+    } else if (ParseSeq(name, kCheckpointPrefix, kCheckpointSuffix, &seq)) {
+      out.checkpoints.push_back(seq);
+    }
+  }
+  if (ec) {
+    return Status::IoError("cannot list data directory " + dir + ": " +
+                           ec.message());
+  }
+  std::sort(out.segments.begin(), out.segments.end());
+  std::sort(out.checkpoints.begin(), out.checkpoints.end());
+  return out;
+}
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+/// Restores checkpoint contents onto a freshly constructed GraphDb.
+Status RestoreFromCheckpoint(storage::GraphDb& db, CheckpointContents ckpt) {
+  for (auto& [uid, chain] : ckpt.chains) {
+    NEPAL_RETURN_NOT_OK(db.backend().RestoreChain(uid, std::move(chain)));
+  }
+  NEPAL_RETURN_NOT_OK(db.backend().FinishRestore());
+  NEPAL_ASSIGN_OR_RETURN(
+      stats::GraphStats stats,
+      stats::GraphStats::DeserializeFrom(&db.schema(), ckpt.stats_blob));
+  db.backend().RestoreStats(std::move(stats));
+  return db.AdoptRecoveredState(ckpt.now, ckpt.next_uid);
+}
+
+}  // namespace
+
+Status ApplyWalRecord(storage::GraphDb& db, const WalRecord& rec) {
+  switch (rec.type) {
+    case WalRecordType::kSetTime:
+      return db.SetTime(rec.time);
+    case WalRecordType::kAddNode:
+    case WalRecordType::kAddEdge: {
+      NEPAL_RETURN_NOT_OK(db.SyncNextUid(rec.uid));
+      NEPAL_ASSIGN_OR_RETURN(const schema::ClassDef* cls,
+                             db.schema().GetClass(rec.class_name));
+      if (rec.row.size() != cls->fields().size()) {
+        return Status::Corruption(
+            "wal row for uid " + std::to_string(rec.uid) + " has " +
+            std::to_string(rec.row.size()) + " fields, class " +
+            rec.class_name + " declares " +
+            std::to_string(cls->fields().size()));
+      }
+      schema::FieldValues fields;
+      for (size_t i = 0; i < rec.row.size(); ++i) {
+        if (rec.row[i].is_null()) continue;
+        fields.emplace_back(cls->fields()[i].name, rec.row[i]);
+      }
+      Result<Uid> got =
+          rec.type == WalRecordType::kAddNode
+              ? db.AddNode(rec.class_name, fields)
+              : db.AddEdge(rec.class_name, rec.source, rec.target, fields);
+      if (!got.ok()) return got.status();
+      if (*got != rec.uid) {
+        return Status::Corruption(
+            "wal replay assigned uid " + std::to_string(*got) +
+            " where the log recorded " + std::to_string(rec.uid));
+      }
+      return Status::OK();
+    }
+    case WalRecordType::kUpdate: {
+      NEPAL_ASSIGN_OR_RETURN(storage::ElementVersion cur,
+                             db.GetCurrent(rec.uid));
+      schema::FieldValues fields;
+      for (const auto& [idx, value] : rec.changes) {
+        if (idx < 0 ||
+            static_cast<size_t>(idx) >= cur.cls->fields().size()) {
+          return Status::Corruption(
+              "wal update for uid " + std::to_string(rec.uid) +
+              " touches field index " + std::to_string(idx) +
+              " outside class " + cur.cls->name());
+        }
+        fields.emplace_back(cur.cls->fields()[static_cast<size_t>(idx)].name,
+                            value);
+      }
+      return db.UpdateElement(rec.uid, fields);
+    }
+    case WalRecordType::kRemove:
+      return db.RemoveElement(rec.uid);
+  }
+  return Status::Corruption("unknown wal record type during replay");
+}
+
+DurableStore::DurableStore(std::string dir, uint64_t fingerprint,
+                           DurableOptions options)
+    : dir_(std::move(dir)), fingerprint_(fingerprint), options_(options) {}
+
+DurableStore::~DurableStore() {
+  if (db_ != nullptr) db_->set_write_log(nullptr);
+  if (writer_ != nullptr) writer_->Close().IgnoreError();
+}
+
+std::string DurableStore::SegmentPath(uint64_t seq) const {
+  return dir_ + "/" + SegmentFileName(seq);
+}
+
+Result<std::unique_ptr<DurableStore>> DurableStore::Open(
+    std::string dir, schema::SchemaPtr schema, const BackendFactory& factory,
+    DurableOptions options) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create data directory " + dir + ": " +
+                           ec.message());
+  }
+  const uint64_t fingerprint = SchemaFingerprint(*schema);
+  auto store = std::unique_ptr<DurableStore>(
+      new DurableStore(std::move(dir), fingerprint, options));
+
+  NEPAL_ASSIGN_OR_RETURN(DirListing listing, ListDataDir(store->dir_));
+  store->checkpoints_ = listing.checkpoints;
+
+  auto& reg = obs::MetricsRegistry::Global();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Restore the newest checkpoint that loads cleanly; a fresh database per
+  // attempt, so a half-restored state never leaks into the next try.
+  RecoveryInfo info;
+  uint64_t replay_from = 1;
+  for (auto it = listing.checkpoints.rbegin();
+       it != listing.checkpoints.rend(); ++it) {
+    auto db = std::make_unique<storage::GraphDb>(schema,
+                                                 factory(schema));
+    Result<CheckpointContents> loaded = LoadCheckpoint(
+        store->dir_ + "/" + CheckpointFileName(*it), *schema);
+    if (loaded.ok() && loaded->fingerprint != fingerprint) {
+      return Status::Corruption(
+          "checkpoint " + CheckpointFileName(*it) +
+          " was written under a different schema (fingerprint mismatch)");
+    }
+    Status restored = loaded.ok()
+                          ? RestoreFromCheckpoint(*db, std::move(*loaded))
+                          : loaded.status();
+    if (restored.ok()) {
+      info.restored_checkpoint = true;
+      info.checkpoint_seq = *it;
+      replay_from = *it;
+      store->db_ = std::move(db);
+      break;
+    }
+    if (restored.code() != StatusCode::kCorruption &&
+        restored.code() != StatusCode::kIoError) {
+      return restored;  // invariant breakage, not damage — do not mask it
+    }
+    ++info.checkpoints_skipped;
+  }
+  if (store->db_ == nullptr) {
+    if (!listing.checkpoints.empty() &&
+        (listing.segments.empty() || listing.segments.front() != 1)) {
+      return Status::Corruption(
+          "no checkpoint in " + store->dir_ +
+          " is readable and the WAL does not reach back to segment 1");
+    }
+    store->db_ = std::make_unique<storage::GraphDb>(schema,
+                                                    factory(schema));
+  }
+
+  // Replay the WAL tail: segments >= replay_from, contiguous, torn tail
+  // tolerated only in the last one.
+  std::vector<uint64_t> tail;
+  for (uint64_t seq : listing.segments) {
+    if (seq >= replay_from) tail.push_back(seq);
+  }
+  if (!tail.empty() && tail.front() != replay_from &&
+      info.restored_checkpoint) {
+    return Status::Corruption(
+        "missing wal segment " + std::to_string(replay_from) + " in " +
+        store->dir_ + " (oldest on disk is " + std::to_string(tail.front()) +
+        ")");
+  }
+  for (size_t i = 0; i < tail.size(); ++i) {
+    if (i > 0 && tail[i] != tail[i - 1] + 1) {
+      return Status::Corruption("missing wal segment " +
+                                std::to_string(tail[i - 1] + 1) + " in " +
+                                store->dir_);
+    }
+    NEPAL_ASSIGN_OR_RETURN(
+        WalReadResult r,
+        ReadWalSegment(store->SegmentPath(tail[i]), tail[i], fingerprint,
+                       [&store](const WalRecord& rec) {
+                         return ApplyWalRecord(*store->db_, rec);
+                       }));
+    if (r.torn_tail && i + 1 != tail.size()) {
+      return Status::Corruption(
+          "wal segment " + std::to_string(tail[i]) +
+          " has a torn tail but is not the last segment");
+    }
+    info.torn_tail = info.torn_tail || r.torn_tail;
+    info.records_replayed += r.records;
+    ++info.segments_replayed;
+  }
+
+  // Open a fresh segment: never append to a file that may end torn.
+  const uint64_t next_seq =
+      listing.segments.empty()
+          ? replay_from
+          : listing.segments.back() + 1;
+  NEPAL_ASSIGN_OR_RETURN(
+      store->writer_,
+      WalWriter::Create(store->SegmentPath(next_seq), next_seq, fingerprint,
+                        WalWriterOptions{options.fsync_policy,
+                                         options.fsync_interval_ms}));
+
+  store->recovery_info_ = info;
+  store->db_->set_write_log(store.get());
+
+  reg.GetCounter("nepal.recovery.records_replayed")
+      ->Add(info.records_replayed);
+  reg.GetCounter("nepal.recovery.segments_replayed")
+      ->Add(info.segments_replayed);
+  if (info.torn_tail) reg.GetCounter("nepal.recovery.torn_tails")->Add(1);
+  reg.GetCounter("nepal.recovery.checkpoints_skipped")
+      ->Add(static_cast<uint64_t>(info.checkpoints_skipped));
+  reg.GetHistogram("nepal.recovery.replay_ns")->Observe(ElapsedNs(t0));
+  return store;
+}
+
+Status DurableStore::Checkpoint() {
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string image;
+  uint64_t seq = 0;
+  {
+    // Shared on the database mutex: writers are excluded, so the clock,
+    // allocator, backend contents and log rotation form one consistent cut.
+    std::shared_lock<std::shared_mutex> lock(db_->mutex());
+    seq = writer_->segment_seq() + 1;
+    NEPAL_RETURN_NOT_OK(writer_->Close());
+    NEPAL_ASSIGN_OR_RETURN(
+        writer_,
+        WalWriter::Create(SegmentPath(seq), seq, fingerprint_,
+                          WalWriterOptions{options_.fsync_policy,
+                                           options_.fsync_interval_ms}));
+    image = EncodeCheckpointLocked(*db_, fingerprint_, seq);
+  }
+  NEPAL_RETURN_NOT_OK(WriteFileAtomic(dir_, CheckpointFileName(seq), image));
+  checkpoints_.push_back(seq);
+  Prune();
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("nepal.checkpoint.writes")->Add(1);
+  reg.GetCounter("nepal.checkpoint.bytes")->Add(image.size());
+  reg.GetHistogram("nepal.checkpoint.save_ns")->Observe(ElapsedNs(t0));
+  return Status::OK();
+}
+
+void DurableStore::Prune() {
+  if (checkpoints_.size() > static_cast<size_t>(options_.retain_checkpoints)) {
+    const size_t drop =
+        checkpoints_.size() - static_cast<size_t>(options_.retain_checkpoints);
+    for (size_t i = 0; i < drop; ++i) {
+      std::error_code ec;
+      fs::remove(dir_ + "/" + CheckpointFileName(checkpoints_[i]), ec);
+    }
+    checkpoints_.erase(checkpoints_.begin(),
+                       checkpoints_.begin() + static_cast<long>(drop));
+  }
+  if (checkpoints_.empty()) return;
+  // Segments before the oldest retained checkpoint can never be replayed.
+  auto listing = ListDataDir(dir_);
+  if (!listing.ok()) return;  // pruning is best-effort
+  for (uint64_t seq : listing->segments) {
+    if (seq >= checkpoints_.front()) break;
+    std::error_code ec;
+    fs::remove(SegmentPath(seq), ec);
+  }
+}
+
+Status DurableStore::Sync() {
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  std::shared_lock<std::shared_mutex> lock(db_->mutex());
+  return writer_->Sync();
+}
+
+Status DurableStore::SaveSnapshot(const std::string& dir,
+                                  const storage::GraphDb& db) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create snapshot directory " + dir + ": " +
+                           ec.message());
+  }
+  NEPAL_ASSIGN_OR_RETURN(DirListing listing, ListDataDir(dir));
+  if (!listing.segments.empty() || !listing.checkpoints.empty()) {
+    return Status::AlreadyExists("directory " + dir +
+                                 " already holds Nepal data files");
+  }
+  std::string image;
+  {
+    std::shared_lock<std::shared_mutex> lock(db.mutex());
+    image = EncodeCheckpointLocked(db, SchemaFingerprint(db.schema()),
+                                   /*wal_seq=*/1);
+  }
+  return WriteFileAtomic(dir, CheckpointFileName(1), image);
+}
+
+Status DurableStore::AppendRecord(const WalRecord& rec) {
+  std::string payload;
+  EncodeWalRecord(rec, &payload);
+  return writer_->Append(payload);
+}
+
+Status DurableStore::AppendSetTime(Timestamp t) {
+  WalRecord rec;
+  rec.type = WalRecordType::kSetTime;
+  rec.time = t;
+  return AppendRecord(rec);
+}
+
+Status DurableStore::AppendAddNode(Uid uid, const schema::ClassDef* cls,
+                                   const std::vector<Value>& row,
+                                   Timestamp t) {
+  WalRecord rec;
+  rec.type = WalRecordType::kAddNode;
+  rec.time = t;
+  rec.uid = uid;
+  rec.class_name = cls->name();
+  rec.row = row;
+  return AppendRecord(rec);
+}
+
+Status DurableStore::AppendAddEdge(Uid uid, const schema::ClassDef* cls,
+                                   const std::vector<Value>& row, Uid source,
+                                   Uid target, Timestamp t) {
+  WalRecord rec;
+  rec.type = WalRecordType::kAddEdge;
+  rec.time = t;
+  rec.uid = uid;
+  rec.class_name = cls->name();
+  rec.row = row;
+  rec.source = source;
+  rec.target = target;
+  return AppendRecord(rec);
+}
+
+Status DurableStore::AppendUpdate(
+    Uid uid, const std::vector<std::pair<int, Value>>& changes, Timestamp t) {
+  WalRecord rec;
+  rec.type = WalRecordType::kUpdate;
+  rec.time = t;
+  rec.uid = uid;
+  rec.changes = changes;
+  return AppendRecord(rec);
+}
+
+Status DurableStore::AppendRemove(Uid uid, Timestamp t) {
+  WalRecord rec;
+  rec.type = WalRecordType::kRemove;
+  rec.time = t;
+  rec.uid = uid;
+  return AppendRecord(rec);
+}
+
+}  // namespace nepal::persist

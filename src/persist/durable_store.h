@@ -1,0 +1,140 @@
+// DurableStore: WAL + checkpoints + crash recovery around a GraphDb.
+//
+// Open() points the durability layer at a directory:
+//
+//   <dir>/wal-00000007.log        segment files, framed logical records
+//   <dir>/checkpoint-00000007.ckp full state images (see checkpoint.h)
+//
+// and performs recovery: the newest valid checkpoint is restored (falling
+// back to an older one if the newest is corrupt or missing — two are
+// retained), then every WAL segment at or after the checkpoint's sequence
+// is replayed through the public GraphDb API. A torn final record — the
+// signature of a crash mid-append — is tolerated; CRC damage anywhere else
+// fails recovery with a Corruption error. A fresh segment is then opened
+// (never appending to a possibly-torn file) and the store attaches itself
+// as the database's WriteLog, so every subsequent commit is logged in
+// order under the writer lock.
+//
+// Because records replay through GraphDb, recovery reproduces uid
+// assignment, the transaction clock, cascade deletes and unique-index
+// state identically on either execution backend: a recovered database
+// answers timeslice and time-range queries byte-identically to the
+// original.
+//
+// Checkpoint() rotates the log (close segment S, start S+1) and writes a
+// checkpoint image carrying sequence S+1 under one consistent cut, then
+// prunes: the newest `retain_checkpoints` images are kept and segments
+// older than the oldest retained image are deleted.
+
+#ifndef NEPAL_PERSIST_DURABLE_STORE_H_
+#define NEPAL_PERSIST_DURABLE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/graphdb.h"
+#include "storage/write_log.h"
+#include "persist/wal.h"
+
+namespace nepal::persist {
+
+/// Builds the execution backend a recovered database runs on; lets the
+/// same directory be opened under graphstore or relational execution.
+using BackendFactory =
+    std::function<std::unique_ptr<storage::StorageBackend>(
+        schema::SchemaPtr)>;
+
+struct DurableOptions {
+  FsyncPolicy fsync_policy = FsyncPolicy::kInterval;
+  int fsync_interval_ms = 50;
+  /// Checkpoint images kept on disk. Two means the newest can be lost or
+  /// damaged and recovery still succeeds from the previous one.
+  int retain_checkpoints = 2;
+};
+
+/// What recovery found and did; surfaced to callers and `\metrics`.
+struct RecoveryInfo {
+  bool restored_checkpoint = false;
+  uint64_t checkpoint_seq = 0;    // sequence of the image restored
+  int checkpoints_skipped = 0;    // newer images that failed to load
+  size_t segments_replayed = 0;
+  size_t records_replayed = 0;
+  bool torn_tail = false;  // the last segment ended mid-record
+};
+
+class DurableStore final : public storage::WriteLog {
+ public:
+  /// Opens (creating if needed) the data directory, recovers, and returns
+  /// a store whose db() is ready for reads and durable writes.
+  static Result<std::unique_ptr<DurableStore>> Open(std::string dir,
+                                                    schema::SchemaPtr schema,
+                                                    const BackendFactory& factory,
+                                                    DurableOptions options = {});
+
+  ~DurableStore() override;
+
+  storage::GraphDb& db() { return *db_; }
+  const storage::GraphDb& db() const { return *db_; }
+  const RecoveryInfo& recovery_info() const { return recovery_info_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Rotates the WAL and writes a checkpoint image of the current state.
+  Status Checkpoint();
+
+  /// Forces the active segment to stable storage (regardless of policy).
+  Status Sync();
+
+  /// One-shot export for `\save`: writes a single checkpoint image of `db`
+  /// into `dir` (which must not already hold Nepal data files). The
+  /// directory can later be opened with DurableStore::Open on any backend.
+  static Status SaveSnapshot(const std::string& dir,
+                             const storage::GraphDb& db);
+
+  // WriteLog implementation (called by GraphDb under its writer lock).
+  Status AppendSetTime(Timestamp t) override;
+  Status AppendAddNode(Uid uid, const schema::ClassDef* cls,
+                       const std::vector<Value>& row, Timestamp t) override;
+  Status AppendAddEdge(Uid uid, const schema::ClassDef* cls,
+                       const std::vector<Value>& row, Uid source, Uid target,
+                       Timestamp t) override;
+  Status AppendUpdate(Uid uid,
+                      const std::vector<std::pair<int, Value>>& changes,
+                      Timestamp t) override;
+  Status AppendRemove(Uid uid, Timestamp t) override;
+
+ private:
+  DurableStore(std::string dir, uint64_t fingerprint, DurableOptions options);
+
+  std::string SegmentPath(uint64_t seq) const;
+  Status AppendRecord(const WalRecord& rec);
+  /// Deletes checkpoints beyond the retention count and segments older
+  /// than the oldest retained checkpoint.
+  void Prune();
+
+  std::string dir_;
+  uint64_t fingerprint_;
+  DurableOptions options_;
+  std::unique_ptr<storage::GraphDb> db_;
+  std::unique_ptr<WalWriter> writer_;
+  RecoveryInfo recovery_info_;
+  /// Serializes Checkpoint()/Sync() against each other; appends are already
+  /// serialized by the database writer lock, which those admin operations
+  /// exclude by holding db_->mutex() shared.
+  std::mutex admin_mu_;
+  /// Checkpoint sequences on disk, ascending.
+  std::vector<uint64_t> checkpoints_;
+};
+
+/// Replays one logical record against `db` through the public API,
+/// verifying that uid assignment matches the log. Exposed for the replay
+/// benchmark and tests; DurableStore::Open uses it for recovery.
+Status ApplyWalRecord(storage::GraphDb& db, const WalRecord& rec);
+
+}  // namespace nepal::persist
+
+#endif  // NEPAL_PERSIST_DURABLE_STORE_H_

@@ -1,0 +1,243 @@
+#include "persist/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "common/binary.h"
+#include "obs/metrics.h"
+#include "persist/crc32c.h"
+
+namespace nepal::persist {
+
+namespace {
+
+std::string ErrnoMessage(const char* what, const std::string& path) {
+  return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+uint32_t DecodeFixed32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+}  // namespace
+
+const char* FsyncPolicyToString(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways:
+      return "always";
+    case FsyncPolicy::kInterval:
+      return "interval";
+    case FsyncPolicy::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& text) {
+  if (text == "always") return FsyncPolicy::kAlways;
+  if (text == "interval") return FsyncPolicy::kInterval;
+  if (text == "none") return FsyncPolicy::kNone;
+  return Status::InvalidArgument("unknown fsync policy '" + text +
+                                 "' (expected always|interval|none)");
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(std::string path,
+                                                     uint64_t segment_seq,
+                                                     uint64_t fingerprint,
+                                                     WalWriterOptions options) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("open wal segment", path));
+  }
+  auto writer = std::unique_ptr<WalWriter>(
+      new WalWriter(std::move(path), fd, segment_seq, options));
+  std::string header(kWalMagic, sizeof(kWalMagic));
+  PutFixed64(&header, segment_seq);
+  PutFixed64(&header, fingerprint);
+  Status s = writer->WriteFully(header.data(), header.size());
+  // The header is synced unconditionally: a segment whose existence is not
+  // durable could vanish in a crash and open a gap in the sequence.
+  if (s.ok()) s = writer->Sync();
+  if (!s.ok()) return s;
+  return writer;
+}
+
+WalWriter::WalWriter(std::string path, int fd, uint64_t segment_seq,
+                     WalWriterOptions options)
+    : path_(std::move(path)),
+      fd_(fd),
+      segment_seq_(segment_seq),
+      options_(options),
+      last_sync_(std::chrono::steady_clock::now()) {
+  auto& reg = obs::MetricsRegistry::Global();
+  appends_ = reg.GetCounter("nepal.wal.appends");
+  append_bytes_ = reg.GetCounter("nepal.wal.append_bytes");
+  fsyncs_ = reg.GetCounter("nepal.wal.fsyncs");
+  append_ns_ = reg.GetHistogram("nepal.wal.append_ns");
+  fsync_ns_ = reg.GetHistogram("nepal.wal.fsync_ns");
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) Close().IgnoreError();
+}
+
+Status WalWriter::WriteFully(const char* data, size_t n) {
+  if (fd_ < 0) return Status::IoError("wal segment already closed: " + path_);
+  size_t done = 0;
+  while (done < n) {
+    ssize_t w = ::write(fd_, data + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("write wal segment", path_));
+    }
+    done += static_cast<size_t>(w);
+  }
+  bytes_written_ += n;
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status WalWriter::Append(std::string_view payload) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string frame;
+  frame.reserve(kWalFrameHeaderSize + payload.size());
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&frame, MaskCrc(Crc32c(payload.data(), payload.size())));
+  frame.append(payload.data(), payload.size());
+  NEPAL_RETURN_NOT_OK(WriteFully(frame.data(), frame.size()));
+  NEPAL_RETURN_NOT_OK(MaybeSync());
+  appends_->Add(1);
+  append_bytes_->Add(frame.size());
+  append_ns_->Observe(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
+  return Status::OK();
+}
+
+Status WalWriter::MaybeSync() {
+  switch (options_.fsync_policy) {
+    case FsyncPolicy::kAlways:
+      return Sync();
+    case FsyncPolicy::kInterval: {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_sync_ >=
+          std::chrono::milliseconds(options_.fsync_interval_ms)) {
+        return Sync();
+      }
+      return Status::OK();
+    }
+    case FsyncPolicy::kNone:
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (fd_ < 0) return Status::IoError("wal segment already closed: " + path_);
+  if (!dirty_) {
+    last_sync_ = std::chrono::steady_clock::now();
+    return Status::OK();
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  if (::fsync(fd_) != 0) {
+    return Status::IoError(ErrnoMessage("fsync wal segment", path_));
+  }
+  dirty_ = false;
+  last_sync_ = std::chrono::steady_clock::now();
+  fsyncs_->Add(1);
+  fsync_ns_->Observe(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(last_sync_ - t0)
+          .count()));
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  if (fd_ < 0) return Status::OK();
+  Status s = dirty_ ? Sync() : Status::OK();
+  if (::close(fd_) != 0 && s.ok()) {
+    s = Status::IoError(ErrnoMessage("close wal segment", path_));
+  }
+  fd_ = -1;
+  return s;
+}
+
+Result<WalReadResult> ReadWalSegment(
+    const std::string& path, uint64_t expected_seq,
+    uint64_t expected_fingerprint,
+    const std::function<Status(const WalRecord&)>& apply) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open wal segment " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+
+  WalReadResult result;
+  if (data.size() < kWalHeaderSize) {
+    // Crash during segment creation: the header never fully reached disk.
+    result.torn_tail = !data.empty();
+    result.valid_bytes = 0;
+    return result;
+  }
+  if (std::memcmp(data.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::Corruption("bad wal magic in " + path);
+  }
+  const uint64_t seq =
+      static_cast<uint64_t>(DecodeFixed32(data.data() + 8)) |
+      static_cast<uint64_t>(DecodeFixed32(data.data() + 12)) << 32;
+  if (seq != expected_seq) {
+    return Status::Corruption("wal segment " + path + " carries sequence " +
+                              std::to_string(seq) + ", expected " +
+                              std::to_string(expected_seq));
+  }
+  const uint64_t fp =
+      static_cast<uint64_t>(DecodeFixed32(data.data() + 16)) |
+      static_cast<uint64_t>(DecodeFixed32(data.data() + 20)) << 32;
+  if (fp != expected_fingerprint) {
+    return Status::Corruption(
+        "wal segment " + path +
+        " was written under a different schema (fingerprint mismatch)");
+  }
+
+  size_t pos = kWalHeaderSize;
+  result.valid_bytes = pos;
+  while (pos < data.size()) {
+    if (data.size() - pos < kWalFrameHeaderSize) {
+      result.torn_tail = true;  // frame header itself is incomplete
+      break;
+    }
+    const uint32_t len = DecodeFixed32(data.data() + pos);
+    const uint32_t masked_crc = DecodeFixed32(data.data() + pos + 4);
+    if (len > kMaxWalRecordBytes) {
+      return Status::Corruption("wal frame at offset " + std::to_string(pos) +
+                                " in " + path + " has implausible length " +
+                                std::to_string(len));
+    }
+    if (data.size() - pos - kWalFrameHeaderSize < len) {
+      result.torn_tail = true;  // payload extends past EOF
+      break;
+    }
+    const char* payload = data.data() + pos + kWalFrameHeaderSize;
+    const uint32_t actual = Crc32c(payload, static_cast<size_t>(len));
+    if (UnmaskCrc(masked_crc) != actual) {
+      return Status::Corruption("wal crc mismatch at offset " +
+                                std::to_string(pos) + " in " + path);
+    }
+    NEPAL_ASSIGN_OR_RETURN(WalRecord rec,
+                           DecodeWalRecord(std::string_view(payload, len)));
+    NEPAL_RETURN_NOT_OK(apply(rec));
+    pos += kWalFrameHeaderSize + len;
+    result.valid_bytes = pos;
+    ++result.records;
+  }
+  return result;
+}
+
+}  // namespace nepal::persist

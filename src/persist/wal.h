@@ -1,0 +1,135 @@
+// WAL segment files: physical framing, fsync policy, and the reader.
+//
+// A segment file is a 24-byte header (magic "NPLWAL01", segment sequence
+// number, schema fingerprint) followed by framed records:
+//
+//   [u32 payload length][u32 masked CRC32C of payload][payload bytes]
+//
+// Recovery semantics mirror the classic log contract:
+//   - a frame that extends past EOF is a *torn tail* — the expected artifact
+//     of a crash mid-append — and is tolerated: replay stops cleanly before
+//     it and the tail is abandoned (a fresh segment is opened for new
+//     writes, so torn bytes are never appended after);
+//   - a complete frame whose CRC does not match is *corruption* and fails
+//     recovery with a clear error — silent data damage must never replay.
+//
+// Group commit: appends always go to the OS immediately; the fsync policy
+// decides when the file is forced to stable storage. kAlways syncs every
+// append (each commit durable before the writer returns), kInterval batches
+// appends into one fsync per interval window (bounded-loss group commit),
+// kNone leaves flushing entirely to the OS.
+
+#ifndef NEPAL_PERSIST_WAL_H_
+#define NEPAL_PERSIST_WAL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "persist/wal_format.h"
+
+namespace nepal::obs {
+class Counter;
+class Histogram;
+}  // namespace nepal::obs
+
+namespace nepal::persist {
+
+inline constexpr char kWalMagic[8] = {'N', 'P', 'L', 'W', 'A', 'L', '0', '1'};
+inline constexpr size_t kWalHeaderSize = 8 + 8 + 8;  // magic + seq + fingerprint
+inline constexpr size_t kWalFrameHeaderSize = 4 + 4;  // length + masked crc
+/// Upper bound on a single record payload; larger length fields are treated
+/// as corruption rather than torn tails (they cannot be real).
+inline constexpr uint32_t kMaxWalRecordBytes = 1u << 30;
+
+enum class FsyncPolicy {
+  kAlways,    // fsync after every append
+  kInterval,  // fsync at most once per interval window (group commit)
+  kNone,      // never fsync; the OS decides
+};
+
+const char* FsyncPolicyToString(FsyncPolicy policy);
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& text);
+
+struct WalWriterOptions {
+  FsyncPolicy fsync_policy = FsyncPolicy::kInterval;
+  /// Group-commit window for kInterval: an append fsyncs only if this many
+  /// milliseconds have passed since the last fsync.
+  int fsync_interval_ms = 50;
+};
+
+/// Appends framed records to one segment file. Callers serialize appends
+/// (GraphDb's writer lock does); the writer itself is not thread-safe.
+class WalWriter {
+ public:
+  /// Creates the segment file (must not exist), writes and syncs the
+  /// header.
+  static Result<std::unique_ptr<WalWriter>> Create(std::string path,
+                                                   uint64_t segment_seq,
+                                                   uint64_t fingerprint,
+                                                   WalWriterOptions options);
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Frames and writes one record payload, then applies the fsync policy.
+  Status Append(std::string_view payload);
+
+  /// Unconditional fsync (checkpoint rotation, clean shutdown).
+  Status Sync();
+
+  /// Syncs and closes the file; further appends fail.
+  Status Close();
+
+  const std::string& path() const { return path_; }
+  uint64_t segment_seq() const { return segment_seq_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  WalWriter(std::string path, int fd, uint64_t segment_seq,
+            WalWriterOptions options);
+  Status WriteFully(const char* data, size_t n);
+  Status MaybeSync();
+
+  std::string path_;
+  int fd_;
+  uint64_t segment_seq_;
+  WalWriterOptions options_;
+  uint64_t bytes_written_ = 0;
+  bool dirty_ = false;  // bytes written since the last fsync
+  std::chrono::steady_clock::time_point last_sync_;
+
+  // Cached metric cells (registry pointers are stable).
+  obs::Counter* appends_;
+  obs::Counter* append_bytes_;
+  obs::Counter* fsyncs_;
+  obs::Histogram* append_ns_;
+  obs::Histogram* fsync_ns_;
+};
+
+/// Outcome of scanning one segment.
+struct WalReadResult {
+  size_t records = 0;     // complete, CRC-valid records delivered
+  bool torn_tail = false; // the file ended inside a frame
+  uint64_t valid_bytes = 0;  // offset of the first byte past the last
+                             // complete record (header included)
+};
+
+/// Reads a segment, checking the magic, sequence number and fingerprint,
+/// and invokes `apply` for each complete CRC-valid record in order. Stops
+/// tolerantly at a torn tail; fails with Corruption on a CRC mismatch, an
+/// undecodable record, or a header that does not match expectations. A file
+/// shorter than its header is reported as a torn tail with zero records
+/// (the crash happened during segment creation).
+Result<WalReadResult> ReadWalSegment(
+    const std::string& path, uint64_t expected_seq,
+    uint64_t expected_fingerprint,
+    const std::function<Status(const WalRecord&)>& apply);
+
+}  // namespace nepal::persist
+
+#endif  // NEPAL_PERSIST_WAL_H_

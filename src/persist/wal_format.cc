@@ -1,0 +1,132 @@
+#include "persist/wal_format.h"
+
+#include "common/binary.h"
+
+namespace nepal::persist {
+
+const char* WalRecordTypeToString(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kSetTime:
+      return "SetTime";
+    case WalRecordType::kAddNode:
+      return "AddNode";
+    case WalRecordType::kAddEdge:
+      return "AddEdge";
+    case WalRecordType::kUpdate:
+      return "Update";
+    case WalRecordType::kRemove:
+      return "Remove";
+  }
+  return "?";
+}
+
+void EncodeWalRecord(const WalRecord& rec, std::string* out) {
+  PutFixed8(out, static_cast<uint8_t>(rec.type));
+  PutFixedI64(out, rec.time);
+  switch (rec.type) {
+    case WalRecordType::kSetTime:
+      break;
+    case WalRecordType::kAddNode:
+    case WalRecordType::kAddEdge:
+      PutFixed64(out, rec.uid);
+      PutString(out, rec.class_name);
+      if (rec.type == WalRecordType::kAddEdge) {
+        PutFixed64(out, rec.source);
+        PutFixed64(out, rec.target);
+      }
+      PutFixed32(out, static_cast<uint32_t>(rec.row.size()));
+      for (const Value& v : rec.row) v.EncodeBinary(out);
+      break;
+    case WalRecordType::kUpdate:
+      PutFixed64(out, rec.uid);
+      PutFixed32(out, static_cast<uint32_t>(rec.changes.size()));
+      for (const auto& [idx, v] : rec.changes) {
+        PutFixed32(out, static_cast<uint32_t>(idx));
+        v.EncodeBinary(out);
+      }
+      break;
+    case WalRecordType::kRemove:
+      PutFixed64(out, rec.uid);
+      break;
+  }
+}
+
+Result<WalRecord> DecodeWalRecord(std::string_view payload) {
+  BinaryReader reader(payload);
+  WalRecord rec;
+  uint8_t type = 0;
+  NEPAL_RETURN_NOT_OK(reader.ReadFixed8(&type));
+  NEPAL_RETURN_NOT_OK(reader.ReadFixedI64(&rec.time));
+  switch (static_cast<WalRecordType>(type)) {
+    case WalRecordType::kSetTime:
+      rec.type = WalRecordType::kSetTime;
+      break;
+    case WalRecordType::kAddNode:
+    case WalRecordType::kAddEdge: {
+      rec.type = static_cast<WalRecordType>(type);
+      NEPAL_RETURN_NOT_OK(reader.ReadFixed64(&rec.uid));
+      NEPAL_RETURN_NOT_OK(reader.ReadString(&rec.class_name));
+      if (rec.type == WalRecordType::kAddEdge) {
+        NEPAL_RETURN_NOT_OK(reader.ReadFixed64(&rec.source));
+        NEPAL_RETURN_NOT_OK(reader.ReadFixed64(&rec.target));
+      }
+      uint32_t n = 0;
+      NEPAL_RETURN_NOT_OK(reader.ReadFixed32(&n));
+      if (n > reader.remaining()) {
+        return Status::Corruption("wal record row length " +
+                                  std::to_string(n) +
+                                  " exceeds remaining payload");
+      }
+      rec.row.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        NEPAL_ASSIGN_OR_RETURN(Value v, Value::DecodeBinary(&reader));
+        rec.row.push_back(std::move(v));
+      }
+      break;
+    }
+    case WalRecordType::kUpdate: {
+      rec.type = WalRecordType::kUpdate;
+      NEPAL_RETURN_NOT_OK(reader.ReadFixed64(&rec.uid));
+      uint32_t n = 0;
+      NEPAL_RETURN_NOT_OK(reader.ReadFixed32(&n));
+      if (n > reader.remaining()) {
+        return Status::Corruption("wal record change count " +
+                                  std::to_string(n) +
+                                  " exceeds remaining payload");
+      }
+      rec.changes.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        uint32_t idx = 0;
+        NEPAL_RETURN_NOT_OK(reader.ReadFixed32(&idx));
+        NEPAL_ASSIGN_OR_RETURN(Value v, Value::DecodeBinary(&reader));
+        rec.changes.emplace_back(static_cast<int>(idx), std::move(v));
+      }
+      break;
+    }
+    case WalRecordType::kRemove:
+      rec.type = WalRecordType::kRemove;
+      NEPAL_RETURN_NOT_OK(reader.ReadFixed64(&rec.uid));
+      break;
+    default:
+      return Status::Corruption("unknown wal record type " +
+                                std::to_string(type));
+  }
+  if (!reader.done()) {
+    return Status::Corruption("wal record has " +
+                              std::to_string(reader.remaining()) +
+                              " trailing byte(s)");
+  }
+  return rec;
+}
+
+uint64_t SchemaFingerprint(const schema::Schema& schema) {
+  const std::string dsl = schema.ToDsl();
+  uint64_t hash = 14695981039346656037ull;  // FNV-1a offset basis
+  for (char c : dsl) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV-1a prime
+  }
+  return hash;
+}
+
+}  // namespace nepal::persist

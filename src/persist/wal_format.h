@@ -1,0 +1,73 @@
+// Logical write-ahead-log records.
+//
+// The WAL carries the five mutations GraphDb serializes (SetTime, AddNode,
+// AddEdge, Update, Remove) as self-contained logical records: class names
+// instead of ClassDef pointers, full validated rows, and the uid the write
+// was assigned. Replay drives the public GraphDb API, so a record stream
+// reproduces the database on either execution backend — the same property
+// the paper's feed loader has, but binary, lossless (structured values
+// included) and covering the transaction clock.
+//
+// Records are encoded with the common/binary.h primitives; the physical
+// framing (length + CRC32C) around each record lives in wal.h.
+
+#ifndef NEPAL_PERSIST_WAL_FORMAT_H_
+#define NEPAL_PERSIST_WAL_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "common/value.h"
+#include "schema/schema.h"
+
+namespace nepal::persist {
+
+enum class WalRecordType : uint8_t {
+  kSetTime = 1,
+  kAddNode = 2,
+  kAddEdge = 3,
+  kUpdate = 4,
+  kRemove = 5,
+};
+
+const char* WalRecordTypeToString(WalRecordType type);
+
+/// One logical mutation. Only the fields relevant to `type` are meaningful:
+///   kSetTime: time
+///   kAddNode: uid, class_name, row, time
+///   kAddEdge: uid, class_name, row, source, target, time
+///   kUpdate : uid, changes, time
+///   kRemove : uid, time    (cascaded edge deletions are NOT logged; replay
+///                           of the node removal reproduces them)
+struct WalRecord {
+  WalRecordType type = WalRecordType::kSetTime;
+  Timestamp time = 0;
+  Uid uid = 0;
+  std::string class_name;
+  std::vector<Value> row;  // layout-aligned with the class's fields()
+  Uid source = 0;
+  Uid target = 0;
+  std::vector<std::pair<int, Value>> changes;  // (field index, new value)
+};
+
+/// Appends the canonical binary payload (excluding framing).
+void EncodeWalRecord(const WalRecord& rec, std::string* out);
+
+/// Inverse of EncodeWalRecord. Fails with Corruption on truncation, unknown
+/// record types, or trailing bytes.
+Result<WalRecord> DecodeWalRecord(std::string_view payload);
+
+/// 64-bit FNV-1a of the schema's DSL rendering. Stored in every segment
+/// header and checkpoint so recovery refuses to replay a log against a
+/// database opened with a different schema.
+uint64_t SchemaFingerprint(const schema::Schema& schema);
+
+}  // namespace nepal::persist
+
+#endif  // NEPAL_PERSIST_WAL_FORMAT_H_

@@ -1,5 +1,7 @@
 #include "relational/relational_store.h"
 
+#include <algorithm>
+
 #include "relational/sql_executor.h"
 
 namespace nepal::relational {
@@ -112,6 +114,54 @@ Status RelationalStore::Delete(Uid uid, Timestamp t) {
   }
   if (old_row.valid.empty()) return Status::OK();
   return HistoryTable(it->second).Insert(std::move(old_row));
+}
+
+Status RelationalStore::RestoreChain(Uid uid,
+                                     std::vector<ElementVersion> chain) {
+  if (chain.empty()) {
+    return Status::Corruption("checkpoint chain for uid " +
+                              std::to_string(uid) + " is empty");
+  }
+  const schema::ClassDef* cls = chain.front().cls;
+  auto [it, inserted] = uid_registry_.emplace(uid, cls);
+  if (!inserted) {
+    return Status::Corruption("checkpoint restores uid " +
+                              std::to_string(uid) + " twice");
+  }
+  for (ElementVersion& v : chain) {
+    if (v.uid != uid || v.cls != cls) {
+      return Status::Corruption("inconsistent checkpoint chain for uid " +
+                                std::to_string(uid));
+    }
+    pending_restore_.push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+// Re-derives the row order live execution produced. Current tables hold
+// rows in the order their open version was created (an UPDATE retires the
+// old row and appends the replacement); history tables hold rows in
+// retirement order. Both are recovered by sorting the staged versions on
+// the corresponding event timestamp, with uid breaking ties the way
+// monotone allocation ordered same-instant operations.
+Status RelationalStore::FinishRestore() {
+  std::vector<ElementVersion> staged;
+  staged.swap(pending_restore_);
+  std::stable_sort(staged.begin(), staged.end(),
+                   [](const ElementVersion& a, const ElementVersion& b) {
+                     const Timestamp ea =
+                         a.is_current() ? a.valid.start : a.valid.end;
+                     const Timestamp eb =
+                         b.is_current() ? b.valid.start : b.valid.end;
+                     if (ea != eb) return ea < eb;
+                     if (a.uid != b.uid) return a.uid < b.uid;
+                     return a.valid.start < b.valid.start;
+                   });
+  for (ElementVersion& v : staged) {
+    Table& table = v.is_current() ? CurrentTable(v.cls) : HistoryTable(v.cls);
+    NEPAL_RETURN_NOT_OK(table.Insert(std::move(v)));
+  }
+  return Status::OK();
 }
 
 std::vector<const Table*> RelationalStore::SubtreeTables(

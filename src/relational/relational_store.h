@@ -47,6 +47,9 @@ class RelationalStore final : public storage::StorageBackend {
   Status Update(Uid uid, const std::vector<std::pair<int, Value>>& changes,
                 Timestamp t) override;
   Status Delete(Uid uid, Timestamp t) override;
+  Status RestoreChain(Uid uid,
+                      std::vector<storage::ElementVersion> chain) override;
+  Status FinishRestore() override;
 
   void Scan(const storage::ScanSpec& spec, const storage::TimeView& view,
             const storage::ElementSink& sink) const override;
@@ -94,6 +97,9 @@ class RelationalStore final : public storage::StorageBackend {
   std::vector<std::unique_ptr<Table>> history_;
   /// The uid-uniqueness relation: uid -> class (which tables hold it).
   std::unordered_map<Uid, const schema::ClassDef*> uid_registry_;
+  /// Versions staged by RestoreChain; FinishRestore inserts them in the
+  /// order live execution would have appended them.
+  std::vector<storage::ElementVersion> pending_restore_;
 };
 
 }  // namespace nepal::relational

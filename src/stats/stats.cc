@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <utility>
+
+#include "common/binary.h"
 
 namespace nepal::stats {
 
@@ -253,6 +256,147 @@ double GraphStats::HistoryDepth(const schema::ClassDef* cls) const {
   double cur = Cardinality(cls);
   if (cur <= 0.0) return 1.0;
   return std::max(1.0, static_cast<double>(VersionCount(cls)) / cur);
+}
+
+namespace {
+
+// Bumped when the serialized layout changes; mismatches are Corruption, not
+// silent misreads.
+constexpr uint8_t kStatsCodecVersion = 1;
+
+void PutU64Vector(std::string* out, const std::vector<uint64_t>& v) {
+  PutFixed64(out, v.size());
+  for (uint64_t x : v) PutFixed64(out, x);
+}
+
+Status ReadU64Vector(BinaryReader* reader, size_t expected_size,
+                     std::vector<uint64_t>* v) {
+  uint64_t n = 0;
+  NEPAL_RETURN_NOT_OK(reader->ReadFixed64(&n));
+  if (n != expected_size) {
+    return Status::Corruption("stats vector sized " + std::to_string(n) +
+                              ", schema implies " +
+                              std::to_string(expected_size));
+  }
+  v->assign(expected_size, 0);
+  for (size_t i = 0; i < expected_size; ++i) {
+    NEPAL_RETURN_NOT_OK(reader->ReadFixed64(&(*v)[i]));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void GraphStats::SerializeTo(std::string* out) const {
+  PutFixed8(out, kStatsCodecVersion);
+  PutFixed64(out, num_orders_);
+  PutU64Vector(out, current_);
+  PutU64Vector(out, versions_);
+  PutU64Vector(out, degree_totals_);
+  PutU64Vector(out, degree_max_);
+
+  // node_degrees_ in ascending key order.
+  std::vector<std::pair<uint64_t, uint64_t>> degrees(node_degrees_.begin(),
+                                                     node_degrees_.end());
+  std::sort(degrees.begin(), degrees.end());
+  PutFixed64(out, degrees.size());
+  for (const auto& [key, count] : degrees) {
+    PutFixed64(out, key);
+    PutFixed64(out, count);
+  }
+
+  // field_counters_ in ascending key order; each counter's values in
+  // ascending Value order (kind() breaks cross-kind numeric ties so equal
+  // maps always render identically).
+  std::vector<uint64_t> counter_keys;
+  counter_keys.reserve(field_counters_.size());
+  for (const auto& [key, counter] : field_counters_) {
+    counter_keys.push_back(key);
+  }
+  std::sort(counter_keys.begin(), counter_keys.end());
+  PutFixed64(out, counter_keys.size());
+  for (uint64_t key : counter_keys) {
+    const FieldCounter& counter = field_counters_.at(key);
+    PutFixed64(out, key);
+    PutFixed8(out, counter.saturated ? 1 : 0);
+    std::vector<std::pair<const Value*, uint64_t>> values;
+    values.reserve(counter.counts.size());
+    for (const auto& [v, n] : counter.counts) values.emplace_back(&v, n);
+    std::sort(values.begin(), values.end(),
+              [](const auto& a, const auto& b) {
+                int cmp = a.first->Compare(*b.first);
+                if (cmp != 0) return cmp < 0;
+                return a.first->kind() < b.first->kind();
+              });
+    PutFixed64(out, values.size());
+    for (const auto& [v, n] : values) {
+      v->EncodeBinary(out);
+      PutFixed64(out, n);
+    }
+  }
+}
+
+Result<GraphStats> GraphStats::DeserializeFrom(const schema::Schema* schema,
+                                               std::string_view data) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("stats deserialization needs a schema");
+  }
+  BinaryReader reader(data);
+  uint8_t version = 0;
+  NEPAL_RETURN_NOT_OK(reader.ReadFixed8(&version));
+  if (version != kStatsCodecVersion) {
+    return Status::Corruption("stats codec version " +
+                              std::to_string(version) + " (expected " +
+                              std::to_string(kStatsCodecVersion) + ")");
+  }
+  GraphStats stats(schema);
+  uint64_t num_orders = 0;
+  NEPAL_RETURN_NOT_OK(reader.ReadFixed64(&num_orders));
+  if (num_orders != stats.num_orders_) {
+    return Status::Corruption(
+        "stats snapshot covers " + std::to_string(num_orders) +
+        " classes, schema has " + std::to_string(stats.num_orders_));
+  }
+  size_t n = stats.num_orders_;
+  NEPAL_RETURN_NOT_OK(ReadU64Vector(&reader, n, &stats.current_));
+  NEPAL_RETURN_NOT_OK(ReadU64Vector(&reader, n, &stats.versions_));
+  NEPAL_RETURN_NOT_OK(ReadU64Vector(&reader, n * n * 2,
+                                    &stats.degree_totals_));
+  NEPAL_RETURN_NOT_OK(ReadU64Vector(&reader, n * n * 2, &stats.degree_max_));
+
+  uint64_t degree_entries = 0;
+  NEPAL_RETURN_NOT_OK(reader.ReadFixed64(&degree_entries));
+  for (uint64_t i = 0; i < degree_entries; ++i) {
+    uint64_t key = 0, count = 0;
+    NEPAL_RETURN_NOT_OK(reader.ReadFixed64(&key));
+    NEPAL_RETURN_NOT_OK(reader.ReadFixed64(&count));
+    stats.node_degrees_[key] = count;
+  }
+
+  uint64_t counter_entries = 0;
+  NEPAL_RETURN_NOT_OK(reader.ReadFixed64(&counter_entries));
+  for (uint64_t i = 0; i < counter_entries; ++i) {
+    uint64_t key = 0;
+    NEPAL_RETURN_NOT_OK(reader.ReadFixed64(&key));
+    FieldCounter& counter = stats.field_counters_[key];
+    uint8_t saturated = 0;
+    NEPAL_RETURN_NOT_OK(reader.ReadFixed8(&saturated));
+    counter.saturated = saturated != 0;
+    uint64_t value_entries = 0;
+    NEPAL_RETURN_NOT_OK(reader.ReadFixed64(&value_entries));
+    for (uint64_t j = 0; j < value_entries; ++j) {
+      NEPAL_ASSIGN_OR_RETURN(Value v, Value::DecodeBinary(&reader));
+      uint64_t count = 0;
+      NEPAL_RETURN_NOT_OK(reader.ReadFixed64(&count));
+      counter.counts.emplace(std::move(v), count);
+    }
+  }
+  if (!reader.done()) {
+    return Status::Corruption("stats snapshot has " +
+                              std::to_string(reader.remaining()) +
+                              " trailing byte(s)");
+  }
+  return stats;
 }
 
 std::string GraphStats::ToString() const {

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -103,6 +104,20 @@ class GraphStats {
 
   /// One line per non-empty class: cardinality, versions, degree totals.
   std::string ToString() const;
+
+  // ---- Checkpoint codec (see src/persist) ----
+
+  /// Appends an exact, deterministic binary snapshot of every maintained
+  /// statistic (unordered maps are written in sorted key order, so equal
+  /// stats always serialize to equal bytes). Deserializing it yields a
+  /// GraphStats whose every estimate — EstimateScan inputs included — is
+  /// identical to the live-maintained one, without replaying any element.
+  void SerializeTo(std::string* out) const;
+  /// Inverse of SerializeTo against the same schema. Fails with Corruption
+  /// on truncation, version mismatch, or a class-count mismatch (the blob
+  /// belongs to a different schema).
+  static Result<GraphStats> DeserializeFrom(const schema::Schema* schema,
+                                            std::string_view data);
 
  private:
   struct FieldCounter {

@@ -82,6 +82,29 @@ class StorageBackend {
   /// counters, history depth). Backends update them on every write.
   const stats::GraphStats& stats() const { return stats_; }
 
+  // ---- Durability (checkpoint restore; see src/persist) ----
+
+  /// Rebuilds one element's full version chain on a freshly constructed
+  /// backend. `chain` is ordered by version start time, versions are
+  /// pairwise disjoint, and at most the last one is open. Statistics are
+  /// NOT maintained by this call — a checkpoint restores them wholesale via
+  /// RestoreStats, which is what lets a cold start skip re-deriving stats
+  /// from every element. Chains must be restored in ascending uid order so
+  /// physical iteration orders match the original insertion order.
+  virtual Status RestoreChain(Uid uid, std::vector<ElementVersion> chain) = 0;
+
+  /// Called once after the last RestoreChain of a recovery. Backends whose
+  /// physical iteration order is not a pure function of uid order (the
+  /// relational store's current tables reflect update history: an UPDATE
+  /// retires the old row and appends the new one) use this to re-establish
+  /// the order live execution would have produced, so a restored database
+  /// answers queries byte-identically to the original.
+  virtual Status FinishRestore() { return Status::OK(); }
+
+  /// Installs statistics deserialized from a checkpoint (pairs with
+  /// RestoreChain, which deliberately skips stats maintenance).
+  void RestoreStats(stats::GraphStats s) { stats_ = std::move(s); }
+
   /// Approximate resident bytes (storage-overhead experiments).
   virtual size_t MemoryUsage() const = 0;
 

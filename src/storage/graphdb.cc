@@ -1,5 +1,6 @@
 #include "storage/graphdb.h"
 
+#include <algorithm>
 #include <mutex>
 #include <vector>
 
@@ -24,6 +25,56 @@ Status GraphDb::SetTime(Timestamp t) {
         FormatTimestamp(now_) + " back to " + FormatTimestamp(t));
   }
   now_ = t;
+  if (write_log_ != nullptr) {
+    NEPAL_RETURN_NOT_OK(write_log_->AppendSetTime(t));
+  }
+  return Status::OK();
+}
+
+Status GraphDb::SyncNextUid(Uid uid) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (uid < next_uid_) {
+    return Status::Corruption(
+        "logged uid " + std::to_string(uid) +
+        " is below the allocator (next " + std::to_string(next_uid_) +
+        "): the log does not belong to this database state");
+  }
+  next_uid_ = uid;
+  return Status::OK();
+}
+
+Status GraphDb::AdoptRecoveredState(Timestamp now, Uid next_uid) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  unique_index_.clear();
+  node_count_ = 0;
+  edge_count_ = 0;
+  Status index_status = Status::OK();
+  Uid max_uid = 0;
+  ScanSpec everything;
+  everything.cls = schema_->node_root();
+  auto account = [&](const ElementVersion& v) {
+    max_uid = std::max(max_uid, v.uid);
+    if (v.is_edge()) {
+      ++edge_count_;
+    } else {
+      ++node_count_;
+    }
+    if (index_status.ok()) {
+      index_status = CheckAndIndexUniques(v.cls, v.fields, v.uid);
+    }
+  };
+  backend_->Scan(everything, TimeView::Current(), account);
+  everything.cls = schema_->edge_root();
+  backend_->Scan(everything, TimeView::Current(), account);
+  NEPAL_RETURN_NOT_OK(index_status);
+  if (next_uid <= max_uid) {
+    return Status::Corruption(
+        "checkpoint next_uid " + std::to_string(next_uid) +
+        " does not clear the restored uids (max " + std::to_string(max_uid) +
+        ")");
+  }
+  now_ = now;
+  next_uid_ = next_uid;
   return Status::OK();
 }
 
@@ -80,8 +131,13 @@ Result<Uid> GraphDb::AddNode(const std::string& class_name,
                          schema::ValidateRecord(*schema_, *cls, fields));
   Uid uid = next_uid_++;
   NEPAL_RETURN_NOT_OK(CheckAndIndexUniques(cls, row, uid));
+  std::vector<Value> logged_row;
+  if (write_log_ != nullptr) logged_row = row;
   NEPAL_RETURN_NOT_OK(backend_->InsertNode(uid, cls, std::move(row), now_));
   ++node_count_;
+  if (write_log_ != nullptr) {
+    NEPAL_RETURN_NOT_OK(write_log_->AppendAddNode(uid, cls, logged_row, now_));
+  }
   return uid;
 }
 
@@ -108,9 +164,15 @@ Result<Uid> GraphDb::AddEdge(const std::string& class_name, Uid source,
                          schema::ValidateRecord(*schema_, *cls, fields));
   Uid uid = next_uid_++;
   NEPAL_RETURN_NOT_OK(CheckAndIndexUniques(cls, row, uid));
+  std::vector<Value> logged_row;
+  if (write_log_ != nullptr) logged_row = row;
   NEPAL_RETURN_NOT_OK(
       backend_->InsertEdge(uid, cls, std::move(row), source, target, now_));
   ++edge_count_;
+  if (write_log_ != nullptr) {
+    NEPAL_RETURN_NOT_OK(
+        write_log_->AppendAddEdge(uid, cls, logged_row, source, target, now_));
+  }
   return uid;
 }
 
@@ -146,7 +208,11 @@ Status GraphDb::UpdateElement(Uid uid, const schema::FieldValues& fields) {
       unique_index_[std::make_tuple(declaring->order(), idx, value)] = uid;
     }
   }
-  return backend_->Update(uid, changes, now_);
+  NEPAL_RETURN_NOT_OK(backend_->Update(uid, changes, now_));
+  if (write_log_ != nullptr) {
+    NEPAL_RETURN_NOT_OK(write_log_->AppendUpdate(uid, changes, now_));
+  }
+  return Status::OK();
 }
 
 Status GraphDb::RemoveElement(Uid uid) {
@@ -172,6 +238,9 @@ Status GraphDb::RemoveElement(Uid uid) {
     --edge_count_;
   } else {
     --node_count_;
+  }
+  if (write_log_ != nullptr) {
+    NEPAL_RETURN_NOT_OK(write_log_->AppendRemove(uid, now_));
   }
   return Status::OK();
 }

@@ -14,6 +14,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <tuple>
@@ -22,6 +23,7 @@
 #include "schema/record.h"
 #include "schema/schema.h"
 #include "storage/backend.h"
+#include "storage/write_log.h"
 
 namespace nepal::storage {
 
@@ -72,6 +74,41 @@ class GraphDb {
     return edge_count_;
   }
 
+  // ---- Durability (see src/persist) ----
+
+  /// Attaches (or detaches, with nullptr) a write-ahead log. Every
+  /// subsequent successful write appends a logical record before the
+  /// writer lock is released, so the log carries commits in order. A
+  /// failed append is returned to the writer as an error; the in-memory
+  /// write has already been applied, so the session should be treated as
+  /// no longer durable past that point.
+  void set_write_log(WriteLog* log) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    write_log_ = log;
+  }
+  WriteLog* write_log() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return write_log_;
+  }
+
+  /// WAL-replay support: forces the uid allocator so replay reproduces the
+  /// original uid sequence (failed writes consumed uids the log never saw).
+  /// Rejects moving backwards — a logged uid below the allocator means the
+  /// log does not belong to this database state.
+  Status SyncNextUid(Uid uid);
+
+  /// Checkpoint-restore support: called on a freshly constructed GraphDb
+  /// after the backend has been repopulated (StorageBackend::RestoreChain).
+  /// Rebuilds the unique index and node/edge counters from the backend's
+  /// current snapshot and forces the clock and uid allocator.
+  Status AdoptRecoveredState(Timestamp now, Uid next_uid);
+
+  /// Clock / uid-allocator reads for callers already holding mutex()
+  /// shared (the checkpoint writer spans one shared-lock scope over these
+  /// and its backend scans). All other callers use Now().
+  Timestamp NowLocked() const { return now_; }
+  Uid NextUidLocked() const { return next_uid_; }
+
   // ---- Concurrency ----
 
   /// Guards the backend and all GraphDb bookkeeping: every write method
@@ -95,6 +132,7 @@ class GraphDb {
   mutable std::shared_mutex mutex_;
   schema::SchemaPtr schema_;
   std::unique_ptr<StorageBackend> backend_;
+  WriteLog* write_log_ = nullptr;
   Timestamp now_;
   Uid next_uid_ = 1;
   size_t node_count_ = 0;

@@ -1,0 +1,53 @@
+// WriteLog: the durability hook GraphDb appends to.
+//
+// GraphDb is the single point every mutation flows through for both
+// execution backends, so it is also where the write-ahead log attaches:
+// after a write has been validated and applied (and while the writer lock
+// is still held, so records land in commit order), GraphDb calls the
+// matching Append* method. Only top-level operations are logged — a node
+// removal's cascaded edge deletions are reproduced deterministically by
+// replaying the RemoveElement itself.
+//
+// src/persist provides the production implementation (length- and
+// CRC32C-framed segment files); the interface lives here so the storage
+// layer does not depend on the persistence layer.
+
+#ifndef NEPAL_STORAGE_WRITE_LOG_H_
+#define NEPAL_STORAGE_WRITE_LOG_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "common/value.h"
+#include "schema/class_def.h"
+
+namespace nepal::storage {
+
+class WriteLog {
+ public:
+  virtual ~WriteLog() = default;
+
+  /// The transaction clock moved to `t`.
+  virtual Status AppendSetTime(Timestamp t) = 0;
+  /// A node of exactly `cls` was inserted with the fully validated `row`
+  /// (layout-aligned with cls->fields()) and was assigned `uid`.
+  virtual Status AppendAddNode(Uid uid, const schema::ClassDef* cls,
+                               const std::vector<Value>& row, Timestamp t) = 0;
+  virtual Status AppendAddEdge(Uid uid, const schema::ClassDef* cls,
+                               const std::vector<Value>& row, Uid source,
+                               Uid target, Timestamp t) = 0;
+  /// The current version of `uid` was replaced with the given
+  /// (field index, value) changes applied.
+  virtual Status AppendUpdate(
+      Uid uid, const std::vector<std::pair<int, Value>>& changes,
+      Timestamp t) = 0;
+  /// `uid` was removed (node removals cascade on replay exactly as they
+  /// did originally; cascaded deletions are not logged).
+  virtual Status AppendRemove(Uid uid, Timestamp t) = 0;
+};
+
+}  // namespace nepal::storage
+
+#endif  // NEPAL_STORAGE_WRITE_LOG_H_
