@@ -25,7 +25,18 @@
 // With --data-dir <dir> the shell opens the directory at startup (crash
 // recovery included) and every subsequent write is logged to its WAL;
 // --fsync always|interval|none picks the commit durability policy.
+// Replication commands (src/replication):
+//   --ship <path>       (primary, needs --data-dir) stream the WAL into a
+//                       FIFO/pipe path; a follower shell reads it
+//   --follow <path>     (follower, needs --data-dir) bootstrap + tail the
+//                       stream from <path>; the shell is read-only
+//   \replication        role, shipped/applied counters, lag, link status
+//   \promote            stop applying and accept writes (failover)
 // And EXPLAIN ANALYZE <query>; runs the query with per-operator stats.
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
@@ -38,6 +49,8 @@
 #include "obs/metrics.h"
 #include "persist/durable_store.h"
 #include "relational/relational_store.h"
+#include "replication/replica_store.h"
+#include "replication/transport.h"
 #include "schema/dsl_parser.h"
 #include "storage/graphdb.h"
 
@@ -56,6 +69,9 @@ void PrintHelp() {
       "  \\save <dir>         write a loadable snapshot of the current state\n"
       "  \\load <dir>         open a data directory and switch to it\n"
       "  \\checkpoint         rotate the WAL and write a checkpoint\n"
+      "Replication:\n"
+      "  \\replication        role, shipped/applied counters, lag, status\n"
+      "  \\promote            promote a follower to a writable primary\n"
       "  EXPLAIN ANALYZE <query>;   per-operator execution stats\n");
 }
 
@@ -65,6 +81,8 @@ int main(int argc, char** argv) {
   using namespace nepal;
   bool relational = false;
   std::string data_dir;
+  std::string ship_path;
+  std::string follow_path;
   persist::DurableOptions durable_options;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
@@ -74,6 +92,10 @@ int main(int argc, char** argv) {
       relational = false;
     } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
       data_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--ship") == 0 && i + 1 < argc) {
+      ship_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--follow") == 0 && i + 1 < argc) {
+      follow_path = argv[++i];
     } else if (std::strcmp(argv[i], "--fsync") == 0 && i + 1 < argc) {
       auto policy = persist::ParseFsyncPolicy(argv[++i]);
       if (!policy.ok()) {
@@ -89,9 +111,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: nepal_shell <schema.dsl> [feed.txt ...] "
                  "[--relational|--graphstore] [--data-dir <dir>] "
-                 "[--fsync always|interval|none]\n");
+                 "[--fsync always|interval|none] "
+                 "[--ship <path>] [--follow <path>]\n");
     return 2;
   }
+  if ((!ship_path.empty() || !follow_path.empty()) && data_dir.empty()) {
+    std::fprintf(stderr, "--ship/--follow require --data-dir\n");
+    return 2;
+  }
+  if (!ship_path.empty() && !follow_path.empty()) {
+    std::fprintf(stderr, "--ship and --follow are mutually exclusive\n");
+    return 2;
+  }
+  // The shipper writes into a pipe/FIFO; a follower hanging up must surface
+  // as a write error on the pump thread, not kill the shell.
+  if (!ship_path.empty()) signal(SIGPIPE, SIG_IGN);
 
   // Schema.
   std::string schema_text;
@@ -129,10 +163,35 @@ int main(int argc, char** argv) {
                 info.torn_tail ? " (torn tail truncated)" : "");
   };
 
-  std::unique_ptr<storage::GraphDb> mem_db;          // in-memory mode
-  std::unique_ptr<persist::DurableStore> store;      // durable mode
+  std::unique_ptr<storage::GraphDb> mem_db;              // in-memory mode
+  std::unique_ptr<persist::DurableStore> store;          // durable mode
+  std::unique_ptr<replication::ReplicaStore> replica;    // follower mode
+  std::unique_ptr<replication::WalShipper> shipper;      // primary shipping
   storage::GraphDb* db = nullptr;
-  if (!data_dir.empty()) {
+  if (!follow_path.empty()) {
+    std::printf("follower: waiting for a primary on %s ...\n",
+                follow_path.c_str());
+    std::fflush(stdout);
+    int fd = ::open(follow_path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      std::fprintf(stderr, "cannot open %s for reading\n",
+                   follow_path.c_str());
+      return 1;
+    }
+    replication::ReplicaOptions replica_options;
+    replica_options.durable = durable_options;
+    auto opened = replication::ReplicaStore::Open(
+        data_dir, *schema, make_backend,
+        std::make_unique<replication::FdTransport>(fd), replica_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    replica = std::move(*opened);
+    db = &replica->db();
+    std::printf("follower: bootstrapped from the primary's checkpoint; "
+                "read-only until \\promote\n");
+  } else if (!data_dir.empty()) {
     auto opened = persist::DurableStore::Open(data_dir, *schema, make_backend,
                                               durable_options);
     if (!opened.ok()) {
@@ -142,9 +201,32 @@ int main(int argc, char** argv) {
     store = std::move(*opened);
     db = &store->db();
     print_recovery(*store);
+    if (!ship_path.empty()) {
+      std::printf("primary: waiting for a follower on %s ...\n",
+                  ship_path.c_str());
+      std::fflush(stdout);
+      int fd = ::open(ship_path.c_str(), O_WRONLY);
+      if (fd < 0) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     ship_path.c_str());
+        return 1;
+      }
+      auto started = replication::WalShipper::Start(*store, fd);
+      if (!started.ok()) {
+        std::fprintf(stderr, "%s\n", started.status().ToString().c_str());
+        return 1;
+      }
+      shipper = std::move(*started);
+      std::printf("primary: shipping the WAL to %s\n", ship_path.c_str());
+    }
   } else {
     mem_db = std::make_unique<storage::GraphDb>(*schema, make_backend(*schema));
     db = mem_db.get();
+  }
+  if (replica != nullptr && files.size() > 1) {
+    std::fprintf(stderr,
+                 "a follower is read-only; feed files cannot be loaded\n");
+    return 2;
   }
   auto loader = std::make_unique<netmodel::FeedLoader>(db);
   for (size_t i = 1; i < files.size(); ++i) {
@@ -157,6 +239,13 @@ int main(int argc, char** argv) {
                 stats->ToString().c_str());
   }
   auto engine = std::make_unique<nql::QueryEngine>(db);
+  {
+    nql::SourceDescriptor local;
+    local.db = db;
+    local.role = replica != nullptr ? nql::SourceRole::kReplica
+                                    : nql::SourceRole::kPrimary;
+    engine->catalog().Register("local", local).IgnoreError();
+  }
   std::printf("Nepal shell — backend: %s. Type .help for help.\n",
               db->backend().name().c_str());
 
@@ -211,6 +300,45 @@ int main(int argc, char** argv) {
         } else {
           auto s = store->Checkpoint();
           std::printf("%s\n", s.ok() ? "checkpoint written" : s.ToString().c_str());
+        }
+      } else if (line == "\\replication") {
+        auto& registry = obs::MetricsRegistry::Global();
+        if (replica != nullptr) {
+          std::printf("role: follower%s\n",
+                      replica->promoted() ? " (promoted)" : "");
+          std::printf("applied: %llu record(s), lag %lld ms\n",
+                      static_cast<unsigned long long>(
+                          replica->records_applied()),
+                      static_cast<long long>(
+                          registry.GetGauge("nepal.replication.lag_ms")
+                              ->Value()));
+          std::printf("link: %s\n", replica->status().ToString().c_str());
+        } else if (shipper != nullptr) {
+          std::printf("role: primary (shipping)\n");
+          std::printf("shipped: %llu frame(s), %.1f MB\n",
+                      static_cast<unsigned long long>(
+                          shipper->frames_shipped()),
+                      static_cast<double>(shipper->bytes_shipped()) / 1e6);
+          std::printf("link: %s\n", shipper->status().ToString().c_str());
+        } else {
+          std::printf("role: standalone (no --ship/--follow)\n");
+        }
+        std::printf("sources:\n%s", engine->catalog().Describe().c_str());
+      } else if (line == "\\promote") {
+        if (replica == nullptr) {
+          std::printf("not a follower; start with --follow <path>\n");
+        } else if (replica->promoted()) {
+          std::printf("already promoted\n");
+        } else {
+          auto s = replica->Promote();
+          if (!s.ok()) {
+            std::printf("error: %s\n", s.ToString().c_str());
+          } else {
+            nql::SourceDescriptor local;
+            local.db = db;
+            engine->catalog().Register("local", local).IgnoreError();
+            std::printf("promoted: this shell now accepts writes\n");
+          }
         }
       } else {
         std::printf("unknown command; try .help\n");

@@ -26,6 +26,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Corruption";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kReadOnly:
+      return "ReadOnly";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -27,6 +27,8 @@ enum class StatusCode {
   kInternal,          // invariant violation inside Nepal
   kCorruption,        // on-disk data failed a CRC / framing / schema check
   kIoError,           // the operating system refused a file operation
+  kReadOnly,          // write routed at a read-only replica source
+  kUnavailable,       // peer gone / subscriber lagged beyond its buffer
 };
 
 /// Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -69,6 +71,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ReadOnly(std::string msg) {
+    return Status(StatusCode::kReadOnly, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,7 @@
 #include "common/time.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 namespace nepal {
@@ -166,6 +167,12 @@ Timestamp IntervalSet::FirstTime() const {
 
 Timestamp IntervalSet::LastTime() const {
   return intervals_.empty() ? kTimestampMin : intervals_.back().end;
+}
+
+int64_t WallClockMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
 }
 
 bool IntervalSet::Contains(Timestamp t) const {

@@ -32,6 +32,11 @@ Result<Timestamp> ParseTimestamp(const std::string& text);
 /// kTimestampMax renders as "" (open end, as in the paper's result output).
 std::string FormatTimestamp(Timestamp ts);
 
+/// Wall-clock microseconds since the Unix epoch. Used to stamp shipped WAL
+/// frames so a replication follower can report its lag; not for the
+/// transaction clock (writers set that explicitly).
+int64_t WallClockMicros();
+
 /// Half-open validity interval [start, end).
 struct Interval {
   Timestamp start = kTimestampMin;

@@ -166,7 +166,9 @@ QueryEngine::QueryEngine(storage::GraphDb* db, EngineOptions options)
     : default_db_(db), options_(options) {}
 
 void QueryEngine::BindSource(const std::string& name, storage::GraphDb* db) {
-  sources_[name] = db;
+  SourceDescriptor desc;
+  desc.db = db;
+  catalog_.Register(name, desc).IgnoreError();
 }
 
 Status QueryEngine::DefineView(const std::string& name,
@@ -183,12 +185,8 @@ Status QueryEngine::DefineView(const std::string& name,
 Result<storage::GraphDb*> QueryEngine::SourceFor(
     const RangeVarDecl& decl) const {
   if (!decl.source.has_value()) return default_db_;
-  auto it = sources_.find(*decl.source);
-  if (it == sources_.end()) {
-    return Status::NotFound("no data source bound under the name '" +
-                            *decl.source + "'");
-  }
-  return it->second;
+  // Queries only read, so any catalog entry — replica included — routes.
+  return catalog_.Readable(*decl.source);
 }
 
 Result<QueryResult> QueryEngine::Run(const std::string& nql) const {
@@ -346,7 +344,9 @@ Result<QueryResult> QueryEngine::RunInternal(
   std::vector<std::shared_lock<std::shared_mutex>> read_locks;
   if (!locks_held) {
     std::vector<storage::GraphDb*> dbs{default_db_};
-    for (const auto& [name, db] : sources_) dbs.push_back(db);
+    catalog_.ForEach([&dbs](const std::string&, const SourceDescriptor& desc) {
+      dbs.push_back(desc.db);
+    });
     std::sort(dbs.begin(), dbs.end());
     dbs.erase(std::unique(dbs.begin(), dbs.end()), dbs.end());
     read_locks.reserve(dbs.size());

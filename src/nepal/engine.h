@@ -26,6 +26,7 @@
 #include "nepal/ast.h"
 #include "nepal/executor.h"
 #include "nepal/parser.h"
+#include "nepal/source_catalog.h"
 #include "obs/query_stats.h"
 #include "storage/graphdb.h"
 
@@ -94,8 +95,16 @@ class QueryEngine {
   /// `db` is the default data source; it must outlive the engine.
   explicit QueryEngine(storage::GraphDb* db, EngineOptions options = {});
 
-  /// Binds an additional named data source for `In '<name>'` clauses.
+  /// Deprecated: registers `db` as a writable primary under `name`.
+  /// Equivalent to `catalog().Register(name, {.db = db})`; prefer the
+  /// catalog, which carries the source's role (primary vs replica) and
+  /// read-only flag.
   void BindSource(const std::string& name, storage::GraphDb* db);
+
+  /// The named data sources `In '<name>'` clauses route to. Register
+  /// replicas here so reads work but writes are rejected with kReadOnly.
+  SourceCatalog& catalog() { return catalog_; }
+  const SourceCatalog& catalog() const { return catalog_; }
 
   /// Registers a pathway view: a named, unmaterialized subset of PATHS
   /// defined by an RPE (Section 3.4: "Additional views can be defined").
@@ -160,7 +169,7 @@ class QueryEngine {
   Result<storage::GraphDb*> SourceFor(const RangeVarDecl& decl) const;
 
   storage::GraphDb* default_db_;
-  std::map<std::string, storage::GraphDb*> sources_;
+  SourceCatalog catalog_;
   std::map<std::string, RpeNode> views_;
   EngineOptions options_;
 

@@ -1,0 +1,74 @@
+#include "nepal/source_catalog.h"
+
+namespace nepal::nql {
+
+Status SourceCatalog::Register(const std::string& name,
+                               SourceDescriptor desc) {
+  if (desc.db == nullptr) {
+    return Status::InvalidArgument("data source '" + name +
+                                   "' registered without a database");
+  }
+  if (desc.role == SourceRole::kReplica) desc.read_only = true;
+  sources_[name] = desc;
+  return Status::OK();
+}
+
+Result<const SourceDescriptor*> SourceCatalog::Lookup(
+    const std::string& name) const {
+  auto it = sources_.find(name);
+  if (it == sources_.end()) {
+    return Status::NotFound("no data source bound under the name '" + name +
+                            "'");
+  }
+  return &it->second;
+}
+
+Result<storage::GraphDb*> SourceCatalog::Readable(
+    const std::string& name) const {
+  NEPAL_ASSIGN_OR_RETURN(const SourceDescriptor* desc, Lookup(name));
+  return desc->db;
+}
+
+Result<storage::GraphDb*> SourceCatalog::Writable(
+    const std::string& name) const {
+  NEPAL_ASSIGN_OR_RETURN(const SourceDescriptor* desc, Lookup(name));
+  if (desc->read_only) {
+    return Status::ReadOnly(
+        "data source '" + name + "' is a " +
+        std::string(SourceRoleToString(desc->role)) +
+        (desc->role == SourceRole::kReplica
+             ? "; route writes to its primary"
+             : " registered read-only") +
+        "");
+  }
+  return desc->db;
+}
+
+std::vector<std::string> SourceCatalog::Names() const {
+  std::vector<std::string> names;
+  names.reserve(sources_.size());
+  for (const auto& [name, desc] : sources_) names.push_back(name);
+  return names;
+}
+
+void SourceCatalog::ForEach(
+    const std::function<void(const std::string&, const SourceDescriptor&)>&
+        fn) const {
+  for (const auto& [name, desc] : sources_) fn(name, desc);
+}
+
+std::string SourceCatalog::Describe() const {
+  std::string out;
+  for (const auto& [name, desc] : sources_) {
+    out += name;
+    out += ": ";
+    out += SourceRoleToString(desc.role);
+    if (desc.read_only && desc.role != SourceRole::kReplica) {
+      out += ", read-only";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace nepal::nql

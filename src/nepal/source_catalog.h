@@ -1,0 +1,83 @@
+// SourceCatalog: the named data sources a QueryEngine can route to.
+//
+// Federation used to be a bare name->GraphDb* map; replication makes a
+// source's *role* matter: a warm-standby follower may serve reads (`From
+// PATHS P In 'standby'`) but must never be routed writes, or it diverges
+// from its primary. The catalog keeps one descriptor per name — the
+// database, its role, whether it accepts writes, and a slot for
+// per-source statistics (reserved for federated cost-based planning; the
+// optimizer today only costs the local source) — and is the single place
+// that decides whether a routed operation is legal for that source.
+
+#ifndef NEPAL_NEPAL_SOURCE_CATALOG_H_
+#define NEPAL_NEPAL_SOURCE_CATALOG_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/graphdb.h"
+
+namespace nepal::stats {
+class GraphStats;
+}  // namespace nepal::stats
+
+namespace nepal::nql {
+
+enum class SourceRole {
+  kPrimary,  // authoritative, writable copy
+  kReplica,  // warm-standby follower; reads only
+};
+
+inline const char* SourceRoleToString(SourceRole role) {
+  switch (role) {
+    case SourceRole::kPrimary:
+      return "primary";
+    case SourceRole::kReplica:
+      return "replica";
+  }
+  return "?";
+}
+
+struct SourceDescriptor {
+  storage::GraphDb* db = nullptr;
+  SourceRole role = SourceRole::kPrimary;
+  /// Writes routed at this source fail with kReadOnly. Forced true for
+  /// replicas on registration; may also be set on a primary (e.g. a
+  /// snapshot opened for forensics).
+  bool read_only = false;
+  /// Per-source statistics for federated cost-based planning. Reserved:
+  /// registered but not yet consulted by the optimizer (see ROADMAP).
+  const stats::GraphStats* stats = nullptr;
+};
+
+class SourceCatalog {
+ public:
+  /// Registers (or replaces) `name`. A replica is forcibly read-only.
+  Status Register(const std::string& name, SourceDescriptor desc);
+
+  Result<const SourceDescriptor*> Lookup(const std::string& name) const;
+
+  /// The database for read routing; any registered source qualifies.
+  Result<storage::GraphDb*> Readable(const std::string& name) const;
+
+  /// The database for write routing; kReadOnly for replicas and other
+  /// read-only sources.
+  Result<storage::GraphDb*> Writable(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+  void ForEach(const std::function<void(const std::string&,
+                                        const SourceDescriptor&)>& fn) const;
+
+  /// One line per source: "name: role[, read-only]" — shell `\replication`.
+  std::string Describe() const;
+
+ private:
+  std::map<std::string, SourceDescriptor> sources_;
+};
+
+}  // namespace nepal::nql
+
+#endif  // NEPAL_NEPAL_SOURCE_CATALOG_H_

@@ -105,6 +105,12 @@ const std::vector<uint64_t>& DefaultLatencyBucketsNs() {
   return *buckets;
 }
 
+const std::vector<uint64_t>& DefaultMillisBuckets() {
+  static const std::vector<uint64_t>* buckets = new std::vector<uint64_t>{
+      1, 3, 10, 30, 100, 300, 1'000, 3'000, 10'000, 30'000};
+  return *buckets;
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   // Leaked on purpose: hot paths cache metric pointers and worker threads
   // may still increment them during static destruction.

@@ -106,6 +106,11 @@ class Histogram {
 /// timings alike.
 const std::vector<uint64_t>& DefaultLatencyBucketsNs();
 
+/// Millisecond bucket ladder (1ms .. 30s) for coarse durations measured
+/// across processes — e.g. replication apply lag, where nanosecond
+/// resolution is noise.
+const std::vector<uint64_t>& DefaultMillisBuckets();
+
 /// Name-keyed metric registry. Get* registers on first use and returns a
 /// stable pointer; the process-wide instance lives for the program's
 /// lifetime.

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <shared_mutex>
 #include <utility>
 
@@ -23,20 +24,6 @@ constexpr const char* kSegmentPrefix = "wal-";
 constexpr const char* kSegmentSuffix = ".log";
 constexpr const char* kCheckpointPrefix = "checkpoint-";
 constexpr const char* kCheckpointSuffix = ".ckp";
-
-std::string SegmentFileName(uint64_t seq) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "wal-%08llu.log",
-                static_cast<unsigned long long>(seq));
-  return buf;
-}
-
-std::string CheckpointFileName(uint64_t seq) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "checkpoint-%08llu.ckp",
-                static_cast<unsigned long long>(seq));
-  return buf;
-}
 
 /// Parses "<prefix><digits><suffix>" file names; false for anything else.
 bool ParseSeq(const std::string& name, const char* prefix, const char* suffix,
@@ -103,6 +90,20 @@ Status RestoreFromCheckpoint(storage::GraphDb& db, CheckpointContents ckpt) {
 
 }  // namespace
 
+std::string WalSegmentFileName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%08llu.log",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::string CheckpointFileName(uint64_t seq) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "checkpoint-%08llu.ckp",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
 Status ApplyWalRecord(storage::GraphDb& db, const WalRecord& rec) {
   switch (rec.type) {
     case WalRecordType::kSetTime:
@@ -166,10 +167,19 @@ DurableStore::DurableStore(std::string dir, uint64_t fingerprint,
 DurableStore::~DurableStore() {
   if (db_ != nullptr) db_->set_write_log(nullptr);
   if (writer_ != nullptr) writer_->Close().IgnoreError();
+  // Wake subscribers: they drain what is already buffered, then see
+  // kUnavailable("primary closed").
+  std::vector<std::shared_ptr<WalSubscription>> subs;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    subs.swap(subs_);
+  }
+  for (const auto& sub : subs) sub->MarkClosed();
+  UpdateSubscriberGauge();
 }
 
 std::string DurableStore::SegmentPath(uint64_t seq) const {
-  return dir_ + "/" + SegmentFileName(seq);
+  return dir_ + "/" + WalSegmentFileName(seq);
 }
 
 Result<std::unique_ptr<DurableStore>> DurableStore::Open(
@@ -295,6 +305,10 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
 
 Status DurableStore::Checkpoint() {
   std::lock_guard<std::mutex> admin(admin_mu_);
+  return CheckpointLocked();
+}
+
+Status DurableStore::CheckpointLocked() {
   const auto t0 = std::chrono::steady_clock::now();
   std::string image;
   uint64_t seq = 0;
@@ -313,7 +327,7 @@ Status DurableStore::Checkpoint() {
   }
   NEPAL_RETURN_NOT_OK(WriteFileAtomic(dir_, CheckpointFileName(seq), image));
   checkpoints_.push_back(seq);
-  Prune();
+  PruneLocked();
   auto& reg = obs::MetricsRegistry::Global();
   reg.GetCounter("nepal.checkpoint.writes")->Add(1);
   reg.GetCounter("nepal.checkpoint.bytes")->Add(image.size());
@@ -321,7 +335,7 @@ Status DurableStore::Checkpoint() {
   return Status::OK();
 }
 
-void DurableStore::Prune() {
+void DurableStore::PruneLocked() {
   if (checkpoints_.size() > static_cast<size_t>(options_.retain_checkpoints)) {
     const size_t drop =
         checkpoints_.size() - static_cast<size_t>(options_.retain_checkpoints);
@@ -333,11 +347,29 @@ void DurableStore::Prune() {
                        checkpoints_.begin() + static_cast<long>(drop));
   }
   if (checkpoints_.empty()) return;
-  // Segments before the oldest retained checkpoint can never be replayed.
+  // Segments before the oldest retained checkpoint can never be replayed —
+  // but a live subscriber still catching up from disk may not have read
+  // them yet (Checkpoint() rotates first, so the just-closed segment would
+  // otherwise be instantly prunable). The retention floor is the minimum
+  // over live subscribers of the lowest segment they still need.
+  uint64_t pin = checkpoints_.front();
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    for (auto it = subs_.begin(); it != subs_.end();) {
+      const auto& sub = *it;
+      if (sub->lagged() || sub->closed()) {
+        it = subs_.erase(it);  // they never resume; unpin them
+        continue;
+      }
+      pin = std::min(pin, sub->min_needed_seq());
+      ++it;
+    }
+  }
+  UpdateSubscriberGauge();
   auto listing = ListDataDir(dir_);
   if (!listing.ok()) return;  // pruning is best-effort
   for (uint64_t seq : listing->segments) {
-    if (seq >= checkpoints_.front()) break;
+    if (seq >= pin) break;
     std::error_code ec;
     fs::remove(SegmentPath(seq), ec);
   }
@@ -371,61 +403,186 @@ Status DurableStore::SaveSnapshot(const std::string& dir,
   return WriteFileAtomic(dir, CheckpointFileName(1), image);
 }
 
-Status DurableStore::AppendRecord(const WalRecord& rec) {
+Status DurableStore::Append(const storage::WalRecord& rec) {
   std::string payload;
   EncodeWalRecord(rec, &payload);
-  return writer_->Append(payload);
+  NEPAL_RETURN_NOT_OK(writer_->Append(payload));
+  records_appended_.fetch_add(1, std::memory_order_release);
+  PublishFrame(writer_->segment_seq(), payload);
+  return Status::OK();
 }
 
-Status DurableStore::AppendSetTime(Timestamp t) {
-  WalRecord rec;
-  rec.type = WalRecordType::kSetTime;
-  rec.time = t;
-  return AppendRecord(rec);
+void DurableStore::PublishFrame(uint64_t segment_seq,
+                                const std::string& payload) {
+  bool dropped = false;
+  uint64_t lagged = 0;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    if (subs_.empty()) return;
+    const int64_t shipped_at_us = WallClockMicros();
+    for (auto it = subs_.begin(); it != subs_.end();) {
+      const auto& sub = *it;
+      const bool was_lagged = sub->lagged();
+      sub->PushLive(WalShipFrame{segment_seq, shipped_at_us, payload});
+      if (sub->lagged() || sub->closed()) {
+        if (!was_lagged && sub->lagged()) ++lagged;
+        it = subs_.erase(it);
+        dropped = true;
+      } else {
+        ++it;
+      }
+    }
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("nepal.replication.shipped_records")->Add(1);
+    reg.GetCounter("nepal.replication.shipped_bytes")->Add(payload.size());
+    if (lagged > 0) {
+      reg.GetCounter("nepal.replication.lagged_drops")->Add(lagged);
+    }
+  }
+  if (dropped) UpdateSubscriberGauge();
 }
 
-Status DurableStore::AppendAddNode(Uid uid, const schema::ClassDef* cls,
-                                   const std::vector<Value>& row,
-                                   Timestamp t) {
-  WalRecord rec;
-  rec.type = WalRecordType::kAddNode;
-  rec.time = t;
-  rec.uid = uid;
-  rec.class_name = cls->name();
-  rec.row = row;
-  return AppendRecord(rec);
+void DurableStore::UpdateSubscriberGauge() {
+  size_t n;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    n = subs_.size();
+  }
+  obs::MetricsRegistry::Global()
+      .GetGauge("nepal.replication.subscribers")
+      ->Set(static_cast<int64_t>(n));
 }
 
-Status DurableStore::AppendAddEdge(Uid uid, const schema::ClassDef* cls,
-                                   const std::vector<Value>& row, Uid source,
-                                   Uid target, Timestamp t) {
-  WalRecord rec;
-  rec.type = WalRecordType::kAddEdge;
-  rec.time = t;
-  rec.uid = uid;
-  rec.class_name = cls->name();
-  rec.row = row;
-  rec.source = source;
-  rec.target = target;
-  return AppendRecord(rec);
+Result<std::shared_ptr<WalSubscription>> DurableStore::Subscribe(
+    SubscribeOptions options) {
+  // admin_mu_ spans image read + registration so a concurrent Checkpoint()
+  // cannot prune the bootstrap checkpoint's segments before the new
+  // subscription's retention pin is visible.
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  if (checkpoints_.empty()) {
+    NEPAL_RETURN_NOT_OK(CheckpointLocked());
+  }
+  const uint64_t start_seq = checkpoints_.back();
+  const std::string ckpt_path = dir_ + "/" + CheckpointFileName(start_seq);
+  std::string image;
+  {
+    std::ifstream in(ckpt_path, std::ios::binary);
+    if (!in) {
+      return Status::IoError("cannot read checkpoint image " + ckpt_path);
+    }
+    image.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  std::shared_ptr<WalSubscription> sub;
+  {
+    // Shared on the database mutex: writers are excluded, so the active
+    // segment's (seq, size) is a frozen attach point — every commit at or
+    // before it is on disk, every commit after it will be pushed live.
+    std::shared_lock<std::shared_mutex> db_lock(db_->mutex());
+    sub = std::shared_ptr<WalSubscription>(new WalSubscription(
+        dir_, fingerprint_, std::move(image), start_seq,
+        writer_->segment_seq(), writer_->bytes_written(),
+        options.max_buffered_bytes));
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    subs_.push_back(sub);
+  }
+  UpdateSubscriberGauge();
+  return sub;
 }
 
-Status DurableStore::AppendUpdate(
-    Uid uid, const std::vector<std::pair<int, Value>>& changes, Timestamp t) {
-  WalRecord rec;
-  rec.type = WalRecordType::kUpdate;
-  rec.time = t;
-  rec.uid = uid;
-  rec.changes = changes;
-  return AppendRecord(rec);
+WalSubscription::WalSubscription(std::string dir, uint64_t fingerprint,
+                                 std::string checkpoint_image,
+                                 uint64_t start_seq, uint64_t attach_seq,
+                                 uint64_t attach_offset,
+                                 size_t max_buffered_bytes)
+    : dir_(std::move(dir)),
+      fingerprint_(fingerprint),
+      checkpoint_image_(std::move(checkpoint_image)),
+      start_seq_(start_seq),
+      attach_seq_(attach_seq),
+      attach_offset_(attach_offset),
+      max_buffered_bytes_(max_buffered_bytes),
+      floor_(start_seq),
+      next_disk_seq_(start_seq) {}
+
+Status WalSubscription::FillFromDiskLocked() {
+  const uint64_t seq = next_disk_seq_;
+  const uint64_t limit = seq == attach_seq_ ? attach_offset_ : 0;
+  auto read = ReadWalFrames(
+      dir_ + "/" + WalSegmentFileName(seq), seq, fingerprint_, limit,
+      [&](std::string_view payload) -> Status {
+        pending_.push_back(
+            WalShipFrame{seq, /*shipped_at_us=*/0, std::string(payload)});
+        return Status::OK();
+      });
+  if (!read.ok()) return read.status();
+  ++next_disk_seq_;
+  // Everything up to this segment is buffered in memory now; the store may
+  // prune it.
+  floor_.store(next_disk_seq_, std::memory_order_release);
+  return Status::OK();
 }
 
-Status DurableStore::AppendRemove(Uid uid, Timestamp t) {
-  WalRecord rec;
-  rec.type = WalRecordType::kRemove;
-  rec.time = t;
-  rec.uid = uid;
-  return AppendRecord(rec);
+Result<bool> WalSubscription::Next(WalShipFrame* frame,
+                                   std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Catch-up phase: drain the closed portion of the log from disk.
+  while (pending_.empty() && next_disk_seq_ <= attach_seq_) {
+    NEPAL_RETURN_NOT_OK(FillFromDiskLocked());
+  }
+  if (!pending_.empty()) {
+    *frame = std::move(pending_.front());
+    pending_.pop_front();
+    return true;
+  }
+  // Live phase. Buffered frames are delivered even after close, so a
+  // shutting-down primary's final commits still reach the follower.
+  cv_.wait_for(lock, timeout,
+               [&] { return !live_.empty() || closed_ || lagged_; });
+  if (!live_.empty()) {
+    *frame = std::move(live_.front());
+    live_.pop_front();
+    live_bytes_ -= frame->payload.size();
+    return true;
+  }
+  if (lagged_) {
+    return Status::Unavailable(
+        "wal subscription lagged: live buffer exceeded " +
+        std::to_string(max_buffered_bytes_) +
+        " bytes; the follower must re-bootstrap");
+  }
+  if (closed_) {
+    return Status::Unavailable("wal subscription closed: primary closed");
+  }
+  return false;  // timeout, no data yet
+}
+
+void WalSubscription::PushLive(WalShipFrame frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_ || lagged_) return;
+  live_bytes_ += frame.payload.size();
+  if (live_bytes_ > max_buffered_bytes_) {
+    // The stream now has a hole; drop the buffer rather than deliver a
+    // prefix the consumer could mistake for a complete log.
+    lagged_ = true;
+    live_.clear();
+    live_bytes_ = 0;
+  } else {
+    live_.push_back(std::move(frame));
+  }
+  cv_.notify_all();
+}
+
+void WalSubscription::MarkClosed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+void WalSubscription::Cancel() {
+  MarkClosed();
+  // Stop pinning retention: this subscriber will not read from disk again.
+  floor_.store(attach_seq_ + 1, std::memory_order_release);
 }
 
 }  // namespace nepal::persist

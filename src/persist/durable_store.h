@@ -24,12 +24,27 @@
 // Checkpoint() rotates the log (close segment S, start S+1) and writes a
 // checkpoint image carrying sequence S+1 under one consistent cut, then
 // prunes: the newest `retain_checkpoints` images are kept and segments
-// older than the oldest retained image are deleted.
+// older than the oldest retained image are deleted — unless a live WAL
+// subscriber still needs them (see below).
+//
+// Subscribe() is the primary side of log shipping (src/replication). A
+// subscription is a consistent replica bootstrap recipe: the newest
+// checkpoint image plus every committed WAL frame after it, in commit
+// order, with no gap and no duplicate. It hands out (1) the checkpoint
+// image bytes, (2) the already-closed portion of the log read back from
+// disk, and (3) live frames pushed by Append as commits happen. Retention
+// pins segments a subscriber has not consumed yet, so Checkpoint()'s
+// rotate-then-prune can never delete a segment out from under a follower
+// that is still catching up.
 
 #ifndef NEPAL_PERSIST_DURABLE_STORE_H_
 #define NEPAL_PERSIST_DURABLE_STORE_H_
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -49,6 +64,12 @@ using BackendFactory =
     std::function<std::unique_ptr<storage::StorageBackend>(
         schema::SchemaPtr)>;
 
+/// Canonical data-file names: "wal-%08u.log" / "checkpoint-%08u.ckp".
+/// Exposed so the replication follower can seed its own directory with the
+/// shipped checkpoint image under the name recovery expects.
+std::string WalSegmentFileName(uint64_t seq);
+std::string CheckpointFileName(uint64_t seq);
+
 struct DurableOptions {
   FsyncPolicy fsync_policy = FsyncPolicy::kInterval;
   int fsync_interval_ms = 50;
@@ -65,6 +86,105 @@ struct RecoveryInfo {
   size_t segments_replayed = 0;
   size_t records_replayed = 0;
   bool torn_tail = false;  // the last segment ended mid-record
+};
+
+/// One shipped WAL frame: the encoded record payload plus where it sits in
+/// the log and when the primary shipped it (for follower lag accounting;
+/// zero for frames read back from disk during catch-up, whose append time
+/// is unknown).
+struct WalShipFrame {
+  uint64_t segment_seq = 0;
+  int64_t shipped_at_us = 0;
+  std::string payload;
+};
+
+struct SubscribeOptions {
+  /// Live frames buffered for a slow consumer before the subscription is
+  /// declared lagged and disconnected (it must re-bootstrap). Bounds
+  /// primary memory instead of letting a dead follower grow a queue
+  /// forever.
+  size_t max_buffered_bytes = 64u << 20;
+};
+
+/// One subscriber's view of the log, created by DurableStore::Subscribe.
+///
+/// Consumption protocol: restore `checkpoint_image()`, then call Next()
+/// until it fails. Next() first drains the closed portion of the log from
+/// disk (segments start_seq()..attach point, `shipped_at_us == 0`), then
+/// delivers live frames in commit order. Returns true with a frame, false
+/// on timeout (no data yet — keep polling), or:
+///   - kUnavailable("lagged")  the consumer fell behind max_buffered_bytes
+///     of live traffic; the stream has a hole and cannot resume,
+///   - kUnavailable("closed")  the primary store was destroyed or the
+///     subscription was cancelled; remaining buffered frames are still
+///     drained first.
+///
+/// Thread model: one consumer thread calls Next(); Cancel() and the
+/// primary's publish side may run concurrently with it.
+class WalSubscription {
+ public:
+  const std::string& checkpoint_image() const { return checkpoint_image_; }
+  /// Sequence the checkpoint image carries: the first segment to consume.
+  uint64_t start_seq() const { return start_seq_; }
+
+  Result<bool> Next(WalShipFrame* frame, std::chrono::milliseconds timeout);
+
+  /// Detaches from the store; a blocked Next() wakes and the store stops
+  /// buffering for (and retention-pinning on behalf of) this subscriber.
+  void Cancel();
+
+  bool lagged() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lagged_;
+  }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// Lowest segment sequence this subscriber may still read from disk.
+  /// Prune() keeps every segment >= the minimum over live subscribers.
+  uint64_t min_needed_seq() const {
+    return floor_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class DurableStore;
+
+  WalSubscription(std::string dir, uint64_t fingerprint,
+                  std::string checkpoint_image, uint64_t start_seq,
+                  uint64_t attach_seq, uint64_t attach_offset,
+                  size_t max_buffered_bytes);
+
+  /// Reads the next not-yet-consumed closed segment into pending_. The
+  /// attach segment is read only up to the frozen attach offset, so the
+  /// read never races the writer appending past it.
+  Status FillFromDiskLocked();
+
+  // Publish side (store calls these under its subs mutex).
+  void PushLive(WalShipFrame frame);
+  void MarkClosed();
+
+  const std::string dir_;
+  const uint64_t fingerprint_;
+  const std::string checkpoint_image_;
+  const uint64_t start_seq_;
+  const uint64_t attach_seq_;     // active segment at subscribe time
+  const uint64_t attach_offset_;  // its size at subscribe time
+  const size_t max_buffered_bytes_;
+
+  /// Lowest segment still needed from disk; advances as catch-up proceeds,
+  /// settling at attach_seq_+1 once the disk phase is done.
+  std::atomic<uint64_t> floor_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t next_disk_seq_;          // next closed segment to read
+  std::deque<WalShipFrame> pending_;  // disk catch-up frames
+  std::deque<WalShipFrame> live_;     // frames pushed by Append
+  size_t live_bytes_ = 0;
+  bool lagged_ = false;
+  bool closed_ = false;  // cancelled, or the store went away
 };
 
 class DurableStore final : public storage::WriteLog {
@@ -89,32 +209,43 @@ class DurableStore final : public storage::WriteLog {
   /// Forces the active segment to stable storage (regardless of policy).
   Status Sync();
 
+  /// Opens a replication subscription (see WalSubscription). Writes a
+  /// fresh checkpoint first if the directory holds none, so there is
+  /// always a bootstrap image to hand out.
+  Result<std::shared_ptr<WalSubscription>> Subscribe(
+      SubscribeOptions options = {});
+
+  /// Records appended to the WAL over this store's lifetime (not counting
+  /// recovery replay). The kill/promote test and the shell's \replication
+  /// command compare this against a follower's applied count.
+  uint64_t records_appended() const {
+    return records_appended_.load(std::memory_order_acquire);
+  }
+
   /// One-shot export for `\save`: writes a single checkpoint image of `db`
   /// into `dir` (which must not already hold Nepal data files). The
   /// directory can later be opened with DurableStore::Open on any backend.
   static Status SaveSnapshot(const std::string& dir,
                              const storage::GraphDb& db);
 
-  // WriteLog implementation (called by GraphDb under its writer lock).
-  Status AppendSetTime(Timestamp t) override;
-  Status AppendAddNode(Uid uid, const schema::ClassDef* cls,
-                       const std::vector<Value>& row, Timestamp t) override;
-  Status AppendAddEdge(Uid uid, const schema::ClassDef* cls,
-                       const std::vector<Value>& row, Uid source, Uid target,
-                       Timestamp t) override;
-  Status AppendUpdate(Uid uid,
-                      const std::vector<std::pair<int, Value>>& changes,
-                      Timestamp t) override;
-  Status AppendRemove(Uid uid, Timestamp t) override;
+  // WriteLog implementation (called by GraphDb under its writer lock, so
+  // frames are published to subscribers in commit order).
+  Status Append(const storage::WalRecord& rec) override;
 
  private:
   DurableStore(std::string dir, uint64_t fingerprint, DurableOptions options);
 
   std::string SegmentPath(uint64_t seq) const;
-  Status AppendRecord(const WalRecord& rec);
+  /// Checkpoint() body; caller holds admin_mu_.
+  Status CheckpointLocked();
   /// Deletes checkpoints beyond the retention count and segments older
-  /// than the oldest retained checkpoint.
-  void Prune();
+  /// than the oldest retained checkpoint, except segments a live
+  /// subscriber still needs. Caller holds admin_mu_.
+  void PruneLocked();
+  /// Pushes one committed frame to every live subscriber and drops
+  /// cancelled/lagged ones.
+  void PublishFrame(uint64_t segment_seq, const std::string& payload);
+  void UpdateSubscriberGauge();
 
   std::string dir_;
   uint64_t fingerprint_;
@@ -122,17 +253,24 @@ class DurableStore final : public storage::WriteLog {
   std::unique_ptr<storage::GraphDb> db_;
   std::unique_ptr<WalWriter> writer_;
   RecoveryInfo recovery_info_;
-  /// Serializes Checkpoint()/Sync() against each other; appends are already
-  /// serialized by the database writer lock, which those admin operations
-  /// exclude by holding db_->mutex() shared.
+  std::atomic<uint64_t> records_appended_{0};
+  /// Serializes Checkpoint()/Sync()/Subscribe() against each other;
+  /// appends are already serialized by the database writer lock, which
+  /// those admin operations exclude by holding db_->mutex() shared.
+  /// Ordering: admin_mu_ before db_->mutex() before subs_mu_.
   std::mutex admin_mu_;
   /// Checkpoint sequences on disk, ascending.
   std::vector<uint64_t> checkpoints_;
+  /// Guards subs_; taken after the db mutex (publish happens inside the
+  /// writer's critical section) and after admin_mu_ (prune, subscribe).
+  std::mutex subs_mu_;
+  std::vector<std::shared_ptr<WalSubscription>> subs_;
 };
 
 /// Replays one logical record against `db` through the public API,
 /// verifying that uid assignment matches the log. Exposed for the replay
-/// benchmark and tests; DurableStore::Open uses it for recovery.
+/// benchmark, the replication follower and tests; DurableStore::Open uses
+/// it for recovery.
 Status ApplyWalRecord(storage::GraphDb& db, const WalRecord& rec);
 
 }  // namespace nepal::persist

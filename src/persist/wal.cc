@@ -169,15 +169,16 @@ Status WalWriter::Close() {
   return s;
 }
 
-Result<WalReadResult> ReadWalSegment(
+Result<WalReadResult> ReadWalFrames(
     const std::string& path, uint64_t expected_seq,
-    uint64_t expected_fingerprint,
-    const std::function<Status(const WalRecord&)>& apply) {
+    uint64_t expected_fingerprint, uint64_t max_bytes,
+    const std::function<Status(std::string_view payload)>& apply) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open wal segment " + path);
   std::string data((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   in.close();
+  if (max_bytes != 0 && data.size() > max_bytes) data.resize(max_bytes);
 
   WalReadResult result;
   if (data.size() < kWalHeaderSize) {
@@ -230,14 +231,24 @@ Result<WalReadResult> ReadWalSegment(
       return Status::Corruption("wal crc mismatch at offset " +
                                 std::to_string(pos) + " in " + path);
     }
-    NEPAL_ASSIGN_OR_RETURN(WalRecord rec,
-                           DecodeWalRecord(std::string_view(payload, len)));
-    NEPAL_RETURN_NOT_OK(apply(rec));
+    NEPAL_RETURN_NOT_OK(apply(std::string_view(payload, len)));
     pos += kWalFrameHeaderSize + len;
     result.valid_bytes = pos;
     ++result.records;
   }
   return result;
+}
+
+Result<WalReadResult> ReadWalSegment(
+    const std::string& path, uint64_t expected_seq,
+    uint64_t expected_fingerprint,
+    const std::function<Status(const WalRecord&)>& apply) {
+  return ReadWalFrames(path, expected_seq, expected_fingerprint, 0,
+                       [&](std::string_view payload) -> Status {
+                         NEPAL_ASSIGN_OR_RETURN(WalRecord rec,
+                                                DecodeWalRecord(payload));
+                         return apply(rec);
+                       });
 }
 
 }  // namespace nepal::persist

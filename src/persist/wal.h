@@ -130,6 +130,17 @@ Result<WalReadResult> ReadWalSegment(
     uint64_t expected_fingerprint,
     const std::function<Status(const WalRecord&)>& apply);
 
+/// Raw-frame variant of ReadWalSegment: same header/CRC checks, but delivers
+/// each payload undecoded (replication ships bytes, not decoded records) and
+/// reads at most `max_bytes` of the file (0 = whole file). The byte bound
+/// lets a subscriber read the *active* segment up to a frozen offset without
+/// racing the writer: frames past the bound are simply not looked at, and a
+/// frame cut by the bound is reported as a torn tail exactly like EOF.
+Result<WalReadResult> ReadWalFrames(
+    const std::string& path, uint64_t expected_seq,
+    uint64_t expected_fingerprint, uint64_t max_bytes,
+    const std::function<Status(std::string_view payload)>& apply);
+
 }  // namespace nepal::persist
 
 #endif  // NEPAL_PERSIST_WAL_H_

@@ -4,22 +4,6 @@
 
 namespace nepal::persist {
 
-const char* WalRecordTypeToString(WalRecordType type) {
-  switch (type) {
-    case WalRecordType::kSetTime:
-      return "SetTime";
-    case WalRecordType::kAddNode:
-      return "AddNode";
-    case WalRecordType::kAddEdge:
-      return "AddEdge";
-    case WalRecordType::kUpdate:
-      return "Update";
-    case WalRecordType::kRemove:
-      return "Remove";
-  }
-  return "?";
-}
-
 void EncodeWalRecord(const WalRecord& rec, std::string* out) {
   PutFixed8(out, static_cast<uint8_t>(rec.type));
   PutFixedI64(out, rec.time);

@@ -1,15 +1,18 @@
-// Logical write-ahead-log records.
+// Binary codec for the logical write-ahead-log record.
 //
-// The WAL carries the five mutations GraphDb serializes (SetTime, AddNode,
-// AddEdge, Update, Remove) as self-contained logical records: class names
-// instead of ClassDef pointers, full validated rows, and the uid the write
-// was assigned. Replay drives the public GraphDb API, so a record stream
-// reproduces the database on either execution backend — the same property
-// the paper's feed loader has, but binary, lossless (structured values
-// included) and covering the transaction clock.
+// The record type itself (storage::WalRecord) lives with the WriteLog hook
+// in src/storage/write_log.h: GraphDb builds it once per commit and the
+// same struct flows to disk, replication subscribers and replay. This
+// header carries the persistence-side concerns: the canonical binary
+// encoding (common/binary.h primitives) and the schema fingerprint that
+// every segment header and checkpoint embeds. Replay drives the public
+// GraphDb API, so a record stream reproduces the database on either
+// execution backend — the same property the paper's feed loader has, but
+// binary, lossless (structured values included) and covering the
+// transaction clock.
 //
-// Records are encoded with the common/binary.h primitives; the physical
-// framing (length + CRC32C) around each record lives in wal.h.
+// The physical framing (length + CRC32C) around each record lives in
+// wal.h.
 
 #ifndef NEPAL_PERSIST_WAL_FORMAT_H_
 #define NEPAL_PERSIST_WAL_FORMAT_H_
@@ -17,44 +20,18 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <utility>
-#include <vector>
 
-#include "common/ids.h"
 #include "common/status.h"
-#include "common/time.h"
-#include "common/value.h"
 #include "schema/schema.h"
+#include "storage/write_log.h"
 
 namespace nepal::persist {
 
-enum class WalRecordType : uint8_t {
-  kSetTime = 1,
-  kAddNode = 2,
-  kAddEdge = 3,
-  kUpdate = 4,
-  kRemove = 5,
-};
-
-const char* WalRecordTypeToString(WalRecordType type);
-
-/// One logical mutation. Only the fields relevant to `type` are meaningful:
-///   kSetTime: time
-///   kAddNode: uid, class_name, row, time
-///   kAddEdge: uid, class_name, row, source, target, time
-///   kUpdate : uid, changes, time
-///   kRemove : uid, time    (cascaded edge deletions are NOT logged; replay
-///                           of the node removal reproduces them)
-struct WalRecord {
-  WalRecordType type = WalRecordType::kSetTime;
-  Timestamp time = 0;
-  Uid uid = 0;
-  std::string class_name;
-  std::vector<Value> row;  // layout-aligned with the class's fields()
-  Uid source = 0;
-  Uid target = 0;
-  std::vector<std::pair<int, Value>> changes;  // (field index, new value)
-};
+// The logical record is a storage-layer type; persist callers historically
+// named it through this namespace and may keep doing so.
+using WalRecord = storage::WalRecord;
+using WalRecordType = storage::WalRecordType;
+using storage::WalRecordTypeToString;
 
 /// Appends the canonical binary payload (excluding framing).
 void EncodeWalRecord(const WalRecord& rec, std::string* out);

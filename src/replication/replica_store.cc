@@ -1,0 +1,140 @@
+#include "replication/replica_store.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "common/time.h"
+#include "obs/metrics.h"
+#include "persist/checkpoint.h"
+#include "persist/wal_format.h"
+
+namespace nepal::replication {
+
+namespace fs = std::filesystem;
+
+ReplicaStore::ReplicaStore(std::unique_ptr<persist::DurableStore> store,
+                           std::unique_ptr<ReplicationTransport> transport,
+                           ReplicaOptions options)
+    : store_(std::move(store)),
+      transport_(std::move(transport)),
+      options_(options) {}
+
+ReplicaStore::~ReplicaStore() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+Result<std::unique_ptr<ReplicaStore>> ReplicaStore::Open(
+    std::string dir, schema::SchemaPtr schema,
+    const persist::BackendFactory& factory,
+    std::unique_ptr<ReplicationTransport> transport, ReplicaOptions options) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create replica directory " + dir + ": " +
+                           ec.message());
+  }
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) == 0 || name.rfind("checkpoint-", 0) == 0) {
+      return Status::AlreadyExists(
+          "replica directory " + dir + " already holds Nepal data files (" +
+          name + "); bootstrap requires a fresh directory");
+    }
+  }
+  if (ec) {
+    return Status::IoError("cannot list replica directory " + dir + ": " +
+                           ec.message());
+  }
+
+  NEPAL_ASSIGN_OR_RETURN(ReplicationHello hello, transport->Handshake());
+  // Seed the directory with the primary's image under the canonical name;
+  // DurableStore::Open then restores it exactly like a local recovery
+  // (fingerprint check included).
+  NEPAL_RETURN_NOT_OK(persist::WriteFileAtomic(
+      dir, persist::CheckpointFileName(hello.start_seq),
+      hello.checkpoint_image));
+  NEPAL_ASSIGN_OR_RETURN(
+      std::unique_ptr<persist::DurableStore> store,
+      persist::DurableStore::Open(dir, schema, factory, options.durable));
+  if (!store->recovery_info().restored_checkpoint ||
+      store->recovery_info().checkpoint_seq != hello.start_seq) {
+    return Status::Corruption(
+        "replica bootstrap did not restore the shipped checkpoint (seq " +
+        std::to_string(hello.start_seq) + ")");
+  }
+  store->db().set_read_only(true);
+
+  auto replica = std::unique_ptr<ReplicaStore>(new ReplicaStore(
+      std::move(store), std::move(transport), options));
+  replica->thread_ = std::thread([r = replica.get()] { r->Run(); });
+  return replica;
+}
+
+void ReplicaStore::Run() {
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::Counter* applied = reg.GetCounter("nepal.replication.applied_records");
+  obs::Gauge* lag_gauge = reg.GetGauge("nepal.replication.lag_ms");
+  obs::Histogram* lag_hist = reg.GetHistogram(
+      "nepal.replication.apply_lag_ms", obs::DefaultMillisBuckets());
+  // This thread is the only writer a read-only replica admits.
+  storage::GraphDb::ReplayScope replay(store_->db());
+  Status status;
+  while (!stop_.load(std::memory_order_acquire)) {
+    persist::WalShipFrame frame;
+    Result<bool> got = transport_->Next(
+        &frame, std::chrono::milliseconds(options_.poll_interval_ms));
+    if (!got.ok()) {
+      status = got.status();
+      break;
+    }
+    if (!*got) continue;  // timeout; poll again
+    Result<persist::WalRecord> rec = persist::DecodeWalRecord(frame.payload);
+    Status applied_status =
+        rec.ok() ? persist::ApplyWalRecord(store_->db(), *rec) : rec.status();
+    if (!applied_status.ok()) {
+      status = applied_status;
+      break;
+    }
+    records_applied_.fetch_add(1, std::memory_order_release);
+    applied->Add(1);
+    if (frame.shipped_at_us > 0) {
+      // Catch-up frames carry no ship time; only live frames move the lag.
+      const int64_t lag_ms =
+          (WallClockMicros() - frame.shipped_at_us) / 1000;
+      lag_gauge->Set(lag_ms > 0 ? lag_ms : 0);
+      lag_hist->Observe(lag_ms > 0 ? static_cast<uint64_t>(lag_ms) : 0);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  status_ = status;
+}
+
+Status ReplicaStore::Promote() {
+  if (promoted_.load(std::memory_order_acquire)) {
+    return Status::OK();
+  }
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  {
+    // A stream error other than "primary gone" means the follower may be
+    // behind commits it acknowledged nothing about — still safe to
+    // promote, but surface it rather than silently serving a truncated
+    // history.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!status_.ok() && status_.code() != StatusCode::kUnavailable) {
+      return Status(status_.code(),
+                    "refusing to promote: apply loop failed: " +
+                        status_.message());
+    }
+  }
+  store_->db().set_read_only(false);
+  // A checkpoint gives the promotion point a clean segment boundary: the
+  // pre-promotion history is sealed in segments <= the checkpoint's, and
+  // everything the new primary writes lands after it.
+  NEPAL_RETURN_NOT_OK(store_->Checkpoint());
+  promoted_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+}  // namespace nepal::replication

@@ -1,0 +1,112 @@
+// ReplicaStore: a warm-standby follower built from a primary's log stream.
+//
+// Open() bootstraps a fresh directory from the transport's handshake
+// (the primary's checkpoint image is written locally under the exact file
+// name recovery expects, then DurableStore::Open restores it), flips the
+// database read-only, and starts an apply thread that tails the stream:
+// each shipped frame is decoded and replayed through the public GraphDb
+// API (persist::ApplyWalRecord), which also re-logs it into the
+// follower's *own* WAL. That one decision buys two properties:
+//
+//  - the follower is durable in its own right — it can crash, recover
+//    from its own directory, and resume (or be promoted) without the
+//    primary;
+//  - promotion is trivial: stop applying, flip read-only off, cut a
+//    checkpoint. The data directory is already a complete primary
+//    directory.
+//
+// Because replay drives the public API, the follower reproduces uid
+// assignment, the transaction clock, cascades and unique-index state
+// identically to the primary — on either execution backend, independent
+// of the primary's backend. Reads (Current/AsOf/Range via a QueryEngine
+// over db()) are answered byte-identically to the primary as of the
+// follower's applied position.
+//
+// Replication lag is exported to obs: nepal.replication.applied_records
+// (counter), nepal.replication.lag_ms (gauge, last applied frame) and
+// nepal.replication.apply_lag_ms (histogram).
+
+#ifndef NEPAL_REPLICATION_REPLICA_STORE_H_
+#define NEPAL_REPLICATION_REPLICA_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "persist/durable_store.h"
+#include "replication/transport.h"
+
+namespace nepal::replication {
+
+struct ReplicaOptions {
+  /// Durability of the follower's own directory (its re-logged WAL).
+  persist::DurableOptions durable;
+  /// How long one transport poll waits before rechecking for shutdown.
+  int poll_interval_ms = 20;
+};
+
+class ReplicaStore {
+ public:
+  /// Bootstraps `dir` (which must not already hold Nepal data files) from
+  /// the transport and starts tailing. The returned store's db() is
+  /// immediately queryable at the bootstrap position.
+  static Result<std::unique_ptr<ReplicaStore>> Open(
+      std::string dir, schema::SchemaPtr schema,
+      const persist::BackendFactory& factory,
+      std::unique_ptr<ReplicationTransport> transport,
+      ReplicaOptions options = {});
+
+  ~ReplicaStore();
+
+  storage::GraphDb& db() { return store_->db(); }
+  const storage::GraphDb& db() const { return store_->db(); }
+  persist::DurableStore& store() { return *store_; }
+
+  /// Frames applied since Open (bootstrap image excluded). Compare with
+  /// the primary's DurableStore::records_appended() to measure lag in
+  /// records.
+  uint64_t records_applied() const {
+    return records_applied_.load(std::memory_order_acquire);
+  }
+
+  /// OK while the apply loop is running (or stopped by Promote);
+  /// kUnavailable once the primary is gone; any other error means the
+  /// stream or replay failed and the follower is frozen at its last good
+  /// position.
+  Status status() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return status_;
+  }
+
+  bool promoted() const {
+    return promoted_.load(std::memory_order_acquire);
+  }
+
+  /// Turns the follower into a writable primary: stops the apply loop,
+  /// drains nothing further, flips read-only off and cuts a checkpoint so
+  /// the promotion point is a clean segment boundary on disk. After this,
+  /// db() accepts writes and store() can itself be subscribed to.
+  Status Promote();
+
+ private:
+  ReplicaStore(std::unique_ptr<persist::DurableStore> store,
+               std::unique_ptr<ReplicationTransport> transport,
+               ReplicaOptions options);
+  void Run();
+
+  std::unique_ptr<persist::DurableStore> store_;
+  std::unique_ptr<ReplicationTransport> transport_;
+  ReplicaOptions options_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> promoted_{false};
+  std::atomic<uint64_t> records_applied_{0};
+  mutable std::mutex mu_;
+  Status status_;
+  std::thread thread_;
+};
+
+}  // namespace nepal::replication
+
+#endif  // NEPAL_REPLICATION_REPLICA_STORE_H_

@@ -1,0 +1,248 @@
+#include "replication/transport.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/binary.h"
+#include "persist/crc32c.h"
+
+namespace nepal::replication {
+
+namespace {
+
+constexpr char kShipMagic[8] = {'N', 'P', 'L', 'S', 'H', 'P', '0', '1'};
+constexpr uint8_t kFrameTag = 0x02;
+/// Sanity bound on wire lengths; anything larger is stream corruption.
+constexpr uint64_t kMaxWireObjectBytes = 1ull << 32;
+
+uint64_t ReadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+}  // namespace
+
+// ---- InProcessTransport ----
+
+InProcessTransport::InProcessTransport(
+    std::shared_ptr<persist::WalSubscription> subscription)
+    : subscription_(std::move(subscription)) {}
+
+InProcessTransport::~InProcessTransport() {
+  if (subscription_ != nullptr) subscription_->Cancel();
+}
+
+Result<std::unique_ptr<InProcessTransport>> InProcessTransport::Connect(
+    persist::DurableStore& primary, persist::SubscribeOptions options) {
+  NEPAL_ASSIGN_OR_RETURN(std::shared_ptr<persist::WalSubscription> sub,
+                         primary.Subscribe(options));
+  return std::unique_ptr<InProcessTransport>(
+      new InProcessTransport(std::move(sub)));
+}
+
+Result<ReplicationHello> InProcessTransport::Handshake() {
+  ReplicationHello hello;
+  hello.checkpoint_image = subscription_->checkpoint_image();
+  hello.start_seq = subscription_->start_seq();
+  return hello;
+}
+
+Result<bool> InProcessTransport::Next(persist::WalShipFrame* frame,
+                                      std::chrono::milliseconds timeout) {
+  return subscription_->Next(frame, timeout);
+}
+
+// ---- FdTransport ----
+
+FdTransport::~FdTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FdTransport::ReadFully(char* buf, size_t n, bool eof_is_close) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::read(fd_, buf + done, n - done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("read replication stream: ") +
+                             std::strerror(errno));
+    }
+    if (r == 0) {
+      if (eof_is_close && done == 0) {
+        return Status::Unavailable("primary closed the replication stream");
+      }
+      return Status::Corruption(
+          "replication stream truncated mid-object (EOF after " +
+          std::to_string(done) + " of " + std::to_string(n) + " bytes)");
+    }
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Result<ReplicationHello> FdTransport::Handshake() {
+  char header[8 + 8 + 8];
+  NEPAL_RETURN_NOT_OK(ReadFully(header, sizeof(header),
+                                /*eof_is_close=*/true));
+  if (std::memcmp(header, kShipMagic, sizeof(kShipMagic)) != 0) {
+    return Status::Corruption("bad replication stream magic");
+  }
+  ReplicationHello hello;
+  hello.start_seq = ReadU64(header + 8);
+  const uint64_t image_len = ReadU64(header + 16);
+  if (image_len > kMaxWireObjectBytes) {
+    return Status::Corruption("implausible checkpoint image length " +
+                              std::to_string(image_len));
+  }
+  hello.checkpoint_image.resize(image_len);
+  NEPAL_RETURN_NOT_OK(ReadFully(hello.checkpoint_image.data(), image_len,
+                                /*eof_is_close=*/false));
+  char crc_buf[4];
+  NEPAL_RETURN_NOT_OK(ReadFully(crc_buf, sizeof(crc_buf),
+                                /*eof_is_close=*/false));
+  const uint32_t expected = persist::UnmaskCrc(ReadU32(crc_buf));
+  const uint32_t actual = persist::Crc32c(hello.checkpoint_image.data(),
+                                          hello.checkpoint_image.size());
+  if (expected != actual) {
+    return Status::Corruption("checkpoint image crc mismatch on the wire");
+  }
+  return hello;
+}
+
+Result<bool> FdTransport::Next(persist::WalShipFrame* frame,
+                               std::chrono::milliseconds timeout) {
+  struct pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  int r = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+  if (r < 0) {
+    if (errno == EINTR) return false;
+    return Status::IoError(std::string("poll replication stream: ") +
+                           std::strerror(errno));
+  }
+  if (r == 0) return false;  // timeout, no data yet
+  // Data (or EOF) is ready; the frame header read below classifies it.
+  char header[1 + 8 + 8 + 4 + 4];
+  NEPAL_RETURN_NOT_OK(ReadFully(header, sizeof(header),
+                                /*eof_is_close=*/true));
+  if (static_cast<uint8_t>(header[0]) != kFrameTag) {
+    return Status::Corruption("unknown replication frame tag " +
+                              std::to_string(header[0]));
+  }
+  frame->segment_seq = ReadU64(header + 1);
+  frame->shipped_at_us = static_cast<int64_t>(ReadU64(header + 9));
+  const uint32_t len = ReadU32(header + 17);
+  const uint32_t masked_crc = ReadU32(header + 21);
+  if (len > kMaxWireObjectBytes) {
+    return Status::Corruption("implausible replication frame length " +
+                              std::to_string(len));
+  }
+  frame->payload.resize(len);
+  NEPAL_RETURN_NOT_OK(ReadFully(frame->payload.data(), len,
+                                /*eof_is_close=*/false));
+  if (persist::UnmaskCrc(masked_crc) !=
+      persist::Crc32c(frame->payload.data(), frame->payload.size())) {
+    return Status::Corruption("replication frame crc mismatch on the wire");
+  }
+  return true;
+}
+
+// ---- WalShipper ----
+
+WalShipper::WalShipper(std::shared_ptr<persist::WalSubscription> subscription,
+                       int fd)
+    : subscription_(std::move(subscription)), fd_(fd) {}
+
+WalShipper::~WalShipper() { Stop(); }
+
+Result<std::unique_ptr<WalShipper>> WalShipper::Start(
+    persist::DurableStore& store, int fd, persist::SubscribeOptions options) {
+  NEPAL_ASSIGN_OR_RETURN(std::shared_ptr<persist::WalSubscription> sub,
+                         store.Subscribe(options));
+  auto shipper =
+      std::unique_ptr<WalShipper>(new WalShipper(std::move(sub), fd));
+  shipper->thread_ = std::thread([s = shipper.get()] { s->Run(); });
+  return shipper;
+}
+
+void WalShipper::Stop() {
+  stop_.store(true, std::memory_order_release);
+  subscription_->Cancel();  // wakes a Next() blocked inside the pump
+  if (thread_.joinable()) thread_.join();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status WalShipper::WriteFully(const char* data, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t w = ::write(fd_, data + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("write replication stream: ") +
+                             std::strerror(errno));
+    }
+    done += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+void WalShipper::Run() {
+  Status status;
+  // Hello first: magic, start sequence, then the checkpoint image.
+  {
+    std::string hello(kShipMagic, sizeof(kShipMagic));
+    const std::string& image = subscription_->checkpoint_image();
+    PutFixed64(&hello, subscription_->start_seq());
+    PutFixed64(&hello, image.size());
+    hello += image;
+    PutFixed32(&hello, persist::MaskCrc(
+                           persist::Crc32c(image.data(), image.size())));
+    status = WriteFully(hello.data(), hello.size());
+    bytes_shipped_.fetch_add(hello.size(), std::memory_order_relaxed);
+  }
+  while (status.ok() && !stop_.load(std::memory_order_acquire)) {
+    persist::WalShipFrame frame;
+    Result<bool> got =
+        subscription_->Next(&frame, std::chrono::milliseconds(100));
+    if (!got.ok()) {
+      status = got.status();
+      break;
+    }
+    if (!*got) continue;  // timeout; poll again
+    std::string wire;
+    wire.reserve(1 + 8 + 8 + 4 + 4 + frame.payload.size());
+    PutFixed8(&wire, kFrameTag);
+    PutFixed64(&wire, frame.segment_seq);
+    PutFixed64(&wire, static_cast<uint64_t>(frame.shipped_at_us));
+    PutFixed32(&wire, static_cast<uint32_t>(frame.payload.size()));
+    PutFixed32(&wire, persist::MaskCrc(persist::Crc32c(
+                          frame.payload.data(), frame.payload.size())));
+    wire += frame.payload;
+    status = WriteFully(wire.data(), wire.size());
+    if (status.ok()) {
+      frames_shipped_.fetch_add(1, std::memory_order_relaxed);
+      bytes_shipped_.fetch_add(wire.size(), std::memory_order_relaxed);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  status_ = status;
+}
+
+}  // namespace nepal::replication

@@ -1,0 +1,142 @@
+// Replication transports: how a follower receives a primary's log stream.
+//
+// The stream itself is defined by DurableStore::Subscribe (a checkpoint
+// image followed by every committed WAL frame after it, in commit order);
+// a transport only moves that stream between processes. Two
+// implementations:
+//
+//  - InProcessTransport wraps a WalSubscription directly. Deterministic
+//    and loss-free; what the tests and the throughput benchmark use.
+//  - FdTransport reads the wire encoding below from a file descriptor
+//    (pipe, FIFO, socketpair, socket). WalShipper is the matching primary
+//    side: it pumps a subscription into a descriptor from its own thread.
+//
+// Wire encoding (little-endian, CRC32C masked as in the WAL):
+//
+//   hello:  "NPLSHP01" | u64 start_seq | u64 image_len
+//           | image bytes | u32 masked_crc(image)
+//   frame:  u8 0x02 | u64 segment_seq | i64 shipped_at_us
+//           | u32 payload_len | u32 masked_crc(payload) | payload bytes
+//
+// EOF mid-stream surfaces as kUnavailable("primary closed") — for a
+// warm-standby follower that is the promotion trigger, not an error.
+
+#ifndef NEPAL_REPLICATION_TRANSPORT_H_
+#define NEPAL_REPLICATION_TRANSPORT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "persist/durable_store.h"
+
+namespace nepal::replication {
+
+/// The bootstrap half of the stream: what the follower restores before it
+/// starts applying frames.
+struct ReplicationHello {
+  std::string checkpoint_image;
+  uint64_t start_seq = 0;
+};
+
+class ReplicationTransport {
+ public:
+  virtual ~ReplicationTransport() = default;
+
+  /// Delivers the bootstrap image. Called once, before any Next().
+  virtual Result<ReplicationHello> Handshake() = 0;
+
+  /// Delivers the next committed frame: true with a frame, false on
+  /// timeout (keep polling), kUnavailable when the stream has ended
+  /// (primary gone, or the subscription lagged beyond its buffer).
+  virtual Result<bool> Next(persist::WalShipFrame* frame,
+                            std::chrono::milliseconds timeout) = 0;
+};
+
+/// Same-process transport: the follower consumes the primary's
+/// subscription directly. Zero-copy of the stream semantics — no wire
+/// encoding involved.
+class InProcessTransport final : public ReplicationTransport {
+ public:
+  static Result<std::unique_ptr<InProcessTransport>> Connect(
+      persist::DurableStore& primary, persist::SubscribeOptions options = {});
+  ~InProcessTransport() override;
+
+  Result<ReplicationHello> Handshake() override;
+  Result<bool> Next(persist::WalShipFrame* frame,
+                    std::chrono::milliseconds timeout) override;
+
+ private:
+  explicit InProcessTransport(
+      std::shared_ptr<persist::WalSubscription> subscription);
+
+  std::shared_ptr<persist::WalSubscription> subscription_;
+};
+
+/// Reads the wire encoding from a descriptor the caller connected (FIFO,
+/// socketpair, ...). Takes ownership of `fd` and closes it on destruction.
+class FdTransport final : public ReplicationTransport {
+ public:
+  explicit FdTransport(int fd) : fd_(fd) {}
+  ~FdTransport() override;
+
+  Result<ReplicationHello> Handshake() override;
+  Result<bool> Next(persist::WalShipFrame* frame,
+                    std::chrono::milliseconds timeout) override;
+
+ private:
+  /// Blocking read of exactly `n` bytes; kUnavailable on clean EOF at a
+  /// frame boundary start, Corruption on EOF mid-object.
+  Status ReadFully(char* buf, size_t n, bool eof_is_close);
+
+  int fd_;
+};
+
+/// Primary-side pump for FdTransport: subscribes to the store and writes
+/// hello + frames into the descriptor from its own thread. Takes ownership
+/// of `fd`.
+class WalShipper {
+ public:
+  static Result<std::unique_ptr<WalShipper>> Start(
+      persist::DurableStore& store, int fd,
+      persist::SubscribeOptions options = {});
+  ~WalShipper();
+
+  /// Stops the pump thread and closes the descriptor. Idempotent.
+  void Stop();
+
+  /// OK while pumping; the terminal error once the thread has exited
+  /// (kUnavailable when the store closed — the normal shutdown path).
+  Status status() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return status_;
+  }
+  uint64_t frames_shipped() const {
+    return frames_shipped_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_shipped() const {
+    return bytes_shipped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  WalShipper(std::shared_ptr<persist::WalSubscription> subscription, int fd);
+  void Run();
+  Status WriteFully(const char* data, size_t n);
+
+  std::shared_ptr<persist::WalSubscription> subscription_;
+  int fd_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> frames_shipped_{0};
+  std::atomic<uint64_t> bytes_shipped_{0};
+  mutable std::mutex mu_;
+  Status status_;
+  std::thread thread_;
+};
+
+}  // namespace nepal::replication
+
+#endif  // NEPAL_REPLICATION_TRANSPORT_H_

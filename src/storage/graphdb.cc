@@ -17,8 +17,20 @@ GraphDb::GraphDb(schema::SchemaPtr schema,
       backend_(std::move(backend)),
       now_(kEpoch2017) {}
 
+Status GraphDb::CheckWritableLocked() const {
+  if (read_only_ &&
+      replay_thread_.load(std::memory_order_acquire) !=
+          std::this_thread::get_id()) {
+    return Status::ReadOnly(
+        "database is a read-only replica; writes must arrive via "
+        "replication (promote the follower to accept writes)");
+  }
+  return Status::OK();
+}
+
 Status GraphDb::SetTime(Timestamp t) {
   std::unique_lock<std::shared_mutex> lock(mutex_);
+  NEPAL_RETURN_NOT_OK(CheckWritableLocked());
   if (t < now_) {
     return Status::InvalidArgument(
         "transaction time must be monotone: cannot move clock from " +
@@ -26,7 +38,10 @@ Status GraphDb::SetTime(Timestamp t) {
   }
   now_ = t;
   if (write_log_ != nullptr) {
-    NEPAL_RETURN_NOT_OK(write_log_->AppendSetTime(t));
+    WalRecord rec;
+    rec.type = WalRecordType::kSetTime;
+    rec.time = t;
+    NEPAL_RETURN_NOT_OK(write_log_->Append(rec));
   }
   return Status::OK();
 }
@@ -127,16 +142,23 @@ Result<Uid> GraphDb::AddNode(const std::string& class_name,
                                    "' is an edge class, not a node class");
   }
   std::unique_lock<std::shared_mutex> lock(mutex_);
+  NEPAL_RETURN_NOT_OK(CheckWritableLocked());
   NEPAL_ASSIGN_OR_RETURN(std::vector<Value> row,
                          schema::ValidateRecord(*schema_, *cls, fields));
   Uid uid = next_uid_++;
   NEPAL_RETURN_NOT_OK(CheckAndIndexUniques(cls, row, uid));
-  std::vector<Value> logged_row;
-  if (write_log_ != nullptr) logged_row = row;
+  WalRecord rec;
+  if (write_log_ != nullptr) {
+    rec.type = WalRecordType::kAddNode;
+    rec.time = now_;
+    rec.uid = uid;
+    rec.class_name = cls->name();
+    rec.row = row;  // copy: the backend takes ownership of `row` below
+  }
   NEPAL_RETURN_NOT_OK(backend_->InsertNode(uid, cls, std::move(row), now_));
   ++node_count_;
   if (write_log_ != nullptr) {
-    NEPAL_RETURN_NOT_OK(write_log_->AppendAddNode(uid, cls, logged_row, now_));
+    NEPAL_RETURN_NOT_OK(write_log_->Append(rec));
   }
   return uid;
 }
@@ -150,6 +172,7 @@ Result<Uid> GraphDb::AddEdge(const std::string& class_name, Uid source,
                                    "' is a node class, not an edge class");
   }
   std::unique_lock<std::shared_mutex> lock(mutex_);
+  NEPAL_RETURN_NOT_OK(CheckWritableLocked());
   NEPAL_ASSIGN_OR_RETURN(ElementVersion src, GetCurrentLocked(source));
   NEPAL_ASSIGN_OR_RETURN(ElementVersion tgt, GetCurrentLocked(target));
   if (src.is_edge() || tgt.is_edge()) {
@@ -164,20 +187,28 @@ Result<Uid> GraphDb::AddEdge(const std::string& class_name, Uid source,
                          schema::ValidateRecord(*schema_, *cls, fields));
   Uid uid = next_uid_++;
   NEPAL_RETURN_NOT_OK(CheckAndIndexUniques(cls, row, uid));
-  std::vector<Value> logged_row;
-  if (write_log_ != nullptr) logged_row = row;
+  WalRecord rec;
+  if (write_log_ != nullptr) {
+    rec.type = WalRecordType::kAddEdge;
+    rec.time = now_;
+    rec.uid = uid;
+    rec.class_name = cls->name();
+    rec.row = row;  // copy: the backend takes ownership of `row` below
+    rec.source = source;
+    rec.target = target;
+  }
   NEPAL_RETURN_NOT_OK(
       backend_->InsertEdge(uid, cls, std::move(row), source, target, now_));
   ++edge_count_;
   if (write_log_ != nullptr) {
-    NEPAL_RETURN_NOT_OK(
-        write_log_->AppendAddEdge(uid, cls, logged_row, source, target, now_));
+    NEPAL_RETURN_NOT_OK(write_log_->Append(rec));
   }
   return uid;
 }
 
 Status GraphDb::UpdateElement(Uid uid, const schema::FieldValues& fields) {
   std::unique_lock<std::shared_mutex> lock(mutex_);
+  NEPAL_RETURN_NOT_OK(CheckWritableLocked());
   NEPAL_ASSIGN_OR_RETURN(ElementVersion cur, GetCurrentLocked(uid));
   NEPAL_ASSIGN_OR_RETURN(auto changes,
                          schema::ValidateUpdate(*schema_, *cur.cls, fields));
@@ -210,13 +241,19 @@ Status GraphDb::UpdateElement(Uid uid, const schema::FieldValues& fields) {
   }
   NEPAL_RETURN_NOT_OK(backend_->Update(uid, changes, now_));
   if (write_log_ != nullptr) {
-    NEPAL_RETURN_NOT_OK(write_log_->AppendUpdate(uid, changes, now_));
+    WalRecord rec;
+    rec.type = WalRecordType::kUpdate;
+    rec.time = now_;
+    rec.uid = uid;
+    rec.changes = changes;
+    NEPAL_RETURN_NOT_OK(write_log_->Append(rec));
   }
   return Status::OK();
 }
 
 Status GraphDb::RemoveElement(Uid uid) {
   std::unique_lock<std::shared_mutex> lock(mutex_);
+  NEPAL_RETURN_NOT_OK(CheckWritableLocked());
   NEPAL_ASSIGN_OR_RETURN(ElementVersion cur, GetCurrentLocked(uid));
   if (!cur.is_edge()) {
     // Cascade: a node's incident edges cannot outlive it.
@@ -240,7 +277,11 @@ Status GraphDb::RemoveElement(Uid uid) {
     --node_count_;
   }
   if (write_log_ != nullptr) {
-    NEPAL_RETURN_NOT_OK(write_log_->AppendRemove(uid, now_));
+    WalRecord rec;
+    rec.type = WalRecordType::kRemove;
+    rec.time = now_;
+    rec.uid = uid;
+    NEPAL_RETURN_NOT_OK(write_log_->Append(rec));
   }
   return Status::OK();
 }

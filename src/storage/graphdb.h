@@ -12,11 +12,13 @@
 #ifndef NEPAL_STORAGE_GRAPHDB_H_
 #define NEPAL_STORAGE_GRAPHDB_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <tuple>
 
 #include "common/status.h"
@@ -91,6 +93,42 @@ class GraphDb {
     return write_log_;
   }
 
+  // ---- Replica protection (see src/replication) ----
+
+  /// While read-only, every write method fails with kReadOnly unless the
+  /// calling thread holds a ReplayScope. A warm-standby follower flips
+  /// this on so stray writers cannot diverge it from the primary; only the
+  /// replication apply path (which replays shipped WAL records through the
+  /// public API) may mutate it. Promotion flips it back off.
+  void set_read_only(bool read_only) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    read_only_ = read_only;
+  }
+  bool read_only() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return read_only_;
+  }
+
+  /// Marks the calling thread as the replication/recovery replay thread
+  /// for the scope's lifetime, letting its writes through a read-only
+  /// database. One replay thread at a time (the apply loop is single-
+  /// threaded); scopes do not nest across threads.
+  class ReplayScope {
+   public:
+    explicit ReplayScope(GraphDb& db) : db_(db) {
+      db_.replay_thread_.store(std::this_thread::get_id(),
+                               std::memory_order_release);
+    }
+    ~ReplayScope() {
+      db_.replay_thread_.store(std::thread::id(), std::memory_order_release);
+    }
+    ReplayScope(const ReplayScope&) = delete;
+    ReplayScope& operator=(const ReplayScope&) = delete;
+
+   private:
+    GraphDb& db_;
+  };
+
   /// WAL-replay support: forces the uid allocator so replay reproduces the
   /// original uid sequence (failed writes consumed uids the log never saw).
   /// Rejects moving backwards — a logged uid below the allocator means the
@@ -128,11 +166,16 @@ class GraphDb {
   /// GetCurrent body without locking, for use inside write methods that
   /// already hold `mutex_` exclusively.
   Result<ElementVersion> GetCurrentLocked(Uid uid) const;
+  /// Rejects writes on a read-only replica unless the calling thread holds
+  /// a ReplayScope. Caller holds `mutex_` exclusively.
+  Status CheckWritableLocked() const;
 
   mutable std::shared_mutex mutex_;
   schema::SchemaPtr schema_;
   std::unique_ptr<StorageBackend> backend_;
   WriteLog* write_log_ = nullptr;
+  bool read_only_ = false;
+  std::atomic<std::thread::id> replay_thread_{};
   Timestamp now_;
   Uid next_uid_ = 1;
   size_t node_count_ = 0;

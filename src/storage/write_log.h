@@ -1,51 +1,93 @@
-// WriteLog: the durability hook GraphDb appends to.
+// WriteLog: the durability hook GraphDb appends to, and the logical WAL
+// record it carries.
 //
 // GraphDb is the single point every mutation flows through for both
 // execution backends, so it is also where the write-ahead log attaches:
 // after a write has been validated and applied (and while the writer lock
-// is still held, so records land in commit order), GraphDb calls the
-// matching Append* method. Only top-level operations are logged — a node
-// removal's cascaded edge deletions are reproduced deterministically by
-// replaying the RemoveElement itself.
+// is still held, so records land in commit order), GraphDb builds one
+// WalRecord and calls Append. The same typed struct then flows everywhere
+// a commit goes — the on-disk segment framing, replication subscribers,
+// and replay — without being re-encoded or re-interpreted per consumer.
+// Only top-level operations are logged; a node removal's cascaded edge
+// deletions are reproduced deterministically by replaying the
+// RemoveElement itself.
 //
 // src/persist provides the production implementation (length- and
-// CRC32C-framed segment files); the interface lives here so the storage
-// layer does not depend on the persistence layer.
+// CRC32C-framed segment files) and the binary codec; the record type and
+// interface live here so the storage layer does not depend on the
+// persistence layer.
 
 #ifndef NEPAL_STORAGE_WRITE_LOG_H_
 #define NEPAL_STORAGE_WRITE_LOG_H_
 
+#include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "common/ids.h"
 #include "common/status.h"
 #include "common/time.h"
 #include "common/value.h"
-#include "schema/class_def.h"
 
 namespace nepal::storage {
+
+enum class WalRecordType : uint8_t {
+  kSetTime = 1,
+  kAddNode = 2,
+  kAddEdge = 3,
+  kUpdate = 4,
+  kRemove = 5,
+};
+
+inline const char* WalRecordTypeToString(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kSetTime:
+      return "SetTime";
+    case WalRecordType::kAddNode:
+      return "AddNode";
+    case WalRecordType::kAddEdge:
+      return "AddEdge";
+    case WalRecordType::kUpdate:
+      return "Update";
+    case WalRecordType::kRemove:
+      return "Remove";
+  }
+  return "?";
+}
+
+/// One logical mutation, self-contained: class names instead of ClassDef
+/// pointers, the fully validated row, and the uid the write was assigned.
+/// Replaying a record stream through the public GraphDb API reproduces the
+/// database on either execution backend. Only the fields relevant to
+/// `type` are meaningful:
+///   kSetTime: time
+///   kAddNode: uid, class_name, row, time
+///   kAddEdge: uid, class_name, row, source, target, time
+///   kUpdate : uid, changes, time
+///   kRemove : uid, time    (cascaded edge deletions are NOT logged; replay
+///                           of the node removal reproduces them)
+struct WalRecord {
+  WalRecordType type = WalRecordType::kSetTime;
+  Timestamp time = 0;
+  Uid uid = 0;
+  std::string class_name;
+  std::vector<Value> row;  // layout-aligned with the class's fields()
+  Uid source = 0;
+  Uid target = 0;
+  std::vector<std::pair<int, Value>> changes;  // (field index, new value)
+};
 
 class WriteLog {
  public:
   virtual ~WriteLog() = default;
 
-  /// The transaction clock moved to `t`.
-  virtual Status AppendSetTime(Timestamp t) = 0;
-  /// A node of exactly `cls` was inserted with the fully validated `row`
-  /// (layout-aligned with cls->fields()) and was assigned `uid`.
-  virtual Status AppendAddNode(Uid uid, const schema::ClassDef* cls,
-                               const std::vector<Value>& row, Timestamp t) = 0;
-  virtual Status AppendAddEdge(Uid uid, const schema::ClassDef* cls,
-                               const std::vector<Value>& row, Uid source,
-                               Uid target, Timestamp t) = 0;
-  /// The current version of `uid` was replaced with the given
-  /// (field index, value) changes applied.
-  virtual Status AppendUpdate(
-      Uid uid, const std::vector<std::pair<int, Value>>& changes,
-      Timestamp t) = 0;
-  /// `uid` was removed (node removals cascade on replay exactly as they
-  /// did originally; cascaded deletions are not logged).
-  virtual Status AppendRemove(Uid uid, Timestamp t) = 0;
+  /// Called by GraphDb under its writer lock after the mutation has been
+  /// validated and applied, so records arrive in commit order. A failed
+  /// append is returned to the writer as an error; the in-memory write has
+  /// already been applied, so the session should be treated as no longer
+  /// durable past that point.
+  virtual Status Append(const WalRecord& rec) = 0;
 };
 
 }  // namespace nepal::storage

@@ -116,6 +116,43 @@ TEST_F(FederationTest, UnknownSourceIsRejected) {
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
+TEST_F(FederationTest, CatalogDescribesRegisteredSources) {
+  // BindSource is now a thin wrapper over the catalog: both names appear
+  // as writable primaries, and Describe renders one line per source.
+  auto names = engine_->catalog().Names();
+  EXPECT_EQ(names, (std::vector<std::string>{"cloud", "physical"}));
+  for (const auto& name : names) {
+    auto writable = engine_->catalog().Writable(name);
+    ASSERT_TRUE(writable.ok()) << writable.status();
+    EXPECT_EQ(*writable, (*engine_->catalog().Lookup(name))->db);
+  }
+  const std::string described = engine_->catalog().Describe();
+  EXPECT_NE(described.find("cloud: primary"), std::string::npos) << described;
+  EXPECT_NE(described.find("physical: primary"), std::string::npos)
+      << described;
+}
+
+TEST_F(FederationTest, CatalogEnforcesReplicaAndReadOnlyRoles) {
+  // A source registered as a replica is forced read-only: reads route,
+  // writes are refused with kReadOnly (not kNotFound — the source exists).
+  nql::SourceDescriptor standby;
+  standby.db = physical_.get();
+  standby.role = nql::SourceRole::kReplica;
+  ASSERT_TRUE(engine_->catalog().Register("standby", standby).ok());
+  auto reads = engine_->Run(
+      "Retrieve P From PATHS P In 'standby' Where P MATCHES Server()");
+  ASSERT_TRUE(reads.ok()) << reads.status();
+  EXPECT_EQ(reads->rows.size(), 2u);
+  auto writable = engine_->catalog().Writable("standby");
+  ASSERT_FALSE(writable.ok());
+  EXPECT_EQ(writable.status().code(), StatusCode::kReadOnly);
+
+  // Null registrations are rejected outright.
+  nql::SourceDescriptor empty;
+  EXPECT_EQ(engine_->catalog().Register("void", empty).code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST_F(FederationTest, UidJoinsDoNotSeedAcrossSources) {
   // source(P) = target(Q) across different databases compares raw uids —
   // legal, but the engine must not try to import anchors across sources.
