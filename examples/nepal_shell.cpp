@@ -312,6 +312,17 @@ int main(int argc, char** argv) {
                       static_cast<long long>(
                           registry.GetGauge("nepal.replication.lag_ms")
                               ->Value()));
+          const uint64_t skew_clamped =
+              registry
+                  .GetCounter("nepal.replication.clock_skew_clamped")
+                  ->Value();
+          if (skew_clamped > 0) {
+            // Frames stamped "in the future" mean the primary's clock runs
+            // ahead; the lag figure above is biased low.
+            std::printf("clock skew: %llu frame batch(es) clamped to 0 ms "
+                        "lag (primary clock ahead)\n",
+                        static_cast<unsigned long long>(skew_clamped));
+          }
           std::printf("link: %s\n", replica->status().ToString().c_str());
         } else if (shipper != nullptr) {
           std::printf("role: primary (shipping)\n");

@@ -70,7 +70,7 @@ Status GraphStore::InsertNode(Uid uid, const schema::ClassDef* cls,
   v.cls = cls;
   v.fields = std::move(row);
   IndexInsert(cls, v.fields, uid);
-  NEPAL_RETURN_NOT_OK(chain.Open(std::move(v), t));
+  NEPAL_RETURN_NOT_OK(chain.Open(std::move(v), t, write_epoch_));
   ClassBucket& bucket = BucketFor(cls);
   bucket.uids.push_back(uid);
   ++bucket.current_count;
@@ -94,7 +94,7 @@ Status GraphStore::InsertEdge(Uid uid, const schema::ClassDef* cls,
   v.source = source;
   v.target = target;
   IndexInsert(cls, v.fields, uid);
-  NEPAL_RETURN_NOT_OK(chain.Open(std::move(v), t));
+  NEPAL_RETURN_NOT_OK(chain.Open(std::move(v), t, write_epoch_));
   ClassBucket& bucket = BucketFor(cls);
   bucket.uids.push_back(uid);
   ++bucket.current_count;
@@ -121,8 +121,8 @@ Status GraphStore::Update(Uid uid,
   for (const auto& [idx, value] : changes) {
     next.fields[static_cast<size_t>(idx)] = value;
   }
-  NEPAL_RETURN_NOT_OK(it->second.Close(t));
-  NEPAL_RETURN_NOT_OK(it->second.Open(std::move(next), t));
+  NEPAL_RETURN_NOT_OK(it->second.Close(t, write_epoch_));
+  NEPAL_RETURN_NOT_OK(it->second.Open(std::move(next), t, write_epoch_));
   const ElementVersion* cur = it->second.Current();
   IndexInsert(cur->cls, cur->fields, uid);
   ++version_count_;
@@ -184,7 +184,7 @@ Status GraphStore::Delete(Uid uid, Timestamp t) {
     stats_.OnEdgeUnlinked(cur->cls, cur->source, CurrentClassOf(cur->source),
                           cur->target, CurrentClassOf(cur->target));
   }
-  return it->second.Close(t);
+  return it->second.Close(t, write_epoch_);
 }
 
 void GraphStore::Scan(const ScanSpec& spec, const TimeView& view,
@@ -201,8 +201,10 @@ void GraphStore::Scan(const ScanSpec& spec, const TimeView& view,
   const int begin = spec.cls->order();
   const int end = spec.cls->subtree_end();
   // Equality pushdown through the per-class hash indexes. Indexes cover
-  // current versions only, so historical views scan sequentially.
-  if (spec.eq && view.is_current()) {
+  // current versions only, so historical views — and epoch-pinned snapshot
+  // views, whose "current" may include versions since updated away — scan
+  // sequentially.
+  if (spec.eq && view.is_current() && !view.has_epoch()) {
     const std::string& field_name =
         spec.cls->fields()[static_cast<size_t>(spec.eq->first)].name;
     bool indexed =

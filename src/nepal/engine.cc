@@ -82,26 +82,168 @@ TimeView ViewFor(const std::optional<TimeSpec>& var_at,
 }
 
 /// Version of an element consistent with a pathway's validity interval.
+/// `epoch` is non-zero in snapshot mode: the view is pinned to it and the
+/// lookup takes its own brief shared lock (locked mode already holds one
+/// for the whole evaluation).
 Result<storage::ElementVersion> FetchVersion(storage::GraphDb* db, Uid uid,
-                                             const Interval& valid) {
+                                             const Interval& valid,
+                                             uint64_t epoch) {
   TimeView view = valid.end == kTimestampMax && valid.start == kTimestampMin
                       ? TimeView::Current()
                   : valid.end == kTimestampMax ? TimeView::Current()
                                                : TimeView::AsOf(valid.start);
+  if (epoch != 0) view = view.WithEpoch(epoch);
   storage::ElementVersion out;
   bool found = false;
-  db->backend().Get(uid, view, [&](const storage::ElementVersion& v) {
+  auto sink = [&](const storage::ElementVersion& v) {
     if (!found) {
       out = v;
       found = true;
     }
-  });
+  };
+  if (epoch != 0) {
+    std::shared_lock<std::shared_mutex> lock(db->mutex());
+    db->backend().Get(uid, view, sink);
+  } else {
+    db->backend().Get(uid, view, sink);
+  }
   if (!found) {
     return Status::Internal("pathway element uid " + std::to_string(uid) +
                             " not found while post-processing");
   }
   return out;
 }
+
+// ---- Snapshot-read decorators (EngineOptions::snapshot_reads) ----
+//
+// In snapshot mode the engine does not hold the sources' shared locks
+// across the evaluation; every TimeView is pinned to the commit epoch
+// captured at query start, which keeps results identical to a locked read
+// at capture time even while writers commit underneath. The stores' data
+// structures are plain std containers though, so each primitive read still
+// has to exclude writers for its own duration — these decorators wrap the
+// real backend/executor and take the db's lock shared around every call.
+
+/// Forwards one operator call at a time under a brief shared lock of the
+/// source's mutex. ExtendBlock is forwarded too (not defaulted) so a
+/// backend's specialized block implementation runs, under one lock hold.
+class LockedExecutor final : public storage::PathOperatorExecutor {
+ public:
+  LockedExecutor(storage::GraphDb* db,
+                 std::unique_ptr<storage::PathOperatorExecutor> inner)
+      : db_(db), inner_(std::move(inner)) {}
+
+  PathSet Select(const storage::CompiledAtom& atom,
+                 const TimeView& view) override {
+    std::shared_lock<std::shared_mutex> lock(db_->mutex());
+    return inner_->Select(atom, view);
+  }
+  PathSet SelectSeeds(const std::vector<Uid>& nodes,
+                      const TimeView& view) override {
+    std::shared_lock<std::shared_mutex> lock(db_->mutex());
+    return inner_->SelectSeeds(nodes, view);
+  }
+  PathSet ExtendAtom(const PathSet& frontier,
+                     const storage::CompiledAtom& atom, storage::Direction dir,
+                     const TimeView& view) override {
+    std::shared_lock<std::shared_mutex> lock(db_->mutex());
+    return inner_->ExtendAtom(frontier, atom, dir, view);
+  }
+  PathSet ExtendBlock(const PathSet& frontier,
+                      const std::vector<storage::CompiledAtom>& alternatives,
+                      int min_rep, int max_rep, storage::Direction dir,
+                      const TimeView& view) override {
+    std::shared_lock<std::shared_mutex> lock(db_->mutex());
+    return inner_->ExtendBlock(frontier, alternatives, min_rep, max_rep, dir,
+                               view);
+  }
+  PathSet FinalizeTail(const PathSet& frontier, const TimeView& view) override {
+    std::shared_lock<std::shared_mutex> lock(db_->mutex());
+    return inner_->FinalizeTail(frontier, view);
+  }
+
+ private:
+  storage::GraphDb* db_;
+  std::unique_ptr<storage::PathOperatorExecutor> inner_;
+};
+
+/// Read-only view of a source's backend for snapshot evaluation: reads
+/// forward under a brief shared lock, statistics are copied once at
+/// construction (so anchor costing works off one stable snapshot — the
+/// non-virtual EstimateScan costs against the copy), and writes fail.
+class LockedBackend final : public storage::StorageBackend {
+ public:
+  explicit LockedBackend(storage::GraphDb* db)
+      : db_(db), inner_(&db->backend()) {
+    std::shared_lock<std::shared_mutex> lock(db_->mutex());
+    RestoreStats(inner_->stats());
+  }
+
+  std::string name() const override { return inner_->name(); }
+
+  Status InsertNode(Uid, const schema::ClassDef*, std::vector<Value>,
+                    Timestamp) override {
+    return WriteRejected();
+  }
+  Status InsertEdge(Uid, const schema::ClassDef*, std::vector<Value>, Uid, Uid,
+                    Timestamp) override {
+    return WriteRejected();
+  }
+  Status Update(Uid, const std::vector<std::pair<int, Value>>&,
+                Timestamp) override {
+    return WriteRejected();
+  }
+  Status Delete(Uid, Timestamp) override { return WriteRejected(); }
+  Status RestoreChain(Uid, std::vector<storage::ElementVersion>) override {
+    return WriteRejected();
+  }
+
+  void Scan(const storage::ScanSpec& spec, const TimeView& view,
+            const storage::ElementSink& sink) const override {
+    std::shared_lock<std::shared_mutex> lock(db_->mutex());
+    inner_->Scan(spec, view, sink);
+  }
+  void Get(Uid uid, const TimeView& view,
+           const storage::ElementSink& sink) const override {
+    std::shared_lock<std::shared_mutex> lock(db_->mutex());
+    inner_->Get(uid, view, sink);
+  }
+  void IncidentEdges(Uid node, storage::Direction dir,
+                     const schema::ClassDef* edge_cls, const TimeView& view,
+                     const storage::ElementSink& sink) const override {
+    std::shared_lock<std::shared_mutex> lock(db_->mutex());
+    inner_->IncidentEdges(node, dir, edge_cls, view, sink);
+  }
+  bool Exists(Uid uid, const TimeView& view) const override {
+    std::shared_lock<std::shared_mutex> lock(db_->mutex());
+    return inner_->Exists(uid, view);
+  }
+  size_t CountClass(const schema::ClassDef* cls) const override {
+    std::shared_lock<std::shared_mutex> lock(db_->mutex());
+    return inner_->CountClass(cls);
+  }
+  size_t MemoryUsage() const override {
+    std::shared_lock<std::shared_mutex> lock(db_->mutex());
+    return inner_->MemoryUsage();
+  }
+  size_t VersionCount() const override {
+    std::shared_lock<std::shared_mutex> lock(db_->mutex());
+    return inner_->VersionCount();
+  }
+
+  std::unique_ptr<storage::PathOperatorExecutor> CreateExecutor()
+      const override {
+    return std::make_unique<LockedExecutor>(db_, inner_->CreateExecutor());
+  }
+
+ private:
+  Status WriteRejected() const {
+    return Status::Internal("snapshot-read backend is read-only");
+  }
+
+  storage::GraphDb* db_;
+  const storage::StorageBackend* inner_;
+};
 
 }  // namespace
 
@@ -289,6 +431,9 @@ namespace {
 struct VarState {
   const RangeVarDecl* decl = nullptr;
   storage::GraphDb* db = nullptr;
+  /// The backend plan/evaluation runs against: the source's own backend in
+  /// locked mode, its LockedBackend decorator in snapshot mode.
+  const storage::StorageBackend* backend = nullptr;
   std::unique_ptr<storage::PathOperatorExecutor> exec;
   TimeView view = TimeView::Current();
   RpeNode rpe;
@@ -326,12 +471,39 @@ Uid EndpointOf(const PathState& state, PathExpr::Kind kind) {
 
 Result<QueryResult> QueryEngine::RunInternal(
     const Query& query, const OuterEnv& outer, const ExplainCapture& capture,
-    obs::QueryStatsBuilder* stats, bool locks_held) const {
+    obs::QueryStatsBuilder* stats, bool locks_held,
+    const std::map<storage::GraphDb*, uint64_t>* outer_epochs) const {
   std::vector<std::string>* explain = capture.lines;
   // ---- Validate structure and set up variable states ----
   if (query.range_vars.empty()) {
     return Status::InvalidArgument("a query needs at least one range variable");
   }
+
+  // ---- Snapshot mode ----
+  // A subquery whose parent evaluated in snapshot mode inherits the
+  // parent's pinned epochs (it holds no locks to fall back on). A
+  // top-level call enters snapshot mode when enabled, except under
+  // EXPLAIN / EXPLAIN VERBOSE whose serial plan/trace capture goes through
+  // the raw backend.
+  const bool snapshot_mode =
+      outer_epochs != nullptr ||
+      (!locks_held && options_.snapshot_reads && capture.lines == nullptr);
+  std::map<storage::GraphDb*, uint64_t> epoch_map;
+  const std::map<storage::GraphDb*, uint64_t>* epochs = outer_epochs;
+  if (snapshot_mode && epochs == nullptr) {
+    // Capture every reachable source's commit epoch up front — lock-free
+    // (commit_epoch() is an atomic published after the in-memory apply) —
+    // so subqueries over any catalog source read the same snapshot.
+    epoch_map.emplace(default_db_, default_db_->commit_epoch());
+    catalog_.ForEach(
+        [&epoch_map](const std::string&, const SourceDescriptor& desc) {
+          epoch_map.emplace(desc.db, desc.db->commit_epoch());
+        });
+    epochs = &epoch_map;
+  }
+  // One read-only decorator per distinct source; VarStates point at these
+  // instead of the raw backends.
+  std::map<storage::GraphDb*, std::unique_ptr<LockedBackend>> snap_backends;
 
   // ---- Read locks ----
   // Query evaluation only reads the stores, but writers may run
@@ -340,9 +512,10 @@ Result<QueryResult> QueryEngine::RunInternal(
   // one consistent store state). Acquisition is in ascending address order
   // — writers only ever hold a single lock, so readers locking a sorted
   // set cannot form a cycle. Subquery recursion runs on the same thread
-  // over the same source set and must not re-lock.
+  // over the same source set and must not re-lock. Snapshot mode replaces
+  // the whole-evaluation hold with epoch pinning + per-call locks.
   std::vector<std::shared_lock<std::shared_mutex>> read_locks;
-  if (!locks_held) {
+  if (!locks_held && !snapshot_mode) {
     std::vector<storage::GraphDb*> dbs{default_db_};
     catalog_.ForEach([&dbs](const std::string&, const SourceDescriptor& desc) {
       dbs.push_back(desc.db);
@@ -362,7 +535,16 @@ Result<QueryResult> QueryEngine::RunInternal(
     }
     vars[i].decl = &decl;
     NEPAL_ASSIGN_OR_RETURN(vars[i].db, SourceFor(decl));
-    vars[i].exec = vars[i].db->backend().CreateExecutor();
+    if (snapshot_mode) {
+      std::unique_ptr<LockedBackend>& snap = snap_backends[vars[i].db];
+      if (snap == nullptr) {
+        snap = std::make_unique<LockedBackend>(vars[i].db);
+      }
+      vars[i].backend = snap.get();
+    } else {
+      vars[i].backend = &vars[i].db->backend();
+    }
+    vars[i].exec = vars[i].backend->CreateExecutor();
     // Only EXPLAIN VERBOSE turns the legacy string trace on (and thereby
     // forces serial evaluation); EXPLAIN and EXPLAIN ANALYZE rely on the
     // structured stats and keep full parallelism.
@@ -371,6 +553,9 @@ Result<QueryResult> QueryEngine::RunInternal(
       vars[i].stats = stats->AddGroup("var " + decl.name);
     }
     vars[i].view = ViewFor(decl.at, query.at);
+    if (snapshot_mode) {
+      vars[i].view = vars[i].view.WithEpoch(epochs->at(vars[i].db));
+    }
     std::string view_name = decl.view;
     for (char& c : view_name) c = static_cast<char>(std::toupper(c));
     if (view_name != "PATHS") {
@@ -435,7 +620,7 @@ Result<QueryResult> QueryEngine::RunInternal(
 
   // ---- Structural anchor costs ----
   for (VarState& vs : vars) {
-    Result<MatchPlan> plan = PlanMatch(vs.rpe, vs.db->backend(),
+    Result<MatchPlan> plan = PlanMatch(vs.rpe, *vs.backend,
                                        options_.plan, vs.view);
     vs.structural_cost = plan.ok() ? plan->total_cost : -1;
   }
@@ -488,7 +673,7 @@ Result<QueryResult> QueryEngine::RunInternal(
       // Intersect with the named view: a pathway qualifies when the view
       // RPE also matches it, over the overlap of their validity.
       NEPAL_ASSIGN_OR_RETURN(PathSet view_paths,
-                             EvaluateMatch(*vs.exec, vs.db->backend(),
+                             EvaluateMatch(*vs.exec, *vs.backend,
                                            *vs.view_rpe, vs.view,
                                            options_.plan, vs.stats));
       std::unordered_map<std::string, std::vector<const PathState*>> by_uids;
@@ -559,7 +744,7 @@ Result<QueryResult> QueryEngine::RunInternal(
           VarState& vs = vars[batch[k]];
           Status& status = statuses[k];
           tasks.push_back([this, &vs, &status, &finish_var] {
-            auto paths = EvaluateMatch(*vs.exec, vs.db->backend(), vs.rpe,
+            auto paths = EvaluateMatch(*vs.exec, *vs.backend, vs.rpe,
                                        vs.view, options_.plan, vs.stats);
             if (!paths.ok()) {
               status = paths.status();
@@ -623,18 +808,18 @@ Result<QueryResult> QueryEngine::RunInternal(
                            "join (" + std::to_string(best_seeds.size()) +
                            " seed nodes)");
       }
-      vs.paths = EvaluateMatchSeeded(*vs.exec, vs.db->backend(), vs.rpe,
+      vs.paths = EvaluateMatchSeeded(*vs.exec, *vs.backend, vs.rpe,
                                      best_seeds, best_side, vs.view,
                                      options_.plan, vs.stats);
     } else {
       if (explain != nullptr) {
         NEPAL_ASSIGN_OR_RETURN(MatchPlan plan,
-                               PlanMatch(vs.rpe, vs.db->backend(),
+                               PlanMatch(vs.rpe, *vs.backend,
                                          options_.plan, vs.view));
         explain->push_back("var " + vs.decl->name + ":\n" + plan.ToString());
       }
       NEPAL_ASSIGN_OR_RETURN(vs.paths,
-                             EvaluateMatch(*vs.exec, vs.db->backend(), vs.rpe,
+                             EvaluateMatch(*vs.exec, *vs.backend, vs.rpe,
                                            vs.view, options_.plan, vs.stats));
       if (stats != nullptr) stats->AddPlanCost(vs.structural_cost);
     }
@@ -713,8 +898,10 @@ Result<QueryResult> QueryEngine::RunInternal(
           return Value(static_cast<int64_t>(uid));
         }
         if (*e.field == "id") return Value(static_cast<int64_t>(uid));
-        NEPAL_ASSIGN_OR_RETURN(storage::ElementVersion v,
-                               FetchVersion(db, uid, valid));
+        NEPAL_ASSIGN_OR_RETURN(
+            storage::ElementVersion v,
+            FetchVersion(db, uid, valid,
+                         snapshot_mode ? epochs->at(db) : 0));
         int idx = v.cls->FieldIndex(*e.field);
         if (idx < 0) {
           return Status::InvalidArgument("class " + v.cls->name() +
@@ -901,10 +1088,11 @@ Result<QueryResult> QueryEngine::RunInternal(
       }
       // Subqueries are not instrumented: their per-row operator stats
       // would swamp the outer query's table.
-      NEPAL_ASSIGN_OR_RETURN(QueryResult sub,
-                             RunInternal(*pred->subquery, env,
-                                         ExplainCapture{}, nullptr,
-                                         /*locks_held=*/true));
+      NEPAL_ASSIGN_OR_RETURN(
+          QueryResult sub,
+          RunInternal(*pred->subquery, env, ExplainCapture{}, nullptr,
+                      /*locks_held=*/true,
+                      snapshot_mode ? epochs : nullptr));
       bool exists = !sub.rows.empty();
       if (exists != pred->negate_exists) kept.push_back(row);
     }

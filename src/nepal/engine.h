@@ -81,6 +81,20 @@ struct EngineOptions {
   /// Top-level queries slower than this land in the slow-query log
   /// (SlowQueries()); 0 disables the log.
   double slow_query_ms = 250.0;
+  /// Snapshot reads: instead of holding every source's shared lock for the
+  /// whole evaluation, the engine captures each source's commit epoch up
+  /// front and evaluates against epoch-pinned TimeViews. Each primitive
+  /// read still takes the lock briefly, but writers interleave between
+  /// operator calls instead of waiting out the whole query, so batched
+  /// ingest and long analytical reads stop serializing each other. Results
+  /// match a fully-locked read at capture time. EXPLAIN / EXPLAIN VERBOSE
+  /// fall back to locked evaluation (their serial trace bypasses the
+  /// decorators); EXPLAIN ANALYZE runs in snapshot mode. Off by default:
+  /// an insert+delete at the same transaction instant collapses to "never
+  /// existed" in the version store, which a snapshot pinned between the
+  /// two epochs cannot reproduce — enable when writers always advance time
+  /// or never delete what they just inserted.
+  bool snapshot_reads = false;
 };
 
 /// One slow-query log entry (see EngineOptions::slow_query_ms).
@@ -160,11 +174,17 @@ class QueryEngine {
 
   /// `locks_held` is set on recursive (subquery) calls: the top-level call
   /// already holds shared locks on every data source, and shared_mutex
-  /// must not be re-acquired recursively on the same thread.
-  Result<QueryResult> RunInternal(const Query& query, const OuterEnv& outer,
-                                  const ExplainCapture& capture,
-                                  obs::QueryStatsBuilder* stats,
-                                  bool locks_held = false) const;
+  /// must not be re-acquired recursively on the same thread. When the
+  /// top-level call runs in snapshot mode instead (see
+  /// EngineOptions::snapshot_reads) it passes its per-source commit-epoch
+  /// map via `outer_epochs`, and the subquery evaluates against the same
+  /// pinned epochs rather than taking locks it was never protected by.
+  Result<QueryResult> RunInternal(
+      const Query& query, const OuterEnv& outer,
+      const ExplainCapture& capture, obs::QueryStatsBuilder* stats,
+      bool locks_held = false,
+      const std::map<storage::GraphDb*, uint64_t>* outer_epochs =
+          nullptr) const;
 
   Result<storage::GraphDb*> SourceFor(const RangeVarDecl& decl) const;
 

@@ -160,6 +160,69 @@ Status ApplyWalRecord(storage::GraphDb& db, const WalRecord& rec) {
   return Status::Corruption("unknown wal record type during replay");
 }
 
+Status ApplyWalRecordBatch(storage::GraphDb& db,
+                           const std::vector<WalRecord>& recs) {
+  if (recs.empty()) return Status::OK();
+  std::vector<storage::Mutation> muts;
+  muts.reserve(recs.size());
+  for (const WalRecord& rec : recs) {
+    switch (rec.type) {
+      case WalRecordType::kSetTime:
+        muts.push_back(storage::Mutation::SetTime(rec.time));
+        break;
+      case WalRecordType::kAddNode:
+      case WalRecordType::kAddEdge: {
+        NEPAL_ASSIGN_OR_RETURN(const schema::ClassDef* cls,
+                               db.schema().GetClass(rec.class_name));
+        if (rec.row.size() != cls->fields().size()) {
+          return Status::Corruption(
+              "wal row for uid " + std::to_string(rec.uid) + " has " +
+              std::to_string(rec.row.size()) + " fields, class " +
+              rec.class_name + " declares " +
+              std::to_string(cls->fields().size()));
+        }
+        schema::FieldValues fields;
+        for (size_t i = 0; i < rec.row.size(); ++i) {
+          if (rec.row[i].is_null()) continue;
+          fields.emplace_back(cls->fields()[i].name, rec.row[i]);
+        }
+        storage::Mutation m =
+            rec.type == WalRecordType::kAddNode
+                ? storage::Mutation::AddNode(rec.class_name,
+                                             std::move(fields))
+                : storage::Mutation::AddEdge(rec.class_name, rec.source,
+                                             rec.target, std::move(fields));
+        m.forced_uid = rec.uid;
+        muts.push_back(std::move(m));
+        break;
+      }
+      case WalRecordType::kUpdate: {
+        storage::Mutation m = storage::Mutation::Update(rec.uid, {});
+        m.use_raw_changes = true;
+        m.raw_changes = rec.changes;
+        muts.push_back(std::move(m));
+        break;
+      }
+      case WalRecordType::kRemove:
+        muts.push_back(storage::Mutation::Remove(rec.uid));
+        break;
+      default:
+        return Status::Corruption("unknown wal record type during replay");
+    }
+  }
+  NEPAL_RETURN_NOT_OK(db.ApplyBatch(muts));
+  for (size_t i = 0; i < recs.size(); ++i) {
+    if ((recs[i].type == WalRecordType::kAddNode ||
+         recs[i].type == WalRecordType::kAddEdge) &&
+        muts[i].uid != recs[i].uid) {
+      return Status::Corruption(
+          "wal replay assigned uid " + std::to_string(muts[i].uid) +
+          " where the log recorded " + std::to_string(recs[i].uid));
+    }
+  }
+  return Status::OK();
+}
+
 DurableStore::DurableStore(std::string dir, uint64_t fingerprint,
                            DurableOptions options)
     : dir_(std::move(dir)), fingerprint_(fingerprint), options_(options) {}
@@ -410,6 +473,56 @@ Status DurableStore::Append(const storage::WalRecord& rec) {
   records_appended_.fetch_add(1, std::memory_order_release);
   PublishFrame(writer_->segment_seq(), payload);
   return Status::OK();
+}
+
+Status DurableStore::AppendBatch(const std::vector<storage::WalRecord>& recs) {
+  if (recs.empty()) return Status::OK();
+  std::vector<std::string> payloads;
+  payloads.reserve(recs.size());
+  for (const storage::WalRecord& rec : recs) {
+    std::string payload;
+    EncodeWalRecord(rec, &payload);
+    payloads.push_back(std::move(payload));
+  }
+  NEPAL_RETURN_NOT_OK(writer_->AppendGroup(payloads));
+  records_appended_.fetch_add(recs.size(), std::memory_order_release);
+  PublishFrames(writer_->segment_seq(), payloads);
+  return Status::OK();
+}
+
+void DurableStore::PublishFrames(uint64_t segment_seq,
+                                 const std::vector<std::string>& payloads) {
+  bool dropped = false;
+  uint64_t lagged = 0;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    if (subs_.empty()) return;
+    const int64_t shipped_at_us = WallClockMicros();
+    size_t bytes = 0;
+    for (const std::string& payload : payloads) {
+      bytes += payload.size();
+      for (auto it = subs_.begin(); it != subs_.end();) {
+        const auto& sub = *it;
+        const bool was_lagged = sub->lagged();
+        sub->PushLive(WalShipFrame{segment_seq, shipped_at_us, payload});
+        if (sub->lagged() || sub->closed()) {
+          if (!was_lagged && sub->lagged()) ++lagged;
+          it = subs_.erase(it);
+          dropped = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("nepal.replication.shipped_records")
+        ->Add(payloads.size());
+    reg.GetCounter("nepal.replication.shipped_bytes")->Add(bytes);
+    if (lagged > 0) {
+      reg.GetCounter("nepal.replication.lagged_drops")->Add(lagged);
+    }
+  }
+  if (dropped) UpdateSubscriberGauge();
 }
 
 void DurableStore::PublishFrame(uint64_t segment_seq,

@@ -232,6 +232,13 @@ class DurableStore final : public storage::WriteLog {
   // frames are published to subscribers in commit order).
   Status Append(const storage::WalRecord& rec) override;
 
+  /// One ApplyBatch commit group: every record is encoded up front, the
+  /// segment receives them as one contiguous frame group paying at most one
+  /// fsync (WalWriter::AppendGroup), and subscribers see the whole batch
+  /// under a single publish — a follower can never observe a gap inside
+  /// the group.
+  Status AppendBatch(const std::vector<storage::WalRecord>& recs) override;
+
  private:
   DurableStore(std::string dir, uint64_t fingerprint, DurableOptions options);
 
@@ -245,6 +252,11 @@ class DurableStore final : public storage::WriteLog {
   /// Pushes one committed frame to every live subscriber and drops
   /// cancelled/lagged ones.
   void PublishFrame(uint64_t segment_seq, const std::string& payload);
+  /// Batch variant: all frames are pushed under ONE hold of the subscriber
+  /// mutex with one ship timestamp, so no subscriber can be attached or
+  /// dropped between two frames of the same commit group.
+  void PublishFrames(uint64_t segment_seq,
+                     const std::vector<std::string>& payloads);
   void UpdateSubscriberGauge();
 
   std::string dir_;
@@ -272,6 +284,14 @@ class DurableStore final : public storage::WriteLog {
 /// benchmark, the replication follower and tests; DurableStore::Open uses
 /// it for recovery.
 Status ApplyWalRecord(storage::GraphDb& db, const WalRecord& rec);
+
+/// Batch variant: maps the records to storage::Mutation (pinning uids the
+/// way ApplyWalRecord's SyncNextUid does) and applies them through
+/// GraphDb::ApplyBatch — one writer-lock acquisition, one commit epoch and
+/// at most one fsync for the whole group. The replication follower uses
+/// this to re-batch frames that arrive together.
+Status ApplyWalRecordBatch(storage::GraphDb& db,
+                           const std::vector<WalRecord>& recs);
 
 }  // namespace nepal::persist
 

@@ -16,18 +16,24 @@
 // Group commit: appends always go to the OS immediately; the fsync policy
 // decides when the file is forced to stable storage. kAlways syncs every
 // append (each commit durable before the writer returns), kInterval batches
-// appends into one fsync per interval window (bounded-loss group commit),
-// kNone leaves flushing entirely to the OS.
+// appends into one fsync per interval window (bounded-loss group commit:
+// a background flusher guarantees dirty bytes reach disk within the window
+// of the append that produced them, even if no further append ever
+// arrives), kNone leaves flushing entirely to the OS.
 
 #ifndef NEPAL_PERSIST_WAL_H_
 #define NEPAL_PERSIST_WAL_H_
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <vector>
 
 #include "common/status.h"
 #include "persist/wal_format.h"
@@ -57,13 +63,18 @@ Result<FsyncPolicy> ParseFsyncPolicy(const std::string& text);
 
 struct WalWriterOptions {
   FsyncPolicy fsync_policy = FsyncPolicy::kInterval;
-  /// Group-commit window for kInterval: an append fsyncs only if this many
-  /// milliseconds have passed since the last fsync.
+  /// Group-commit window for kInterval: an append fsyncs inline only if
+  /// this many milliseconds have passed since the last fsync; otherwise the
+  /// background flusher syncs within this window of the first dirty byte,
+  /// so a write on a then-quiet writer is never left unsynced (bounded
+  /// loss).
   int fsync_interval_ms = 50;
 };
 
 /// Appends framed records to one segment file. Callers serialize appends
-/// (GraphDb's writer lock does); the writer itself is not thread-safe.
+/// (GraphDb's writer lock does); the writer itself is not thread-safe for
+/// appends, but under kInterval it runs an internal deadline-flush thread
+/// that synchronizes with appends on the sync state only.
 class WalWriter {
  public:
   /// Creates the segment file (must not exist), writes and syncs the
@@ -78,6 +89,12 @@ class WalWriter {
 
   /// Frames and writes one record payload, then applies the fsync policy.
   Status Append(std::string_view payload);
+
+  /// Frames and writes a whole commit group as ONE contiguous write, then
+  /// applies the fsync policy once — at most one fsync for the group. Each
+  /// payload gets the standard frame (readers cannot tell a group from N
+  /// single appends); metrics count one append per record.
+  Status AppendGroup(const std::vector<std::string>& payloads);
 
   /// Unconditional fsync (checkpoint rotation, clean shutdown).
   Status Sync();
@@ -94,14 +111,32 @@ class WalWriter {
             WalWriterOptions options);
   Status WriteFully(const char* data, size_t n);
   Status MaybeSync();
+  /// Sync() body; caller holds flush_mu_.
+  Status SyncLocked();
+  /// kInterval deadline flusher: fsyncs dirty bytes once they have been
+  /// waiting a full window, closing the idle-tail hole where an append
+  /// lands mid-window and no later append arrives to trigger the sync.
+  void FlusherLoop();
+  void StopFlusher();
 
   std::string path_;
   int fd_;
   uint64_t segment_seq_;
   WalWriterOptions options_;
   uint64_t bytes_written_ = 0;
+
+  /// Guards the sync state below (shared with the deadline flusher) and
+  /// serializes fsync against it. The append path itself stays
+  /// single-threaded per the class contract.
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  std::thread flusher_;
+  bool stop_flusher_ = false;
   bool dirty_ = false;  // bytes written since the last fsync
   std::chrono::steady_clock::time_point last_sync_;
+  /// When the oldest currently-dirty byte was written (valid while dirty_);
+  /// the flusher's deadline is dirty_since_ + fsync_interval_ms.
+  std::chrono::steady_clock::time_point dirty_since_;
 
   // Cached metric cells (registry pointers are stable).
   obs::Counter* appends_;

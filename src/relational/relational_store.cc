@@ -36,6 +36,8 @@ Status RelationalStore::InsertCommon(Uid uid, ElementVersion v, Timestamp t) {
                                  " already registered");
   }
   v.valid = Interval{t, kTimestampMax};
+  v.birth_epoch = write_epoch_;
+  v.close_epoch = storage::kEpochMax;
   const schema::ClassDef* cls = v.cls;
   Uid source = v.source;
   Uid target = v.target;
@@ -89,7 +91,10 @@ Status RelationalStore::Update(Uid uid,
     new_row.fields[static_cast<size_t>(idx)] = value;
   }
   new_row.valid = Interval{t, kTimestampMax};
+  new_row.birth_epoch = write_epoch_;
+  new_row.close_epoch = storage::kEpochMax;
   old_row.valid.end = t;
+  old_row.close_epoch = write_epoch_;
   stats_.OnUpdate(it->second, old_row.fields, new_row.fields);
   // A version opened and replaced at the same instant never existed.
   if (!old_row.valid.empty()) {
@@ -106,6 +111,7 @@ Status RelationalStore::Delete(Uid uid, Timestamp t) {
   NEPAL_ASSIGN_OR_RETURN(ElementVersion old_row,
                          CurrentTable(it->second).Remove(uid));
   old_row.valid.end = t;
+  old_row.close_epoch = write_epoch_;
   stats_.OnRemove(it->second, old_row.fields);
   if (old_row.is_edge()) {
     stats_.OnEdgeUnlinked(it->second, old_row.source,
@@ -133,6 +139,9 @@ Status RelationalStore::RestoreChain(Uid uid,
       return Status::Corruption("inconsistent checkpoint chain for uid " +
                                 std::to_string(uid));
     }
+    // Restored versions predate every snapshot epoch.
+    v.birth_epoch = 0;
+    v.close_epoch = v.is_current() ? storage::kEpochMax : 0;
     pending_restore_.push_back(std::move(v));
   }
   return Status::OK();
@@ -183,7 +192,7 @@ void RelationalStore::Scan(const ScanSpec& spec, const TimeView& view,
     return;
   }
   auto emit = [&](const ElementVersion& v) {
-    if (view.Admits(v.valid) && spec.Matches(v)) sink(v);
+    if (spec.Matches(v)) view.Emit(v, sink);
   };
   auto scan_table = [&](const Table& table) {
     if (spec.eq) {
@@ -196,7 +205,7 @@ void RelationalStore::Scan(const ScanSpec& spec, const TimeView& view,
   for (const Table* table : SubtreeTables(spec.cls, /*history=*/false)) {
     scan_table(*table);
   }
-  if (view.needs_history()) {
+  if (view.includes_closed()) {
     for (const Table* table : SubtreeTables(spec.cls, /*history=*/true)) {
       scan_table(*table);
     }
@@ -207,11 +216,9 @@ void RelationalStore::Get(Uid uid, const TimeView& view,
                           const ElementSink& sink) const {
   auto it = uid_registry_.find(uid);
   if (it == uid_registry_.end()) return;
-  auto emit = [&](const ElementVersion& v) {
-    if (view.Admits(v.valid)) sink(v);
-  };
+  auto emit = [&](const ElementVersion& v) { view.Emit(v, sink); };
   current_[static_cast<size_t>(it->second->order())]->ForEachById(uid, emit);
-  if (view.needs_history()) {
+  if (view.includes_closed()) {
     history_[static_cast<size_t>(it->second->order())]->ForEachById(uid, emit);
   }
 }
@@ -221,9 +228,7 @@ void RelationalStore::IncidentEdges(Uid node, Direction dir,
                                     const TimeView& view,
                                     const ElementSink& sink) const {
   if (edge_cls == nullptr) edge_cls = schema_->edge_root();
-  auto emit = [&](const ElementVersion& v) {
-    if (view.Admits(v.valid)) sink(v);
-  };
+  auto emit = [&](const ElementVersion& v) { view.Emit(v, sink); };
   auto probe = [&](const Table& table) {
     if (dir == Direction::kOut || dir == Direction::kBoth) {
       table.ForEachBySource(node, emit);
@@ -235,7 +240,7 @@ void RelationalStore::IncidentEdges(Uid node, Direction dir,
   for (const Table* table : SubtreeTables(edge_cls, /*history=*/false)) {
     probe(*table);
   }
-  if (view.needs_history()) {
+  if (view.includes_closed()) {
     for (const Table* table : SubtreeTables(edge_cls, /*history=*/true)) {
       probe(*table);
     }

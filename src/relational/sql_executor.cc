@@ -139,26 +139,30 @@ void SqlBulkExecutor::EdgeJoin(const PathSet& frontier,
   const bool forward = dir == Direction::kOut;
   int temp = NextTempId();
 
-  auto join_row = [&](const ElementVersion& e) {
-    if (!view.Admits(e.valid) || !atom.Matches(e)) return;
-    Uid join_key = forward ? e.source : e.target;
-    auto it = index.find(join_key);
-    if (it == index.end()) return;
-    for (size_t state_idx : it->second) {
-      const PathState& state = frontier[state_idx];
-      Uid far = forward ? e.target : e.source;
-      if (state.Contains(far)) continue;
-      PathState next;
-      if (!TryAppendElement(state, e, &next)) continue;
-      next.frontier = far;
-      next.frontier_in_path = false;
-      out->push_back(std::move(next));
-    }
+  auto join_row = [&](const ElementVersion& raw) {
+    if (!atom.Matches(raw)) return;
+    // Emit patches epoch-open intervals so TryAppendElement's running
+    // interval intersection sees what a locked read at the snapshot would.
+    view.Emit(raw, [&](const ElementVersion& e) {
+      Uid join_key = forward ? e.source : e.target;
+      auto it = index.find(join_key);
+      if (it == index.end()) return;
+      for (size_t state_idx : it->second) {
+        const PathState& state = frontier[state_idx];
+        Uid far = forward ? e.target : e.source;
+        if (state.Contains(far)) continue;
+        PathState next;
+        if (!TryAppendElement(state, e, &next)) continue;
+        next.frontier = far;
+        next.frontier_in_path = false;
+        out->push_back(std::move(next));
+      }
+    });
   };
 
   std::vector<const Table*> tables =
       store_->SubtreeTables(atom.cls, /*history=*/false);
-  if (view.needs_history()) {
+  if (view.includes_closed()) {
     auto hist = store_->SubtreeTables(atom.cls, /*history=*/true);
     tables.insert(tables.end(), hist.begin(), hist.end());
   }

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <utility>
+#include <vector>
 
 #include "common/time.h"
 #include "obs/metrics.h"
@@ -11,6 +12,12 @@
 namespace nepal::replication {
 
 namespace fs = std::filesystem;
+
+namespace {
+/// Upper bound on frames drained into one follower-side ApplyBatch; keeps a
+/// long catch-up from starving stop/promotion checks between batches.
+constexpr size_t kMaxApplyBatch = 256;
+}  // namespace
 
 ReplicaStore::ReplicaStore(std::unique_ptr<persist::DurableStore> store,
                            std::unique_ptr<ReplicationTransport> transport,
@@ -74,6 +81,8 @@ Result<std::unique_ptr<ReplicaStore>> ReplicaStore::Open(
 void ReplicaStore::Run() {
   auto& reg = obs::MetricsRegistry::Global();
   obs::Counter* applied = reg.GetCounter("nepal.replication.applied_records");
+  obs::Counter* skew_clamped =
+      reg.GetCounter("nepal.replication.clock_skew_clamped");
   obs::Gauge* lag_gauge = reg.GetGauge("nepal.replication.lag_ms");
   obs::Histogram* lag_hist = reg.GetHistogram(
       "nepal.replication.apply_lag_ms", obs::DefaultMillisBuckets());
@@ -89,19 +98,52 @@ void ReplicaStore::Run() {
       break;
     }
     if (!*got) continue;  // timeout; poll again
-    Result<persist::WalRecord> rec = persist::DecodeWalRecord(frame.payload);
+
+    // Re-batch: a group the primary committed together (or a catch-up
+    // burst) usually has its remaining frames already buffered. Drain them
+    // without blocking and apply everything as one ApplyBatch — one writer
+    // lock, one commit epoch, one fsync on the follower's own WAL.
+    std::vector<persist::WalShipFrame> frames;
+    frames.push_back(std::move(frame));
+    while (frames.size() < kMaxApplyBatch) {
+      persist::WalShipFrame extra;
+      Result<bool> more =
+          transport_->Next(&extra, std::chrono::milliseconds(0));
+      if (!more.ok() || !*more) break;  // stream errors resurface next loop
+      frames.push_back(std::move(extra));
+    }
+    std::vector<persist::WalRecord> recs;
+    recs.reserve(frames.size());
+    Status decode_status;
+    for (const persist::WalShipFrame& f : frames) {
+      Result<persist::WalRecord> rec = persist::DecodeWalRecord(f.payload);
+      if (!rec.ok()) {
+        decode_status = rec.status();
+        break;
+      }
+      recs.push_back(std::move(rec.value()));
+    }
     Status applied_status =
-        rec.ok() ? persist::ApplyWalRecord(store_->db(), *rec) : rec.status();
+        decode_status.ok()
+            ? persist::ApplyWalRecordBatch(store_->db(), recs)
+            : decode_status;
     if (!applied_status.ok()) {
       status = applied_status;
       break;
     }
-    records_applied_.fetch_add(1, std::memory_order_release);
-    applied->Add(1);
-    if (frame.shipped_at_us > 0) {
+    records_applied_.fetch_add(frames.size(), std::memory_order_release);
+    applied->Add(frames.size());
+    const persist::WalShipFrame& newest = frames.back();
+    if (newest.shipped_at_us > 0) {
       // Catch-up frames carry no ship time; only live frames move the lag.
       const int64_t lag_ms =
-          (WallClockMicros() - frame.shipped_at_us) / 1000;
+          (WallClockMicros() - newest.shipped_at_us) / 1000;
+      if (lag_ms < 0) {
+        // A frame from the "future" means the primary's wall clock runs
+        // ahead of ours. Clamping to zero keeps the gauge sane, but the
+        // skew itself must not be silent: it biases every lag reading low.
+        skew_clamped->Add(1);
+      }
       lag_gauge->Set(lag_ms > 0 ? lag_ms : 0);
       lag_hist->Observe(lag_ms > 0 ? static_cast<uint64_t>(lag_ms) : 0);
     }

@@ -31,6 +31,15 @@ class StorageBackend {
 
   // ---- Write path (called by GraphDb with monotone transaction times) ----
 
+  /// Commit epoch the next write belongs to. GraphDb sets it under the
+  /// writer lock before calling the write methods below; backends stamp
+  /// every version they open/close with it so epoch-pinned TimeViews can
+  /// reconstruct the store as of any published commit (see
+  /// TimeView::WithEpoch). One ApplyBatch shares a single epoch, which is
+  /// what makes a batch all-or-nothing for snapshot readers.
+  void set_write_epoch(uint64_t epoch) { write_epoch_ = epoch; }
+  uint64_t write_epoch() const { return write_epoch_; }
+
   /// Opens a new node version valid from `t`.
   virtual Status InsertNode(Uid uid, const schema::ClassDef* cls,
                             std::vector<Value> row, Timestamp t) = 0;
@@ -123,6 +132,7 @@ class StorageBackend {
   explicit StorageBackend(const schema::Schema* schema) : stats_(schema) {}
 
   stats::GraphStats stats_;
+  uint64_t write_epoch_ = 0;
 };
 
 }  // namespace nepal::storage

@@ -7,10 +7,17 @@
 //   - AsOf(t) : versions whose interval contains t (timeslice queries),
 //   - Range   : versions overlapping [t1, t2) (time-range queries; the
 //               executor intersects intervals along each pathway).
+//
+// A view may additionally carry a *snapshot epoch* (WithEpoch): versions
+// born after the epoch are invisible, and versions closed after it are
+// still open as of the snapshot. Epoch-stamped views are how readers
+// observe a batch-granular commit point without serializing against the
+// writer for the whole evaluation (see GraphDb::commit_epoch()).
 
 #ifndef NEPAL_STORAGE_ELEMENT_H_
 #define NEPAL_STORAGE_ELEMENT_H_
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <utility>
@@ -23,8 +30,13 @@
 
 namespace nepal::storage {
 
+/// Sentinel for "not closed by any commit yet" (open versions).
+inline constexpr uint64_t kEpochMax = UINT64_MAX;
+
 /// One version of a node or edge. `fields` is the flattened row aligned with
-/// cls->fields(); edges additionally carry endpoint uids.
+/// cls->fields(); edges additionally carry endpoint uids. `birth_epoch` /
+/// `close_epoch` record which commit epoch opened/closed the version;
+/// checkpoint-restored versions carry epoch 0 ("before every snapshot").
 struct ElementVersion {
   Uid uid = kInvalidUid;
   const schema::ClassDef* cls = nullptr;
@@ -32,6 +44,8 @@ struct ElementVersion {
   std::vector<Value> fields;
   Uid source = kInvalidUid;  // edges only
   Uid target = kInvalidUid;  // edges only
+  uint64_t birth_epoch = 0;
+  uint64_t close_epoch = kEpochMax;
 
   bool is_edge() const { return cls != nullptr && cls->is_edge(); }
   bool is_current() const { return valid.end == kTimestampMax; }
@@ -54,9 +68,28 @@ class TimeView {
 
   Kind kind() const { return kind_; }
   bool is_current() const { return kind_ == Kind::kCurrent; }
-  /// True when the view may need closed (historical) versions.
+  /// True when the view's *temporal kind* reaches into history. Used by the
+  /// optimizer (history-depth cost multipliers) and SQL rendering; storage
+  /// probes that must also cover epoch-patched closed versions use
+  /// includes_closed() instead.
   bool needs_history() const { return kind_ != Kind::kCurrent; }
   const Interval& range() const { return range_; }
+
+  /// Same view pinned to commit epoch `e` (see GraphDb::commit_epoch()).
+  TimeView WithEpoch(uint64_t e) const {
+    TimeView v = *this;
+    v.epoch_ = e;
+    return v;
+  }
+  bool has_epoch() const { return epoch_ != 0; }
+  uint64_t epoch() const { return epoch_; }
+
+  /// True when the view must examine closed versions: historical kinds, or
+  /// a snapshot epoch (a version closed after the epoch is still open as of
+  /// the snapshot and may live in a history table).
+  bool includes_closed() const {
+    return kind_ != Kind::kCurrent || epoch_ != 0;
+  }
 
   /// True if a version valid over `iv` is visible under this view.
   bool Admits(const Interval& iv) const {
@@ -70,10 +103,40 @@ class TimeView {
     return false;
   }
 
+  /// Epoch-aware admission: versions born after the snapshot epoch are
+  /// invisible; versions closed after it are treated as still open.
+  /// Equivalent to Admits(v.valid) when the view carries no epoch.
+  bool AdmitsVersion(const ElementVersion& v) const {
+    if (epoch_ == 0) return Admits(v.valid);
+    if (v.birth_epoch > epoch_) return false;
+    Interval iv = v.valid;
+    if (v.close_epoch > epoch_) iv.end = kTimestampMax;
+    return Admits(iv);
+  }
+
+  /// Admission + emission in one step: sinks `v` if admitted, substituting
+  /// a copy whose interval end is patched back to "open" when the version
+  /// was closed after the snapshot epoch — so downstream consumers (the
+  /// executor's interval intersection, result rendering) see exactly what
+  /// a locked read at the snapshot would have. Returns whether it emitted.
+  template <typename Fn>
+  bool Emit(const ElementVersion& v, Fn&& sink) const {
+    if (!AdmitsVersion(v)) return false;
+    if (epoch_ != 0 && v.close_epoch > epoch_ && !v.is_current()) {
+      ElementVersion patched = v;
+      patched.valid.end = kTimestampMax;
+      sink(patched);
+    } else {
+      sink(v);
+    }
+    return true;
+  }
+
  private:
   TimeView(Kind kind, Interval range) : kind_(kind), range_(range) {}
   Kind kind_;
   Interval range_;
+  uint64_t epoch_ = 0;  // 0 = no snapshot epoch (plain locked read)
 };
 
 enum class Direction { kOut, kIn, kBoth };

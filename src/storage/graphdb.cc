@@ -1,7 +1,10 @@
 #include "storage/graphdb.h"
 
 #include <algorithm>
+#include <map>
 #include <mutex>
+#include <optional>
+#include <set>
 #include <vector>
 
 namespace nepal::storage {
@@ -28,9 +31,15 @@ Status GraphDb::CheckWritableLocked() const {
   return Status::OK();
 }
 
-Status GraphDb::SetTime(Timestamp t) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  NEPAL_RETURN_NOT_OK(CheckWritableLocked());
+Status GraphDb::AppendWalLocked(const std::vector<WalRecord>& wal) {
+  if (write_log_ == nullptr) return Status::OK();
+  for (const WalRecord& rec : wal) {
+    NEPAL_RETURN_NOT_OK(write_log_->Append(rec));
+  }
+  return Status::OK();
+}
+
+Status GraphDb::SetTimeLocked(Timestamp t, std::vector<WalRecord>* wal) {
   if (t < now_) {
     return Status::InvalidArgument(
         "transaction time must be monotone: cannot move clock from " +
@@ -41,9 +50,17 @@ Status GraphDb::SetTime(Timestamp t) {
     WalRecord rec;
     rec.type = WalRecordType::kSetTime;
     rec.time = t;
-    NEPAL_RETURN_NOT_OK(write_log_->Append(rec));
+    wal->push_back(std::move(rec));
   }
   return Status::OK();
+}
+
+Status GraphDb::SetTime(Timestamp t) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  NEPAL_RETURN_NOT_OK(CheckWritableLocked());
+  std::vector<WalRecord> wal;
+  NEPAL_RETURN_NOT_OK(SetTimeLocked(t, &wal));
+  return AppendWalLocked(wal);
 }
 
 Status GraphDb::SyncNextUid(Uid uid) {
@@ -56,6 +73,19 @@ Status GraphDb::SyncNextUid(Uid uid) {
   }
   next_uid_ = uid;
   return Status::OK();
+}
+
+Result<Uid> GraphDb::AllocateUidLocked(Uid forced_uid) {
+  if (forced_uid != 0) {
+    if (forced_uid < next_uid_) {
+      return Status::Corruption(
+          "logged uid " + std::to_string(forced_uid) +
+          " is below the allocator (next " + std::to_string(next_uid_) +
+          "): the log does not belong to this database state");
+    }
+    next_uid_ = forced_uid;
+  }
+  return next_uid_++;
 }
 
 Status GraphDb::AdoptRecoveredState(Timestamp now, Uid next_uid) {
@@ -133,19 +163,10 @@ void GraphDb::DropUniques(const ElementVersion& v) {
   }
 }
 
-Result<Uid> GraphDb::AddNode(const std::string& class_name,
-                             const schema::FieldValues& fields) {
-  NEPAL_ASSIGN_OR_RETURN(const schema::ClassDef* cls,
-                         schema_->GetClass(class_name));
-  if (!cls->is_node()) {
-    return Status::SchemaViolation("class '" + class_name +
-                                   "' is an edge class, not a node class");
-  }
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  NEPAL_RETURN_NOT_OK(CheckWritableLocked());
-  NEPAL_ASSIGN_OR_RETURN(std::vector<Value> row,
-                         schema::ValidateRecord(*schema_, *cls, fields));
-  Uid uid = next_uid_++;
+Result<Uid> GraphDb::AddNodeLocked(const schema::ClassDef* cls,
+                                   std::vector<Value> row, Uid forced_uid,
+                                   std::vector<WalRecord>* wal) {
+  NEPAL_ASSIGN_OR_RETURN(Uid uid, AllocateUidLocked(forced_uid));
   NEPAL_RETURN_NOT_OK(CheckAndIndexUniques(cls, row, uid));
   WalRecord rec;
   if (write_log_ != nullptr) {
@@ -158,7 +179,64 @@ Result<Uid> GraphDb::AddNode(const std::string& class_name,
   NEPAL_RETURN_NOT_OK(backend_->InsertNode(uid, cls, std::move(row), now_));
   ++node_count_;
   if (write_log_ != nullptr) {
-    NEPAL_RETURN_NOT_OK(write_log_->Append(rec));
+    wal->push_back(std::move(rec));
+  }
+  return uid;
+}
+
+Result<Uid> GraphDb::AddNode(const std::string& class_name,
+                             const schema::FieldValues& fields) {
+  NEPAL_ASSIGN_OR_RETURN(const schema::ClassDef* cls,
+                         schema_->GetClass(class_name));
+  if (!cls->is_node()) {
+    return Status::SchemaViolation("class '" + class_name +
+                                   "' is an edge class, not a node class");
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  NEPAL_RETURN_NOT_OK(CheckWritableLocked());
+  NEPAL_ASSIGN_OR_RETURN(std::vector<Value> row,
+                         schema::ValidateRecord(*schema_, *cls, fields));
+  const uint64_t epoch = commit_epoch_.load(std::memory_order_relaxed) + 1;
+  backend_->set_write_epoch(epoch);
+  std::vector<WalRecord> wal;
+  NEPAL_ASSIGN_OR_RETURN(Uid uid,
+                         AddNodeLocked(cls, std::move(row), 0, &wal));
+  commit_epoch_.store(epoch, std::memory_order_release);
+  NEPAL_RETURN_NOT_OK(AppendWalLocked(wal));
+  return uid;
+}
+
+Result<Uid> GraphDb::AddEdgeLocked(const schema::ClassDef* cls, Uid source,
+                                   Uid target, std::vector<Value> row,
+                                   Uid forced_uid,
+                                   std::vector<WalRecord>* wal) {
+  NEPAL_ASSIGN_OR_RETURN(ElementVersion src, GetCurrentLocked(source));
+  NEPAL_ASSIGN_OR_RETURN(ElementVersion tgt, GetCurrentLocked(target));
+  if (src.is_edge() || tgt.is_edge()) {
+    return Status::SchemaViolation("edge endpoints must be nodes");
+  }
+  if (!schema_->EdgeAllowed(cls, src.cls, tgt.cls)) {
+    return Status::SchemaViolation(
+        "the graph schema permits no " + cls->name() + " edge from " +
+        src.cls->name() + " to " + tgt.cls->name());
+  }
+  NEPAL_ASSIGN_OR_RETURN(Uid uid, AllocateUidLocked(forced_uid));
+  NEPAL_RETURN_NOT_OK(CheckAndIndexUniques(cls, row, uid));
+  WalRecord rec;
+  if (write_log_ != nullptr) {
+    rec.type = WalRecordType::kAddEdge;
+    rec.time = now_;
+    rec.uid = uid;
+    rec.class_name = cls->name();
+    rec.row = row;  // copy: the backend takes ownership of `row` below
+    rec.source = source;
+    rec.target = target;
+  }
+  NEPAL_RETURN_NOT_OK(
+      backend_->InsertEdge(uid, cls, std::move(row), source, target, now_));
+  ++edge_count_;
+  if (write_log_ != nullptr) {
+    wal->push_back(std::move(rec));
   }
   return uid;
 }
@@ -185,33 +263,20 @@ Result<Uid> GraphDb::AddEdge(const std::string& class_name, Uid source,
   }
   NEPAL_ASSIGN_OR_RETURN(std::vector<Value> row,
                          schema::ValidateRecord(*schema_, *cls, fields));
-  Uid uid = next_uid_++;
-  NEPAL_RETURN_NOT_OK(CheckAndIndexUniques(cls, row, uid));
-  WalRecord rec;
-  if (write_log_ != nullptr) {
-    rec.type = WalRecordType::kAddEdge;
-    rec.time = now_;
-    rec.uid = uid;
-    rec.class_name = cls->name();
-    rec.row = row;  // copy: the backend takes ownership of `row` below
-    rec.source = source;
-    rec.target = target;
-  }
-  NEPAL_RETURN_NOT_OK(
-      backend_->InsertEdge(uid, cls, std::move(row), source, target, now_));
-  ++edge_count_;
-  if (write_log_ != nullptr) {
-    NEPAL_RETURN_NOT_OK(write_log_->Append(rec));
-  }
+  const uint64_t epoch = commit_epoch_.load(std::memory_order_relaxed) + 1;
+  backend_->set_write_epoch(epoch);
+  std::vector<WalRecord> wal;
+  NEPAL_ASSIGN_OR_RETURN(
+      Uid uid, AddEdgeLocked(cls, source, target, std::move(row), 0, &wal));
+  commit_epoch_.store(epoch, std::memory_order_release);
+  NEPAL_RETURN_NOT_OK(AppendWalLocked(wal));
   return uid;
 }
 
-Status GraphDb::UpdateElement(Uid uid, const schema::FieldValues& fields) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  NEPAL_RETURN_NOT_OK(CheckWritableLocked());
+Status GraphDb::UpdateElementLocked(
+    Uid uid, const std::vector<std::pair<int, Value>>& changes,
+    std::vector<WalRecord>* wal) {
   NEPAL_ASSIGN_OR_RETURN(ElementVersion cur, GetCurrentLocked(uid));
-  NEPAL_ASSIGN_OR_RETURN(auto changes,
-                         schema::ValidateUpdate(*schema_, *cur.cls, fields));
   // Re-check unique constraints for changed unique fields.
   for (const auto& [idx, value] : changes) {
     const schema::FieldDef& f = cur.cls->fields()[static_cast<size_t>(idx)];
@@ -246,14 +311,26 @@ Status GraphDb::UpdateElement(Uid uid, const schema::FieldValues& fields) {
     rec.time = now_;
     rec.uid = uid;
     rec.changes = changes;
-    NEPAL_RETURN_NOT_OK(write_log_->Append(rec));
+    wal->push_back(std::move(rec));
   }
   return Status::OK();
 }
 
-Status GraphDb::RemoveElement(Uid uid) {
+Status GraphDb::UpdateElement(Uid uid, const schema::FieldValues& fields) {
   std::unique_lock<std::shared_mutex> lock(mutex_);
   NEPAL_RETURN_NOT_OK(CheckWritableLocked());
+  NEPAL_ASSIGN_OR_RETURN(ElementVersion cur, GetCurrentLocked(uid));
+  NEPAL_ASSIGN_OR_RETURN(auto changes,
+                         schema::ValidateUpdate(*schema_, *cur.cls, fields));
+  const uint64_t epoch = commit_epoch_.load(std::memory_order_relaxed) + 1;
+  backend_->set_write_epoch(epoch);
+  std::vector<WalRecord> wal;
+  NEPAL_RETURN_NOT_OK(UpdateElementLocked(uid, changes, &wal));
+  commit_epoch_.store(epoch, std::memory_order_release);
+  return AppendWalLocked(wal);
+}
+
+Status GraphDb::RemoveElementLocked(Uid uid, std::vector<WalRecord>* wal) {
   NEPAL_ASSIGN_OR_RETURN(ElementVersion cur, GetCurrentLocked(uid));
   if (!cur.is_edge()) {
     // Cascade: a node's incident edges cannot outlive it.
@@ -281,9 +358,359 @@ Status GraphDb::RemoveElement(Uid uid) {
     rec.type = WalRecordType::kRemove;
     rec.time = now_;
     rec.uid = uid;
-    NEPAL_RETURN_NOT_OK(write_log_->Append(rec));
+    wal->push_back(std::move(rec));
   }
   return Status::OK();
+}
+
+Status GraphDb::RemoveElement(Uid uid) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  NEPAL_RETURN_NOT_OK(CheckWritableLocked());
+  const uint64_t epoch = commit_epoch_.load(std::memory_order_relaxed) + 1;
+  backend_->set_write_epoch(epoch);
+  std::vector<WalRecord> wal;
+  NEPAL_RETURN_NOT_OK(RemoveElementLocked(uid, &wal));
+  commit_epoch_.store(epoch, std::memory_order_release);
+  return AppendWalLocked(wal);
+}
+
+Status GraphDb::ApplyBatch(std::span<Mutation> muts) {
+  if (muts.empty()) return Status::OK();
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  NEPAL_RETURN_NOT_OK(CheckWritableLocked());
+
+  // ---- Phase 1: validate every mutation against an overlay of the batch's
+  // own effects. Nothing — backend, counters, unique index, clock, uid
+  // allocator — is touched, so any failure here returns with the database
+  // exactly as it was.
+  struct SimElement {
+    const schema::ClassDef* cls = nullptr;
+    std::vector<Value> fields;
+    Uid source = 0;
+    Uid target = 0;
+  };
+  struct Prepared {
+    std::vector<Value> row;                      // adds
+    std::vector<std::pair<int, Value>> changes;  // updates
+  };
+  using UniqueKey = std::tuple<int, int, Value>;
+  std::vector<Prepared> prepared(muts.size());
+  std::map<Uid, SimElement> sim_live;      // created/updated in this batch
+  std::set<Uid> sim_removed;               // removed (incl. cascades)
+  std::map<UniqueKey, Uid> unique_added;   // claimed by this batch
+  std::set<UniqueKey> unique_dropped;      // released by this batch
+  Timestamp sim_now = now_;
+  Uid sim_next = next_uid_;
+
+  auto sim_get = [&](Uid uid) -> std::optional<SimElement> {
+    if (sim_removed.count(uid) != 0) return std::nullopt;
+    auto it = sim_live.find(uid);
+    if (it != sim_live.end()) return it->second;
+    Result<ElementVersion> cur = GetCurrentLocked(uid);
+    if (!cur.ok()) return std::nullopt;
+    SimElement e;
+    e.cls = cur.value().cls;
+    e.fields = cur.value().fields;
+    e.source = cur.value().source;
+    e.target = cur.value().target;
+    return e;
+  };
+  auto unique_holder = [&](const UniqueKey& key) -> std::optional<Uid> {
+    auto it = unique_added.find(key);
+    if (it != unique_added.end()) return it->second;
+    if (unique_dropped.count(key) != 0) return std::nullopt;
+    auto base = unique_index_.find(key);
+    if (base != unique_index_.end()) return base->second;
+    return std::nullopt;
+  };
+  auto sim_claim_uniques = [&](const schema::ClassDef* cls,
+                               const std::vector<Value>& row,
+                               Uid uid) -> Status {
+    for (size_t i = 0; i < cls->fields().size(); ++i) {
+      if (!cls->fields()[i].unique || row[i].is_null()) continue;
+      const schema::ClassDef* declaring =
+          DeclaringClass(cls, static_cast<int>(i));
+      UniqueKey key{declaring->order(), static_cast<int>(i), row[i]};
+      std::optional<Uid> holder = unique_holder(key);
+      if (holder && *holder != uid) {
+        return Status::AlreadyExists(
+            "unique constraint on " + declaring->name() + "." +
+            cls->fields()[i].name + ": value " + row[i].ToString() +
+            " already used by uid " + std::to_string(*holder));
+      }
+      unique_added[key] = uid;
+      unique_dropped.erase(key);
+    }
+    return Status::OK();
+  };
+  auto sim_drop_uniques = [&](const SimElement& e) {
+    for (size_t i = 0; i < e.cls->fields().size(); ++i) {
+      if (!e.cls->fields()[i].unique || e.fields[i].is_null()) continue;
+      const schema::ClassDef* declaring =
+          DeclaringClass(e.cls, static_cast<int>(i));
+      UniqueKey key{declaring->order(), static_cast<int>(i), e.fields[i]};
+      unique_added.erase(key);
+      unique_dropped.insert(key);
+    }
+  };
+  auto sim_alloc = [&](Uid forced) -> Result<Uid> {
+    if (forced != 0) {
+      if (forced < sim_next) {
+        return Status::Corruption(
+            "logged uid " + std::to_string(forced) +
+            " is below the allocator (next " + std::to_string(sim_next) +
+            "): the log does not belong to this database state");
+      }
+      sim_next = forced;
+    }
+    return sim_next++;
+  };
+  auto fail = [](size_t i, const Status& st) {
+    return Status(st.code(), "batch mutation #" + std::to_string(i) + ": " +
+                                 st.message());
+  };
+
+  for (size_t i = 0; i < muts.size(); ++i) {
+    const Mutation& m = muts[i];
+    switch (m.kind) {
+      case Mutation::Kind::kSetTime: {
+        if (m.time < sim_now) {
+          return fail(i, Status::InvalidArgument(
+                             "transaction time must be monotone: cannot move "
+                             "clock from " +
+                             FormatTimestamp(sim_now) + " back to " +
+                             FormatTimestamp(m.time)));
+        }
+        sim_now = m.time;
+        break;
+      }
+      case Mutation::Kind::kAddNode: {
+        Result<const schema::ClassDef*> clsr = schema_->GetClass(m.class_name);
+        if (!clsr.ok()) return fail(i, clsr.status());
+        const schema::ClassDef* cls = clsr.value();
+        if (!cls->is_node()) {
+          return fail(i, Status::SchemaViolation(
+                             "class '" + m.class_name +
+                             "' is an edge class, not a node class"));
+        }
+        Result<std::vector<Value>> rowr =
+            schema::ValidateRecord(*schema_, *cls, m.fields);
+        if (!rowr.ok()) return fail(i, rowr.status());
+        Result<Uid> uidr = sim_alloc(m.forced_uid);
+        if (!uidr.ok()) return fail(i, uidr.status());
+        Status st = sim_claim_uniques(cls, rowr.value(), uidr.value());
+        if (!st.ok()) return fail(i, st);
+        SimElement e;
+        e.cls = cls;
+        e.fields = rowr.value();
+        sim_live[uidr.value()] = std::move(e);
+        prepared[i].row = std::move(rowr.value());
+        break;
+      }
+      case Mutation::Kind::kAddEdge: {
+        Result<const schema::ClassDef*> clsr = schema_->GetClass(m.class_name);
+        if (!clsr.ok()) return fail(i, clsr.status());
+        const schema::ClassDef* cls = clsr.value();
+        if (!cls->is_edge()) {
+          return fail(i, Status::SchemaViolation(
+                             "class '" + m.class_name +
+                             "' is a node class, not an edge class"));
+        }
+        std::optional<SimElement> src = sim_get(m.source);
+        std::optional<SimElement> tgt = sim_get(m.target);
+        if (!src) {
+          return fail(i, Status::NotFound("no current element with uid " +
+                                          std::to_string(m.source)));
+        }
+        if (!tgt) {
+          return fail(i, Status::NotFound("no current element with uid " +
+                                          std::to_string(m.target)));
+        }
+        if (src->cls->is_edge() || tgt->cls->is_edge()) {
+          return fail(i,
+                      Status::SchemaViolation("edge endpoints must be nodes"));
+        }
+        if (!schema_->EdgeAllowed(cls, src->cls, tgt->cls)) {
+          return fail(i, Status::SchemaViolation(
+                             "the graph schema permits no " + cls->name() +
+                             " edge from " + src->cls->name() + " to " +
+                             tgt->cls->name()));
+        }
+        Result<std::vector<Value>> rowr =
+            schema::ValidateRecord(*schema_, *cls, m.fields);
+        if (!rowr.ok()) return fail(i, rowr.status());
+        Result<Uid> uidr = sim_alloc(m.forced_uid);
+        if (!uidr.ok()) return fail(i, uidr.status());
+        Status st = sim_claim_uniques(cls, rowr.value(), uidr.value());
+        if (!st.ok()) return fail(i, st);
+        SimElement e;
+        e.cls = cls;
+        e.fields = rowr.value();
+        e.source = m.source;
+        e.target = m.target;
+        sim_live[uidr.value()] = std::move(e);
+        prepared[i].row = std::move(rowr.value());
+        break;
+      }
+      case Mutation::Kind::kUpdate: {
+        std::optional<SimElement> cur = sim_get(m.uid);
+        if (!cur) {
+          return fail(i, Status::NotFound("no current element with uid " +
+                                          std::to_string(m.uid)));
+        }
+        std::vector<std::pair<int, Value>> changes;
+        if (m.use_raw_changes) {
+          for (const auto& [idx, value] : m.raw_changes) {
+            if (idx < 0 ||
+                static_cast<size_t>(idx) >= cur->cls->fields().size()) {
+              return fail(i, Status::Corruption(
+                                 "update change index " +
+                                 std::to_string(idx) + " out of range for " +
+                                 cur->cls->name()));
+            }
+          }
+          changes = m.raw_changes;
+        } else {
+          Result<std::vector<std::pair<int, Value>>> chr =
+              schema::ValidateUpdate(*schema_, *cur->cls, m.fields);
+          if (!chr.ok()) return fail(i, chr.status());
+          changes = std::move(chr.value());
+        }
+        for (const auto& [idx, value] : changes) {
+          const schema::FieldDef& f =
+              cur->cls->fields()[static_cast<size_t>(idx)];
+          if (!f.unique) continue;
+          const schema::ClassDef* declaring = DeclaringClass(cur->cls, idx);
+          UniqueKey key{declaring->order(), idx, value};
+          std::optional<Uid> holder = unique_holder(key);
+          if (holder && *holder != m.uid) {
+            return fail(i, Status::AlreadyExists(
+                               "unique constraint on " + declaring->name() +
+                               "." + f.name + ": value " + value.ToString() +
+                               " already used by uid " +
+                               std::to_string(*holder)));
+          }
+        }
+        for (const auto& [idx, value] : changes) {
+          const schema::FieldDef& f =
+              cur->cls->fields()[static_cast<size_t>(idx)];
+          if (!f.unique) continue;
+          const schema::ClassDef* declaring = DeclaringClass(cur->cls, idx);
+          if (!cur->fields[static_cast<size_t>(idx)].is_null()) {
+            UniqueKey old_key{declaring->order(), idx,
+                              cur->fields[static_cast<size_t>(idx)]};
+            unique_added.erase(old_key);
+            unique_dropped.insert(old_key);
+          }
+          if (!value.is_null()) {
+            UniqueKey key{declaring->order(), idx, value};
+            unique_added[key] = m.uid;
+            unique_dropped.erase(key);
+          }
+        }
+        SimElement next = *cur;
+        for (const auto& [idx, value] : changes) {
+          next.fields[static_cast<size_t>(idx)] = value;
+        }
+        sim_live[m.uid] = std::move(next);
+        prepared[i].changes = std::move(changes);
+        break;
+      }
+      case Mutation::Kind::kRemove: {
+        std::optional<SimElement> cur = sim_get(m.uid);
+        if (!cur) {
+          return fail(i, Status::NotFound("no current element with uid " +
+                                          std::to_string(m.uid)));
+        }
+        if (cur->cls->is_node()) {
+          // Cascade: backend-current incident edges still live under the
+          // overlay, plus edges this batch itself added touching the node.
+          std::set<Uid> cascade;
+          backend_->IncidentEdges(m.uid, Direction::kBoth, nullptr,
+                                  TimeView::Current(),
+                                  [&](const ElementVersion& e) {
+                                    if (sim_removed.count(e.uid) == 0) {
+                                      cascade.insert(e.uid);
+                                    }
+                                  });
+          for (const auto& [euid, e] : sim_live) {
+            if (e.cls->is_edge() &&
+                (e.source == m.uid || e.target == m.uid)) {
+              cascade.insert(euid);
+            }
+          }
+          for (Uid euid : cascade) {
+            std::optional<SimElement> edge = sim_get(euid);
+            if (!edge) continue;
+            sim_drop_uniques(*edge);
+            sim_removed.insert(euid);
+            sim_live.erase(euid);
+          }
+        }
+        sim_drop_uniques(*cur);
+        sim_removed.insert(m.uid);
+        sim_live.erase(m.uid);
+        break;
+      }
+    }
+  }
+
+  // ---- Phase 2: apply. The overlay proved every mutation valid, so the
+  // helpers below are expected to be infallible; a failure means the
+  // simulation diverged (a bug) and is surfaced as Internal with the
+  // applied prefix's WAL records still shipped so the log matches memory.
+  const uint64_t epoch = commit_epoch_.load(std::memory_order_relaxed) + 1;
+  backend_->set_write_epoch(epoch);
+  std::vector<WalRecord> wal;
+  if (write_log_ != nullptr) wal.reserve(muts.size());
+  Status apply = Status::OK();
+  for (size_t i = 0; i < muts.size() && apply.ok(); ++i) {
+    Mutation& m = muts[i];
+    switch (m.kind) {
+      case Mutation::Kind::kSetTime:
+        apply = SetTimeLocked(m.time, &wal);
+        break;
+      case Mutation::Kind::kAddNode: {
+        Result<Uid> uid =
+            AddNodeLocked(schema_->GetClass(m.class_name).value(),
+                          std::move(prepared[i].row), m.forced_uid, &wal);
+        if (uid.ok()) {
+          m.uid = uid.value();
+        } else {
+          apply = uid.status();
+        }
+        break;
+      }
+      case Mutation::Kind::kAddEdge: {
+        Result<Uid> uid = AddEdgeLocked(
+            schema_->GetClass(m.class_name).value(), m.source, m.target,
+            std::move(prepared[i].row), m.forced_uid, &wal);
+        if (uid.ok()) {
+          m.uid = uid.value();
+        } else {
+          apply = uid.status();
+        }
+        break;
+      }
+      case Mutation::Kind::kUpdate:
+        apply = UpdateElementLocked(m.uid, prepared[i].changes, &wal);
+        break;
+      case Mutation::Kind::kRemove:
+        apply = RemoveElementLocked(m.uid, &wal);
+        break;
+    }
+  }
+  commit_epoch_.store(epoch, std::memory_order_release);
+  if (!apply.ok()) {
+    apply = Status::Internal(
+        "batch apply diverged from validation (state may be partial): " +
+        apply.message());
+  }
+  if (write_log_ != nullptr && !wal.empty()) {
+    Status shipped = write_log_->AppendBatch(wal);
+    if (apply.ok()) apply = shipped;
+  }
+  return apply;
 }
 
 Result<ElementVersion> GraphDb::GetCurrent(Uid uid) const {

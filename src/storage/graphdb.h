@@ -17,9 +17,12 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "schema/record.h"
@@ -28,6 +31,64 @@
 #include "storage/write_log.h"
 
 namespace nepal::storage {
+
+/// One deferred write for GraphDb::ApplyBatch. Built via the factory
+/// functions; `uid` is an input for Update/Remove and an output (the
+/// assigned uid) for AddNode/AddEdge. `forced_uid` pins the allocator the
+/// way SyncNextUid does, for WAL replay reproducing original uids.
+struct Mutation {
+  enum class Kind : uint8_t { kSetTime, kAddNode, kAddEdge, kUpdate, kRemove };
+
+  Kind kind = Kind::kSetTime;
+  Timestamp time = 0;             // kSetTime
+  std::string class_name;         // kAddNode / kAddEdge
+  schema::FieldValues fields;     // kAddNode / kAddEdge / kUpdate
+  Uid source = 0;                 // kAddEdge
+  Uid target = 0;                 // kAddEdge
+  Uid uid = 0;                    // in: kUpdate/kRemove; out: adds
+  Uid forced_uid = 0;             // adds: 0 = allocate, else pin allocator
+  /// kUpdate replay path: pre-validated (field index, value) changes from a
+  /// WAL record, applied verbatim instead of re-validating `fields`.
+  std::vector<std::pair<int, Value>> raw_changes;
+  bool use_raw_changes = false;
+
+  static Mutation SetTime(Timestamp t) {
+    Mutation m;
+    m.kind = Kind::kSetTime;
+    m.time = t;
+    return m;
+  }
+  static Mutation AddNode(std::string class_name, schema::FieldValues fields) {
+    Mutation m;
+    m.kind = Kind::kAddNode;
+    m.class_name = std::move(class_name);
+    m.fields = std::move(fields);
+    return m;
+  }
+  static Mutation AddEdge(std::string class_name, Uid source, Uid target,
+                          schema::FieldValues fields) {
+    Mutation m;
+    m.kind = Kind::kAddEdge;
+    m.class_name = std::move(class_name);
+    m.source = source;
+    m.target = target;
+    m.fields = std::move(fields);
+    return m;
+  }
+  static Mutation Update(Uid uid, schema::FieldValues fields) {
+    Mutation m;
+    m.kind = Kind::kUpdate;
+    m.uid = uid;
+    m.fields = std::move(fields);
+    return m;
+  }
+  static Mutation Remove(Uid uid) {
+    Mutation m;
+    m.kind = Kind::kRemove;
+    m.uid = uid;
+    return m;
+  }
+};
 
 class GraphDb {
  public:
@@ -64,8 +125,31 @@ class GraphDb {
   /// Deletes an element; deleting a node cascades to its incident edges.
   Status RemoveElement(Uid uid);
 
+  /// Applies N mutations as one atomic group commit: the writer lock is
+  /// taken once, every mutation is validated against an overlay of the
+  /// batch's own effects BEFORE anything is applied (so a mid-batch
+  /// validation failure leaves no partial state), all mutations share one
+  /// transaction-time instant per SetTime and one commit epoch (snapshot
+  /// readers see all of the batch or none of it), and the WAL receives the
+  /// whole batch as one frame group — at most one fsync per batch. Assigned
+  /// uids are written back into the adds' `uid` fields.
+  Status ApplyBatch(std::span<Mutation> muts);
+
   /// Looks up the current version of an element by uid.
   Result<ElementVersion> GetCurrent(Uid uid) const;
+
+  // ---- Snapshot epochs ----
+
+  /// Epoch of the latest published commit. Monotone; safe to read without
+  /// mutex(). A TimeView pinned to this value (TimeView::WithEpoch) sees
+  /// exactly the state a locked read would have seen at capture time, even
+  /// while later writers mutate the store — provided each individual
+  /// backend probe still synchronizes its memory accesses (the engine
+  /// takes brief shared locks per operator call; see EngineOptions::
+  /// snapshot_reads).
+  uint64_t commit_epoch() const {
+    return commit_epoch_.load(std::memory_order_acquire);
+  }
 
   size_t node_count() const {
     std::shared_lock<std::shared_mutex> lock(mutex_);
@@ -170,6 +254,29 @@ class GraphDb {
   /// a ReplayScope. Caller holds `mutex_` exclusively.
   Status CheckWritableLocked() const;
 
+  // Write bodies shared by the single-op API and ApplyBatch. All assume
+  // `mutex_` is held exclusively and the backend's write epoch is set;
+  // `row`/`changes` are already schema-validated. WAL records for the
+  // mutation are appended to `*wal` (only when a write log is attached);
+  // the caller ships them — one Append per single op, one AppendBatch per
+  // batch.
+  Status SetTimeLocked(Timestamp t, std::vector<WalRecord>* wal);
+  Result<Uid> AddNodeLocked(const schema::ClassDef* cls,
+                            std::vector<Value> row, Uid forced_uid,
+                            std::vector<WalRecord>* wal);
+  Result<Uid> AddEdgeLocked(const schema::ClassDef* cls, Uid source,
+                            Uid target, std::vector<Value> row,
+                            Uid forced_uid, std::vector<WalRecord>* wal);
+  Status UpdateElementLocked(Uid uid,
+                             const std::vector<std::pair<int, Value>>& changes,
+                             std::vector<WalRecord>* wal);
+  Status RemoveElementLocked(Uid uid, std::vector<WalRecord>* wal);
+  /// Allocates the next uid, honoring a replay-forced value (SyncNextUid
+  /// semantics). Caller holds `mutex_` exclusively.
+  Result<Uid> AllocateUidLocked(Uid forced_uid);
+  /// Ships collected WAL records for a single-op write (one Append each).
+  Status AppendWalLocked(const std::vector<WalRecord>& wal);
+
   mutable std::shared_mutex mutex_;
   schema::SchemaPtr schema_;
   std::unique_ptr<StorageBackend> backend_;
@@ -178,6 +285,12 @@ class GraphDb {
   std::atomic<std::thread::id> replay_thread_{};
   Timestamp now_;
   Uid next_uid_ = 1;
+  /// Latest published commit epoch. Writers stamp versions with
+  /// commit_epoch_ + 1 under the exclusive lock and publish (store-release)
+  /// once the whole write — the whole batch — is applied. Starts at 1 so a
+  /// freshly opened database has a valid snapshot epoch and 0 can mean
+  /// "no epoch" in TimeView.
+  std::atomic<uint64_t> commit_epoch_{1};
   size_t node_count_ = 0;
   size_t edge_count_ = 0;
   /// (declaring class order, field index, value) -> uid.

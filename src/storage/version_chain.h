@@ -20,9 +20,10 @@ class VersionChain {
     return &versions_.back();
   }
 
-  /// Appends a new open version starting at `t`. Fails if one is open or if
-  /// `t` precedes the last closed version's end.
-  Status Open(ElementVersion v, Timestamp t) {
+  /// Appends a new open version starting at `t`, stamped as born by commit
+  /// `epoch` (0 = restored/pre-epoch). Fails if one is open or if `t`
+  /// precedes the last closed version's end.
+  Status Open(ElementVersion v, Timestamp t, uint64_t epoch = 0) {
     if (Current() != nullptr) {
       return Status::AlreadyExists("uid " + std::to_string(v.uid) +
                                    " already has an open version");
@@ -32,12 +33,14 @@ class VersionChain {
                                      std::to_string(v.uid));
     }
     v.valid = Interval{t, kTimestampMax};
+    v.birth_epoch = epoch;
+    v.close_epoch = kEpochMax;
     versions_.push_back(std::move(v));
     return Status::OK();
   }
 
-  /// Closes the open version at `t`.
-  Status Close(Timestamp t) {
+  /// Closes the open version at `t`, stamped as closed by commit `epoch`.
+  Status Close(Timestamp t, uint64_t epoch = 0) {
     if (Current() == nullptr) {
       return Status::NotFound("no open version to close");
     }
@@ -48,17 +51,18 @@ class VersionChain {
       return Status::OK();
     }
     versions_.back().valid.end = t;
+    versions_.back().close_epoch = epoch;
     return Status::OK();
   }
 
   /// Emits every version admitted by `view` (at most one for Current/AsOf).
   void ForEach(const TimeView& view, const ElementSink& sink) const {
-    if (view.is_current()) {
+    if (view.is_current() && !view.has_epoch()) {
       if (const ElementVersion* cur = Current()) sink(*cur);
       return;
     }
     for (const ElementVersion& v : versions_) {
-      if (view.Admits(v.valid)) sink(v);
+      view.Emit(v, sink);
     }
   }
 

@@ -88,6 +88,19 @@ class WriteLog {
   /// already been applied, so the session should be treated as no longer
   /// durable past that point.
   virtual Status Append(const WalRecord& rec) = 0;
+
+  /// Appends every record of one atomic batch (GraphDb::ApplyBatch), still
+  /// under the writer lock. Implementations that can do better than N
+  /// independent appends — one contiguous segment write, one fsync, one
+  /// gap-free publish to replication subscribers — override this; the
+  /// default preserves the per-record path.
+  virtual Status AppendBatch(const std::vector<WalRecord>& recs) {
+    for (const WalRecord& rec : recs) {
+      Status st = Append(rec);
+      if (!st.ok()) return st;
+    }
+    return Status::OK();
+  }
 };
 
 }  // namespace nepal::storage

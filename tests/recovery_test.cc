@@ -418,6 +418,48 @@ TEST_P(RecoveryTest, SigkilledWriterRecoversConsistently) {
   EXPECT_EQ(outputs[0], outputs[1]);
 }
 
+TEST_P(RecoveryTest, IdleTailUnderIntervalFsyncSurvivesSigkill) {
+  // Regression for the interval-fsync idle-tail hole: a write landing
+  // mid-window on a writer that then goes quiet used to stay dirty forever
+  // (MaybeSync only synced when a LATER append arrived after the window).
+  // The deadline flusher must put it on disk within the window, so a
+  // SIGKILL long after the append recovers the record. (SIGKILL alone
+  // cannot prove the fsync — the page cache survives process death — so
+  // the in-process fsync-counter test in batch_test.cc covers that half;
+  // this drill covers the end-to-end recovery contract.)
+  const std::string dir = FreshDir("idletail");
+  fs::create_directories(dir);
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    auto store = OpenDir(dir, GetParam(),
+                         DurableOptions{FsyncPolicy::kInterval,
+                                        /*fsync_interval_ms=*/25, 2});
+    if (!store.ok()) _exit(1);
+    auto& db = (*store)->db();
+    if (!db.AddNode("Host", {{"name", Value("lone")},
+                             {"serial", Value("sn-lone")}}).ok()) {
+      _exit(2);
+    }
+    // Go idle: no further append ever arrives to trigger a sync. Spin
+    // until killed — never run Close()/destructors, they would sync.
+    for (;;) usleep(100 * 1000);
+  }
+  // Give the deadline flusher ample slack past the 25 ms window, then
+  // kill without any clean shutdown.
+  usleep(600 * 1000);
+  kill(child, SIGKILL);
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+
+  auto store = OpenDir(dir, GetParam());
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ((*store)->db().node_count(), 1u)
+      << "the idle-tail append was lost";
+  EXPECT_GE((*store)->recovery_info().records_replayed, 1u);
+}
+
 TEST_P(RecoveryTest, SaveSnapshotLoadsOnBothBackends) {
   auto net = nepal::testing::MakeTinyNetwork(GetParam());
   ASSERT_TRUE(net.db->SetTime(net.db->Now() + 777).ok());
