@@ -1,0 +1,166 @@
+// Tracing overhead microbenchmark (obs/trace.h on the ApplyBatch path):
+//
+//   - TraceOverhead/off   — tracing disabled; the fast path must be a
+//     single thread-local null check. This configuration is the CI bar:
+//     its mutations/s must stay within 5% of the untraced batch-ingest
+//     baseline (BatchIngest/always/batch128 from batch_ingest.cc, run in
+//     the same bench-smoke job), and it must record zero spans.
+//   - TraceOverhead/slow  — slow-keep armed with an unreachably high
+//     threshold: every commit records spans, none are kept.
+//   - TraceOverhead/on    — sample_rate 1.0: every commit records and
+//     keeps a full span tree.
+//
+// Each mode mirrors the batch-128 / fsync-always ingest loop, so the
+// numbers are directly comparable. Results land in
+// BENCH_trace_overhead.json with mutations_per_s and spans_recorded
+// counters per mode.
+
+#include <chrono>
+#include <filesystem>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "obs/trace.h"
+#include "persist/durable_store.h"
+#include "schema/dsl_parser.h"
+#include "storage/graphdb.h"
+
+namespace nepal::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+schema::SchemaPtr IngestSchema() {
+  static schema::SchemaPtr schema = [] {
+    auto s = schema::ParseSchemaDsl(R"(
+      node Host : Node { serial: string; }
+      node VM : Node { status: string; }
+      edge OnServer : Edge {}
+      allow OnServer (VM -> Host);
+    )");
+    if (!s.ok()) std::abort();
+    return *s;
+  }();
+  return schema;
+}
+
+std::string FreshDir(const std::string& name) {
+  fs::path dir = fs::temp_directory_path() / ("nepal_bench_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+persist::BackendFactory Factory() {
+  return [](schema::SchemaPtr s) -> std::unique_ptr<storage::StorageBackend> {
+    return std::make_unique<graphstore::GraphStore>(std::move(s));
+  };
+}
+
+std::vector<storage::Mutation> NodeBatch(size_t batch, size_t serial) {
+  std::vector<storage::Mutation> muts;
+  muts.reserve(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    const std::string tag = std::to_string(serial) + "_" + std::to_string(i);
+    muts.push_back(storage::Mutation::AddNode(
+        "VM", {{"name", Value("vm" + tag)}, {"status", Value("up")}}));
+  }
+  return muts;
+}
+
+enum class TraceMode { kOff = 0, kSlowOnly = 1, kOn = 2 };
+
+const char* ModeName(TraceMode mode) {
+  switch (mode) {
+    case TraceMode::kOff: return "off";
+    case TraceMode::kSlowOnly: return "slow";
+    case TraceMode::kOn: return "on";
+  }
+  return "?";
+}
+
+obs::Tracer::Options ModeOptions(TraceMode mode) {
+  obs::Tracer::Options options;
+  switch (mode) {
+    case TraceMode::kOff:
+      break;  // sample_rate 0, slow_keep_ns 0: tracing fully off
+    case TraceMode::kSlowOnly:
+      // Record every commit's spans but keep none: an unreachably high
+      // slow threshold isolates the recording cost from ring churn.
+      options.slow_keep_ns = 3600ull * 1000 * 1000 * 1000;
+      break;
+    case TraceMode::kOn:
+      options.sample_rate = 1.0;
+      break;
+  }
+  options.ring_capacity = 32;
+  return options;
+}
+
+void BM_TraceOverhead(benchmark::State& state) {
+  const auto mode = static_cast<TraceMode>(state.range(0));
+  constexpr size_t kBatch = 128;
+  const std::string dir =
+      FreshDir(std::string("trace_overhead_") + ModeName(mode));
+  persist::DurableOptions options;
+  options.fsync_policy = persist::FsyncPolicy::kAlways;
+  auto store =
+      persist::DurableStore::Open(dir, IngestSchema(), Factory(), options);
+  if (!store.ok()) {
+    state.SkipWithError(store.status().ToString().c_str());
+    return;
+  }
+  storage::GraphDb& db = (*store)->db();
+  if (!db.SetTime(1500000000000000).ok()) {
+    state.SkipWithError("SetTime failed");
+    return;
+  }
+  obs::Tracer::Global().Configure(ModeOptions(mode));
+  const obs::Tracer::Stats before = obs::Tracer::Global().stats();
+  size_t serial = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    std::vector<storage::Mutation> muts = NodeBatch(kBatch, serial++);
+    if (!db.ApplyBatch(muts).ok()) {
+      state.SkipWithError("ApplyBatch failed");
+      return;
+    }
+    benchmark::DoNotOptimize(muts[0].uid);
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const obs::Tracer::Stats after = obs::Tracer::Global().stats();
+  // Leave the tracer off for whatever runs after this benchmark.
+  obs::Tracer::Global().Configure(obs::Tracer::Options{});
+
+  const double mutations =
+      static_cast<double>(state.iterations()) * static_cast<double>(kBatch);
+  state.SetItemsProcessed(static_cast<int64_t>(mutations));
+  const std::string label = std::string("TraceOverhead/") + ModeName(mode);
+  BenchJson::Instance().Counter(label, "batch_size",
+                                static_cast<double>(kBatch));
+  if (seconds > 0) {
+    BenchJson::Instance().Counter(label, "mutations_per_s",
+                                  mutations / seconds);
+  }
+  BenchJson::Instance().Counter(
+      label, "spans_recorded",
+      static_cast<double>(after.spans - before.spans));
+  BenchJson::Instance().Counter(
+      label, "traces_kept", static_cast<double>(after.kept - before.kept));
+  store->reset();
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_TraceOverhead)
+    ->Arg(static_cast<int>(TraceMode::kOff))
+    ->Arg(static_cast<int>(TraceMode::kSlowOnly))
+    ->Arg(static_cast<int>(TraceMode::kOn))
+    ->ArgName("mode")
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace nepal::bench
+
+NEPAL_BENCH_MAIN("trace_overhead");

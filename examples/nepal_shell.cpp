@@ -17,7 +17,10 @@
 // Observability commands:
 //   \metrics [json]     dump the process-wide metrics registry
 //   \timing             toggle per-query wall time + operator summary
-//   \slow               show the engine's slow-query log
+//   \slow [json]        show the engine's slow-query log
+//   \trace              list captured traces (queries and commits)
+//   \trace json         dump the trace ring as JSON
+//   \trace <id>         render one trace's span tree (hex trace id)
 // Durability commands (src/persist):
 //   \save <dir>         write a loadable snapshot of the current state
 //   \load <dir>         open a data directory (recovers, then runs durably)
@@ -39,6 +42,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -47,6 +51,7 @@
 #include "nepal/engine.h"
 #include "netmodel/feed.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "persist/durable_store.h"
 #include "relational/relational_store.h"
 #include "replication/replica_store.h"
@@ -64,7 +69,10 @@ void PrintHelp() {
       "Observability:\n"
       "  \\metrics [json]     dump the metrics registry (text or JSON)\n"
       "  \\timing             toggle per-query timing output\n"
-      "  \\slow               show the slow-query log\n"
+      "  \\slow [json]        show the slow-query log (text or JSON)\n"
+      "  \\trace              list captured traces (queries and commits)\n"
+      "  \\trace json         dump the trace ring as JSON\n"
+      "  \\trace <id>         render one trace's span tree (hex id)\n"
       "Durability:\n"
       "  \\save <dir>         write a loadable snapshot of the current state\n"
       "  \\load <dir>         open a data directory and switch to it\n"
@@ -126,6 +134,16 @@ int main(int argc, char** argv) {
   // The shipper writes into a pipe/FIFO; a follower hanging up must surface
   // as a write error on the pump thread, not kill the shell.
   if (!ship_path.empty()) signal(SIGPIPE, SIG_IGN);
+
+  // Interactive volume is human-scale, so trace every request — the
+  // `\trace` commands need material, and commit annotations must ride the
+  // shipped frames for a follower to join.
+  {
+    obs::Tracer::Options trace_options;
+    trace_options.sample_rate = 1.0;
+    trace_options.ring_capacity = 64;
+    obs::Tracer::Global().Configure(trace_options);
+  }
 
   // Schema.
   std::string schema_text;
@@ -274,6 +292,42 @@ int main(int argc, char** argv) {
                       static_cast<double>(entry.wall_ns) / 1e6, entry.rows,
                       entry.query.c_str());
         }
+      } else if (line == "\\slow json") {
+        auto slow = engine->SlowQueries();
+        std::string out = "{\"slow_queries\":[";
+        for (size_t i = 0; i < slow.size(); ++i) {
+          if (i > 0) out += ",";
+          out += "{\"query\":\"" + obs::JsonEscape(slow[i].query) +
+                 "\",\"wall_ns\":" + std::to_string(slow[i].wall_ns) +
+                 ",\"rows\":" + std::to_string(slow[i].rows) + "}";
+        }
+        out += "]}";
+        std::printf("%s\n", out.c_str());
+      } else if (line == "\\trace") {
+        auto traces = obs::Tracer::Global().Completed();
+        if (traces.empty()) {
+          std::printf("trace ring is empty\n");
+        } else {
+          for (const auto& t : traces) {
+            std::printf("%016llx  %-12s %10.3f ms  %zu span(s)\n",
+                        static_cast<unsigned long long>(t->trace_id()),
+                        t->root_name().c_str(),
+                        static_cast<double>(t->duration_ns()) / 1e6,
+                        t->SpanCount());
+          }
+          std::printf("(\\trace <id> renders one span tree)\n");
+        }
+      } else if (line == "\\trace json") {
+        std::printf("%s\n", obs::Tracer::Global().ExportJson().c_str());
+      } else if (line.rfind("\\trace ", 0) == 0) {
+        const uint64_t id =
+            std::strtoull(line.substr(7).c_str(), nullptr, 16);
+        auto t = obs::Tracer::Global().Find(id);
+        if (t == nullptr) {
+          std::printf("no trace %s in the ring\n", line.substr(7).c_str());
+        } else {
+          std::printf("%s", t->ToText().c_str());
+        }
       } else if (line.rfind("\\save ", 0) == 0) {
         auto s = persist::DurableStore::SaveSnapshot(line.substr(6), *db);
         std::printf("%s\n", s.ok() ? "saved" : s.ToString().c_str());
@@ -322,6 +376,18 @@ int main(int argc, char** argv) {
             std::printf("clock skew: %llu frame batch(es) clamped to 0 ms "
                         "lag (primary clock ahead)\n",
                         static_cast<unsigned long long>(skew_clamped));
+          }
+          const auto traced = replica->last_traced_apply();
+          if (traced.trace_id != 0) {
+            // The follower half of commit-to-visible, keyed by the
+            // primary's trace id (the CI drill greps this line).
+            std::printf("joined trace: %016llx  wire %.3f ms, decode %.3f "
+                        "ms, apply %.3f ms (%llu frame(s))\n",
+                        static_cast<unsigned long long>(traced.trace_id),
+                        static_cast<double>(traced.wire_us) / 1e3,
+                        static_cast<double>(traced.decode_us) / 1e3,
+                        static_cast<double>(traced.apply_us) / 1e3,
+                        static_cast<unsigned long long>(traced.frames));
           }
           std::printf("link: %s\n", replica->status().ToString().c_str());
         } else if (shipper != nullptr) {

@@ -12,6 +12,7 @@
 
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace nepal::nql {
 
@@ -332,11 +333,18 @@ Result<storage::GraphDb*> QueryEngine::SourceFor(
 }
 
 Result<QueryResult> QueryEngine::Run(const std::string& nql) const {
+  obs::ScopedTrace trace(obs::Tracer::Global().StartTrace("query"));
+  const uint64_t t_parse = trace.active() ? obs::TraceNowNs() : 0;
   NEPAL_ASSIGN_OR_RETURN(Query query, ParseQuery(nql));
+  if (trace.active()) {
+    trace.trace()->AddSpan(trace.trace()->root_span(), "parse",
+                           obs::TraceNowNs() - t_parse);
+  }
   return RunParsed(query, nql);
 }
 
 Result<QueryResult> QueryEngine::RunQuery(const Query& query) const {
+  obs::ScopedTrace trace(obs::Tracer::Global().StartTrace("query"));
   return RunParsed(query, "<ast>");
 }
 
@@ -371,10 +379,18 @@ Result<QueryResult> QueryEngine::RunParsed(const Query& query,
   }
 
   obs::QueryStatsBuilder builder;
+  // Read-path execute span. Per-operator children are synthesized below
+  // from the partition-invariant QueryStats totals rather than recorded
+  // live: pool threads have no ambient context, and the associative
+  // totals give the tree an identical shape at parallelism 1 and N.
+  obs::TraceContext tctx = obs::Tracer::CurrentContext();
+  uint32_t exec_span = 0;
+  if (tctx) exec_span = tctx.trace->OpenSpan(tctx.span_id, "execute");
   const uint64_t start = NowNs();
   Result<QueryResult> result = RunInternal(query, OuterEnv{}, capture,
                                            &builder);
   const uint64_t wall_ns = NowNs() - start;
+  if (exec_span != 0) tctx.trace->CloseSpan(exec_span);
 
   if (!result.ok()) {
     registry.GetCounter("nepal.query_errors." + backend_name)->Add(1);
@@ -391,6 +407,12 @@ Result<QueryResult> QueryEngine::RunParsed(const Query& query,
   stats.result_rows = result->rows.size();
   stats.parallelism =
       static_cast<int>(EffectiveParallelism(options_.plan));
+  if (exec_span != 0) {
+    for (const obs::OperatorStats& op : stats.operators) {
+      tctx.trace->AddSpan(exec_span, op.group + "/" + op.op, op.wall_ns,
+                          op.invocations);
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     last_stats_ = stats;
@@ -403,6 +425,9 @@ Result<QueryResult> QueryEngine::RunParsed(const Query& query,
   if (options_.slow_query_ms > 0 &&
       static_cast<double>(wall_ns) / 1e6 >= options_.slow_query_ms) {
     registry.GetCounter("nepal.slow_queries." + backend_name)->Add(1);
+    // A query slow by the engine's own threshold is always worth a
+    // captured trace, even when the sampling coin said no.
+    if (tctx) tctx.trace->ForceKeep();
   }
 
   switch (query.explain) {

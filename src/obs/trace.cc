@@ -1,0 +1,388 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace nepal::obs {
+namespace {
+
+// splitmix64: per-thread PRNG for the sampling coin and trace ids. Seeded
+// from the steady clock and the slot address so threads diverge.
+uint64_t NextRand() {
+  thread_local uint64_t state = [] {
+    static std::atomic<uint64_t> salt{0x9e3779b97f4a7c15ULL};
+    return TraceNowNs() ^ salt.fetch_add(0xbf58476d1ce4e5b9ULL,
+                                         std::memory_order_relaxed);
+  }();
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double RandUnit() {
+  return static_cast<double>(NextRand() >> 11) * 0x1.0p-53;
+}
+
+uint64_t NewTraceId() {
+  uint64_t id;
+  do {
+    id = NextRand();
+  } while (id == 0);
+  return id;
+}
+
+std::string HexTraceId(uint64_t id) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, id);
+  return buf;
+}
+
+void AppendMs(uint64_t ns, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms",
+                static_cast<double>(ns) / 1e6);
+  out->append(buf);
+}
+
+}  // namespace
+
+// ---- Trace ----
+
+Trace::Trace(uint64_t trace_id, std::string root_name, bool sampled)
+    : trace_id_(trace_id),
+      root_name_(root_name),
+      sampled_(sampled),
+      base_ns_(TraceNowNs()) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.emplace_back(std::move(root_name), 0, 0);
+}
+
+uint32_t Trace::OpenSpan(uint32_t parent, std::string name) {
+  const uint64_t start = TraceNowNs() - base_ns_;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.emplace_back(std::move(name), parent, start);
+  return static_cast<uint32_t>(spans_.size());
+}
+
+void Trace::CloseSpan(uint32_t id) {
+  if (id == 0) return;
+  const uint64_t now = TraceNowNs() - base_ns_;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id > spans_.size()) return;
+  Span& span = spans_[id - 1];
+  if (!span.open) return;
+  span.open = false;
+  const uint64_t dur = now >= span.start_ns ? now - span.start_ns : 0;
+  span.dur_ns.store(dur, std::memory_order_relaxed);
+  if (id == root_span()) {
+    root_dur_ns_.store(dur, std::memory_order_relaxed);
+  }
+}
+
+uint32_t Trace::AddSpan(uint32_t parent, std::string name, uint64_t dur_ns,
+                        uint64_t count) {
+  const uint64_t start = TraceNowNs() - base_ns_;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.emplace_back(std::move(name), parent,
+                      start >= dur_ns ? start - dur_ns : 0);
+  Span& span = spans_.back();
+  span.open = false;
+  span.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  span.count.store(count, std::memory_order_relaxed);
+  return static_cast<uint32_t>(spans_.size());
+}
+
+void Trace::AddDuration(uint32_t id, uint64_t dur_ns, uint64_t count) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id > spans_.size()) return;
+  Span& span = spans_[id - 1];
+  span.dur_ns.fetch_add(dur_ns, std::memory_order_relaxed);
+  span.count.fetch_add(count, std::memory_order_relaxed);
+}
+
+size_t Trace::SpanCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<SpanView> Trace::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanView> out;
+  out.reserve(spans_.size());
+  uint32_t id = 0;
+  for (const Span& span : spans_) {
+    SpanView view;
+    view.id = ++id;
+    view.parent = span.parent;
+    view.name = span.name;
+    view.start_ns = span.start_ns;
+    view.dur_ns = span.dur_ns.load(std::memory_order_relaxed);
+    view.count = span.count.load(std::memory_order_relaxed);
+    out.push_back(std::move(view));
+  }
+  return out;
+}
+
+void Trace::AppendJson(std::string* out) const {
+  const std::vector<SpanView> spans = Snapshot();
+  out->append("{\"trace_id\":\"");
+  out->append(HexTraceId(trace_id_));
+  out->append("\",\"root\":\"");
+  out->append(JsonEscape(root_name_));
+  out->append("\",\"dur_ns\":");
+  out->append(std::to_string(duration_ns()));
+  out->append(",\"sampled\":");
+  out->append(sampled_ ? "true" : "false");
+  out->append(",\"spans\":[");
+  bool first = true;
+  for (const SpanView& span : spans) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->append("{\"id\":");
+    out->append(std::to_string(span.id));
+    out->append(",\"parent\":");
+    out->append(std::to_string(span.parent));
+    out->append(",\"name\":\"");
+    out->append(JsonEscape(span.name));
+    out->append("\",\"start_ns\":");
+    out->append(std::to_string(span.start_ns));
+    out->append(",\"dur_ns\":");
+    out->append(std::to_string(span.dur_ns));
+    out->append(",\"count\":");
+    out->append(std::to_string(span.count));
+    out->push_back('}');
+  }
+  out->append("]}");
+}
+
+std::string Trace::ToText() const {
+  const std::vector<SpanView> spans = Snapshot();
+  std::string out = "trace " + HexTraceId(trace_id_) + "  " + root_name_ +
+                    "  ";
+  AppendMs(duration_ns(), &out);
+  out.append("  (" + std::to_string(spans.size()) + " span(s))\n");
+  // Children in recording order under each parent; spans.size() is small
+  // (bounded by the operators of one request), so O(n^2) is fine.
+  std::vector<std::pair<uint32_t, int>> stack;  // (span id, depth)
+  for (auto it = spans.rbegin(); it != spans.rend(); ++it) {
+    if (it->parent == 0) stack.push_back({it->id, 1});
+  }
+  while (!stack.empty()) {
+    auto [id, depth] = stack.back();
+    stack.pop_back();
+    const SpanView& span = spans[id - 1];
+    std::string line(static_cast<size_t>(depth) * 2, ' ');
+    line += span.name;
+    if (line.size() < 40) line.resize(40, ' ');
+    line += "  ";
+    out.append(line);
+    AppendMs(span.dur_ns, &out);
+    if (span.count > 1) {
+      out.append("  x" + std::to_string(span.count));
+    }
+    out.push_back('\n');
+    for (auto it = spans.rbegin(); it != spans.rend(); ++it) {
+      if (it->parent == id) stack.push_back({it->id, depth + 1});
+    }
+  }
+  return out;
+}
+
+// ---- Tracer ----
+
+Tracer::Tracer() = default;
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+TraceContext& Tracer::CurrentContext() {
+  thread_local TraceContext context;
+  return context;
+}
+
+void Tracer::Configure(const Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  if (options_.ring_capacity == 0) options_.ring_capacity = 1;
+  enabled_.store(options_.sample_rate > 0 || options_.slow_keep_ns > 0,
+                 std::memory_order_relaxed);
+  ring_.clear();
+  live_.clear();
+  started_.store(0, std::memory_order_relaxed);
+  kept_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  spans_.store(0, std::memory_order_relaxed);
+}
+
+Tracer::Options Tracer::options() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_;
+}
+
+void Tracer::RecordStarted(size_t span_count_delta) {
+  started_.fetch_add(1, std::memory_order_relaxed);
+  spans_.fetch_add(span_count_delta, std::memory_order_relaxed);
+  MetricsRegistry::Global().GetCounter("nepal.trace.started")->Add();
+}
+
+std::shared_ptr<Trace> Tracer::StartTrace(const char* root_name) {
+  if (!enabled()) return nullptr;
+  Options options;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    options = options_;
+  }
+  const bool sampled =
+      options.sample_rate > 0 && RandUnit() < options.sample_rate;
+  if (!sampled && options.slow_keep_ns == 0) return nullptr;
+  auto trace = std::make_shared<Trace>(NewTraceId(), root_name, sampled);
+  RecordStarted(1);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Prune dead weak refs opportunistically so live_ stays O(in-flight).
+  live_.erase(std::remove_if(live_.begin(), live_.end(),
+                             [](const std::weak_ptr<Trace>& w) {
+                               return w.expired();
+                             }),
+              live_.end());
+  live_.push_back(trace);
+  return trace;
+}
+
+Tracer::Joined Tracer::JoinTrace(uint64_t trace_id,
+                                 const char* local_root_name) {
+  Joined joined;
+  if (!enabled() || trace_id == 0) return joined;
+  if (std::shared_ptr<Trace> found = Find(trace_id)) {
+    // In-process primary: attach follower segments to the same tree.
+    joined.trace = std::move(found);
+    joined.parent = joined.trace->root_span();
+    joined.local = false;
+    return joined;
+  }
+  // Cross-process primary: record a local trace under the remote id so
+  // the follower visibly carries the primary's trace id.
+  joined.trace =
+      std::make_shared<Trace>(trace_id, local_root_name, /*sampled=*/true);
+  joined.trace->ForceKeep();
+  joined.parent = joined.trace->root_span();
+  joined.local = true;
+  RecordStarted(1);
+  return joined;
+}
+
+void Tracer::FinishJoined(Joined& joined) {
+  if (!joined.trace || !joined.local) return;
+  joined.trace->CloseSpan(joined.trace->root_span());
+  Finish(joined.trace);
+}
+
+void Tracer::Finish(const std::shared_ptr<Trace>& trace) {
+  if (!trace) return;
+  trace->CloseSpan(trace->root_span());
+  if (trace->finished_.exchange(true, std::memory_order_acq_rel)) return;
+  spans_.fetch_add(trace->SpanCount() - 1, std::memory_order_relaxed);
+  uint64_t slow_keep_ns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slow_keep_ns = options_.slow_keep_ns;
+  }
+  const bool keep = trace->keep_forced() || trace->sampled() ||
+                    (slow_keep_ns > 0 && trace->duration_ns() >= slow_keep_ns);
+  if (!keep) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::Global().GetCounter("nepal.trace.dropped")->Add();
+    return;
+  }
+  kept_.fetch_add(1, std::memory_order_relaxed);
+  MetricsRegistry::Global().GetCounter("nepal.trace.kept")->Add();
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(trace);
+  while (ring_.size() > options_.ring_capacity) ring_.pop_front();
+}
+
+std::vector<std::shared_ptr<Trace>> Tracer::Completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::shared_ptr<Trace> Tracer::Find(uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if ((*it)->trace_id() == trace_id) return *it;
+  }
+  for (auto it = live_.rbegin(); it != live_.rend(); ++it) {
+    if (std::shared_ptr<Trace> trace = it->lock()) {
+      if (trace->trace_id() == trace_id) return trace;
+    }
+  }
+  return nullptr;
+}
+
+std::string Tracer::ExportText() const {
+  std::string out;
+  for (const auto& trace : Completed()) out.append(trace->ToText());
+  if (out.empty()) out = "no completed traces\n";
+  return out;
+}
+
+std::string Tracer::ExportJson() const {
+  std::string out = "{\"traces\":[";
+  bool first = true;
+  for (const auto& trace : Completed()) {
+    if (!first) out.push_back(',');
+    first = false;
+    trace->AppendJson(&out);
+  }
+  out.append("]}");
+  return out;
+}
+
+Tracer::Stats Tracer::stats() const {
+  Stats stats;
+  stats.started = started_.load(std::memory_order_relaxed);
+  stats.kept = kept_.load(std::memory_order_relaxed);
+  stats.dropped = dropped_.load(std::memory_order_relaxed);
+  stats.spans = spans_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+// ---- scoped helpers ----
+
+ScopedTrace::ScopedTrace(std::shared_ptr<Trace> trace)
+    : trace_(std::move(trace)) {
+  if (!trace_) return;
+  TraceContext& context = Tracer::CurrentContext();
+  saved_ = context;
+  context.trace = trace_;
+  context.span_id = trace_->root_span();
+}
+
+ScopedTrace::~ScopedTrace() {
+  if (!trace_) return;
+  Tracer::CurrentContext() = saved_;
+  Tracer::Global().Finish(trace_);
+}
+
+ScopedSpan::ScopedSpan(const char* name) {
+  TraceContext& context = Tracer::CurrentContext();
+  if (!context.trace) return;
+  span_id_ = context.trace->OpenSpan(context.span_id, name);
+  saved_parent_ = context.span_id;
+  context.span_id = span_id_;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (span_id_ == 0) return;
+  TraceContext& context = Tracer::CurrentContext();
+  context.trace->CloseSpan(span_id_);
+  context.span_id = saved_parent_;
+}
+
+}  // namespace nepal::obs

@@ -1,0 +1,274 @@
+// Dapper-style span tracing for per-request latency attribution.
+//
+// A Trace is a tree of named spans with steady-clock timestamps; the
+// process-wide Tracer decides which requests record one, keeps finished
+// traces in a fixed-size ring, and exposes them as text or JSON (the
+// shell's `\trace` family). Two hot paths are instrumented:
+//
+//  - writes: GraphDb::ApplyBatch opens a root span whose children
+//    decompose commit latency into lock-wait / validate / apply /
+//    wal.encode / wal.write / wal.fsync / publish. The trace id and root
+//    span id ride along with the shipped WAL frame group (an optional
+//    NPLSHP01 annotation — old followers ignore it), so a follower's
+//    wire/decode/apply segments join the primary's trace and
+//    commit-to-visible time decomposes end to end;
+//  - reads: QueryEngine wraps parse / plan / execute, then projects one
+//    child span per operator from the partition-invariant EXPLAIN
+//    ANALYZE totals (obs/query_stats.h), so the span tree has identical
+//    shape at parallelism 1 and N.
+//
+// Propagation is ambient: Tracer::CurrentContext() is a thread-local
+// {trace, span} pair installed by ScopedTrace/ScopedSpan, so lower
+// layers (persist, replication) attach children without any API changes
+// — and without a dependency cycle, since obs sits below everything.
+//
+// Sampling policy ("probabilistic + always-on-slow"):
+//  - sample_rate = 0 and slow_keep_ns = 0: tracing is OFF. StartTrace
+//    returns nullptr and every scoped helper is a no-op — the fast path
+//    allocates zero spans (a single thread-local null check).
+//  - sample_rate > 0: each StartTrace flips a coin; sampled traces are
+//    recorded and kept at Finish.
+//  - slow_keep_ns > 0: every trace is recorded (cheap span arena), but
+//    an unsampled one is kept at Finish only if its root duration
+//    reached the threshold — tail-based capture of slow requests.
+//  - Trace::ForceKeep() pins a trace into the ring regardless of the
+//    coin (used by the engine's slow-query ring and by joined replica
+//    traces).
+//
+// Threading contract: OpenSpan/AddSpan/CloseSpan/AddDuration are
+// thread-safe and remain valid after Finish — a deadline-flusher fsync
+// or an in-process follower may attach spans to a trace that already
+// sits in the ring; Snapshot/export see them on the next render.
+
+#ifndef NEPAL_OBS_TRACE_H_
+#define NEPAL_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nepal::obs {
+
+inline uint64_t TraceNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Immutable snapshot of one span, for exposition.
+struct SpanView {
+  uint32_t id = 0;
+  uint32_t parent = 0;  // 0: this is the root
+  std::string name;
+  uint64_t start_ns = 0;  // offset from the trace's start
+  uint64_t dur_ns = 0;
+  uint64_t count = 0;  // logical invocations merged into this span
+};
+
+class Trace {
+ public:
+  Trace(uint64_t trace_id, std::string root_name, bool sampled);
+
+  uint64_t trace_id() const { return trace_id_; }
+  /// The root span always has id 1 (ids are 1-based; 0 means "none").
+  uint32_t root_span() const { return 1; }
+  bool sampled() const { return sampled_; }
+
+  /// Opens a child span of `parent` and returns its id. Thread-safe.
+  uint32_t OpenSpan(uint32_t parent, std::string name);
+  /// Closes an open span, fixing its duration at now - start.
+  void CloseSpan(uint32_t id);
+  /// Records an already-measured span (cross-thread attribution, e.g.
+  /// the WAL deadline flusher, or a follower's wire segment).
+  uint32_t AddSpan(uint32_t parent, std::string name, uint64_t dur_ns,
+                   uint64_t count = 1);
+  /// Associatively folds another measured slice into span `id` — the
+  /// partition-invariant merge used by per-operator spans.
+  void AddDuration(uint32_t id, uint64_t dur_ns, uint64_t count = 1);
+
+  /// Pins this trace into the ring regardless of the sampling coin.
+  void ForceKeep() { keep_forced_.store(true, std::memory_order_relaxed); }
+  bool keep_forced() const {
+    return keep_forced_.load(std::memory_order_relaxed);
+  }
+
+  /// Root span duration; 0 until the root is closed.
+  uint64_t duration_ns() const {
+    return root_dur_ns_.load(std::memory_order_relaxed);
+  }
+  const std::string& root_name() const { return root_name_; }
+  size_t SpanCount() const;
+
+  std::vector<SpanView> Snapshot() const;
+  /// {"trace_id":"<hex>","root":..,"dur_ns":..,"spans":[...]}
+  void AppendJson(std::string* out) const;
+  /// Indented tree, one span per line, durations in ms.
+  std::string ToText() const;
+
+ private:
+  friend class Tracer;
+  struct Span {
+    std::string name;
+    uint32_t parent = 0;
+    uint64_t start_ns = 0;  // relative to base_
+    std::atomic<uint64_t> dur_ns{0};
+    std::atomic<uint64_t> count{1};
+    bool open = true;
+    Span(std::string n, uint32_t p, uint64_t s)
+        : name(std::move(n)), parent(p), start_ns(s) {}
+  };
+
+  const uint64_t trace_id_;
+  const std::string root_name_;
+  const bool sampled_;
+  const uint64_t base_ns_;  // steady-clock birth of the trace
+  std::atomic<uint64_t> root_dur_ns_{0};
+  std::atomic<bool> keep_forced_{false};
+  std::atomic<bool> finished_{false};
+  mutable std::mutex mu_;
+  std::deque<Span> spans_;  // deque: stable refs; span id = index + 1
+};
+
+/// Ambient trace context for the calling thread. `span_id` is the parent
+/// newly opened spans attach under.
+struct TraceContext {
+  std::shared_ptr<Trace> trace;
+  uint32_t span_id = 0;
+
+  explicit operator bool() const { return trace != nullptr; }
+};
+
+class Tracer {
+ public:
+  struct Options {
+    /// Probability a StartTrace is head-sampled (kept unconditionally).
+    double sample_rate = 0.0;
+    /// When > 0, every trace records and slow ones (root duration at or
+    /// above this) are kept even if the coin said no. 0 disables.
+    uint64_t slow_keep_ns = 0;
+    /// Completed-trace ring capacity (FIFO eviction).
+    size_t ring_capacity = 32;
+  };
+
+  struct Stats {
+    uint64_t started = 0;  // traces that recorded spans
+    uint64_t kept = 0;     // pushed into the ring at Finish
+    uint64_t dropped = 0;  // finished but discarded (coin lost, not slow)
+    uint64_t spans = 0;    // spans allocated across all recorded traces
+  };
+
+  /// A follower's attachment to a (possibly remote) trace id.
+  struct Joined {
+    std::shared_ptr<Trace> trace;
+    /// Parent span id the caller should attach segments under.
+    uint32_t parent = 0;
+    /// True when the trace was created on this side (the primary lives
+    /// in another process); FinishJoined then closes and keeps it.
+    bool local = false;
+
+    explicit operator bool() const { return trace != nullptr; }
+  };
+
+  static Tracer& Global();
+
+  /// Installs new options and clears the ring and stats (tests, shell).
+  void Configure(const Options& options);
+  Options options() const;
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Starts a trace, or returns nullptr when this request records
+  /// nothing (tracing off, or coin lost with no slow capture armed).
+  std::shared_ptr<Trace> StartTrace(const char* root_name);
+
+  /// Joins the trace `trace_id` shipped by a primary: in-process, the
+  /// original Trace object is found and segments land in the same tree;
+  /// cross-process, a local trace is created under the same id (so the
+  /// follower visibly carries the primary's trace id). Returns a null
+  /// Joined when tracing is off.
+  Joined JoinTrace(uint64_t trace_id, const char* local_root_name);
+  /// Completes a locally-created Joined trace (closes its root and
+  /// pushes it into the ring). No-op for in-process joins.
+  void FinishJoined(Joined& joined);
+
+  /// Closes the root span if still open, applies the keep policy, and
+  /// pushes kept traces into the ring. Idempotent.
+  void Finish(const std::shared_ptr<Trace>& trace);
+
+  /// Ring contents, oldest first.
+  std::vector<std::shared_ptr<Trace>> Completed() const;
+  /// Looks up a trace by id — ring first (newest wins), then live
+  /// traces that have not finished yet.
+  std::shared_ptr<Trace> Find(uint64_t trace_id) const;
+
+  std::string ExportText() const;
+  /// {"traces":[{...oldest...},...,{...newest...}]}
+  std::string ExportJson() const;
+  Stats stats() const;
+
+  /// The calling thread's ambient context (installed by ScopedTrace).
+  static TraceContext& CurrentContext();
+
+ private:
+  Tracer();
+  void RecordStarted(size_t span_count_delta);
+
+  mutable std::mutex mu_;
+  Options options_;
+  std::atomic<bool> enabled_{false};
+  std::deque<std::shared_ptr<Trace>> ring_;
+  std::vector<std::weak_ptr<Trace>> live_;
+  std::atomic<uint64_t> started_{0};
+  std::atomic<uint64_t> kept_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> spans_{0};
+
+  friend class Trace;
+};
+
+/// RAII root-span holder: installs the ambient context on construction
+/// and (closes root + Finish + restores the previous context) on
+/// destruction. Safe to construct from a null trace — everything no-ops.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(std::shared_ptr<Trace> trace);
+  ~ScopedTrace();
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+  bool active() const { return trace_ != nullptr; }
+  Trace* trace() const { return trace_.get(); }
+  const std::shared_ptr<Trace>& handle() const { return trace_; }
+
+ private:
+  std::shared_ptr<Trace> trace_;
+  TraceContext saved_;
+};
+
+/// RAII child span of the ambient context; no-op when untraced. While
+/// alive, nested ScopedSpans parent under it.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return span_id_ != 0; }
+  uint32_t span_id() const { return span_id_; }
+
+ private:
+  uint32_t span_id_ = 0;
+  uint32_t saved_parent_ = 0;
+};
+
+}  // namespace nepal::obs
+
+#endif  // NEPAL_OBS_TRACE_H_

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "persist/checkpoint.h"
 #include "persist/wal_format.h"
 #include "stats/stats.h"
@@ -468,9 +469,13 @@ Status DurableStore::SaveSnapshot(const std::string& dir,
 
 Status DurableStore::Append(const storage::WalRecord& rec) {
   std::string payload;
-  EncodeWalRecord(rec, &payload);
+  {
+    obs::ScopedSpan span("wal.encode");
+    EncodeWalRecord(rec, &payload);
+  }
   NEPAL_RETURN_NOT_OK(writer_->Append(payload));
   records_appended_.fetch_add(1, std::memory_order_release);
+  obs::ScopedSpan span("publish");
   PublishFrame(writer_->segment_seq(), payload);
   return Status::OK();
 }
@@ -479,13 +484,17 @@ Status DurableStore::AppendBatch(const std::vector<storage::WalRecord>& recs) {
   if (recs.empty()) return Status::OK();
   std::vector<std::string> payloads;
   payloads.reserve(recs.size());
-  for (const storage::WalRecord& rec : recs) {
-    std::string payload;
-    EncodeWalRecord(rec, &payload);
-    payloads.push_back(std::move(payload));
+  {
+    obs::ScopedSpan span("wal.encode");
+    for (const storage::WalRecord& rec : recs) {
+      std::string payload;
+      EncodeWalRecord(rec, &payload);
+      payloads.push_back(std::move(payload));
+    }
   }
   NEPAL_RETURN_NOT_OK(writer_->AppendGroup(payloads));
   records_appended_.fetch_add(recs.size(), std::memory_order_release);
+  obs::ScopedSpan span("publish");
   PublishFrames(writer_->segment_seq(), payloads);
   return Status::OK();
 }
@@ -498,13 +507,19 @@ void DurableStore::PublishFrames(uint64_t segment_seq,
     std::lock_guard<std::mutex> lock(subs_mu_);
     if (subs_.empty()) return;
     const int64_t shipped_at_us = WallClockMicros();
+    // Propagate the committing thread's trace context with the group so a
+    // follower's apply spans can join the primary's commit trace.
+    const obs::TraceContext& tctx = obs::Tracer::CurrentContext();
+    const uint64_t trace_id = tctx.trace ? tctx.trace->trace_id() : 0;
+    const uint32_t root_span = tctx.trace ? tctx.trace->root_span() : 0;
     size_t bytes = 0;
     for (const std::string& payload : payloads) {
       bytes += payload.size();
       for (auto it = subs_.begin(); it != subs_.end();) {
         const auto& sub = *it;
         const bool was_lagged = sub->lagged();
-        sub->PushLive(WalShipFrame{segment_seq, shipped_at_us, payload});
+        sub->PushLive(WalShipFrame{segment_seq, shipped_at_us, trace_id,
+                                   root_span, payload});
         if (sub->lagged() || sub->closed()) {
           if (!was_lagged && sub->lagged()) ++lagged;
           it = subs_.erase(it);
@@ -533,10 +548,14 @@ void DurableStore::PublishFrame(uint64_t segment_seq,
     std::lock_guard<std::mutex> lock(subs_mu_);
     if (subs_.empty()) return;
     const int64_t shipped_at_us = WallClockMicros();
+    const obs::TraceContext& tctx = obs::Tracer::CurrentContext();
+    const uint64_t trace_id = tctx.trace ? tctx.trace->trace_id() : 0;
+    const uint32_t root_span = tctx.trace ? tctx.trace->root_span() : 0;
     for (auto it = subs_.begin(); it != subs_.end();) {
       const auto& sub = *it;
       const bool was_lagged = sub->lagged();
-      sub->PushLive(WalShipFrame{segment_seq, shipped_at_us, payload});
+      sub->PushLive(WalShipFrame{segment_seq, shipped_at_us, trace_id,
+                                 root_span, payload});
       if (sub->lagged() || sub->closed()) {
         if (!was_lagged && sub->lagged()) ++lagged;
         it = subs_.erase(it);
@@ -625,7 +644,8 @@ Status WalSubscription::FillFromDiskLocked() {
       dir_ + "/" + WalSegmentFileName(seq), seq, fingerprint_, limit,
       [&](std::string_view payload) -> Status {
         pending_.push_back(
-            WalShipFrame{seq, /*shipped_at_us=*/0, std::string(payload)});
+            WalShipFrame{seq, /*shipped_at_us=*/0, /*trace_id=*/0,
+                         /*root_span=*/0, std::string(payload)});
         return Status::OK();
       });
   if (!read.ok()) return read.status();

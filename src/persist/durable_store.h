@@ -92,9 +92,18 @@ struct RecoveryInfo {
 /// the log and when the primary shipped it (for follower lag accounting;
 /// zero for frames read back from disk during catch-up, whose append time
 /// is unknown).
+///
+/// `trace_id` / `root_span` carry the primary's commit trace context when
+/// the committing write was traced (obs/trace.h); zero means untraced.
+/// On the wire this rides in an *optional* NPLSHP01 annotation (frame tag
+/// 0x03) — untraced frames keep the original tag-0x02 encoding byte for
+/// byte, and old followers never see the new tag. Catch-up frames read
+/// back from disk carry no context (the WAL file does not store it).
 struct WalShipFrame {
   uint64_t segment_seq = 0;
   int64_t shipped_at_us = 0;
+  uint64_t trace_id = 0;
+  uint32_t root_span = 0;
   std::string payload;
 };
 

@@ -80,6 +80,7 @@ WalWriter::WalWriter(std::string path, int fd, uint64_t segment_seq,
   appends_ = reg.GetCounter("nepal.wal.appends");
   append_bytes_ = reg.GetCounter("nepal.wal.append_bytes");
   fsyncs_ = reg.GetCounter("nepal.wal.fsyncs");
+  deadline_flushes_ = reg.GetCounter("nepal.wal.deadline_flushes");
   append_ns_ = reg.GetHistogram("nepal.wal.append_ns");
   fsync_ns_ = reg.GetHistogram("nepal.wal.fsync_ns");
   if (options_.fsync_policy == FsyncPolicy::kInterval &&
@@ -111,7 +112,19 @@ void WalWriter::FlusherLoop() {
       break;
     }
     if (dirty_ && std::chrono::steady_clock::now() >= deadline) {
+      // A deadline flush is the idle-tail sync: dirty bytes aged a full
+      // window with no append-driven fsync picking them up. Count it
+      // separately and, if the append that produced them was traced,
+      // attribute the fsync to that (already finished) trace.
+      obs::TraceContext ctx = std::move(pending_flush_ctx_);
+      pending_flush_ctx_ = obs::TraceContext{};
+      const uint64_t t0 = obs::TraceNowNs();
       SyncLocked().IgnoreError();
+      deadline_flushes_->Add(1);
+      if (ctx.trace) {
+        ctx.trace->AddSpan(ctx.span_id, "wal.fsync.deadline",
+                           obs::TraceNowNs() - t0);
+      }
     }
   }
 }
@@ -146,6 +159,10 @@ Status WalWriter::WriteFully(const char* data, size_t n) {
       became_dirty = true;
     }
     dirty_ = true;
+    if (flusher_.joinable()) {
+      const obs::TraceContext& current = obs::Tracer::CurrentContext();
+      if (current.trace) pending_flush_ctx_ = current;
+    }
   }
   // Wake the flusher only on the clean->dirty transition; it arms its
   // deadline off dirty_since_.
@@ -155,6 +172,7 @@ Status WalWriter::WriteFully(const char* data, size_t n) {
 
 Status WalWriter::AppendGroup(const std::vector<std::string>& payloads) {
   if (payloads.empty()) return Status::OK();
+  obs::ScopedSpan span("wal.write");
   const auto t0 = std::chrono::steady_clock::now();
   size_t total = 0;
   for (const std::string& p : payloads) {
@@ -182,6 +200,7 @@ Status WalWriter::AppendGroup(const std::vector<std::string>& payloads) {
 }
 
 Status WalWriter::Append(std::string_view payload) {
+  obs::ScopedSpan span("wal.write");
   const auto t0 = std::chrono::steady_clock::now();
   std::string frame;
   frame.reserve(kWalFrameHeaderSize + payload.size());
@@ -233,10 +252,16 @@ Status WalWriter::SyncLocked() {
     return Status::OK();
   }
   const auto t0 = std::chrono::steady_clock::now();
-  if (::fsync(fd_) != 0) {
-    return Status::IoError(ErrnoMessage("fsync wal segment", path_));
+  {
+    obs::ScopedSpan span("wal.fsync");
+    if (::fsync(fd_) != 0) {
+      return Status::IoError(ErrnoMessage("fsync wal segment", path_));
+    }
   }
   dirty_ = false;
+  // An inline sync covered the dirty bytes; the deadline flusher has
+  // nothing left to attribute.
+  pending_flush_ctx_ = obs::TraceContext{};
   last_sync_ = std::chrono::steady_clock::now();
   fsyncs_->Add(1);
   fsync_ns_->Observe(static_cast<uint64_t>(

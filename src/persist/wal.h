@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/trace.h"
 #include "persist/wal_format.h"
 
 namespace nepal::obs {
@@ -137,11 +138,18 @@ class WalWriter {
   /// When the oldest currently-dirty byte was written (valid while dirty_);
   /// the flusher's deadline is dirty_since_ + fsync_interval_ms.
   std::chrono::steady_clock::time_point dirty_since_;
+  /// Trace context of the last traced append whose bytes are still dirty
+  /// (guarded by flush_mu_). When the deadline flusher — not an inline
+  /// sync — pushes those bytes to disk, it attaches the fsync span to this
+  /// context, so an interval-policy commit's trace eventually shows where
+  /// its durability point actually landed.
+  obs::TraceContext pending_flush_ctx_;
 
   // Cached metric cells (registry pointers are stable).
   obs::Counter* appends_;
   obs::Counter* append_bytes_;
   obs::Counter* fsyncs_;
+  obs::Counter* deadline_flushes_;
   obs::Histogram* append_ns_;
   obs::Histogram* fsync_ns_;
 };

@@ -6,6 +6,7 @@
 
 #include "common/time.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "persist/checkpoint.h"
 #include "persist/wal_format.h"
 
@@ -112,6 +113,8 @@ void ReplicaStore::Run() {
       if (!more.ok() || !*more) break;  // stream errors resurface next loop
       frames.push_back(std::move(extra));
     }
+    const int64_t received_us = WallClockMicros();
+    const uint64_t t_decode = obs::TraceNowNs();
     std::vector<persist::WalRecord> recs;
     recs.reserve(frames.size());
     Status decode_status;
@@ -123,15 +126,19 @@ void ReplicaStore::Run() {
       }
       recs.push_back(std::move(rec.value()));
     }
+    const uint64_t decode_ns = obs::TraceNowNs() - t_decode;
+    const uint64_t t_apply = obs::TraceNowNs();
     Status applied_status =
         decode_status.ok()
             ? persist::ApplyWalRecordBatch(store_->db(), recs)
             : decode_status;
+    const uint64_t apply_ns = obs::TraceNowNs() - t_apply;
     if (!applied_status.ok()) {
       status = applied_status;
       break;
     }
     records_applied_.fetch_add(frames.size(), std::memory_order_release);
+    RecordTracedApply(frames, received_us, decode_ns, apply_ns);
     applied->Add(frames.size());
     const persist::WalShipFrame& newest = frames.back();
     if (newest.shipped_at_us > 0) {
@@ -150,6 +157,46 @@ void ReplicaStore::Run() {
   }
   std::lock_guard<std::mutex> lock(mu_);
   status_ = status;
+}
+
+void ReplicaStore::RecordTracedApply(
+    const std::vector<persist::WalShipFrame>& frames, int64_t received_us,
+    uint64_t decode_ns, uint64_t apply_ns) {
+  const persist::WalShipFrame* traced = nullptr;
+  for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+    if (it->trace_id != 0) {
+      traced = &*it;
+      break;
+    }
+  }
+  if (traced == nullptr) return;
+  int64_t wire_us = 0;
+  if (traced->shipped_at_us > 0) {
+    wire_us = received_us - traced->shipped_at_us;
+    if (wire_us < 0) wire_us = 0;  // primary wall clock runs ahead of ours
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_traced_ = LastTracedApply{traced->trace_id, wire_us,
+                                   decode_ns / 1000, apply_ns / 1000,
+                                   frames.size()};
+  }
+  auto& tracer = obs::Tracer::Global();
+  obs::Tracer::Joined joined = tracer.JoinTrace(traced->trace_id, "replica");
+  if (!joined) return;
+  // In-process the primary's own root span is addressable, so the segments
+  // land in the very tree ApplyBatch built; cross-process they hang off
+  // the local root created under the remote trace id.
+  const uint32_t parent = !joined.local && traced->root_span != 0
+                              ? traced->root_span
+                              : joined.parent;
+  if (traced->shipped_at_us > 0) {
+    joined.trace->AddSpan(parent, "wire",
+                          static_cast<uint64_t>(wire_us) * 1000);
+  }
+  joined.trace->AddSpan(parent, "replica.decode", decode_ns, frames.size());
+  joined.trace->AddSpan(parent, "replica.apply", apply_ns, frames.size());
+  tracer.FinishJoined(joined);
 }
 
 Status ReplicaStore::Promote() {

@@ -84,6 +84,23 @@ class ReplicaStore {
     return promoted_.load(std::memory_order_acquire);
   }
 
+  /// Decomposed timing of the most recent apply batch that carried a
+  /// trace annotation — the follower half of commit-to-visible, keyed by
+  /// the primary's trace id (`\replication` renders it; the same
+  /// segments are attached as spans to the joined trace). All zero until
+  /// a traced frame arrives.
+  struct LastTracedApply {
+    uint64_t trace_id = 0;  // the primary's trace id
+    int64_t wire_us = 0;    // ship -> receive (wall clocks, clamped >= 0)
+    uint64_t decode_us = 0;
+    uint64_t apply_us = 0;
+    uint64_t frames = 0;  // frames in the re-batched apply
+  };
+  LastTracedApply last_traced_apply() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_traced_;
+  }
+
   /// Turns the follower into a writable primary: stops the apply loop,
   /// drains nothing further, flips read-only off and cuts a checkpoint so
   /// the promotion point is a clean segment boundary on disk. After this,
@@ -95,6 +112,11 @@ class ReplicaStore {
                std::unique_ptr<ReplicationTransport> transport,
                ReplicaOptions options);
   void Run();
+  /// Joins the primary's trace (newest annotated frame in the batch wins)
+  /// and publishes the wire/decode/apply decomposition.
+  void RecordTracedApply(const std::vector<persist::WalShipFrame>& frames,
+                         int64_t received_us, uint64_t decode_ns,
+                         uint64_t apply_ns);
 
   std::unique_ptr<persist::DurableStore> store_;
   std::unique_ptr<ReplicationTransport> transport_;
@@ -104,6 +126,7 @@ class ReplicaStore {
   std::atomic<uint64_t> records_applied_{0};
   mutable std::mutex mu_;
   Status status_;
+  LastTracedApply last_traced_;
   std::thread thread_;
 };
 

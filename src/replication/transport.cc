@@ -15,6 +15,12 @@ namespace {
 
 constexpr char kShipMagic[8] = {'N', 'P', 'L', 'S', 'H', 'P', '0', '1'};
 constexpr uint8_t kFrameTag = 0x02;
+/// Trace-annotated frame: the 0x02 layout with a trace id (u64) and root
+/// span id (u32) inserted after the ship timestamp. Emitted only when the
+/// shipped commit was traced, so untraced traffic stays byte-identical to
+/// the original protocol (a pre-tracing follower never encounters 0x03
+/// unless its primary traces; a post-tracing follower accepts both).
+constexpr uint8_t kFrameTagTraced = 0x03;
 /// Sanity bound on wire lengths; anything larger is stream corruption.
 constexpr uint64_t kMaxWireObjectBytes = 1ull << 32;
 
@@ -135,18 +141,37 @@ Result<bool> FdTransport::Next(persist::WalShipFrame* frame,
                            std::strerror(errno));
   }
   if (r == 0) return false;  // timeout, no data yet
-  // Data (or EOF) is ready; the frame header read below classifies it.
-  char header[1 + 8 + 8 + 4 + 4];
-  NEPAL_RETURN_NOT_OK(ReadFully(header, sizeof(header),
-                                /*eof_is_close=*/true));
-  if (static_cast<uint8_t>(header[0]) != kFrameTag) {
+  // Data (or EOF) is ready; the tag byte read below classifies it and
+  // selects the header layout (0x02 plain, 0x03 trace-annotated).
+  char tag_byte;
+  NEPAL_RETURN_NOT_OK(ReadFully(&tag_byte, 1, /*eof_is_close=*/true));
+  const uint8_t tag = static_cast<uint8_t>(tag_byte);
+  if (tag != kFrameTag && tag != kFrameTagTraced) {
     return Status::Corruption("unknown replication frame tag " +
-                              std::to_string(header[0]));
+                              std::to_string(tag));
   }
-  frame->segment_seq = ReadU64(header + 1);
-  frame->shipped_at_us = static_cast<int64_t>(ReadU64(header + 9));
-  const uint32_t len = ReadU32(header + 17);
-  const uint32_t masked_crc = ReadU32(header + 21);
+  char header[8 + 8 + 8 + 4 + 4 + 4];
+  const size_t header_len =
+      tag == kFrameTagTraced ? 8 + 8 + 8 + 4 + 4 + 4 : 8 + 8 + 4 + 4;
+  NEPAL_RETURN_NOT_OK(ReadFully(header, header_len,
+                                /*eof_is_close=*/false));
+  const char* p = header;
+  frame->segment_seq = ReadU64(p);
+  p += 8;
+  frame->shipped_at_us = static_cast<int64_t>(ReadU64(p));
+  p += 8;
+  if (tag == kFrameTagTraced) {
+    frame->trace_id = ReadU64(p);
+    p += 8;
+    frame->root_span = ReadU32(p);
+    p += 4;
+  } else {
+    frame->trace_id = 0;
+    frame->root_span = 0;
+  }
+  const uint32_t len = ReadU32(p);
+  p += 4;
+  const uint32_t masked_crc = ReadU32(p);
   if (len > kMaxWireObjectBytes) {
     return Status::Corruption("implausible replication frame length " +
                               std::to_string(len));
@@ -227,10 +252,15 @@ void WalShipper::Run() {
     }
     if (!*got) continue;  // timeout; poll again
     std::string wire;
-    wire.reserve(1 + 8 + 8 + 4 + 4 + frame.payload.size());
-    PutFixed8(&wire, kFrameTag);
+    wire.reserve(1 + 8 + 8 + 8 + 4 + 4 + 4 + frame.payload.size());
+    const bool traced = frame.trace_id != 0;
+    PutFixed8(&wire, traced ? kFrameTagTraced : kFrameTag);
     PutFixed64(&wire, frame.segment_seq);
     PutFixed64(&wire, static_cast<uint64_t>(frame.shipped_at_us));
+    if (traced) {
+      PutFixed64(&wire, frame.trace_id);
+      PutFixed32(&wire, frame.root_span);
+    }
     PutFixed32(&wire, static_cast<uint32_t>(frame.payload.size()));
     PutFixed32(&wire, persist::MaskCrc(persist::Crc32c(
                           frame.payload.data(), frame.payload.size())));

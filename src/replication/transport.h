@@ -17,6 +17,13 @@
 //           | image bytes | u32 masked_crc(image)
 //   frame:  u8 0x02 | u64 segment_seq | i64 shipped_at_us
 //           | u32 payload_len | u32 masked_crc(payload) | payload bytes
+//   traced: u8 0x03 | u64 segment_seq | i64 shipped_at_us
+//           | u64 trace_id | u32 root_span
+//           | u32 payload_len | u32 masked_crc(payload) | payload bytes
+//
+// 0x03 is the optional trace annotation (obs/trace.h): it is emitted only
+// for frames whose commit was traced on the primary, so untraced traffic
+// remains byte-identical to the pre-tracing protocol.
 //
 // EOF mid-stream surfaces as kUnavailable("primary closed") — for a
 // warm-standby follower that is the promotion trigger, not an error.

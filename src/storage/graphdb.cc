@@ -7,11 +7,39 @@
 #include <set>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace nepal::storage {
 
 namespace {
 // 2017-01-01 00:00:00 UTC in microseconds; matches the paper's example era.
 constexpr Timestamp kEpoch2017 = 1483228800LL * 1000000;
+
+// Cached registry pointers for the group-commit fast path (the registry
+// lookup takes a lock; the pointers are stable for the process lifetime).
+struct BatchMetrics {
+  obs::Histogram* size = nullptr;
+  obs::Counter* committed = nullptr;
+  obs::Counter* failed_validation = nullptr;
+  obs::Gauge* commit_epoch = nullptr;
+};
+
+BatchMetrics& BatchMetricsInstance() {
+  static BatchMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    static const std::vector<uint64_t> kBatchSizeBounds{
+        1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096};
+    BatchMetrics m;
+    m.size = registry.GetHistogram("nepal.batch.size", kBatchSizeBounds);
+    m.committed = registry.GetCounter("nepal.batch.committed");
+    m.failed_validation =
+        registry.GetCounter("nepal.batch.failed_validation");
+    m.commit_epoch = registry.GetGauge("nepal.batch.commit_epoch");
+    return m;
+  }();
+  return metrics;
+}
 }  // namespace
 
 GraphDb::GraphDb(schema::SchemaPtr schema,
@@ -56,6 +84,7 @@ Status GraphDb::SetTimeLocked(Timestamp t, std::vector<WalRecord>* wal) {
 }
 
 Status GraphDb::SetTime(Timestamp t) {
+  obs::ScopedTrace trace(obs::Tracer::Global().StartTrace("set_time"));
   std::unique_lock<std::shared_mutex> lock(mutex_);
   NEPAL_RETURN_NOT_OK(CheckWritableLocked());
   std::vector<WalRecord> wal;
@@ -192,6 +221,7 @@ Result<Uid> GraphDb::AddNode(const std::string& class_name,
     return Status::SchemaViolation("class '" + class_name +
                                    "' is an edge class, not a node class");
   }
+  obs::ScopedTrace trace(obs::Tracer::Global().StartTrace("add_node"));
   std::unique_lock<std::shared_mutex> lock(mutex_);
   NEPAL_RETURN_NOT_OK(CheckWritableLocked());
   NEPAL_ASSIGN_OR_RETURN(std::vector<Value> row,
@@ -249,6 +279,7 @@ Result<Uid> GraphDb::AddEdge(const std::string& class_name, Uid source,
     return Status::SchemaViolation("class '" + class_name +
                                    "' is a node class, not an edge class");
   }
+  obs::ScopedTrace trace(obs::Tracer::Global().StartTrace("add_edge"));
   std::unique_lock<std::shared_mutex> lock(mutex_);
   NEPAL_RETURN_NOT_OK(CheckWritableLocked());
   NEPAL_ASSIGN_OR_RETURN(ElementVersion src, GetCurrentLocked(source));
@@ -317,6 +348,7 @@ Status GraphDb::UpdateElementLocked(
 }
 
 Status GraphDb::UpdateElement(Uid uid, const schema::FieldValues& fields) {
+  obs::ScopedTrace trace(obs::Tracer::Global().StartTrace("update"));
   std::unique_lock<std::shared_mutex> lock(mutex_);
   NEPAL_RETURN_NOT_OK(CheckWritableLocked());
   NEPAL_ASSIGN_OR_RETURN(ElementVersion cur, GetCurrentLocked(uid));
@@ -364,6 +396,7 @@ Status GraphDb::RemoveElementLocked(Uid uid, std::vector<WalRecord>* wal) {
 }
 
 Status GraphDb::RemoveElement(Uid uid) {
+  obs::ScopedTrace trace(obs::Tracer::Global().StartTrace("remove"));
   std::unique_lock<std::shared_mutex> lock(mutex_);
   NEPAL_RETURN_NOT_OK(CheckWritableLocked());
   const uint64_t epoch = commit_epoch_.load(std::memory_order_relaxed) + 1;
@@ -376,8 +409,20 @@ Status GraphDb::RemoveElement(Uid uid) {
 
 Status GraphDb::ApplyBatch(std::span<Mutation> muts) {
   if (muts.empty()) return Status::OK();
+  // Root span of the commit-to-visible trace. Children added below and by
+  // the durable layer (via the ambient context) decompose commit latency
+  // into lock-wait / validate / apply / wal.encode / wal.write / wal.fsync
+  // / publish; the follower's wire and apply segments join over the wire.
+  obs::ScopedTrace trace(obs::Tracer::Global().StartTrace("apply_batch"));
+  obs::Trace* tr = trace.trace();
+  const uint64_t t_lock = tr ? obs::TraceNowNs() : 0;
   std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (tr) {
+    tr->AddSpan(tr->root_span(), "lock_wait", obs::TraceNowNs() - t_lock);
+  }
   NEPAL_RETURN_NOT_OK(CheckWritableLocked());
+  BatchMetrics& metrics = BatchMetricsInstance();
+  metrics.size->Observe(muts.size());
 
   // ---- Phase 1: validate every mutation against an overlay of the batch's
   // own effects. Nothing — backend, counters, unique index, clock, uid
@@ -465,7 +510,13 @@ Status GraphDb::ApplyBatch(std::span<Mutation> muts) {
     }
     return sim_next++;
   };
-  auto fail = [](size_t i, const Status& st) {
+  const uint64_t t_validate = tr ? obs::TraceNowNs() : 0;
+  auto fail = [&](size_t i, const Status& st) {
+    BatchMetricsInstance().failed_validation->Add();
+    if (tr) {
+      tr->AddSpan(tr->root_span(), "validate",
+                  obs::TraceNowNs() - t_validate);
+    }
     return Status(st.code(), "batch mutation #" + std::to_string(i) + ": " +
                                  st.message());
   };
@@ -655,10 +706,15 @@ Status GraphDb::ApplyBatch(std::span<Mutation> muts) {
     }
   }
 
+  if (tr) {
+    tr->AddSpan(tr->root_span(), "validate", obs::TraceNowNs() - t_validate);
+  }
+
   // ---- Phase 2: apply. The overlay proved every mutation valid, so the
   // helpers below are expected to be infallible; a failure means the
   // simulation diverged (a bug) and is surfaced as Internal with the
   // applied prefix's WAL records still shipped so the log matches memory.
+  const uint64_t t_apply = tr ? obs::TraceNowNs() : 0;
   const uint64_t epoch = commit_epoch_.load(std::memory_order_relaxed) + 1;
   backend_->set_write_epoch(epoch);
   std::vector<WalRecord> wal;
@@ -701,7 +757,13 @@ Status GraphDb::ApplyBatch(std::span<Mutation> muts) {
     }
   }
   commit_epoch_.store(epoch, std::memory_order_release);
-  if (!apply.ok()) {
+  metrics.commit_epoch->Set(static_cast<int64_t>(epoch));
+  if (tr) {
+    tr->AddSpan(tr->root_span(), "apply", obs::TraceNowNs() - t_apply);
+  }
+  if (apply.ok()) {
+    metrics.committed->Add();
+  } else {
     apply = Status::Internal(
         "batch apply diverged from validation (state may be partial): " +
         apply.message());
