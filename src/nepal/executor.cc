@@ -4,6 +4,10 @@
 #include <chrono>
 #include <functional>
 #include <optional>
+#include <string>
+#include <map>
+#include <unordered_map>
+#include <vector>
 
 #include "common/thread_pool.h"
 #include "nepal/optimizer.h"
@@ -96,8 +100,194 @@ std::string StepLabel(const Step& step) {
       }
       return "Loop" + rep;
     }
+    case Step::Kind::kAutomaton:
+      return "Automaton" + RepSuffix(step.min_rep, step.max_rep) + " " +
+             std::to_string(step.nfa == nullptr ? 0
+                                                : step.nfa->num_states()) +
+             " states";
   }
   return "?";
+}
+
+/// Graph × NFA product traversal for an Automaton step. The frontier is a
+/// set of (path, NFA-state set) entries — classic NFA simulation over the
+/// product with the store. Entries are grouped by state set and extended
+/// with one batched ExtendAtom call per *distinct* transition atom, so
+/// both backends (and the snapshot-read decorators) serve the traversal
+/// through the same operator as every other step, and a path occupying
+/// many states is still extended only once per atom. (Reversed bounded
+/// automata need this: their start's ε-closure fans into every iteration
+/// copy, so per-state frontiers would re-extend each path per copy.)
+///
+/// A per-path memo of occupied states admits each (path, state) pair
+/// once, which is what makes cyclic automata — unbounded repetitions —
+/// terminate: path states are simple paths over a finite store, so the
+/// memo domain is finite, and a suppressed re-arrival could only spawn
+/// the exact continuations its first arrival already spawned. For bounded
+/// automata (a DAG with one state set per iteration copy) the memo is
+/// equivalent to the legacy loop's per-round DedupPaths, so the final
+/// output sets match.
+///
+/// Parallelism: the automaton usually sits right after the anchor Select,
+/// so its *input* frontier is tiny and input sharding buys nothing — the
+/// work lives in the per-round intermediate frontiers. Each round's
+/// (group, atom) extensions are therefore sliced across the pool, while
+/// memo admission stays serial in fixed slice order; the output is
+/// byte-identical to the serial traversal for every thread count.
+PathSet RunAutomaton(storage::PathOperatorExecutor& exec, const Step& step,
+                     const PathSet& frontier, Direction dir,
+                     const TimeView& view, const ParallelContext& ctx,
+                     size_t* before_dedup) {
+  PathSet out;
+  *before_dedup = 0;
+  if (step.nfa == nullptr) return out;
+  const Nfa& nfa = *step.nfa;
+  const size_t n = nfa.num_states();
+  if (n == 0 || nfa.start < 0) return out;
+  const size_t start = static_cast<size_t>(nfa.start);
+
+  struct Entry {
+    PathState path;
+    std::vector<int> states;  // occupied NFA states, sorted
+  };
+  struct Memo {
+    std::vector<bool> visited;  // states this path has ever occupied
+    bool emitted = false;
+  };
+  std::unordered_map<std::string, Memo> seen;
+
+  std::vector<Entry> cur;
+  cur.reserve(frontier.size());
+  for (const PathState& p : frontier) {
+    Memo& memo = seen[p.DedupKey()];
+    if (memo.visited.empty()) memo.visited.assign(n, false);
+    if (memo.visited[start]) continue;
+    memo.visited[start] = true;
+    if (nfa.accept[start] && !memo.emitted) {
+      // Zero iterations are admissible: the input passes through.
+      memo.emitted = true;
+      out.push_back(p);
+    }
+    cur.push_back({p, {static_cast<int>(start)}});
+  }
+
+  while (!cur.empty()) {
+    // Group entries by state set; a group's outgoing arcs are the distinct
+    // transition atoms of its states with their merged target sets.
+    struct Arc {
+      const storage::CompiledAtom* atom = nullptr;
+      std::vector<int> targets;
+    };
+    struct Group {
+      std::vector<size_t> entries;       // indices into cur
+      std::map<std::string, Arc> arcs;   // atom rendering -> arc
+    };
+    std::map<std::string, Group> groups;  // deterministic iteration order
+    for (size_t i = 0; i < cur.size(); ++i) {
+      std::string key;
+      for (int s : cur[i].states) key += std::to_string(s) + ",";
+      Group& group = groups[key];
+      if (group.entries.empty()) {
+        for (int s : cur[i].states) {
+          for (const NfaTransition& tr :
+               nfa.states[static_cast<size_t>(s)]) {
+            Arc& arc = group.arcs[tr.atom.ToString()];
+            arc.atom = &tr.atom;
+            arc.targets.push_back(tr.target);
+          }
+        }
+        for (auto& [unused, arc] : group.arcs) {
+          std::sort(arc.targets.begin(), arc.targets.end());
+          arc.targets.erase(
+              std::unique(arc.targets.begin(), arc.targets.end()),
+              arc.targets.end());
+        }
+      }
+      group.entries.push_back(i);
+    }
+
+    // One extension task per (group, arc, chunk). Slice boundaries are a
+    // pure function of the frontier, so the admission order below is
+    // scheduling-independent.
+    struct Slice {
+      const Group* group;
+      const Arc* arc;
+      size_t begin, end;  // range within group->entries
+    };
+    size_t round_rows = 0;
+    for (const auto& [unused, group] : groups) {
+      round_rows += group.entries.size() * group.arcs.size();
+    }
+    const size_t shards =
+        ctx.enabled()
+            ? std::min(ctx.parallelism * 2, round_rows / kMinStatesPerShard)
+            : 0;
+    const size_t chunk =
+        shards >= 2 ? std::max(kMinStatesPerShard, round_rows / shards)
+                    : std::max<size_t>(round_rows, 1);
+    std::vector<Slice> slices;
+    for (const auto& [unused, group] : groups) {
+      for (const auto& [unused2, arc] : group.arcs) {
+        for (size_t b = 0; b < group.entries.size(); b += chunk) {
+          slices.push_back(
+              {&group, &arc, b, std::min(b + chunk, group.entries.size())});
+        }
+      }
+    }
+    if (slices.empty()) break;
+
+    std::vector<PathSet> ext(slices.size());
+    auto run_slice = [&exec, dir, &view, &cur, &slices, &ext](size_t i) {
+      const Slice& sl = slices[i];
+      PathSet input;
+      input.reserve(sl.end - sl.begin);
+      for (size_t k = sl.begin; k < sl.end; ++k) {
+        input.push_back(cur[sl.group->entries[k]].path);
+      }
+      ext[i] = exec.ExtendAtom(input, *sl.arc->atom, dir, view);
+    };
+    if (shards >= 2 && slices.size() >= 2) {
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(slices.size());
+      for (size_t i = 0; i < slices.size(); ++i) {
+        tasks.push_back([&run_slice, i] { run_slice(i); });
+      }
+      ctx.pool->RunBatch(std::move(tasks));
+    } else {
+      for (size_t i = 0; i < slices.size(); ++i) run_slice(i);
+    }
+
+    std::vector<Entry> next;
+    for (size_t i = 0; i < slices.size(); ++i) {
+      const Arc& arc = *slices[i].arc;
+      for (PathState& p : ext[i]) {
+        Memo& memo = seen[p.DedupKey()];
+        if (memo.visited.empty()) memo.visited.assign(n, false);
+        std::vector<int> fresh;
+        for (int t : arc.targets) {
+          if (!memo.visited[static_cast<size_t>(t)]) {
+            memo.visited[static_cast<size_t>(t)] = true;
+            fresh.push_back(t);
+          }
+        }
+        if (fresh.empty()) continue;
+        if (!memo.emitted) {
+          for (int t : fresh) {
+            if (nfa.accept[static_cast<size_t>(t)]) {
+              memo.emitted = true;
+              out.push_back(p);
+              break;
+            }
+          }
+        }
+        next.push_back({std::move(p), std::move(fresh)});
+      }
+    }
+    cur = std::move(next);
+  }
+  *before_dedup = out.size();
+  storage::DedupPaths(&out);
+  return out;
 }
 
 /// Registers one stats node per step, recursing into union branches and
@@ -263,6 +453,9 @@ PathSet RunStepCtx(storage::PathOperatorExecutor& exec, const Step& step,
       out = std::move(collected);
       break;
     }
+    case Step::Kind::kAutomaton:
+      out = RunAutomaton(exec, step, frontier, dir, view, ctx, &before_dedup);
+      break;
   }
 
   if (record) {

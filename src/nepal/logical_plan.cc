@@ -60,8 +60,7 @@ std::string LogicalNode::ToString() const {
       break;
     }
     case Kind::kRep:
-      out = "[" + children[0].ToString() + "]{" + std::to_string(min_rep) +
-            "," + std::to_string(max_rep) + "}";
+      out = "[" + children[0].ToString() + "]" + RepSuffix(min_rep, max_rep);
       if (unroll) out += "[unrolled]";
       break;
   }

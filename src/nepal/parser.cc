@@ -89,7 +89,7 @@ class Lexer {
         return Token{Token::kPunct, p, 0, 0, start};
       }
     }
-    if (std::string("()[]{},.|=<>@:;-").find(c) != std::string::npos) {
+    if (std::string("()[]{},.|=<>@:;-*+").find(c) != std::string::npos) {
       ++pos_;
       return Token{Token::kPunct, std::string(1, c), 0, 0, start};
     }
@@ -472,7 +472,7 @@ class Parser {
     return RpeNode::Seq(std::move(parts));
   }
 
-  // unit := (atom | '('alt')' | '['alt']') ['{' i ',' j '}']
+  // unit := (atom | '('alt')' | '['alt']') ['{' i (','|'-') [j] '}' | '*' | '+']
   Result<RpeNode> ParseRpeUnit() {
     RpeNode unit;
     if (IsPunct("(")) {
@@ -486,12 +486,21 @@ class Parser {
     } else {
       NEPAL_ASSIGN_OR_RETURN(unit, ParseRpeAtom());
     }
+    if (IsPunct("*")) {
+      NEPAL_RETURN_NOT_OK(Advance());
+      return RpeNode::Rep(std::move(unit), 0, kUnboundedRep);
+    }
+    if (IsPunct("+")) {
+      NEPAL_RETURN_NOT_OK(Advance());
+      return RpeNode::Rep(std::move(unit), 1, kUnboundedRep);
+    }
     if (IsPunct("{")) {
       NEPAL_RETURN_NOT_OK(Advance());
       if (cur_.kind != Token::kInt) return Err("expected repetition minimum");
       int min_rep = static_cast<int>(cur_.int_value);
       NEPAL_RETURN_NOT_OK(Advance());
-      // Accept both {i,j} and the paper's occasional {i-j}.
+      // Accept both {i,j} and the paper's occasional {i-j}; an omitted
+      // maximum ({i,}) means unbounded.
       if (IsPunct(",")) {
         NEPAL_RETURN_NOT_OK(Advance());
       } else if (cur_.kind == Token::kPunct && cur_.text == "-") {
@@ -499,8 +508,16 @@ class Parser {
       } else {
         return Err("expected ',' or '-' in repetition bounds");
       }
+      if (IsPunct("}")) {
+        NEPAL_RETURN_NOT_OK(Advance());
+        return RpeNode::Rep(std::move(unit), min_rep, kUnboundedRep);
+      }
       if (cur_.kind != Token::kInt) return Err("expected repetition maximum");
       int max_rep = static_cast<int>(cur_.int_value);
+      if (max_rep < min_rep) {
+        return Err("repetition bounds {" + std::to_string(min_rep) + "," +
+                   std::to_string(max_rep) + "} are malformed (min > max)");
+      }
       NEPAL_RETURN_NOT_OK(Advance());
       NEPAL_RETURN_NOT_OK(ExpectPunct("}"));
       return RpeNode::Rep(std::move(unit), min_rep, max_rep);

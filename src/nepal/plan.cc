@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "nepal/optimizer.h"
+#include "obs/trace.h"
 
 namespace nepal::nql {
 
@@ -37,6 +38,12 @@ std::string Step::ToString() const {
     case Kind::kLoop:
       return "Loop{" + std::to_string(min_rep) + "," +
              std::to_string(max_rep) + "}(" + ProgramToString(body) + ")";
+    case Kind::kAutomaton:
+      return "Automaton" + RepSuffix(min_rep, max_rep) + "(" +
+             std::to_string(nfa == nullptr ? 0 : nfa->num_states()) +
+             " states, " +
+             std::to_string(nfa == nullptr ? 0 : nfa->num_transitions()) +
+             " transitions)";
   }
   return "?";
 }
@@ -63,6 +70,39 @@ std::string FormatEstimate(double rows) {
   return buf;
 }
 
+/// Appends one indented state-table block per Automaton step found in
+/// `program` (recursing into Unions and Loops) for EXPLAIN output.
+void AppendAutomatonDetail(const Program& program, const std::string& label,
+                           std::string* out) {
+  for (const Step& step : program) {
+    switch (step.kind) {
+      case Step::Kind::kAtom:
+        break;
+      case Step::Kind::kUnion:
+        for (const Program& branch : step.branches) {
+          AppendAutomatonDetail(branch, label, out);
+        }
+        break;
+      case Step::Kind::kLoop:
+        AppendAutomatonDetail(step.body, label, out);
+        break;
+      case Step::Kind::kAutomaton: {
+        if (step.nfa == nullptr) break;
+        *out += "\n  automaton " + label + " " +
+                RepSuffix(step.min_rep, step.max_rep) + ":";
+        std::string body = step.nfa->ToString(
+            step.state_est.empty() ? nullptr : &step.state_est);
+        *out += "\n    ";
+        for (char c : body) {
+          *out += c;
+          if (c == '\n') *out += "    ";
+        }
+        break;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::string ProgramToStringWithEstimates(const Program& program) {
@@ -87,6 +127,11 @@ Program ReverseProgram(const Program& program) {
       }
     } else if (step.kind == Step::Kind::kLoop) {
       step.body = ReverseProgram(step.body);
+    } else if (step.kind == Step::Kind::kAutomaton) {
+      if (step.nfa != nullptr) {
+        step.nfa = std::make_shared<const Nfa>(ReverseNfa(*step.nfa));
+      }
+      step.state_est.clear();  // stale: states were renumbered
     }
     out.push_back(std::move(step));
   }
@@ -131,6 +176,18 @@ Program EmitProgram(const LogicalNode& node, const PlanOptions& options) {
     }
     case LogicalNode::Kind::kRep: {
       if (node.pruned) return {};
+      // Unbounded repetitions can only run as an automaton; bounded ones
+      // also take this route under the kAutomaton parity strategy.
+      if (node.max_rep == kUnboundedRep ||
+          options.loop_strategy == LoopStrategy::kAutomaton) {
+        obs::ScopedSpan span("nfa.build");
+        Step step;
+        step.kind = Step::Kind::kAutomaton;
+        step.min_rep = node.min_rep;
+        step.max_rep = node.max_rep;
+        step.nfa = std::make_shared<const Nfa>(BuildNfa(node));
+        return {std::move(step)};
+      }
       Program body = EmitProgram(node.children[0], options);
       if (options.loop_strategy == LoopStrategy::kUnroll) {
         // Unrolled form: body^min followed by nested optionals.
@@ -309,13 +366,15 @@ bool SplitAroundAnchor(const LogicalNode& node, const LogicalNode* target,
         return false;
       }
       // The anchor sits in the first iteration; the remaining iterations
-      // form Rep(r, n-1, m-1) on the suffix side.
-      if (node.max_rep - 1 >= 1) {
+      // form Rep(r, n-1, m-1) on the suffix side. An unbounded maximum
+      // stays unbounded: {1,∞} minus one iteration is {0,∞}.
+      const bool unbounded = node.max_rep == kUnboundedRep;
+      if (unbounded || node.max_rep - 1 >= 1) {
         LogicalNode rest;
         rest.kind = LogicalNode::Kind::kRep;
         rest.children.push_back(node.children[0]);
         rest.min_rep = std::max(node.min_rep - 1, 0);
-        rest.max_rep = node.max_rep - 1;
+        rest.max_rep = unbounded ? kUnboundedRep : node.max_rep - 1;
         rest.unroll = node.unroll && rest.min_rep == rest.max_rep;
         Program part = EmitProgram(rest, options);
         suffix->insert(suffix->end(), std::make_move_iterator(part.begin()),
@@ -487,6 +546,8 @@ std::string MatchPlan::ToString() const {
            std::to_string(a.anchor_cost) + ")\n";
     out += "  forwards : " + ProgramToStringWithEstimates(a.suffix) + "\n";
     out += "  backwards: " + ProgramToStringWithEstimates(a.reversed_prefix);
+    AppendAutomatonDetail(a.suffix, "(forwards)", &out);
+    AppendAutomatonDetail(a.reversed_prefix, "(backwards)", &out);
   }
   return out;
 }

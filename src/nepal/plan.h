@@ -25,15 +25,20 @@
 //
 // Programs are linear step lists; Alternation compiles to a Union of
 // sub-programs, Repetition to a Loop step (delegated to the backend's
-// ExtendBlock when its body is an alternation of atoms).
+// ExtendBlock when its body is an alternation of atoms). Unbounded
+// repetitions ([r]*, [r]+, [r]{i,}) — and every repetition under
+// LoopStrategy::kAutomaton — compile to an Automaton step (nepal/nfa.h)
+// evaluated as a graph × NFA product with memoized visitation.
 
 #ifndef NEPAL_NEPAL_PLAN_H_
 #define NEPAL_NEPAL_PLAN_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "nepal/logical_plan.h"
+#include "nepal/nfa.h"
 #include "nepal/rpe.h"
 #include "storage/backend.h"
 #include "storage/pathset.h"
@@ -44,14 +49,22 @@ struct Step;
 using Program = std::vector<Step>;
 
 struct Step {
-  enum class Kind { kAtom, kUnion, kLoop };
+  enum class Kind { kAtom, kUnion, kLoop, kAutomaton };
   Kind kind = Kind::kAtom;
 
   storage::CompiledAtom atom;      // kAtom
   std::vector<Program> branches;   // kUnion
   Program body;                    // kLoop
-  int min_rep = 1;                 // kLoop
-  int max_rep = 1;                 // kLoop
+  int min_rep = 1;                 // kLoop / kAutomaton
+  int max_rep = 1;                 // kLoop / kAutomaton (kUnboundedRep = open)
+
+  /// kAutomaton: the compiled regular-path automaton. Immutable and shared,
+  /// so copying a Step (program reversal, sharded execution) is cheap and
+  /// thread-safe.
+  std::shared_ptr<const Nfa> nfa;
+  /// kAutomaton: per-state arrival estimates (parallel to nfa->states),
+  /// filled in by AnnotateProgram and printed by EXPLAIN.
+  std::vector<double> state_est;
 
   /// Optimizer row estimate for this step's output (cardinality × expected
   /// fan-out); -1 when not annotated. Threaded into obs::QueryStats so
@@ -116,6 +129,10 @@ enum class LoopStrategy {
   kExtendBlock,
   /// Always unroll into body^min plus nested optional Unions (ablation).
   kUnroll,
+  /// Compile every repetition to an NFA and evaluate the graph × NFA
+  /// product (parity testing; unbounded repetitions use this route
+  /// regardless of the configured strategy).
+  kAutomaton,
 };
 
 struct PlanOptions {

@@ -4,6 +4,33 @@
 
 namespace nepal::nql {
 
+namespace {
+
+// Saturating arithmetic over non-negative atom counts: anything that would
+// exceed kUnboundedRep clamps to it, so nested large repetitions (e.g.
+// [[r]{32,32}]{32,32}...) never overflow int, and kUnboundedRep is absorbing.
+int SatAdd(int a, int b) {
+  if (a > kUnboundedRep - b) return kUnboundedRep;
+  return a + b;
+}
+
+int SatMul(int a, int b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kUnboundedRep / b) return kUnboundedRep;
+  return a * b;
+}
+
+}  // namespace
+
+std::string RepSuffix(int min_rep, int max_rep) {
+  if (max_rep == kUnboundedRep) {
+    if (min_rep == 0) return "*";
+    if (min_rep == 1) return "+";
+    return "{" + std::to_string(min_rep) + ",}";
+  }
+  return "{" + std::to_string(min_rep) + "," + std::to_string(max_rep) + "}";
+}
+
 std::string RpeNode::ToString() const {
   switch (kind) {
     case Kind::kAtom: {
@@ -39,8 +66,7 @@ std::string RpeNode::ToString() const {
       return out;
     }
     case Kind::kRep:
-      return "[" + children[0].ToString() + "]{" + std::to_string(min_rep) +
-             "," + std::to_string(max_rep) + "}";
+      return "[" + children[0].ToString() + "]" + RepSuffix(min_rep, max_rep);
   }
   return "?";
 }
@@ -78,7 +104,9 @@ int MinAtoms(const RpeNode& node) {
       return 1;
     case RpeNode::Kind::kSeq: {
       int total = 0;
-      for (const RpeNode& child : node.children) total += MinAtoms(child);
+      for (const RpeNode& child : node.children) {
+        total = SatAdd(total, MinAtoms(child));
+      }
       return total;
     }
     case RpeNode::Kind::kAlt: {
@@ -89,7 +117,7 @@ int MinAtoms(const RpeNode& node) {
       return best;
     }
     case RpeNode::Kind::kRep:
-      return node.min_rep * MinAtoms(node.children[0]);
+      return SatMul(node.min_rep, MinAtoms(node.children[0]));
   }
   return 0;
 }
@@ -100,7 +128,9 @@ int MaxAtoms(const RpeNode& node) {
       return 1;
     case RpeNode::Kind::kSeq: {
       int total = 0;
-      for (const RpeNode& child : node.children) total += MaxAtoms(child);
+      for (const RpeNode& child : node.children) {
+        total = SatAdd(total, MaxAtoms(child));
+      }
       return total;
     }
     case RpeNode::Kind::kAlt: {
@@ -111,7 +141,7 @@ int MaxAtoms(const RpeNode& node) {
       return best;
     }
     case RpeNode::Kind::kRep:
-      return node.max_rep * MaxAtoms(node.children[0]);
+      return SatMul(node.max_rep, MaxAtoms(node.children[0]));
   }
   return 0;
 }
@@ -223,7 +253,10 @@ Status ResolveRpe(const schema::Schema& schema, int max_repetition,
             "repetition bounds {" + std::to_string(node->min_rep) + "," +
             std::to_string(node->max_rep) + "} are malformed");
       }
-      if (node->max_rep > max_repetition) {
+      // Unbounded repetitions are exempt from the static length limit: the
+      // automaton evaluator bounds them dynamically (paths are simple, so
+      // traversal terminates regardless of the expression).
+      if (node->max_rep != kUnboundedRep && node->max_rep > max_repetition) {
         return Status::PlanError(
             "repetition bound " + std::to_string(node->max_rep) +
             " exceeds the length limit (" + std::to_string(max_repetition) +

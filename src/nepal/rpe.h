@@ -8,6 +8,7 @@
 #ifndef NEPAL_NEPAL_RPE_H_
 #define NEPAL_NEPAL_RPE_H_
 
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,6 +17,12 @@
 #include "storage/pathset.h"
 
 namespace nepal::nql {
+
+/// Sentinel for an open upper repetition bound: `[r]*` is {0,kUnboundedRep},
+/// `[r]+` is {1,kUnboundedRep} and `[r]{i,}` is {i,kUnboundedRep}. Chosen as
+/// INT_MAX (rather than -1) so `min_rep <= max_rep` validations hold
+/// unchanged; it doubles as the saturation ceiling of MinAtoms/MaxAtoms.
+constexpr int kUnboundedRep = std::numeric_limits<int>::max();
 
 /// Pre-resolution atom condition: field name (with optional dotted path
 /// into structured data), operator, literal.
@@ -75,6 +82,12 @@ struct RpeNode {
   std::string ToString() const;
 };
 
+/// Canonical rendering of repetition bounds: "*" for {0,unbounded}, "+" for
+/// {1,unbounded}, "{i,}" for {i,unbounded} and "{i,j}" otherwise. Shared by
+/// RPE, logical-plan and physical-step printers so EXPLAIN output round-trips
+/// through the parser.
+std::string RepSuffix(int min_rep, int max_rep);
+
 /// Flattens nested Seq/Alt nodes and collapses single-child containers.
 RpeNode Normalize(RpeNode node);
 
@@ -85,7 +98,9 @@ Status ResolveRpe(const schema::Schema& schema, int max_repetition,
                   RpeNode* node);
 
 /// Minimum / maximum number of atoms a matching fragment consumes. Used for
-/// length-limit checks and diagnostics.
+/// length-limit checks and diagnostics. Both saturate at kUnboundedRep
+/// instead of overflowing int on nested large repetitions; MaxAtoms of an
+/// unbounded repetition with a non-empty body is kUnboundedRep.
 int MinAtoms(const RpeNode& node);
 int MaxAtoms(const RpeNode& node);
 

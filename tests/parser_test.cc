@@ -96,6 +96,65 @@ TEST(RpeParserTest, Errors) {
   EXPECT_FALSE(ParseRpe("VM() extra").ok());
 }
 
+// ---- Unbounded repetition syntax (*, +, {i,}) ----
+
+TEST(RpeParserTest, UnboundedRepetitionForms) {
+  RpeNode rpe = MustParseRpe("[Connects()]*");
+  ASSERT_EQ(rpe.kind, RpeNode::Kind::kRep);
+  EXPECT_EQ(rpe.min_rep, 0);
+  EXPECT_EQ(rpe.max_rep, kUnboundedRep);
+
+  rpe = MustParseRpe("[Connects()]+");
+  ASSERT_EQ(rpe.kind, RpeNode::Kind::kRep);
+  EXPECT_EQ(rpe.min_rep, 1);
+  EXPECT_EQ(rpe.max_rep, kUnboundedRep);
+
+  rpe = MustParseRpe("[Connects()]{3,}");
+  ASSERT_EQ(rpe.kind, RpeNode::Kind::kRep);
+  EXPECT_EQ(rpe.min_rep, 3);
+  EXPECT_EQ(rpe.max_rep, kUnboundedRep);
+
+  // Postfix operators bind to atoms and groups too.
+  rpe = MustParseRpe("Connects()*");
+  ASSERT_EQ(rpe.kind, RpeNode::Kind::kRep);
+  EXPECT_EQ(rpe.min_rep, 0);
+  rpe = MustParseRpe("(Connects()|VirtualConnects())+");
+  ASSERT_EQ(rpe.kind, RpeNode::Kind::kRep);
+  EXPECT_EQ(rpe.children[0].kind, RpeNode::Kind::kAlt);
+}
+
+TEST(RpeParserTest, UnboundedRepetitionRoundTrips) {
+  // parse -> ToString -> parse is a fixpoint for the canonical forms.
+  for (const char* text :
+       {"[Connects()]*", "[Connects()]+", "[Connects()]{3,}",
+        "Host()->[Connects()]*->Switch()",
+        "A()->[B()->C()]+->(D()|E())",
+        "[HostedOn()]{1,6}"}) {
+    RpeNode first = Normalize(MustParseRpe(text));
+    std::string rendered = first.ToString();
+    RpeNode second = Normalize(MustParseRpe(rendered));
+    EXPECT_EQ(rendered, second.ToString()) << "input: " << text;
+  }
+  // The canonical renderings themselves.
+  EXPECT_EQ(MustParseRpe("[Connects()]*").ToString(), "[Connects()]*");
+  EXPECT_EQ(MustParseRpe("[Connects()]+").ToString(), "[Connects()]+");
+  EXPECT_EQ(MustParseRpe("[Connects()]{2,}").ToString(), "[Connects()]{2,}");
+  EXPECT_EQ(MustParseRpe("[Connects()]{2,5}").ToString(),
+            "[Connects()]{2,5}");
+}
+
+TEST(RpeParserTest, RepetitionBoundErrors) {
+  // min > max is rejected at parse time now, not at resolution.
+  EXPECT_FALSE(ParseRpe("[VM()]{3,1}").ok());
+  // {,} and {,5} have no minimum.
+  EXPECT_FALSE(ParseRpe("[VM()]{,}").ok());
+  EXPECT_FALSE(ParseRpe("[VM()]{,5}").ok());
+  // Dangling or doubled postfix operators.
+  EXPECT_FALSE(ParseRpe("*").ok());
+  EXPECT_FALSE(ParseRpe("VM()**").ok());
+  EXPECT_FALSE(ParseRpe("[VM()]{3,}*").ok());
+}
+
 // ---- Full queries from the paper ----
 
 TEST(QueryParserTest, PaperRetrieveExample) {
