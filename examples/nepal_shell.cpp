@@ -35,6 +35,11 @@
 //                       stream from <path>; the shell is read-only
 //   \replication        role, shipped/applied counters, lag, link status
 //   \promote            stop applying and accept writes (failover)
+// Materialized views (src/views, durable mode only):
+//   CREATE VIEW <name> AS <rpe> [AT '<time>'];   register + build a view
+//   DROP VIEW <name>;   unregister a view
+//   SERVE VIEW <name>;  answer from the cache (also: any matching query)
+//   \views              list views with freshness/staleness and counters
 // And EXPLAIN ANALYZE <query>; runs the query with per-operator stats.
 
 #include <fcntl.h>
@@ -58,6 +63,7 @@
 #include "replication/transport.h"
 #include "schema/dsl_parser.h"
 #include "storage/graphdb.h"
+#include "views/view_catalog.h"
 
 namespace {
 
@@ -80,6 +86,11 @@ void PrintHelp() {
       "Replication:\n"
       "  \\replication        role, shipped/applied counters, lag, status\n"
       "  \\promote            promote a follower to a writable primary\n"
+      "Materialized views (durable mode):\n"
+      "  CREATE VIEW <name> AS <rpe> [AT '<time>'];   register + build\n"
+      "  DROP VIEW <name>;   unregister\n"
+      "  SERVE VIEW <name>;  answer from the cache\n"
+      "  \\views              list views (freshness, repairs, rebuilds)\n"
       "  EXPLAIN ANALYZE <query>;   per-operator execution stats\n");
 }
 
@@ -185,6 +196,9 @@ int main(int argc, char** argv) {
   std::unique_ptr<persist::DurableStore> store;          // durable mode
   std::unique_ptr<replication::ReplicaStore> replica;    // follower mode
   std::unique_ptr<replication::WalShipper> shipper;      // primary shipping
+  // Declared after `store`: the catalog tails the store's WAL and must be
+  // destroyed (thread joined, subscription dropped) before the store.
+  std::unique_ptr<views::ViewCatalog> views_catalog;     // durable mode
   storage::GraphDb* db = nullptr;
   if (!follow_path.empty()) {
     std::printf("follower: waiting for a primary on %s ...\n",
@@ -264,6 +278,20 @@ int main(int argc, char** argv) {
                                     : nql::SourceRole::kPrimary;
     engine->catalog().Register("local", local).IgnoreError();
   }
+  // Materialized views ride the durable store's WAL subscription; without
+  // one there is nothing to maintain views from.
+  auto attach_views = [&]() {
+    if (store == nullptr) return;
+    auto opened_views = views::ViewCatalog::Open(store.get());
+    if (!opened_views.ok()) {
+      std::fprintf(stderr, "view catalog: %s\n",
+                   opened_views.status().ToString().c_str());
+      return;
+    }
+    views_catalog = std::move(*opened_views);
+    engine->set_view_provider(views_catalog.get());
+  };
+  attach_views();
   std::printf("Nepal shell — backend: %s. Type .help for help.\n",
               db->backend().name().c_str());
 
@@ -341,11 +369,13 @@ int main(int argc, char** argv) {
         }
         engine.reset();
         loader.reset();
+        views_catalog.reset();       // tails the store being replaced
         store = std::move(*opened);  // detaches and frees any previous store
         mem_db.reset();
         db = &store->db();
         loader = std::make_unique<netmodel::FeedLoader>(db);
         engine = std::make_unique<nql::QueryEngine>(db);
+        attach_views();
         print_recovery(*store);
       } else if (line == "\\checkpoint") {
         if (store == nullptr) {
@@ -401,6 +431,33 @@ int main(int argc, char** argv) {
           std::printf("role: standalone (no --ship/--follow)\n");
         }
         std::printf("sources:\n%s", engine->catalog().Describe().c_str());
+      } else if (line == "\\views") {
+        if (views_catalog == nullptr) {
+          std::printf("materialized views need durable mode; start with "
+                      "--data-dir or use \\load <dir>\n");
+        } else {
+          auto infos = views_catalog->List();
+          if (infos.empty()) {
+            std::printf("no views registered; CREATE VIEW <name> AS "
+                        "<rpe>;\n");
+          }
+          for (const auto& info : infos) {
+            std::printf(
+                "%-16s %s  [%s]\n"
+                "  epoch %llu (%llu behind), %zu path(s), "
+                "%llu repair(s), %llu rebuild(s), %llu skipped%s\n"
+                "  footprint %s\n",
+                info.name.c_str(), info.rpe.c_str(), info.mode.c_str(),
+                static_cast<unsigned long long>(info.fresh_epoch),
+                static_cast<unsigned long long>(info.staleness),
+                info.paths,
+                static_cast<unsigned long long>(info.repairs),
+                static_cast<unsigned long long>(info.rebuilds),
+                static_cast<unsigned long long>(info.skipped_records),
+                info.rebuild_pending ? " (rebuild pending)" : "",
+                info.footprint.c_str());
+          }
+        }
       } else if (line == "\\promote") {
         if (replica == nullptr) {
           std::printf("not a follower; start with --follow <path>\n");
@@ -480,6 +537,30 @@ int main(int argc, char** argv) {
         std::printf("error: %s\n", plan.status().ToString().c_str());
       } else {
         std::printf("%s", plan->c_str());
+      }
+      continue;
+    }
+    // CREATE / DROP VIEW act on the view catalog; everything else —
+    // SERVE VIEW included — goes to the engine.
+    if (auto ddl = nql::ParseViewDdl(query);
+        ddl.ok() && ddl->has_value() &&
+        (*ddl)->kind != nql::ViewDdl::Kind::kServe) {
+      if (views_catalog == nullptr) {
+        std::printf("materialized views need durable mode; start with "
+                    "--data-dir or use \\load <dir>\n");
+        continue;
+      }
+      Status s = (*ddl)->kind == nql::ViewDdl::Kind::kCreate
+                     ? views_catalog->CreateView((*ddl)->name, (*ddl)->rpe,
+                                                 (*ddl)->as_of)
+                     : views_catalog->DropView((*ddl)->name);
+      if (!s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+      } else if ((*ddl)->kind == nql::ViewDdl::Kind::kCreate) {
+        std::printf("view %s built; \\views shows freshness\n",
+                    (*ddl)->name.c_str());
+      } else {
+        std::printf("view %s dropped\n", (*ddl)->name.c_str());
       }
       continue;
     }

@@ -11,6 +11,8 @@
 #include <unordered_set>
 
 #include "common/thread_pool.h"
+#include "nepal/snapshot.h"
+#include "nepal/view_provider.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -115,137 +117,6 @@ Result<storage::ElementVersion> FetchVersion(storage::GraphDb* db, Uid uid,
   return out;
 }
 
-// ---- Snapshot-read decorators (EngineOptions::snapshot_reads) ----
-//
-// In snapshot mode the engine does not hold the sources' shared locks
-// across the evaluation; every TimeView is pinned to the commit epoch
-// captured at query start, which keeps results identical to a locked read
-// at capture time even while writers commit underneath. The stores' data
-// structures are plain std containers though, so each primitive read still
-// has to exclude writers for its own duration — these decorators wrap the
-// real backend/executor and take the db's lock shared around every call.
-
-/// Forwards one operator call at a time under a brief shared lock of the
-/// source's mutex. ExtendBlock is forwarded too (not defaulted) so a
-/// backend's specialized block implementation runs, under one lock hold.
-class LockedExecutor final : public storage::PathOperatorExecutor {
- public:
-  LockedExecutor(storage::GraphDb* db,
-                 std::unique_ptr<storage::PathOperatorExecutor> inner)
-      : db_(db), inner_(std::move(inner)) {}
-
-  PathSet Select(const storage::CompiledAtom& atom,
-                 const TimeView& view) override {
-    std::shared_lock<std::shared_mutex> lock(db_->mutex());
-    return inner_->Select(atom, view);
-  }
-  PathSet SelectSeeds(const std::vector<Uid>& nodes,
-                      const TimeView& view) override {
-    std::shared_lock<std::shared_mutex> lock(db_->mutex());
-    return inner_->SelectSeeds(nodes, view);
-  }
-  PathSet ExtendAtom(const PathSet& frontier,
-                     const storage::CompiledAtom& atom, storage::Direction dir,
-                     const TimeView& view) override {
-    std::shared_lock<std::shared_mutex> lock(db_->mutex());
-    return inner_->ExtendAtom(frontier, atom, dir, view);
-  }
-  PathSet ExtendBlock(const PathSet& frontier,
-                      const std::vector<storage::CompiledAtom>& alternatives,
-                      int min_rep, int max_rep, storage::Direction dir,
-                      const TimeView& view) override {
-    std::shared_lock<std::shared_mutex> lock(db_->mutex());
-    return inner_->ExtendBlock(frontier, alternatives, min_rep, max_rep, dir,
-                               view);
-  }
-  PathSet FinalizeTail(const PathSet& frontier, const TimeView& view) override {
-    std::shared_lock<std::shared_mutex> lock(db_->mutex());
-    return inner_->FinalizeTail(frontier, view);
-  }
-
- private:
-  storage::GraphDb* db_;
-  std::unique_ptr<storage::PathOperatorExecutor> inner_;
-};
-
-/// Read-only view of a source's backend for snapshot evaluation: reads
-/// forward under a brief shared lock, statistics are copied once at
-/// construction (so anchor costing works off one stable snapshot — the
-/// non-virtual EstimateScan costs against the copy), and writes fail.
-class LockedBackend final : public storage::StorageBackend {
- public:
-  explicit LockedBackend(storage::GraphDb* db)
-      : db_(db), inner_(&db->backend()) {
-    std::shared_lock<std::shared_mutex> lock(db_->mutex());
-    RestoreStats(inner_->stats());
-  }
-
-  std::string name() const override { return inner_->name(); }
-
-  Status InsertNode(Uid, const schema::ClassDef*, std::vector<Value>,
-                    Timestamp) override {
-    return WriteRejected();
-  }
-  Status InsertEdge(Uid, const schema::ClassDef*, std::vector<Value>, Uid, Uid,
-                    Timestamp) override {
-    return WriteRejected();
-  }
-  Status Update(Uid, const std::vector<std::pair<int, Value>>&,
-                Timestamp) override {
-    return WriteRejected();
-  }
-  Status Delete(Uid, Timestamp) override { return WriteRejected(); }
-  Status RestoreChain(Uid, std::vector<storage::ElementVersion>) override {
-    return WriteRejected();
-  }
-
-  void Scan(const storage::ScanSpec& spec, const TimeView& view,
-            const storage::ElementSink& sink) const override {
-    std::shared_lock<std::shared_mutex> lock(db_->mutex());
-    inner_->Scan(spec, view, sink);
-  }
-  void Get(Uid uid, const TimeView& view,
-           const storage::ElementSink& sink) const override {
-    std::shared_lock<std::shared_mutex> lock(db_->mutex());
-    inner_->Get(uid, view, sink);
-  }
-  void IncidentEdges(Uid node, storage::Direction dir,
-                     const schema::ClassDef* edge_cls, const TimeView& view,
-                     const storage::ElementSink& sink) const override {
-    std::shared_lock<std::shared_mutex> lock(db_->mutex());
-    inner_->IncidentEdges(node, dir, edge_cls, view, sink);
-  }
-  bool Exists(Uid uid, const TimeView& view) const override {
-    std::shared_lock<std::shared_mutex> lock(db_->mutex());
-    return inner_->Exists(uid, view);
-  }
-  size_t CountClass(const schema::ClassDef* cls) const override {
-    std::shared_lock<std::shared_mutex> lock(db_->mutex());
-    return inner_->CountClass(cls);
-  }
-  size_t MemoryUsage() const override {
-    std::shared_lock<std::shared_mutex> lock(db_->mutex());
-    return inner_->MemoryUsage();
-  }
-  size_t VersionCount() const override {
-    std::shared_lock<std::shared_mutex> lock(db_->mutex());
-    return inner_->VersionCount();
-  }
-
-  std::unique_ptr<storage::PathOperatorExecutor> CreateExecutor()
-      const override {
-    return std::make_unique<LockedExecutor>(db_, inner_->CreateExecutor());
-  }
-
- private:
-  Status WriteRejected() const {
-    return Status::Internal("snapshot-read backend is read-only");
-  }
-
-  storage::GraphDb* db_;
-  const storage::StorageBackend* inner_;
-};
-
 }  // namespace
 
 std::string Pathway::ToString() const {
@@ -333,6 +204,27 @@ Result<storage::GraphDb*> QueryEngine::SourceFor(
 }
 
 Result<QueryResult> QueryEngine::Run(const std::string& nql) const {
+  // `SERVE VIEW <name>` desugars to `Retrieve P From <name> P`, answered
+  // from the attached provider's cache. CREATE / DROP VIEW act on the view
+  // catalog itself, which the engine has no mutable handle on — the shell
+  // routes them to views::ViewCatalog.
+  NEPAL_ASSIGN_OR_RETURN(std::optional<ViewDdl> ddl, ParseViewDdl(nql));
+  if (ddl.has_value()) {
+    if (ddl->kind != ViewDdl::Kind::kServe) {
+      return Status::Unsupported(
+          "CREATE VIEW / DROP VIEW manage the materialized-view catalog; "
+          "run them through the shell (or views::ViewCatalog directly), "
+          "not the query engine");
+    }
+    Query query;
+    query.retrieve_vars.push_back("P");
+    RangeVarDecl decl;
+    decl.view = ddl->name;
+    decl.name = "P";
+    query.range_vars.push_back(std::move(decl));
+    obs::ScopedTrace serve_trace(obs::Tracer::Global().StartTrace("query"));
+    return RunParsed(query, nql);
+  }
   obs::ScopedTrace trace(obs::Tracer::Global().StartTrace("query"));
   const uint64_t t_parse = trace.active() ? obs::TraceNowNs() : 0;
   NEPAL_ASSIGN_OR_RETURN(Query query, ParseQuery(nql));
@@ -349,6 +241,27 @@ Result<QueryResult> QueryEngine::RunQuery(const Query& query) const {
 }
 
 Result<std::string> QueryEngine::Explain(const std::string& nql) const {
+  // `SERVE VIEW <name>` has no cold plan to trace — the one-line served
+  // plan is the whole story, so it explains under kPlan (which may serve)
+  // rather than kVerbose (which never does).
+  NEPAL_ASSIGN_OR_RETURN(std::optional<ViewDdl> ddl, ParseViewDdl(nql));
+  if (ddl.has_value()) {
+    if (ddl->kind != ViewDdl::Kind::kServe) {
+      return Status::Unsupported(
+          "CREATE VIEW / DROP VIEW manage the materialized-view catalog; "
+          "run them through the shell (or views::ViewCatalog directly), "
+          "not the query engine");
+    }
+    Query query;
+    query.retrieve_vars.push_back("P");
+    RangeVarDecl decl;
+    decl.view = ddl->name;
+    decl.name = "P";
+    query.range_vars.push_back(std::move(decl));
+    query.explain = ExplainMode::kPlan;
+    NEPAL_ASSIGN_OR_RETURN(QueryResult result, RunParsed(query, nql));
+    return result.explain_text;
+  }
   NEPAL_ASSIGN_OR_RETURN(Query query, ParseQuery(nql));
   query.explain = ExplainMode::kVerbose;
   NEPAL_ASSIGN_OR_RETURN(QueryResult result, RunParsed(query, nql));
@@ -504,6 +417,61 @@ Result<QueryResult> QueryEngine::RunInternal(
     return Status::InvalidArgument("a query needs at least one range variable");
   }
 
+  // ---- Materialized-view routing ----
+  // A single-variable top-level query is offered to the attached view
+  // provider before anything is planned: `From <name> P` over a name the
+  // engine's own (unmaterialized) views don't define is served by name,
+  // and a plain MATCHES query whose canonical RPE and temporal mode equal
+  // a registered view's definition is served by definition. Serving forces
+  // snapshot mode with the variable's source pinned to the cache's
+  // freshness epoch, so every other clause (compare predicates, EXISTS
+  // subqueries, Select expressions) evaluates at exactly the epoch the
+  // cached rows are exact at — the result is byte-identical to cold
+  // evaluation there. EXPLAIN VERBOSE always runs cold (its serial
+  // executor trace is the point); EXPLAIN / EXPLAIN ANALYZE may serve and
+  // report a one-line ServeView plan.
+  std::optional<ServedView> served;
+  if (view_provider_ != nullptr && !locks_held && outer_epochs == nullptr &&
+      !capture.trace && query.range_vars.size() == 1) {
+    const RangeVarDecl& decl = query.range_vars[0];
+    Result<storage::GraphDb*> src = SourceFor(decl);
+    const std::optional<TimeSpec>& spec =
+        decl.at.has_value() ? decl.at : query.at;
+    const Predicate* matches = nullptr;
+    bool single_matches = true;
+    for (const Predicate& pred : query.where) {
+      if (pred.kind != Predicate::Kind::kMatches) continue;
+      if (pred.var != decl.name || matches != nullptr) {
+        single_matches = false;
+        break;
+      }
+      matches = &pred;
+    }
+    if (src.ok() && (!spec.has_value() || !spec->is_range())) {
+      std::optional<Timestamp> as_of;
+      if (spec.has_value()) as_of = spec->start;
+      std::string view_name = decl.view;
+      for (char& c : view_name) c = static_cast<char>(std::toupper(c));
+      if (view_name != "PATHS") {
+        // A MATCHES predicate on top of a named view means intersection —
+        // the cache alone cannot answer that. The engine's own view names
+        // shadow the provider's.
+        if (matches == nullptr && single_matches &&
+            views_.find(decl.view) == views_.end()) {
+          served = view_provider_->Serve(decl.view);
+        }
+      } else if (single_matches && matches != nullptr) {
+        const std::string canonical = Normalize(matches->rpe).ToString();
+        served = view_provider_->Match(*src, canonical, as_of);
+      }
+      if (served.has_value() &&
+          (served->db != *src || served->as_of != as_of ||
+           served->paths == nullptr || served->epoch == 0)) {
+        served.reset();  // different source or temporal mode: run cold
+      }
+    }
+  }
+
   // ---- Snapshot mode ----
   // A subquery whose parent evaluated in snapshot mode inherits the
   // parent's pinned epochs (it holds no locks to fall back on). A
@@ -511,7 +479,7 @@ Result<QueryResult> QueryEngine::RunInternal(
   // EXPLAIN / EXPLAIN VERBOSE whose serial plan/trace capture goes through
   // the raw backend.
   const bool snapshot_mode =
-      outer_epochs != nullptr ||
+      served.has_value() || outer_epochs != nullptr ||
       (!locks_held && options_.snapshot_reads && capture.lines == nullptr);
   std::map<storage::GraphDb*, uint64_t> epoch_map;
   const std::map<storage::GraphDb*, uint64_t>* epochs = outer_epochs;
@@ -524,6 +492,10 @@ Result<QueryResult> QueryEngine::RunInternal(
         [&epoch_map](const std::string&, const SourceDescriptor& desc) {
           epoch_map.emplace(desc.db, desc.db->commit_epoch());
         });
+    // A served variable pins its source to the cache's freshness epoch
+    // (never ahead of the commit epoch), keeping the whole query
+    // consistent with the cached rows.
+    if (served.has_value()) epoch_map[served->db] = served->epoch;
     epochs = &epoch_map;
   }
   // One read-only decorator per distinct source; VarStates point at these
@@ -583,7 +555,7 @@ Result<QueryResult> QueryEngine::RunInternal(
     }
     std::string view_name = decl.view;
     for (char& c : view_name) c = static_cast<char>(std::toupper(c));
-    if (view_name != "PATHS") {
+    if (view_name != "PATHS" && !served.has_value()) {
       auto view_it = views_.find(decl.view);
       if (view_it == views_.end()) {
         return Status::NotFound("no pathway view named '" + decl.view +
@@ -631,6 +603,8 @@ Result<QueryResult> QueryEngine::RunInternal(
   }
   for (size_t i = 0; i < vars.size(); ++i) {
     if (has_matches[i]) continue;
+    // A served variable's rows come from the provider, not an RPE.
+    if (served.has_value()) continue;
     // A named view can stand in for the MATCHES predicate.
     if (vars[i].view_rpe.has_value()) {
       vars[i].rpe = *vars[i].view_rpe;
@@ -643,8 +617,35 @@ Result<QueryResult> QueryEngine::RunInternal(
                                    "over PATHS, not a view)");
   }
 
+  // ---- Install served rows ----
+  // The cached snapshot is already deduplicated and in canonical order;
+  // the variable is pre-evaluated and skips planning entirely.
+  if (served.has_value()) {
+    VarState& vs = vars[0];
+    vs.paths = *served->paths;  // copy: downstream phases mutate in place
+    vs.evaluated = true;
+    vs.view_rpe.reset();
+    if (explain != nullptr) {
+      explain->push_back("var " + vs.decl->name + ": ServeView(" +
+                         served->name + ", epoch=" +
+                         std::to_string(served->epoch) + ")");
+    }
+    if (vs.stats != nullptr) {
+      obs::OpSample sample;
+      sample.rows_out = vs.paths.size();
+      sample.shards = 1;
+      sample.invocations = 1;
+      vs.stats->Record(
+          vs.stats->AddOp("ServeView(" + served->name + ")",
+                          static_cast<double>(vs.paths.size())),
+          sample);
+    }
+    obs::MetricsRegistry::Global().GetCounter("nepal.views.served")->Add(1);
+  }
+
   // ---- Structural anchor costs ----
   for (VarState& vs : vars) {
+    if (vs.evaluated) continue;
     Result<MatchPlan> plan = PlanMatch(vs.rpe, *vs.backend,
                                        options_.plan, vs.view);
     vs.structural_cost = plan.ok() ? plan->total_cost : -1;
@@ -738,7 +739,14 @@ Result<QueryResult> QueryEngine::RunInternal(
 
   // ---- Evaluate range variables, cheapest anchor first ----
   std::vector<size_t> eval_order;
-  size_t remaining = vars.size();
+  size_t remaining = 0;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (vars[i].evaluated) {
+      eval_order.push_back(i);  // pre-evaluated (served from a view cache)
+    } else {
+      ++remaining;
+    }
+  }
   while (remaining > 0) {
     // Independent structurally-anchored variables (typically federated
     // sub-matches over different sources) have no evaluation-order

@@ -32,6 +32,8 @@
 
 namespace nepal::nql {
 
+class PathwayViewProvider;
+
 /// A completed pathway: alternating node/edge uids with their classes and
 /// the maximal validity interval over which the pathway existed.
 struct Pathway {
@@ -126,6 +128,17 @@ class QueryEngine {
   /// predicate on P further constrains it (intersection).
   Status DefineView(const std::string& name, const std::string& rpe_text);
 
+  /// Attaches a materialized-view provider (views::ViewCatalog). A
+  /// single-variable query whose pathway definition (canonical RPE +
+  /// temporal mode) matches a registered view — or that ranges over a
+  /// registered view name, including the `SERVE VIEW <name>` shorthand —
+  /// is answered from the provider's cache, pinned to the cache's
+  /// freshness epoch; results are byte-identical to cold evaluation at
+  /// that epoch. nullptr detaches. The provider must outlive the engine.
+  void set_view_provider(const PathwayViewProvider* provider) {
+    view_provider_ = provider;
+  }
+
   EngineOptions& options() { return options_; }
 
   /// Parses and runs an NQL query. An `EXPLAIN [ANALYZE|VERBOSE]` prefix
@@ -191,6 +204,7 @@ class QueryEngine {
   storage::GraphDb* default_db_;
   SourceCatalog catalog_;
   std::map<std::string, RpeNode> views_;
+  const PathwayViewProvider* view_provider_ = nullptr;
   EngineOptions options_;
 
   static constexpr size_t kSlowLogCapacity = 32;

@@ -140,6 +140,39 @@ class Parser {
     return Normalize(std::move(rpe));
   }
 
+  Result<std::optional<ViewDdl>> ParseViewDdlStatement() {
+    NEPAL_RETURN_NOT_OK(Advance());
+    ViewDdl ddl;
+    if (IsKeyword("CREATE")) {
+      ddl.kind = ViewDdl::Kind::kCreate;
+    } else if (IsKeyword("DROP")) {
+      ddl.kind = ViewDdl::Kind::kDrop;
+    } else if (IsKeyword("SERVE")) {
+      ddl.kind = ViewDdl::Kind::kServe;
+    } else {
+      return std::optional<ViewDdl>{};  // not a DDL statement
+    }
+    NEPAL_RETURN_NOT_OK(Advance());
+    NEPAL_RETURN_NOT_OK(ExpectKeyword("VIEW"));
+    NEPAL_ASSIGN_OR_RETURN(ddl.name, ExpectIdent("a view name"));
+    if (ddl.kind == ViewDdl::Kind::kCreate) {
+      if (IsKeyword("AT")) {
+        NEPAL_RETURN_NOT_OK(Advance());
+        NEPAL_ASSIGN_OR_RETURN(Timestamp ts, ExpectTimestampLiteral());
+        ddl.as_of = ts;
+      }
+      NEPAL_RETURN_NOT_OK(ExpectKeyword("AS"));
+      NEPAL_ASSIGN_OR_RETURN(RpeNode rpe, ParseRpeAlt());
+      ddl.rpe = Normalize(std::move(rpe));
+      ddl.rpe_text = ddl.rpe.ToString();
+    }
+    if (IsPunct(";")) NEPAL_RETURN_NOT_OK(Advance());
+    if (cur_.kind != Token::kEnd) {
+      return Err("trailing input after view statement");
+    }
+    return std::optional<ViewDdl>(std::move(ddl));
+  }
+
  private:
   Status Advance() {
     NEPAL_ASSIGN_OR_RETURN(cur_, lexer_.Next());
@@ -294,12 +327,30 @@ class Parser {
       NEPAL_RETURN_NOT_OK(Advance());
     }
 
-    NEPAL_RETURN_NOT_OK(ExpectKeyword("WHERE"));
-    while (true) {
-      NEPAL_ASSIGN_OR_RETURN(Predicate pred, ParsePredicate());
-      q.where.push_back(std::move(pred));
-      if (!IsKeyword("AND")) break;
+    // The Where clause is optional only when every range variable can get
+    // its RPE elsewhere — i.e. it ranges over a named pathway view
+    // ("Retrieve P From HOTPATHS P"). A variable over PATHS has no other
+    // source of pathway structure, so a Where-less PATHS query is malformed
+    // at parse time already.
+    if (!IsKeyword("WHERE")) {
+      for (const RangeVarDecl& decl : q.range_vars) {
+        std::string upper = decl.view;
+        for (char& c : upper) c = static_cast<char>(std::toupper(c));
+        if (upper == "PATHS") {
+          return Err("range variable '" + decl.name +
+                     "' ranges over PATHS and needs a Where ... MATCHES "
+                     "predicate");
+        }
+      }
+    }
+    if (IsKeyword("WHERE")) {
       NEPAL_RETURN_NOT_OK(Advance());
+      while (true) {
+        NEPAL_ASSIGN_OR_RETURN(Predicate pred, ParsePredicate());
+        q.where.push_back(std::move(pred));
+        if (!IsKeyword("AND")) break;
+        NEPAL_RETURN_NOT_OK(Advance());
+      }
     }
     if (IsKeyword("GROUP")) {
       NEPAL_RETURN_NOT_OK(Advance());
@@ -593,6 +644,11 @@ Result<Query> ParseQuery(const std::string& text) {
 Result<RpeNode> ParseRpe(const std::string& text) {
   Parser parser(text);
   return parser.ParseBareRpe();
+}
+
+Result<std::optional<ViewDdl>> ParseViewDdl(const std::string& text) {
+  Parser parser(text);
+  return parser.ParseViewDdlStatement();
 }
 
 std::string SelectItem::ToString() const {

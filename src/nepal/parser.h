@@ -4,6 +4,7 @@
 #ifndef NEPAL_NEPAL_PARSER_H_
 #define NEPAL_NEPAL_PARSER_H_
 
+#include <optional>
 #include <string>
 
 #include "common/status.h"
@@ -17,6 +18,32 @@ Result<Query> ParseQuery(const std::string& text);
 /// Parses a bare RPE, e.g. "VNF()->[Vertical()]{1,6}->Host(id=5)".
 /// Useful for tests and the programmatic API.
 Result<RpeNode> ParseRpe(const std::string& text);
+
+/// A materialized-view management statement:
+///
+///   CREATE VIEW <name> [AT '<timestamp>'] AS <rpe>
+///   DROP VIEW <name>
+///   SERVE VIEW <name>
+///
+/// CREATE/DROP act on a views::ViewCatalog (the shell wires them up);
+/// SERVE VIEW desugars inside the engine to `Retrieve P From <name> P`,
+/// answered from the cache by the attached PathwayViewProvider.
+struct ViewDdl {
+  enum class Kind { kCreate, kDrop, kServe };
+  Kind kind = Kind::kServe;
+  std::string name;
+  /// kCreate: the pathway expression, normalized; `rpe_text` is its
+  /// canonical rendering (the registration key providers match against).
+  RpeNode rpe;
+  std::string rpe_text;
+  /// kCreate: AsOf mode when the AT clause is present; Current otherwise.
+  std::optional<Timestamp> as_of;
+};
+
+/// Recognizes a view DDL statement. Returns nullopt (not an error) when
+/// the text does not start with CREATE / DROP / SERVE — callers then hand
+/// the text to ParseQuery as usual.
+Result<std::optional<ViewDdl>> ParseViewDdl(const std::string& text);
 
 }  // namespace nepal::nql
 

@@ -1,0 +1,64 @@
+// PathwayViewProvider: the engine-side interface to materialized pathway
+// views (implemented by views::ViewCatalog, src/views).
+//
+// The engine never depends on the view subsystem directly — it asks an
+// attached provider two questions while planning a query:
+//
+//   - Match(): "is there a registered view whose definition (canonical RPE
+//     text + temporal mode) equals this variable's?" — answering a plain
+//     MATCHES query from the cache;
+//   - Serve(): "give me the named view's rows" — answering
+//     `SERVE VIEW <name>` / `From <name> P`.
+//
+// Either returns a ServedView: an immutable snapshot of the cached pathway
+// set plus the commit epoch it is exact at. The engine then evaluates the
+// rest of the query (joins, Select expressions, subqueries) pinned to that
+// epoch, so the whole result is byte-identical to cold evaluation at the
+// freshness epoch.
+
+#ifndef NEPAL_NEPAL_VIEW_PROVIDER_H_
+#define NEPAL_NEPAL_VIEW_PROVIDER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/time.h"
+#include "storage/graphdb.h"
+#include "storage/pathset.h"
+
+namespace nepal::nql {
+
+/// One answer from a provider: a shared immutable snapshot of the view's
+/// pathway set (already deduplicated and in canonical order) and the
+/// commit epoch the rows are exact at.
+struct ServedView {
+  std::string name;
+  storage::GraphDb* db = nullptr;
+  /// Temporal mode: unset = Current, set = AsOf(*as_of).
+  std::optional<Timestamp> as_of;
+  /// Freshness: cold evaluation pinned to this commit epoch returns the
+  /// same rows.
+  uint64_t epoch = 0;
+  std::shared_ptr<const storage::PathSet> paths;
+};
+
+class PathwayViewProvider {
+ public:
+  virtual ~PathwayViewProvider() = default;
+
+  /// Looks up a view by definition: `canonical_rpe` is the normalized
+  /// rendering (Normalize(rpe).ToString()) of the query's pathway
+  /// expression, `as_of` its temporal mode. Returns nullopt when no
+  /// registered view on `db` matches (the query evaluates cold).
+  virtual std::optional<ServedView> Match(
+      const storage::GraphDb* db, const std::string& canonical_rpe,
+      const std::optional<Timestamp>& as_of) const = 0;
+
+  /// Looks up a view by name (`SERVE VIEW <name>`, `From <name> P`).
+  virtual std::optional<ServedView> Serve(const std::string& name) const = 0;
+};
+
+}  // namespace nepal::nql
+
+#endif  // NEPAL_NEPAL_VIEW_PROVIDER_H_

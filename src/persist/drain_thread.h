@@ -1,0 +1,84 @@
+// DrainThread: the shutdown-safe consumer-thread pattern for WAL
+// subscribers (and other poll loops), extracted so every
+// WalSubscription consumer tears down the same way.
+//
+// The hazard it encodes: a subscriber's drain loop blocks inside
+// WalSubscription::Next() while the primary may simultaneously be
+// publishing under its `subs_mu_`. A teardown that joins the drain thread
+// while holding any lock the loop body needs — or that forgets to wake the
+// blocked Next() — deadlocks. The safe ordering is always:
+//
+//   1. set the stop flag (the loop exits at its next check),
+//   2. wake the loop if it can block (WalSubscription::Cancel() only takes
+//      the subscription's own mutex, never the store's `subs_mu_`, so it
+//      is safe to call from any thread at any time),
+//   3. join.
+//
+// Usage:
+//
+//   DrainThread drain;
+//   drain.Start(
+//       [this](const std::atomic<bool>& stop) {
+//         while (!stop.load(std::memory_order_acquire)) { ... Next() ... }
+//       },
+//       /*wake=*/[sub] { sub->Cancel(); });
+//   ...
+//   drain.Stop();  // idempotent; also run by the destructor
+//
+// Both the replication follower (src/replication/replica_store.cc) and the
+// materialized-view maintenance loop (src/views/view_catalog.cc) run on a
+// DrainThread.
+
+#ifndef NEPAL_PERSIST_DRAIN_THREAD_H_
+#define NEPAL_PERSIST_DRAIN_THREAD_H_
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <utility>
+
+namespace nepal::persist {
+
+class DrainThread {
+ public:
+  DrainThread() = default;
+  ~DrainThread() { Stop(); }
+
+  DrainThread(const DrainThread&) = delete;
+  DrainThread& operator=(const DrainThread&) = delete;
+
+  /// Spawns the consumer thread. `body` receives the stop flag and should
+  /// poll it between blocking waits; `wake` (optional) is invoked by Stop()
+  /// after the flag is set to interrupt a blocked wait. It must be callable
+  /// from any thread without taking locks the loop body might hold.
+  void Start(std::function<void(const std::atomic<bool>&)> body,
+             std::function<void()> wake = nullptr) {
+    wake_ = std::move(wake);
+    stop_.store(false, std::memory_order_release);
+    thread_ = std::thread(
+        [this, body = std::move(body)] { body(stop_); });
+  }
+
+  /// Stops and joins the consumer thread: flag, wake, join — in that
+  /// order. Idempotent; safe when Start() was never called.
+  void Stop() {
+    stop_.store(true, std::memory_order_release);
+    if (wake_) wake_();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// True once Stop() has been requested (the loop body can consult this
+  /// in addition to its own flag parameter).
+  bool stopping() const { return stop_.load(std::memory_order_acquire); }
+
+  bool running() const { return thread_.joinable(); }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::function<void()> wake_;
+  std::thread thread_;
+};
+
+}  // namespace nepal::persist
+
+#endif  // NEPAL_PERSIST_DRAIN_THREAD_H_

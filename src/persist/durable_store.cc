@@ -507,6 +507,7 @@ void DurableStore::PublishFrames(uint64_t segment_seq,
     std::lock_guard<std::mutex> lock(subs_mu_);
     if (subs_.empty()) return;
     const int64_t shipped_at_us = WallClockMicros();
+    const uint64_t commit_epoch = db_->commit_epoch();
     // Propagate the committing thread's trace context with the group so a
     // follower's apply spans can join the primary's commit trace.
     const obs::TraceContext& tctx = obs::Tracer::CurrentContext();
@@ -519,7 +520,7 @@ void DurableStore::PublishFrames(uint64_t segment_seq,
         const auto& sub = *it;
         const bool was_lagged = sub->lagged();
         sub->PushLive(WalShipFrame{segment_seq, shipped_at_us, trace_id,
-                                   root_span, payload});
+                                   root_span, payload, commit_epoch});
         if (sub->lagged() || sub->closed()) {
           if (!was_lagged && sub->lagged()) ++lagged;
           it = subs_.erase(it);
@@ -548,6 +549,7 @@ void DurableStore::PublishFrame(uint64_t segment_seq,
     std::lock_guard<std::mutex> lock(subs_mu_);
     if (subs_.empty()) return;
     const int64_t shipped_at_us = WallClockMicros();
+    const uint64_t commit_epoch = db_->commit_epoch();
     const obs::TraceContext& tctx = obs::Tracer::CurrentContext();
     const uint64_t trace_id = tctx.trace ? tctx.trace->trace_id() : 0;
     const uint32_t root_span = tctx.trace ? tctx.trace->root_span() : 0;
@@ -555,7 +557,7 @@ void DurableStore::PublishFrame(uint64_t segment_seq,
       const auto& sub = *it;
       const bool was_lagged = sub->lagged();
       sub->PushLive(WalShipFrame{segment_seq, shipped_at_us, trace_id,
-                                 root_span, payload});
+                                 root_span, payload, commit_epoch});
       if (sub->lagged() || sub->closed()) {
         if (!was_lagged && sub->lagged()) ++lagged;
         it = subs_.erase(it);

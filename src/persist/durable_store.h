@@ -105,6 +105,13 @@ struct WalShipFrame {
   uint64_t trace_id = 0;
   uint32_t root_span = 0;
   std::string payload;
+  /// Commit epoch of the write that produced this frame, stamped at publish
+  /// time (the epoch store-release happens before the WAL append under the
+  /// writer lock, so the value is exact). In-process consumers — the view
+  /// catalog — use it to pin snapshot repairs; it does NOT travel on the
+  /// NPLSHP01 wire, and catch-up frames read back from disk carry 0
+  /// ("unknown": the WAL file does not store epochs).
+  uint64_t commit_epoch = 0;
 };
 
 struct SubscribeOptions {

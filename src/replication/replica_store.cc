@@ -27,10 +27,7 @@ ReplicaStore::ReplicaStore(std::unique_ptr<persist::DurableStore> store,
       transport_(std::move(transport)),
       options_(options) {}
 
-ReplicaStore::~ReplicaStore() {
-  stop_.store(true, std::memory_order_release);
-  if (thread_.joinable()) thread_.join();
-}
+ReplicaStore::~ReplicaStore() { drain_.Stop(); }
 
 Result<std::unique_ptr<ReplicaStore>> ReplicaStore::Open(
     std::string dir, schema::SchemaPtr schema,
@@ -75,11 +72,12 @@ Result<std::unique_ptr<ReplicaStore>> ReplicaStore::Open(
 
   auto replica = std::unique_ptr<ReplicaStore>(new ReplicaStore(
       std::move(store), std::move(transport), options));
-  replica->thread_ = std::thread([r = replica.get()] { r->Run(); });
+  replica->drain_.Start(
+      [r = replica.get()](const std::atomic<bool>& stop) { r->Run(stop); });
   return replica;
 }
 
-void ReplicaStore::Run() {
+void ReplicaStore::Run(const std::atomic<bool>& stop) {
   auto& reg = obs::MetricsRegistry::Global();
   obs::Counter* applied = reg.GetCounter("nepal.replication.applied_records");
   obs::Counter* skew_clamped =
@@ -90,7 +88,7 @@ void ReplicaStore::Run() {
   // This thread is the only writer a read-only replica admits.
   storage::GraphDb::ReplayScope replay(store_->db());
   Status status;
-  while (!stop_.load(std::memory_order_acquire)) {
+  while (!stop.load(std::memory_order_acquire)) {
     persist::WalShipFrame frame;
     Result<bool> got = transport_->Next(
         &frame, std::chrono::milliseconds(options_.poll_interval_ms));
@@ -203,8 +201,7 @@ Status ReplicaStore::Promote() {
   if (promoted_.load(std::memory_order_acquire)) {
     return Status::OK();
   }
-  stop_.store(true, std::memory_order_release);
-  if (thread_.joinable()) thread_.join();
+  drain_.Stop();
   {
     // A stream error other than "primary gone" means the follower may be
     // behind commits it acknowledged nothing about — still safe to

@@ -32,9 +32,9 @@
 #include <atomic>
 #include <memory>
 #include <string>
-#include <thread>
 
 #include "common/status.h"
+#include "persist/drain_thread.h"
 #include "persist/durable_store.h"
 #include "replication/transport.h"
 
@@ -111,7 +111,7 @@ class ReplicaStore {
   ReplicaStore(std::unique_ptr<persist::DurableStore> store,
                std::unique_ptr<ReplicationTransport> transport,
                ReplicaOptions options);
-  void Run();
+  void Run(const std::atomic<bool>& stop);
   /// Joins the primary's trace (newest annotated frame in the batch wins)
   /// and publishes the wire/decode/apply decomposition.
   void RecordTracedApply(const std::vector<persist::WalShipFrame>& frames,
@@ -121,13 +121,15 @@ class ReplicaStore {
   std::unique_ptr<persist::DurableStore> store_;
   std::unique_ptr<ReplicationTransport> transport_;
   ReplicaOptions options_;
-  std::atomic<bool> stop_{false};
   std::atomic<bool> promoted_{false};
   std::atomic<uint64_t> records_applied_{0};
   mutable std::mutex mu_;
   Status status_;
   LastTracedApply last_traced_;
-  std::thread thread_;
+  /// Apply-loop lifecycle (flag → wake → join shutdown ordering). The
+  /// transport's bounded poll doubles as the wake-up, so no explicit wake
+  /// callback is needed here.
+  persist::DrainThread drain_;
 };
 
 }  // namespace nepal::replication

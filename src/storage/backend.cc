@@ -17,7 +17,7 @@ double StorageBackend::EstimateScan(const ScanSpec& spec) const {
     if (field.unique) return 1.0;
     // Exact per-value counter maintained by the stats subsystem.
     if (auto exact =
-            stats_.EqCount(spec.cls, spec.eq->first, spec.eq->second)) {
+            stats().EqCount(spec.cls, spec.eq->first, spec.eq->second)) {
       return *exact;
     }
     // Schema hint: an equality predicate on a non-unique field is assumed to

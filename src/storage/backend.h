@@ -88,8 +88,10 @@ class StorageBackend {
   double EstimateScan(const ScanSpec& spec) const;
 
   /// Incrementally maintained statistics (cardinalities, degrees, value
-  /// counters, history depth). Backends update them on every write.
-  const stats::GraphStats& stats() const { return stats_; }
+  /// counters, history depth). Backends update them on every write. Virtual
+  /// so locking decorators can defer their consistent stats capture until a
+  /// planner actually asks (pre-evaluated queries never do).
+  virtual const stats::GraphStats& stats() const { return stats_; }
 
   // ---- Durability (checkpoint restore; see src/persist) ----
 

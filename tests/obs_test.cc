@@ -111,6 +111,40 @@ TEST(MetricsRegistryTest, StablePointersAndRendering) {
   EXPECT_EQ(g->Value(), 0);
 }
 
+TEST(MetricsRegistryTest, ViewMetricsRenderUnderCanonicalNames) {
+  // The materialized-view subsystem (src/views) publishes these exact
+  // names; the shell's \metrics and the JSON exposition surface them.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.ResetValuesForTest();
+  reg.GetGauge("nepal.views.registered")->Set(2);
+  reg.GetGauge("nepal.views.staleness_epochs")->Set(1);
+  reg.GetCounter("nepal.views.repairs")->Add(5);
+  reg.GetCounter("nepal.views.rebuilds")->Add(1);
+  reg.GetCounter("nepal.views.skipped_records")->Add(7);
+  reg.GetCounter("nepal.views.served")->Add(3);
+  reg.GetHistogram("nepal.views.repair_ns", DefaultLatencyBucketsNs())
+      ->Observe(1000);
+
+  std::string text = reg.RenderText();
+  EXPECT_NE(text.find("gauge nepal.views.registered 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("gauge nepal.views.staleness_epochs 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("counter nepal.views.repairs 5"), std::string::npos);
+  EXPECT_NE(text.find("counter nepal.views.rebuilds 1"), std::string::npos);
+  EXPECT_NE(text.find("counter nepal.views.skipped_records 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("counter nepal.views.served 3"), std::string::npos);
+  EXPECT_NE(text.find("histogram nepal.views.repair_ns count=1"),
+            std::string::npos);
+
+  std::string json = reg.RenderJson();
+  EXPECT_NE(json.find("\"nepal.views.repairs\":5"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"nepal.views.registered\":2"), std::string::npos);
+  reg.ResetValuesForTest();
+}
+
 TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
   EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
 }

@@ -14,6 +14,7 @@
 // holding only the elements alive at t.
 
 #include <algorithm>
+#include <filesystem>
 #include <map>
 #include <set>
 #include <string>
@@ -23,7 +24,11 @@
 
 #include "common/rng.h"
 #include "nepal/engine.h"
+#include "nepal/executor.h"
+#include "nepal/snapshot.h"
+#include "persist/durable_store.h"
 #include "tests/testutil.h"
+#include "views/view_catalog.h"
 
 namespace nepal {
 namespace {
@@ -885,6 +890,174 @@ TEST(PropertyTest, TouchingValidityPeriodsNeverCoexist) {
     ASSERT_EQ(p_only->rows.size(), 1u);
     EXPECT_EQ(p_only->rows[0].valid, Interval({t0, t1}));
   }
+}
+
+TEST(PropertyTest, ViewServedEqualsColdEvaluation) {
+  // For random temporal graphs and random mutation streams, a
+  // WAL-maintained materialized view must serve rows identical to cold
+  // evaluation at its freshness epoch — on both backends, with batched and
+  // single-op writes, whether the view compiles to an automaton or an
+  // unrolled plan. The cold oracle always plans cost-based, so this also
+  // cross-checks the view's compilation strategy.
+  namespace fs = std::filesystem;
+  schema::SchemaPtr schema = *schema::ParseSchemaDsl(kPropertySchema);
+  Rng rng(77007);
+  int checked = 0;
+  for (int round = 0; round < 8; ++round) {
+    for (auto kind : {nepal::testing::BackendKind::kGraphStore,
+                      nepal::testing::BackendKind::kRelational}) {
+      for (auto strategy :
+           {nql::LoopStrategy::kAutomaton, nql::LoopStrategy::kUnroll}) {
+        fs::path dir =
+            fs::path(::testing::TempDir()) /
+            ("nepal_prop_views_" + std::to_string(round) + "_" +
+             nepal::testing::BackendName(kind) +
+             (strategy == nql::LoopStrategy::kAutomaton ? "_nfa" : "_unr"));
+        fs::remove_all(dir);
+        persist::DurableOptions d_options;
+        d_options.fsync_policy = persist::FsyncPolicy::kNone;
+        auto store = persist::DurableStore::Open(
+            dir.string(), schema,
+            [kind](schema::SchemaPtr s) {
+              return nepal::testing::MakeBackend(kind, std::move(s));
+            },
+            d_options);
+        ASSERT_TRUE(store.ok()) << store.status();
+        storage::GraphDb* db = &(*store)->db();
+
+        const char* node_classes[] = {"A", "A1", "B"};
+        const char* edge_classes[] = {"E", "E1", "F"};
+        std::vector<Uid> alive;
+        for (int i = 0; i < 10; ++i) {
+          auto uid = db->AddNode(
+              node_classes[rng.Below(3)],
+              {{"name", Value("n" + std::to_string(i))},
+               {"val", Value(static_cast<int64_t>(rng.Below(4)))}});
+          ASSERT_TRUE(uid.ok()) << uid.status();
+          alive.push_back(*uid);
+        }
+        for (int i = 0; i < 16; ++i) {
+          Uid s = alive[rng.Below(alive.size())];
+          Uid t = alive[rng.Below(alive.size())];
+          if (s == t) continue;
+          ASSERT_TRUE(db->AddEdge(edge_classes[rng.Below(3)], s, t,
+                                  {{"w", Value(static_cast<int64_t>(
+                                             rng.Below(4)))}})
+                          .ok());
+        }
+
+        nql::PlanOptions view_plan;
+        view_plan.loop_strategy = strategy;
+        auto catalog = views::ViewCatalog::Open(store->get(), view_plan);
+        ASSERT_TRUE(catalog.ok()) << catalog.status();
+        nql::RpeNode rpe = RandomRpe(&rng, 2);
+        Status created = (*catalog)->CreateView("v", rpe);
+        if (!created.ok()) continue;  // e.g. unplannable random RPE
+
+        // Random mutation stream: adds, updates, removes and clock steps,
+        // committed alternately one-at-a-time and as atomic batches.
+        Timestamp now = db->Now();
+        int node_seq = 10;
+        auto random_mutation = [&]() -> std::optional<storage::Mutation> {
+          switch (rng.Below(5)) {
+            case 0:
+              return storage::Mutation::AddNode(
+                  node_classes[rng.Below(3)],
+                  {{"name", Value("m" + std::to_string(node_seq++))},
+                   {"val", Value(static_cast<int64_t>(rng.Below(4)))}});
+            case 1: {
+              if (alive.size() < 2) return std::nullopt;
+              Uid s = alive[rng.Below(alive.size())];
+              Uid t = alive[rng.Below(alive.size())];
+              if (s == t) return std::nullopt;
+              return storage::Mutation::AddEdge(
+                  edge_classes[rng.Below(3)], s, t,
+                  {{"w", Value(static_cast<int64_t>(rng.Below(4)))}});
+            }
+            case 2: {
+              if (alive.empty()) return std::nullopt;
+              return storage::Mutation::Update(
+                  alive[rng.Below(alive.size())],
+                  {{"val", Value(static_cast<int64_t>(rng.Below(4)))}});
+            }
+            case 3: {
+              if (alive.size() <= 4) return std::nullopt;
+              size_t at = rng.Below(alive.size());
+              Uid gone = alive[at];
+              alive.erase(alive.begin() + at);
+              return storage::Mutation::Remove(gone);
+            }
+            default:
+              now += 1000000;  // +1s
+              return storage::Mutation::SetTime(now);
+          }
+        };
+        for (int op = 0; op < 30;) {
+          if (rng.Chance(0.5)) {
+            std::vector<storage::Mutation> batch;
+            for (int j = 0; j < 4; ++j) {
+              if (auto m = random_mutation()) batch.push_back(std::move(*m));
+            }
+            if (!batch.empty()) ASSERT_TRUE(db->ApplyBatch(batch).ok());
+            for (const storage::Mutation& m : batch) {
+              if (m.kind == storage::Mutation::Kind::kAddNode) {
+                alive.push_back(m.uid);
+              }
+            }
+            op += 4;
+          } else {
+            if (auto m = random_mutation()) {
+              std::vector<storage::Mutation> one;
+              one.push_back(std::move(*m));
+              ASSERT_TRUE(db->ApplyBatch(one).ok());
+              if (one[0].kind == storage::Mutation::Kind::kAddNode) {
+                alive.push_back(one[0].uid);
+              }
+            }
+            ++op;
+          }
+        }
+
+        ASSERT_TRUE((*catalog)
+                        ->WaitUntilFresh("v", db->commit_epoch(),
+                                         std::chrono::milliseconds(30000))
+                        .ok());
+        auto sv = (*catalog)->Serve("v");
+        ASSERT_TRUE(sv.has_value());
+
+        // Cold oracle at the served epoch, cost-based plan, canonicalized.
+        nql::RpeNode resolved = nql::Normalize(rpe);
+        nql::PlanOptions cold_plan;
+        ASSERT_TRUE(nql::ResolveRpe(db->schema(), cold_plan.max_repetition,
+                                    &resolved)
+                        .ok());
+        nql::LockedBackend backend(db);
+        auto exec = backend.CreateExecutor();
+        auto cold = nql::EvaluateMatch(
+            *exec, backend, resolved,
+            storage::TimeView::Current().WithEpoch(sv->epoch), cold_plan);
+        ASSERT_TRUE(cold.ok()) << cold.status();
+        storage::CanonicalizePaths(&*cold);
+
+        auto render = [](const storage::PathSet& paths) {
+          std::vector<std::string> rows;
+          for (const storage::PathState& s : paths) {
+            std::string line;
+            for (Uid uid : s.uids) line += std::to_string(uid) + ",";
+            line += " " + s.valid.ToString();
+            rows.push_back(std::move(line));
+          }
+          std::sort(rows.begin(), rows.end());
+          return rows;
+        };
+        EXPECT_EQ(render(*sv->paths), render(*cold))
+            << nepal::testing::BackendName(kind) << " "
+            << nql::Normalize(rpe).ToString();
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 20);
 }
 
 }  // namespace
