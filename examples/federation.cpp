@@ -83,8 +83,13 @@ int main() {
 
   // ---- The mediator ----
   nql::QueryEngine engine(&cloud);
-  engine.BindSource("cloud", &cloud);
-  engine.BindSource("physical", &physical);
+  nql::SourceDescriptor cloud_desc;
+  cloud_desc.db = &cloud;
+  nql::SourceDescriptor physical_desc;
+  physical_desc.db = &physical;
+  Status bound = engine.catalog().Register("cloud", cloud_desc);
+  if (bound.ok()) bound = engine.catalog().Register("physical", physical_desc);
+  if (!bound.ok()) die(bound);
 
   // Which circuits carry acme's VM traffic? V runs on the cloud source,
   // C on the physical one; the join key is the shared hostname.

@@ -29,12 +29,21 @@
 // recovery included) and every subsequent write is logged to its WAL;
 // --fsync always|interval|none picks the commit durability policy.
 // Replication commands (src/replication):
-//   --ship <path>       (primary, needs --data-dir) stream the WAL into a
-//                       FIFO/pipe path; a follower shell reads it
-//   --follow <path>     (follower, needs --data-dir) bootstrap + tail the
-//                       stream from <path>; the shell is read-only
-//   \replication        role, shipped/applied counters, lag, link status
-//   \promote            stop applying and accept writes (failover)
+//   --ship <addr>       (primary, needs --data-dir) serve the WAL to any
+//                       number of followers. unix:<path> / tcp:<host>:<port>
+//                       starts the fleet listener (resume, acks); a bare
+//                       path keeps the legacy single-follower FIFO stream
+//   --follow <addr>     (follower, needs --data-dir) bootstrap + tail the
+//                       stream; socket addresses reconnect and resume,
+//                       FIFO paths are single-shot. The shell is read-only
+//   --name <name>       this follower's identity on the primary
+//   --quorum <k>        (primary) semi-sync: each commit waits for k
+//                       follower acks (degrades to async on timeout)
+//   \replication        role, per-follower fleet table, lag, link status
+//   \promote [<addr>]   stop applying and accept writes (failover); with
+//                       an address, also start a fleet listener there so
+//                       surviving followers can \repoint to this shell
+//   \repoint <addr>     (socket follower) re-point at another primary
 // Materialized views (src/views, durable mode only):
 //   CREATE VIEW <name> AS <rpe> [AT '<time>'];   register + build a view
 //   DROP VIEW <name>;   unregister a view
@@ -46,11 +55,13 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "graphstore/graph_store.h"
 #include "nepal/engine.h"
@@ -59,7 +70,9 @@
 #include "obs/trace.h"
 #include "persist/durable_store.h"
 #include "relational/relational_store.h"
+#include "replication/listener.h"
 #include "replication/replica_store.h"
+#include "replication/socket_util.h"
 #include "replication/transport.h"
 #include "schema/dsl_parser.h"
 #include "storage/graphdb.h"
@@ -84,8 +97,10 @@ void PrintHelp() {
       "  \\load <dir>         open a data directory and switch to it\n"
       "  \\checkpoint         rotate the WAL and write a checkpoint\n"
       "Replication:\n"
-      "  \\replication        role, shipped/applied counters, lag, status\n"
-      "  \\promote            promote a follower to a writable primary\n"
+      "  \\replication        role, per-follower fleet table, lag, status\n"
+      "  \\promote [<addr>]   promote a follower to a writable primary\n"
+      "                      (with <addr>: serve the fleet from there)\n"
+      "  \\repoint <addr>     re-point a socket follower at a new primary\n"
       "Materialized views (durable mode):\n"
       "  CREATE VIEW <name> AS <rpe> [AT '<time>'];   register + build\n"
       "  DROP VIEW <name>;   unregister\n"
@@ -102,6 +117,8 @@ int main(int argc, char** argv) {
   std::string data_dir;
   std::string ship_path;
   std::string follow_path;
+  std::string follower_name = "follower";
+  int quorum = 0;
   persist::DurableOptions durable_options;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
@@ -115,6 +132,10 @@ int main(int argc, char** argv) {
       ship_path = argv[++i];
     } else if (std::strcmp(argv[i], "--follow") == 0 && i + 1 < argc) {
       follow_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--name") == 0 && i + 1 < argc) {
+      follower_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--quorum") == 0 && i + 1 < argc) {
+      quorum = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--fsync") == 0 && i + 1 < argc) {
       auto policy = persist::ParseFsyncPolicy(argv[++i]);
       if (!policy.ok()) {
@@ -131,7 +152,10 @@ int main(int argc, char** argv) {
                  "usage: nepal_shell <schema.dsl> [feed.txt ...] "
                  "[--relational|--graphstore] [--data-dir <dir>] "
                  "[--fsync always|interval|none] "
-                 "[--ship <path>] [--follow <path>]\n");
+                 "[--ship <addr>] [--follow <addr>] "
+                 "[--name <follower>] [--quorum <k>]\n"
+                 "  <addr>: unix:<path> | tcp:<host>:<port> (fleet) or a "
+                 "FIFO path (legacy single stream)\n");
     return 2;
   }
   if ((!ship_path.empty() || !follow_path.empty()) && data_dir.empty()) {
@@ -195,34 +219,60 @@ int main(int argc, char** argv) {
   std::unique_ptr<storage::GraphDb> mem_db;              // in-memory mode
   std::unique_ptr<persist::DurableStore> store;          // durable mode
   std::unique_ptr<replication::ReplicaStore> replica;    // follower mode
-  std::unique_ptr<replication::WalShipper> shipper;      // primary shipping
+  std::unique_ptr<replication::WalShipper> shipper;      // legacy FIFO ship
+  std::unique_ptr<replication::ReplicationListener> listener;  // fleet ship
   // Declared after `store`: the catalog tails the store's WAL and must be
   // destroyed (thread joined, subscription dropped) before the store.
   std::unique_ptr<views::ViewCatalog> views_catalog;     // durable mode
   storage::GraphDb* db = nullptr;
   if (!follow_path.empty()) {
-    std::printf("follower: waiting for a primary on %s ...\n",
-                follow_path.c_str());
-    std::fflush(stdout);
-    int fd = ::open(follow_path.c_str(), O_RDONLY);
-    if (fd < 0) {
-      std::fprintf(stderr, "cannot open %s for reading\n",
-                   follow_path.c_str());
-      return 1;
+    if (replication::LooksLikeSocketAddress(follow_path)) {
+      auto address = replication::ParseSocketAddress(follow_path);
+      if (!address.ok()) {
+        std::fprintf(stderr, "%s\n", address.status().ToString().c_str());
+        return 2;
+      }
+      std::printf("follower '%s': connecting to %s ...\n",
+                  follower_name.c_str(), follow_path.c_str());
+      std::fflush(stdout);
+      replication::ConnectOptions connect_options;
+      connect_options.replica.durable = durable_options;
+      connect_options.name = follower_name;
+      auto opened = replication::ReplicaStore::Connect(
+          data_dir, *schema, make_backend, *address, connect_options);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+        return 1;
+      }
+      replica = std::move(*opened);
+      std::printf("follower '%s': bootstrapped from the primary's "
+                  "checkpoint; resumes across disconnects; read-only until "
+                  "\\promote\n",
+                  follower_name.c_str());
+    } else {
+      std::printf("follower: waiting for a primary on %s ...\n",
+                  follow_path.c_str());
+      std::fflush(stdout);
+      int fd = ::open(follow_path.c_str(), O_RDONLY);
+      if (fd < 0) {
+        std::fprintf(stderr, "cannot open %s for reading\n",
+                     follow_path.c_str());
+        return 1;
+      }
+      replication::ReplicaOptions replica_options;
+      replica_options.durable = durable_options;
+      auto opened = replication::ReplicaStore::Open(
+          data_dir, *schema, make_backend,
+          std::make_unique<replication::FdTransport>(fd), replica_options);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+        return 1;
+      }
+      replica = std::move(*opened);
+      std::printf("follower: bootstrapped from the primary's checkpoint; "
+                  "read-only until \\promote\n");
     }
-    replication::ReplicaOptions replica_options;
-    replica_options.durable = durable_options;
-    auto opened = replication::ReplicaStore::Open(
-        data_dir, *schema, make_backend,
-        std::make_unique<replication::FdTransport>(fd), replica_options);
-    if (!opened.ok()) {
-      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
-      return 1;
-    }
-    replica = std::move(*opened);
     db = &replica->db();
-    std::printf("follower: bootstrapped from the primary's checkpoint; "
-                "read-only until \\promote\n");
   } else if (!data_dir.empty()) {
     auto opened = persist::DurableStore::Open(data_dir, *schema, make_backend,
                                               durable_options);
@@ -234,22 +284,47 @@ int main(int argc, char** argv) {
     db = &store->db();
     print_recovery(*store);
     if (!ship_path.empty()) {
-      std::printf("primary: waiting for a follower on %s ...\n",
-                  ship_path.c_str());
-      std::fflush(stdout);
-      int fd = ::open(ship_path.c_str(), O_WRONLY);
-      if (fd < 0) {
-        std::fprintf(stderr, "cannot open %s for writing\n",
-                     ship_path.c_str());
-        return 1;
+      if (replication::LooksLikeSocketAddress(ship_path)) {
+        auto address = replication::ParseSocketAddress(ship_path);
+        if (!address.ok()) {
+          std::fprintf(stderr, "%s\n", address.status().ToString().c_str());
+          return 2;
+        }
+        auto started = replication::ReplicationListener::Start(*store,
+                                                               *address);
+        if (!started.ok()) {
+          std::fprintf(stderr, "%s\n", started.status().ToString().c_str());
+          return 1;
+        }
+        listener = std::move(*started);
+        std::printf("primary: replication listener on %s\n",
+                    listener->address().ToString().c_str());
+        if (quorum > 0) {
+          persist::DurableStore::SemiSyncOptions semisync;
+          semisync.quorum = quorum;
+          store->SetSemiSync(semisync);
+          std::printf("primary: semi-sync commits, quorum=%d (degrades to "
+                      "async after %d ms)\n",
+                      quorum, semisync.timeout_ms);
+        }
+      } else {
+        std::printf("primary: waiting for a follower on %s ...\n",
+                    ship_path.c_str());
+        std::fflush(stdout);
+        int fd = ::open(ship_path.c_str(), O_WRONLY);
+        if (fd < 0) {
+          std::fprintf(stderr, "cannot open %s for writing\n",
+                       ship_path.c_str());
+          return 1;
+        }
+        auto started = replication::WalShipper::Start(*store, fd);
+        if (!started.ok()) {
+          std::fprintf(stderr, "%s\n", started.status().ToString().c_str());
+          return 1;
+        }
+        shipper = std::move(*started);
+        std::printf("primary: shipping the WAL to %s\n", ship_path.c_str());
       }
-      auto started = replication::WalShipper::Start(*store, fd);
-      if (!started.ok()) {
-        std::fprintf(stderr, "%s\n", started.status().ToString().c_str());
-        return 1;
-      }
-      shipper = std::move(*started);
-      std::printf("primary: shipping the WAL to %s\n", ship_path.c_str());
     }
   } else {
     mem_db = std::make_unique<storage::GraphDb>(*schema, make_backend(*schema));
@@ -419,7 +494,51 @@ int main(int argc, char** argv) {
                         static_cast<double>(traced.apply_us) / 1e3,
                         static_cast<unsigned long long>(traced.frames));
           }
+          if (replica->reconnects() > 0 || replica->resumes() > 0 ||
+              replica->rebootstraps() > 0) {
+            std::printf("fleet: %llu reconnect(s), %llu resume(s), "
+                        "%llu re-bootstrap(s)\n",
+                        static_cast<unsigned long long>(
+                            replica->reconnects()),
+                        static_cast<unsigned long long>(replica->resumes()),
+                        static_cast<unsigned long long>(
+                            replica->rebootstraps()));
+          }
           std::printf("link: %s\n", replica->status().ToString().c_str());
+        } else if (listener != nullptr) {
+          std::printf("role: primary (fleet listener on %s)\n",
+                      listener->address().ToString().c_str());
+          std::printf("sessions: %llu accepted, %llu resume(s), "
+                      "%llu bootstrap(s)\n",
+                      static_cast<unsigned long long>(
+                          listener->sessions_accepted()),
+                      static_cast<unsigned long long>(listener->resumes()),
+                      static_cast<unsigned long long>(
+                          listener->bootstraps()));
+          if (quorum > 0) {
+            std::printf("semi-sync: quorum=%d, %s\n", quorum,
+                        store->semisync_degraded()
+                            ? "DEGRADED to async (quorum unreachable)"
+                            : "armed");
+          }
+          auto followers = listener->Followers();
+          if (followers.empty()) {
+            std::printf("no followers connected yet\n");
+          } else {
+            std::printf("%-16s %-9s %-7s %10s %10s %12s %9s\n", "follower",
+                        "state", "mode", "frames", "acked", "lag(rec)",
+                        "stale(ms)");
+            for (const auto& f : followers) {
+              std::printf("%-16s %-9s %-7s %10llu %10llu %12llu %9u\n",
+                          f.name.c_str(),
+                          f.connected ? "connected" : "gone",
+                          f.resumed ? "resume" : "boot",
+                          static_cast<unsigned long long>(f.frames_shipped),
+                          static_cast<unsigned long long>(f.acked_records),
+                          static_cast<unsigned long long>(f.lag_records),
+                          f.staleness_ms);
+            }
+          }
         } else if (shipper != nullptr) {
           std::printf("role: primary (shipping)\n");
           std::printf("shipped: %llu frame(s), %.1f MB\n",
@@ -458,11 +577,16 @@ int main(int argc, char** argv) {
                 info.footprint.c_str());
           }
         }
-      } else if (line == "\\promote") {
+      } else if (line == "\\promote" || line.rfind("\\promote ", 0) == 0) {
+        const std::string listen_addr =
+            line.size() > 9 ? line.substr(9) : std::string();
         if (replica == nullptr) {
           std::printf("not a follower; start with --follow <path>\n");
         } else if (replica->promoted()) {
           std::printf("already promoted\n");
+        } else if (!listen_addr.empty() &&
+                   !replication::LooksLikeSocketAddress(listen_addr)) {
+          std::printf("usage: \\promote [unix:<path> | tcp:<host>:<port>]\n");
         } else {
           auto s = replica->Promote();
           if (!s.ok()) {
@@ -472,7 +596,81 @@ int main(int argc, char** argv) {
             local.db = db;
             engine->catalog().Register("local", local).IgnoreError();
             std::printf("promoted: this shell now accepts writes\n");
+            // With an address, the new primary immediately serves the
+            // rest of the fleet — survivors \repoint here.
+            if (!listen_addr.empty()) {
+              auto address = replication::ParseSocketAddress(listen_addr);
+              if (!address.ok()) {
+                std::printf("error: %s\n",
+                            address.status().ToString().c_str());
+              } else {
+                auto started = replication::ReplicationListener::Start(
+                    replica->store(), *address);
+                if (!started.ok()) {
+                  std::printf("error: %s\n",
+                              started.status().ToString().c_str());
+                } else {
+                  listener = std::move(*started);
+                  std::printf("promoted primary: replication listener "
+                              "on %s\n",
+                              listener->address().ToString().c_str());
+                }
+              }
+            }
           }
+        }
+      } else if (line.rfind("\\repoint ", 0) == 0) {
+        const std::string target = line.substr(9);
+        if (replica == nullptr) {
+          std::printf("not a follower; start with --follow <addr>\n");
+        } else if (!replication::LooksLikeSocketAddress(target)) {
+          std::printf("usage: \\repoint unix:<path> | tcp:<host>:<port>\n");
+        } else {
+          auto address = replication::ParseSocketAddress(target);
+          if (!address.ok()) {
+            std::printf("error: %s\n", address.status().ToString().c_str());
+            continue;
+          }
+          const uint64_t before = replica->rebootstraps();
+          auto s = replica->Repoint(*address);
+          if (!s.ok()) {
+            std::printf("error: %s\n", s.ToString().c_str());
+            continue;
+          }
+          // Re-pointing always re-bootstraps (the old position means
+          // nothing against a different primary's WAL); wait for the new
+          // generation so the shell can rebind to its database.
+          std::printf("repointing to %s ...\n", target.c_str());
+          std::fflush(stdout);
+          bool bootstrapped = false;
+          for (int i = 0; i < 600; ++i) {  // up to ~60 s
+            if (replica->rebootstraps() > before) {
+              bootstrapped = true;
+              break;
+            }
+            if (!replica->serving()) break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+          }
+          if (!bootstrapped) {
+            std::printf("repoint pending: %s\n",
+                        replica->status().ToString().c_str());
+            continue;
+          }
+          // The follower swapped to a fresh generation; rebind everything
+          // that held the old database pointer.
+          engine.reset();
+          loader.reset();
+          db = &replica->db();
+          loader = std::make_unique<netmodel::FeedLoader>(db);
+          engine = std::make_unique<nql::QueryEngine>(db);
+          {
+            nql::SourceDescriptor local;
+            local.db = db;
+            local.role = nql::SourceRole::kReplica;
+            engine->catalog().Register("local", local).IgnoreError();
+          }
+          std::printf("repointed: re-bootstrapped from %s\n",
+                      target.c_str());
         }
       } else {
         std::printf("unknown command; try .help\n");

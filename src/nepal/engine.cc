@@ -179,12 +179,6 @@ std::string QueryResult::ToString(size_t max_rows) const {
 QueryEngine::QueryEngine(storage::GraphDb* db, EngineOptions options)
     : default_db_(db), options_(options) {}
 
-void QueryEngine::BindSource(const std::string& name, storage::GraphDb* db) {
-  SourceDescriptor desc;
-  desc.db = db;
-  catalog_.Register(name, desc).IgnoreError();
-}
-
 Status QueryEngine::DefineView(const std::string& name,
                                const std::string& rpe_text) {
   if (name == "PATHS" || name == "paths") {
@@ -197,8 +191,8 @@ Status QueryEngine::DefineView(const std::string& name,
 }
 
 Result<storage::GraphDb*> QueryEngine::SourceFor(
-    const RangeVarDecl& decl) const {
-  if (!decl.source.has_value()) return default_db_;
+    const RangeVarDecl& decl, storage::GraphDb* run_db) const {
+  if (!decl.source.has_value()) return run_db;
   // Queries only read, so any catalog entry — replica included — routes.
   return catalog_.Readable(*decl.source);
 }
@@ -278,6 +272,11 @@ std::vector<SlowQuery> QueryEngine::SlowQueries() const {
   return std::vector<SlowQuery>(slow_log_.begin(), slow_log_.end());
 }
 
+RouteDecision QueryEngine::LastRoute() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return last_route_;
+}
+
 Result<QueryResult> QueryEngine::RunParsed(const Query& query,
                                            const std::string& text) const {
   const std::string& backend_name = default_db_->backend().name();
@@ -291,6 +290,49 @@ Result<QueryResult> QueryEngine::RunParsed(const Query& query,
     capture.trace = query.explain == ExplainMode::kVerbose;
   }
 
+  // ---- Read routing ----
+  // Under a non-default policy, the whole query may evaluate on a replica:
+  // the router pins the replica's commit epoch at decision time and the
+  // query runs in snapshot mode there — it never observes state older than
+  // the staleness bound, and never straddles replica apply batches. EXPLAIN
+  // stays on the primary (its plan/trace capture is the point), as do
+  // queries the materialized-view provider might serve: the view cache is
+  // primary-bound, and a provider-registered view *name* only resolves
+  // through it.
+  RouteDecision route;
+  route.db = default_db_;
+  std::map<storage::GraphDb*, uint64_t> routed_epochs;
+  const std::map<storage::GraphDb*, uint64_t>* outer_epochs = nullptr;
+  if (options_.routing.policy != ReadPolicy::kPrimaryOnly &&
+      query.explain == ExplainMode::kNone) {
+    bool routable = true;
+    if (view_provider_ != nullptr) {
+      for (const RangeVarDecl& decl : query.range_vars) {
+        std::string view_name = decl.view;
+        for (char& c : view_name) c = static_cast<char>(std::toupper(c));
+        if (view_name != "PATHS" && views_.find(decl.view) == views_.end()) {
+          routable = false;  // provider-served view: primary only
+          break;
+        }
+      }
+    }
+    if (routable) {
+      route = catalog_.RouteRead(default_db_, options_.routing);
+      if (route.replica) {
+        routed_epochs.emplace(route.db, route.epoch);
+        routed_epochs.emplace(default_db_, default_db_->commit_epoch());
+        catalog_.ForEach([&routed_epochs](const std::string&,
+                                          const SourceDescriptor& desc) {
+          storage::GraphDb* db = desc.database();
+          routed_epochs.emplace(db, db->commit_epoch());
+        });
+        outer_epochs = &routed_epochs;
+      }
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    last_route_ = route;
+  }
+
   obs::QueryStatsBuilder builder;
   // Read-path execute span. Per-operator children are synthesized below
   // from the partition-invariant QueryStats totals rather than recorded
@@ -300,8 +342,9 @@ Result<QueryResult> QueryEngine::RunParsed(const Query& query,
   uint32_t exec_span = 0;
   if (tctx) exec_span = tctx.trace->OpenSpan(tctx.span_id, "execute");
   const uint64_t start = NowNs();
-  Result<QueryResult> result = RunInternal(query, OuterEnv{}, capture,
-                                           &builder);
+  Result<QueryResult> result =
+      RunInternal(query, OuterEnv{}, capture, &builder,
+                  /*locks_held=*/false, outer_epochs, route.db);
   const uint64_t wall_ns = NowNs() - start;
   if (exec_span != 0) tctx.trace->CloseSpan(exec_span);
 
@@ -405,12 +448,24 @@ Uid EndpointOf(const PathState& state, PathExpr::Kind kind) {
                                          : state.uids.back();
 }
 
+/// Pinned epoch for `db`, falling back to its live commit epoch when the
+/// map predates the source (a replica re-bootstrapped mid-query, or a
+/// source registered between capture and use). The fallback is still a
+/// consistent read — it just isn't pinned to the query's snapshot.
+uint64_t EpochFor(const std::map<storage::GraphDb*, uint64_t>* epochs,
+                  storage::GraphDb* db) {
+  auto it = epochs->find(db);
+  return it != epochs->end() ? it->second : db->commit_epoch();
+}
+
 }  // namespace
 
 Result<QueryResult> QueryEngine::RunInternal(
     const Query& query, const OuterEnv& outer, const ExplainCapture& capture,
     obs::QueryStatsBuilder* stats, bool locks_held,
-    const std::map<storage::GraphDb*, uint64_t>* outer_epochs) const {
+    const std::map<storage::GraphDb*, uint64_t>* outer_epochs,
+    storage::GraphDb* run_db) const {
+  if (run_db == nullptr) run_db = default_db_;
   std::vector<std::string>* explain = capture.lines;
   // ---- Validate structure and set up variable states ----
   if (query.range_vars.empty()) {
@@ -434,7 +489,7 @@ Result<QueryResult> QueryEngine::RunInternal(
   if (view_provider_ != nullptr && !locks_held && outer_epochs == nullptr &&
       !capture.trace && query.range_vars.size() == 1) {
     const RangeVarDecl& decl = query.range_vars[0];
-    Result<storage::GraphDb*> src = SourceFor(decl);
+    Result<storage::GraphDb*> src = SourceFor(decl, run_db);
     const std::optional<TimeSpec>& spec =
         decl.at.has_value() ? decl.at : query.at;
     const Predicate* matches = nullptr;
@@ -487,10 +542,11 @@ Result<QueryResult> QueryEngine::RunInternal(
     // Capture every reachable source's commit epoch up front — lock-free
     // (commit_epoch() is an atomic published after the in-memory apply) —
     // so subqueries over any catalog source read the same snapshot.
-    epoch_map.emplace(default_db_, default_db_->commit_epoch());
+    epoch_map.emplace(run_db, run_db->commit_epoch());
     catalog_.ForEach(
         [&epoch_map](const std::string&, const SourceDescriptor& desc) {
-          epoch_map.emplace(desc.db, desc.db->commit_epoch());
+          storage::GraphDb* db = desc.database();
+          epoch_map.emplace(db, db->commit_epoch());
         });
     // A served variable pins its source to the cache's freshness epoch
     // (never ahead of the commit epoch), keeping the whole query
@@ -513,9 +569,9 @@ Result<QueryResult> QueryEngine::RunInternal(
   // the whole-evaluation hold with epoch pinning + per-call locks.
   std::vector<std::shared_lock<std::shared_mutex>> read_locks;
   if (!locks_held && !snapshot_mode) {
-    std::vector<storage::GraphDb*> dbs{default_db_};
+    std::vector<storage::GraphDb*> dbs{run_db};
     catalog_.ForEach([&dbs](const std::string&, const SourceDescriptor& desc) {
-      dbs.push_back(desc.db);
+      dbs.push_back(desc.database());
     });
     std::sort(dbs.begin(), dbs.end());
     dbs.erase(std::unique(dbs.begin(), dbs.end()), dbs.end());
@@ -531,7 +587,7 @@ Result<QueryResult> QueryEngine::RunInternal(
                                      "'");
     }
     vars[i].decl = &decl;
-    NEPAL_ASSIGN_OR_RETURN(vars[i].db, SourceFor(decl));
+    NEPAL_ASSIGN_OR_RETURN(vars[i].db, SourceFor(decl, run_db));
     if (snapshot_mode) {
       std::unique_ptr<LockedBackend>& snap = snap_backends[vars[i].db];
       if (snap == nullptr) {
@@ -551,7 +607,7 @@ Result<QueryResult> QueryEngine::RunInternal(
     }
     vars[i].view = ViewFor(decl.at, query.at);
     if (snapshot_mode) {
-      vars[i].view = vars[i].view.WithEpoch(epochs->at(vars[i].db));
+      vars[i].view = vars[i].view.WithEpoch(EpochFor(epochs, vars[i].db));
     }
     std::string view_name = decl.view;
     for (char& c : view_name) c = static_cast<char>(std::toupper(c));
@@ -934,7 +990,7 @@ Result<QueryResult> QueryEngine::RunInternal(
         NEPAL_ASSIGN_OR_RETURN(
             storage::ElementVersion v,
             FetchVersion(db, uid, valid,
-                         snapshot_mode ? epochs->at(db) : 0));
+                         snapshot_mode ? EpochFor(epochs, db) : 0));
         int idx = v.cls->FieldIndex(*e.field);
         if (idx < 0) {
           return Status::InvalidArgument("class " + v.cls->name() +
@@ -1125,7 +1181,7 @@ Result<QueryResult> QueryEngine::RunInternal(
           QueryResult sub,
           RunInternal(*pred->subquery, env, ExplainCapture{}, nullptr,
                       /*locks_held=*/true,
-                      snapshot_mode ? epochs : nullptr));
+                      snapshot_mode ? epochs : nullptr, run_db));
       bool exists = !sub.rows.empty();
       if (exists != pred->negate_exists) kept.push_back(row);
     }

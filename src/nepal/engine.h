@@ -97,6 +97,14 @@ struct EngineOptions {
   /// two epochs cannot reproduce — enable when writers always advance time
   /// or never delete what they just inserted.
   bool snapshot_reads = false;
+  /// Read routing across the replication fleet (see SourceCatalog). Under
+  /// a non-default policy, each top-level non-EXPLAIN read consults the
+  /// catalog's attached replicas and may evaluate on one instead of the
+  /// primary, pinned (snapshot mode) to the replica's commit epoch at the
+  /// routing decision — bounded staleness, exact snapshot. Writes never
+  /// route; queries that can be served from the materialized-view
+  /// provider stay on the primary (the cache is primary-bound).
+  RoutingOptions routing;
 };
 
 /// One slow-query log entry (see EngineOptions::slow_query_ms).
@@ -111,14 +119,10 @@ class QueryEngine {
   /// `db` is the default data source; it must outlive the engine.
   explicit QueryEngine(storage::GraphDb* db, EngineOptions options = {});
 
-  /// Deprecated: registers `db` as a writable primary under `name`.
-  /// Equivalent to `catalog().Register(name, {.db = db})`; prefer the
-  /// catalog, which carries the source's role (primary vs replica) and
-  /// read-only flag.
-  void BindSource(const std::string& name, storage::GraphDb* db);
-
   /// The named data sources `In '<name>'` clauses route to. Register
-  /// replicas here so reads work but writes are rejected with kReadOnly.
+  /// primaries with `catalog().Register(name, {.db = &db})`; attach live
+  /// replicas with `catalog().AttachReplica(name, &replica)` so reads
+  /// work (and can be routed) but writes are rejected with kReadOnly.
   SourceCatalog& catalog() { return catalog_; }
   const SourceCatalog& catalog() const { return catalog_; }
 
@@ -164,6 +168,12 @@ class QueryEngine {
   /// The most recent slow queries (newest last, bounded ring).
   std::vector<SlowQuery> SlowQueries() const;
 
+  /// Where the most recent top-level query (on any thread) was routed —
+  /// primary or which replica, at what staleness/epoch. Meaningful under
+  /// a non-default EngineOptions::routing policy; tests and the shell's
+  /// `\replication` use it.
+  RouteDecision LastRoute() const;
+
  private:
   struct OuterBinding {
     const Pathway* path;
@@ -192,14 +202,19 @@ class QueryEngine {
   /// EngineOptions::snapshot_reads) it passes its per-source commit-epoch
   /// map via `outer_epochs`, and the subquery evaluates against the same
   /// pinned epochs rather than taking locks it was never protected by.
+  /// `run_db` is the database unnamed range variables evaluate against:
+  /// the engine's primary by default, a routed replica when the read
+  /// router picked one (RunParsed then also passes the pinned epoch map
+  /// via `outer_epochs`, entering snapshot mode).
   Result<QueryResult> RunInternal(
       const Query& query, const OuterEnv& outer,
       const ExplainCapture& capture, obs::QueryStatsBuilder* stats,
       bool locks_held = false,
-      const std::map<storage::GraphDb*, uint64_t>* outer_epochs =
-          nullptr) const;
+      const std::map<storage::GraphDb*, uint64_t>* outer_epochs = nullptr,
+      storage::GraphDb* run_db = nullptr) const;
 
-  Result<storage::GraphDb*> SourceFor(const RangeVarDecl& decl) const;
+  Result<storage::GraphDb*> SourceFor(const RangeVarDecl& decl,
+                                      storage::GraphDb* run_db) const;
 
   storage::GraphDb* default_db_;
   SourceCatalog catalog_;
@@ -211,6 +226,7 @@ class QueryEngine {
   mutable std::mutex stats_mu_;
   mutable obs::QueryStats last_stats_;
   mutable std::deque<SlowQuery> slow_log_;
+  mutable RouteDecision last_route_;
 };
 
 }  // namespace nepal::nql

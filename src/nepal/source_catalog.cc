@@ -1,50 +1,148 @@
 #include "nepal/source_catalog.h"
 
+#include <limits>
+#include <utility>
+
+#include "obs/metrics.h"
+
 namespace nepal::nql {
 
 Status SourceCatalog::Register(const std::string& name,
                                SourceDescriptor desc) {
-  if (desc.db == nullptr) {
+  if (desc.db == nullptr && desc.endpoint == nullptr) {
     return Status::InvalidArgument("data source '" + name +
                                    "' registered without a database");
   }
   if (desc.role == SourceRole::kReplica) desc.read_only = true;
+  std::lock_guard<std::mutex> lock(mu_);
   sources_[name] = desc;
   return Status::OK();
 }
 
-Result<const SourceDescriptor*> SourceCatalog::Lookup(
-    const std::string& name) const {
+Status SourceCatalog::AttachReplica(const std::string& name,
+                                    ReplicaEndpoint* endpoint) {
+  if (endpoint == nullptr) {
+    return Status::InvalidArgument("data source '" + name +
+                                   "' attached without an endpoint");
+  }
+  SourceDescriptor desc;
+  desc.db = &endpoint->replica_db();
+  desc.role = SourceRole::kReplica;
+  desc.endpoint = endpoint;
+  return Register(name, desc);
+}
+
+void SourceCatalog::Detach(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sources_.erase(name);
+}
+
+Result<SourceDescriptor> SourceCatalog::Lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = sources_.find(name);
   if (it == sources_.end()) {
     return Status::NotFound("no data source bound under the name '" + name +
                             "'");
   }
-  return &it->second;
+  return it->second;
 }
 
 Result<storage::GraphDb*> SourceCatalog::Readable(
     const std::string& name) const {
-  NEPAL_ASSIGN_OR_RETURN(const SourceDescriptor* desc, Lookup(name));
-  return desc->db;
+  NEPAL_ASSIGN_OR_RETURN(SourceDescriptor desc, Lookup(name));
+  return desc.database();
 }
 
 Result<storage::GraphDb*> SourceCatalog::Writable(
     const std::string& name) const {
-  NEPAL_ASSIGN_OR_RETURN(const SourceDescriptor* desc, Lookup(name));
-  if (desc->read_only) {
+  NEPAL_ASSIGN_OR_RETURN(SourceDescriptor desc, Lookup(name));
+  if (desc.read_only) {
     return Status::ReadOnly(
         "data source '" + name + "' is a " +
-        std::string(SourceRoleToString(desc->role)) +
-        (desc->role == SourceRole::kReplica
+        std::string(SourceRoleToString(desc.role)) +
+        (desc.role == SourceRole::kReplica
              ? "; route writes to its primary"
              : " registered read-only") +
         "");
   }
-  return desc->db;
+  return desc.database();
+}
+
+RouteDecision SourceCatalog::RouteRead(storage::GraphDb* primary,
+                                       const RoutingOptions& options) const {
+  RouteDecision decision;
+  decision.db = primary;
+  auto& reg = obs::MetricsRegistry::Global();
+  if (options.policy == ReadPolicy::kPrimaryOnly) {
+    reg.GetCounter("nepal.router.primary_reads")->Add(1);
+    return decision;
+  }
+
+  // Collect the eligible replicas: attached endpoint, still following, and
+  // within the staleness bound.
+  struct Candidate {
+    const std::string* name;
+    ReplicaEndpoint* endpoint;
+    uint32_t staleness_ms;
+  };
+  std::vector<Candidate> eligible;
+  bool any_replica = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, desc] : sources_) {
+      if (desc.role != SourceRole::kReplica || desc.endpoint == nullptr) {
+        continue;
+      }
+      any_replica = true;
+      if (!desc.endpoint->serving()) continue;
+      const uint32_t staleness = desc.endpoint->staleness_ms();
+      if (staleness > options.max_lag_ms) continue;
+      eligible.push_back(Candidate{&name, desc.endpoint, staleness});
+    }
+    if (eligible.empty()) {
+      // No replica can serve this read within the bound; the primary
+      // always can. Count a fallback only when replicas exist but none
+      // qualified (a healthy fleet with policy=replica_ok and zero
+      // attached replicas is not "falling back", it IS primary-only).
+      reg.GetCounter(any_replica ? "nepal.router.fallbacks"
+                                 : "nepal.router.primary_reads")
+          ->Add(1);
+      return decision;
+    }
+
+    const Candidate* chosen = nullptr;
+    if (options.policy == ReadPolicy::kRoundRobin) {
+      // Rotate across primary + eligible replicas so the primary keeps a
+      // share of the read load instead of starving.
+      const uint64_t slot = rr_cursor_++ % (eligible.size() + 1);
+      if (slot == eligible.size()) {
+        reg.GetCounter("nepal.router.primary_reads")->Add(1);
+        return decision;
+      }
+      chosen = &eligible[slot];
+    } else {  // kReplicaOk: least lagged wins
+      uint32_t best = std::numeric_limits<uint32_t>::max();
+      for (const Candidate& c : eligible) {
+        if (c.staleness_ms < best) {
+          best = c.staleness_ms;
+          chosen = &c;
+        }
+      }
+    }
+    decision.source = *chosen->name;
+    decision.replica = true;
+    decision.staleness_ms = chosen->staleness_ms;
+    decision.db = &chosen->endpoint->replica_db();
+  }
+  // Pin the snapshot epoch outside the catalog lock; commit_epoch() is an
+  // atomic read on the chosen database.
+  decision.epoch = decision.db->commit_epoch();
+  reg.GetCounter("nepal.router.replica_reads")->Add(1);
+  return decision;
 }
 
 std::vector<std::string> SourceCatalog::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(sources_.size());
   for (const auto& [name, desc] : sources_) names.push_back(name);
@@ -54,17 +152,33 @@ std::vector<std::string> SourceCatalog::Names() const {
 void SourceCatalog::ForEach(
     const std::function<void(const std::string&, const SourceDescriptor&)>&
         fn) const {
-  for (const auto& [name, desc] : sources_) fn(name, desc);
+  std::vector<std::pair<std::string, SourceDescriptor>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(sources_.size());
+    for (const auto& [name, desc] : sources_) snapshot.emplace_back(name, desc);
+  }
+  for (const auto& [name, desc] : snapshot) fn(name, desc);
 }
 
 std::string SourceCatalog::Describe() const {
+  std::vector<std::pair<std::string, SourceDescriptor>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, desc] : sources_) snapshot.emplace_back(name, desc);
+  }
   std::string out;
-  for (const auto& [name, desc] : sources_) {
+  for (const auto& [name, desc] : snapshot) {
     out += name;
     out += ": ";
     out += SourceRoleToString(desc.role);
     if (desc.read_only && desc.role != SourceRole::kReplica) {
       out += ", read-only";
+    }
+    if (desc.endpoint != nullptr) {
+      out += desc.endpoint->serving() ? ", serving" : ", not serving";
+      out += ", staleness=" + std::to_string(desc.endpoint->staleness_ms()) +
+             "ms, applied=" + std::to_string(desc.endpoint->records_applied());
     }
     out += "\n";
   }

@@ -1,19 +1,41 @@
-// SourceCatalog: the named data sources a QueryEngine can route to.
+// SourceCatalog: the named data sources a QueryEngine can route to — and,
+// since the replication fleet, the engine's read-path router.
 //
 // Federation used to be a bare name->GraphDb* map; replication makes a
 // source's *role* matter: a warm-standby follower may serve reads (`From
 // PATHS P In 'standby'`) but must never be routed writes, or it diverges
 // from its primary. The catalog keeps one descriptor per name — the
 // database, its role, whether it accepts writes, and a slot for
-// per-source statistics (reserved for federated cost-based planning; the
-// optimizer today only costs the local source) — and is the single place
-// that decides whether a routed operation is legal for that source.
+// per-source statistics (reserved for federated cost-based planning) —
+// and is the single place that decides whether a routed operation is
+// legal for that source.
+//
+// Read routing: replicas attach live endpoints (AttachReplica) that
+// report their current database, applied position and staleness.
+// RouteRead() picks where a read goes under a policy:
+//
+//   kPrimaryOnly  always the primary (the default; identical to the
+//                 pre-fleet behavior),
+//   kReplicaOk    the least-lagged replica whose staleness is within
+//                 max_lag_ms, else the primary,
+//   kRoundRobin   rotate across all replicas within the bound (and the
+//                 primary), spreading read load.
+//
+// A replica route carries the replica's commit epoch pinned at decision
+// time; the engine evaluates the whole query at that epoch (snapshot
+// mode), so a routed read never straddles replica apply batches — bounded
+// staleness, exact snapshot.
+//
+// The catalog is thread-safe: queries route reads concurrently with
+// replicas (re)attaching and the shell inspecting it.
 
 #ifndef NEPAL_NEPAL_SOURCE_CATALOG_H_
 #define NEPAL_NEPAL_SOURCE_CATALOG_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,6 +63,30 @@ inline const char* SourceRoleToString(SourceRole role) {
   return "?";
 }
 
+/// A live replica as the router sees it. Implemented by
+/// replication::ReplicaStore; the indirection exists because a follower
+/// can re-bootstrap into a fresh generation mid-life — the endpoint
+/// always reports the *current* database, while queries already running
+/// against a retired generation keep reading it safely.
+class ReplicaEndpoint {
+ public:
+  virtual ~ReplicaEndpoint() = default;
+
+  /// The replica's current (generation's) database.
+  virtual storage::GraphDb& replica_db() = 0;
+
+  /// Milliseconds since the replica last applied a frame or confirmed it
+  /// is caught up; grows while disconnected from its primary.
+  virtual uint32_t staleness_ms() const = 0;
+
+  /// Frames applied since bootstrap (monotone within a generation).
+  virtual uint64_t records_applied() const = 0;
+
+  /// False once the replica stopped following (promoted, or its apply
+  /// loop failed); the router skips it.
+  virtual bool serving() const = 0;
+};
+
 struct SourceDescriptor {
   storage::GraphDb* db = nullptr;
   SourceRole role = SourceRole::kPrimary;
@@ -51,6 +97,50 @@ struct SourceDescriptor {
   /// Per-source statistics for federated cost-based planning. Reserved:
   /// registered but not yet consulted by the optimizer (see ROADMAP).
   const stats::GraphStats* stats = nullptr;
+  /// Live handle for replica sources attached via AttachReplica; null for
+  /// plain registrations.
+  ReplicaEndpoint* endpoint = nullptr;
+
+  /// The database to read: the endpoint's current generation when one is
+  /// attached, else the registered pointer.
+  storage::GraphDb* database() const {
+    return endpoint != nullptr ? &endpoint->replica_db() : db;
+  }
+};
+
+enum class ReadPolicy {
+  kPrimaryOnly,
+  kReplicaOk,
+  kRoundRobin,
+};
+
+inline const char* ReadPolicyToString(ReadPolicy policy) {
+  switch (policy) {
+    case ReadPolicy::kPrimaryOnly:
+      return "primary_only";
+    case ReadPolicy::kReplicaOk:
+      return "replica_ok";
+    case ReadPolicy::kRoundRobin:
+      return "round_robin";
+  }
+  return "?";
+}
+
+struct RoutingOptions {
+  ReadPolicy policy = ReadPolicy::kPrimaryOnly;
+  /// A replica staler than this is not read from (bounded staleness).
+  uint32_t max_lag_ms = 250;
+};
+
+/// Where one read went and the consistency it got.
+struct RouteDecision {
+  storage::GraphDb* db = nullptr;
+  std::string source = "primary";  // catalog name, or "primary"
+  bool replica = false;
+  uint32_t staleness_ms = 0;  // the chosen replica's lag at decision time
+  /// The replica's commit epoch pinned at decision time (0 for primary
+  /// routes); the engine evaluates the routed query exactly there.
+  uint64_t epoch = 0;
 };
 
 class SourceCatalog {
@@ -58,7 +148,15 @@ class SourceCatalog {
   /// Registers (or replaces) `name`. A replica is forcibly read-only.
   Status Register(const std::string& name, SourceDescriptor desc);
 
-  Result<const SourceDescriptor*> Lookup(const std::string& name) const;
+  /// Registers `name` as a replica read target backed by a live endpoint.
+  /// The endpoint must outlive the catalog entry (Detach before
+  /// destroying the replica).
+  Status AttachReplica(const std::string& name, ReplicaEndpoint* endpoint);
+
+  /// Removes `name`; no-op when absent.
+  void Detach(const std::string& name);
+
+  Result<SourceDescriptor> Lookup(const std::string& name) const;
 
   /// The database for read routing; any registered source qualifies.
   Result<storage::GraphDb*> Readable(const std::string& name) const;
@@ -67,15 +165,26 @@ class SourceCatalog {
   /// read-only sources.
   Result<storage::GraphDb*> Writable(const std::string& name) const;
 
+  /// Routes one read issued against `primary` under `options`. Falls back
+  /// to the primary when no replica is attached, serving and within the
+  /// staleness bound. Updates nepal.router.* counters.
+  RouteDecision RouteRead(storage::GraphDb* primary,
+                          const RoutingOptions& options) const;
+
   std::vector<std::string> Names() const;
+  /// Snapshot iteration: descriptors are copied out under the lock, then
+  /// `fn` runs without it (safe to touch the catalog from `fn`).
   void ForEach(const std::function<void(const std::string&,
                                         const SourceDescriptor&)>& fn) const;
 
-  /// One line per source: "name: role[, read-only]" — shell `\replication`.
+  /// One line per source: "name: role[, read-only]", with lag/staleness
+  /// for live replica endpoints — shell `\replication`.
   std::string Describe() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, SourceDescriptor> sources_;
+  mutable uint64_t rr_cursor_ = 0;  // round-robin position, guarded by mu_
 };
 
 }  // namespace nepal::nql

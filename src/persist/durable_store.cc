@@ -474,9 +474,10 @@ Status DurableStore::Append(const storage::WalRecord& rec) {
     EncodeWalRecord(rec, &payload);
   }
   NEPAL_RETURN_NOT_OK(writer_->Append(payload));
-  records_appended_.fetch_add(1, std::memory_order_release);
+  const uint64_t record =
+      records_appended_.fetch_add(1, std::memory_order_release) + 1;
   obs::ScopedSpan span("publish");
-  PublishFrame(writer_->segment_seq(), payload);
+  PublishFrame(writer_->segment_seq(), payload, record);
   return Status::OK();
 }
 
@@ -493,14 +494,16 @@ Status DurableStore::AppendBatch(const std::vector<storage::WalRecord>& recs) {
     }
   }
   NEPAL_RETURN_NOT_OK(writer_->AppendGroup(payloads));
-  records_appended_.fetch_add(recs.size(), std::memory_order_release);
+  const uint64_t first_record =
+      records_appended_.fetch_add(recs.size(), std::memory_order_release) + 1;
   obs::ScopedSpan span("publish");
-  PublishFrames(writer_->segment_seq(), payloads);
+  PublishFrames(writer_->segment_seq(), payloads, first_record);
   return Status::OK();
 }
 
 void DurableStore::PublishFrames(uint64_t segment_seq,
-                                 const std::vector<std::string>& payloads) {
+                                 const std::vector<std::string>& payloads,
+                                 uint64_t first_record) {
   bool dropped = false;
   uint64_t lagged = 0;
   {
@@ -514,13 +517,14 @@ void DurableStore::PublishFrames(uint64_t segment_seq,
     const uint64_t trace_id = tctx.trace ? tctx.trace->trace_id() : 0;
     const uint32_t root_span = tctx.trace ? tctx.trace->root_span() : 0;
     size_t bytes = 0;
+    uint64_t record = first_record;
     for (const std::string& payload : payloads) {
       bytes += payload.size();
       for (auto it = subs_.begin(); it != subs_.end();) {
         const auto& sub = *it;
         const bool was_lagged = sub->lagged();
         sub->PushLive(WalShipFrame{segment_seq, shipped_at_us, trace_id,
-                                   root_span, payload, commit_epoch});
+                                   root_span, payload, commit_epoch, record});
         if (sub->lagged() || sub->closed()) {
           if (!was_lagged && sub->lagged()) ++lagged;
           it = subs_.erase(it);
@@ -529,6 +533,7 @@ void DurableStore::PublishFrames(uint64_t segment_seq,
           ++it;
         }
       }
+      ++record;
     }
     auto& reg = obs::MetricsRegistry::Global();
     reg.GetCounter("nepal.replication.shipped_records")
@@ -542,7 +547,7 @@ void DurableStore::PublishFrames(uint64_t segment_seq,
 }
 
 void DurableStore::PublishFrame(uint64_t segment_seq,
-                                const std::string& payload) {
+                                const std::string& payload, uint64_t record) {
   bool dropped = false;
   uint64_t lagged = 0;
   {
@@ -557,7 +562,7 @@ void DurableStore::PublishFrame(uint64_t segment_seq,
       const auto& sub = *it;
       const bool was_lagged = sub->lagged();
       sub->PushLive(WalShipFrame{segment_seq, shipped_at_us, trace_id,
-                                 root_span, payload, commit_epoch});
+                                 root_span, payload, commit_epoch, record});
       if (sub->lagged() || sub->closed()) {
         if (!was_lagged && sub->lagged()) ++lagged;
         it = subs_.erase(it);
@@ -593,13 +598,28 @@ Result<std::shared_ptr<WalSubscription>> DurableStore::Subscribe(
   // cannot prune the bootstrap checkpoint's segments before the new
   // subscription's retention pin is visible.
   std::lock_guard<std::mutex> admin(admin_mu_);
-  if (checkpoints_.empty()) {
-    NEPAL_RETURN_NOT_OK(CheckpointLocked());
-  }
-  const uint64_t start_seq = checkpoints_.back();
-  const std::string ckpt_path = dir_ + "/" + CheckpointFileName(start_seq);
   std::string image;
-  {
+  uint64_t start_seq = 0;
+  uint64_t skip_records = 0;
+  if (options.resume_seq > 0) {
+    // Resume: no image — the follower holds the state already. Every
+    // segment from resume_seq on must still be on disk (pruning only ever
+    // deletes a prefix, so checking the oldest survivor suffices).
+    NEPAL_ASSIGN_OR_RETURN(DirListing listing, ListDataDir(dir_));
+    if (listing.segments.empty() ||
+        listing.segments.front() > options.resume_seq) {
+      return Status::NotFound(
+          "wal segment " + std::to_string(options.resume_seq) +
+          " has been pruned; resume is unavailable — re-bootstrap");
+    }
+    start_seq = options.resume_seq;
+    skip_records = options.resume_skip_records;
+  } else {
+    if (checkpoints_.empty()) {
+      NEPAL_RETURN_NOT_OK(CheckpointLocked());
+    }
+    start_seq = checkpoints_.back();
+    const std::string ckpt_path = dir_ + "/" + CheckpointFileName(start_seq);
     std::ifstream in(ckpt_path, std::ios::binary);
     if (!in) {
       return Status::IoError("cannot read checkpoint image " + ckpt_path);
@@ -613,10 +633,16 @@ Result<std::shared_ptr<WalSubscription>> DurableStore::Subscribe(
     // segment's (seq, size) is a frozen attach point — every commit at or
     // before it is on disk, every commit after it will be pushed live.
     std::shared_lock<std::shared_mutex> db_lock(db_->mutex());
+    if (options.resume_seq > writer_->segment_seq()) {
+      return Status::InvalidArgument(
+          "resume segment " + std::to_string(options.resume_seq) +
+          " is beyond the active segment " +
+          std::to_string(writer_->segment_seq()));
+    }
     sub = std::shared_ptr<WalSubscription>(new WalSubscription(
         dir_, fingerprint_, std::move(image), start_seq,
         writer_->segment_seq(), writer_->bytes_written(),
-        options.max_buffered_bytes));
+        options.max_buffered_bytes, skip_records));
     std::lock_guard<std::mutex> lock(subs_mu_);
     subs_.push_back(sub);
   }
@@ -624,11 +650,90 @@ Result<std::shared_ptr<WalSubscription>> DurableStore::Subscribe(
   return sub;
 }
 
+void DurableStore::SetSemiSync(SemiSyncOptions options) {
+  {
+    std::lock_guard<std::mutex> lock(ack_mu_);
+    semisync_ = options;
+    semisync_degraded_ = false;
+  }
+  ack_cv_.notify_all();
+  obs::MetricsRegistry::Global()
+      .GetGauge("nepal.replication.semisync.degraded")
+      ->Set(0);
+}
+
+bool DurableStore::semisync_degraded() const {
+  std::lock_guard<std::mutex> lock(ack_mu_);
+  return semisync_degraded_;
+}
+
+uint64_t DurableStore::RegisterAckSource(const std::string& name) {
+  std::lock_guard<std::mutex> lock(ack_mu_);
+  const uint64_t id = next_ack_id_++;
+  ack_sources_[id] = AckSource{name, 0};
+  return id;
+}
+
+void DurableStore::UnregisterAckSource(uint64_t id) {
+  {
+    std::lock_guard<std::mutex> lock(ack_mu_);
+    ack_sources_.erase(id);
+  }
+  // A waiter counting on this follower must re-evaluate (and possibly time
+  // out) rather than sleep on a source that will never ack again.
+  ack_cv_.notify_all();
+}
+
+void DurableStore::ReportAck(uint64_t id, uint64_t acked_records) {
+  {
+    std::lock_guard<std::mutex> lock(ack_mu_);
+    auto it = ack_sources_.find(id);
+    if (it == ack_sources_.end()) return;
+    if (acked_records > it->second.acked) it->second.acked = acked_records;
+  }
+  ack_cv_.notify_all();
+}
+
+void DurableStore::WaitCommitted(uint64_t token) {
+  auto& reg = obs::MetricsRegistry::Global();
+  std::unique_lock<std::mutex> lock(ack_mu_);
+  if (semisync_.quorum <= 0 || token == 0) return;
+  const auto satisfied = [&] {
+    int n = 0;
+    for (const auto& [id, src] : ack_sources_) {
+      if (src.acked >= token) ++n;
+    }
+    return n >= semisync_.quorum;
+  };
+  if (semisync_degraded_) {
+    // Degraded mode: never wait. Re-arm only once the quorum has caught
+    // back up, so a hung follower costs one timeout, not one per commit.
+    if (satisfied()) {
+      semisync_degraded_ = false;
+      reg.GetGauge("nepal.replication.semisync.degraded")->Set(0);
+      reg.GetCounter("nepal.replication.semisync.recoveries")->Add(1);
+    }
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  if (ack_cv_.wait_for(lock, std::chrono::milliseconds(semisync_.timeout_ms),
+                       satisfied)) {
+    reg.GetCounter("nepal.replication.semisync.acked_commits")->Add(1);
+    reg.GetHistogram("nepal.replication.semisync.wait_ns")
+        ->Observe(ElapsedNs(t0));
+  } else {
+    semisync_degraded_ = true;
+    reg.GetCounter("nepal.replication.semisync.timeouts")->Add(1);
+    reg.GetGauge("nepal.replication.semisync.degraded")->Set(1);
+  }
+}
+
 WalSubscription::WalSubscription(std::string dir, uint64_t fingerprint,
                                  std::string checkpoint_image,
                                  uint64_t start_seq, uint64_t attach_seq,
                                  uint64_t attach_offset,
-                                 size_t max_buffered_bytes)
+                                 size_t max_buffered_bytes,
+                                 uint64_t skip_records)
     : dir_(std::move(dir)),
       fingerprint_(fingerprint),
       checkpoint_image_(std::move(checkpoint_image)),
@@ -636,6 +741,7 @@ WalSubscription::WalSubscription(std::string dir, uint64_t fingerprint,
       attach_seq_(attach_seq),
       attach_offset_(attach_offset),
       max_buffered_bytes_(max_buffered_bytes),
+      skip_records_(skip_records),
       floor_(start_seq),
       next_disk_seq_(start_seq) {}
 
@@ -645,12 +751,27 @@ Status WalSubscription::FillFromDiskLocked() {
   auto read = ReadWalFrames(
       dir_ + "/" + WalSegmentFileName(seq), seq, fingerprint_, limit,
       [&](std::string_view payload) -> Status {
+        if (skip_records_ > 0) {
+          // Resume: the consumer already applied this prefix of its first
+          // segment before the disconnect.
+          --skip_records_;
+          return Status::OK();
+        }
         pending_.push_back(
             WalShipFrame{seq, /*shipped_at_us=*/0, /*trace_id=*/0,
                          /*root_span=*/0, std::string(payload)});
         return Status::OK();
       });
   if (!read.ok()) return read.status();
+  if (skip_records_ > 0) {
+    // Everything the consumer ever applied was on disk before the attach
+    // point froze (appends hit the segment file before they are published),
+    // so a leftover skip means the claimed position does not belong to this
+    // log.
+    return Status::Corruption(
+        "resume position overshoots wal segment " + std::to_string(seq) +
+        " by " + std::to_string(skip_records_) + " record(s)");
+  }
   ++next_disk_seq_;
   // Everything up to this segment is buffered in memory now; the store may
   // prune it.

@@ -46,6 +46,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -112,6 +113,13 @@ struct WalShipFrame {
   /// NPLSHP01 wire, and catch-up frames read back from disk carry 0
   /// ("unknown": the WAL file does not store epochs).
   uint64_t commit_epoch = 0;
+  /// records_appended() as of this frame — this frame is the Nth record the
+  /// primary appended this run. The replication listener uses it to convert
+  /// a follower's "I applied my Mth session frame" ack into commit-token
+  /// units for semi-sync quorum. 0 for catch-up frames read back from disk
+  /// (the WAL file does not store it); coverage before the live stream is
+  /// reached is simply unreported, which only errs conservative.
+  uint64_t primary_records = 0;
 };
 
 struct SubscribeOptions {
@@ -120,6 +128,14 @@ struct SubscribeOptions {
   /// primary memory instead of letting a dead follower grow a queue
   /// forever.
   size_t max_buffered_bytes = 64u << 20;
+  /// Resume-from-seq (handshake v2): when nonzero the subscription carries
+  /// NO checkpoint image — the follower already holds the state. Streaming
+  /// starts at WAL segment `resume_seq`, skipping its first
+  /// `resume_skip_records` records (the portion the follower applied before
+  /// the disconnect). Subscribe() fails with kNotFound when that segment
+  /// has been pruned; the caller falls back to a full bootstrap.
+  uint64_t resume_seq = 0;
+  uint64_t resume_skip_records = 0;
 };
 
 /// One subscriber's view of the log, created by DurableStore::Subscribe.
@@ -170,7 +186,7 @@ class WalSubscription {
   WalSubscription(std::string dir, uint64_t fingerprint,
                   std::string checkpoint_image, uint64_t start_seq,
                   uint64_t attach_seq, uint64_t attach_offset,
-                  size_t max_buffered_bytes);
+                  size_t max_buffered_bytes, uint64_t skip_records);
 
   /// Reads the next not-yet-consumed closed segment into pending_. The
   /// attach segment is read only up to the frozen attach offset, so the
@@ -188,6 +204,9 @@ class WalSubscription {
   const uint64_t attach_seq_;     // active segment at subscribe time
   const uint64_t attach_offset_;  // its size at subscribe time
   const size_t max_buffered_bytes_;
+  /// Records of the first disk segment the consumer already holds (resume
+  /// subscriptions); dropped during the first FillFromDiskLocked.
+  uint64_t skip_records_;
 
   /// Lowest segment still needed from disk; advances as catch-up proceeds,
   /// settling at attach_seq_+1 once the disk phase is done.
@@ -227,9 +246,39 @@ class DurableStore final : public storage::WriteLog {
 
   /// Opens a replication subscription (see WalSubscription). Writes a
   /// fresh checkpoint first if the directory holds none, so there is
-  /// always a bootstrap image to hand out.
+  /// always a bootstrap image to hand out. With `options.resume_seq` set,
+  /// no image is shipped and the stream resumes mid-log instead; kNotFound
+  /// means the requested segment was pruned (caller re-bootstraps).
   Result<std::shared_ptr<WalSubscription>> Subscribe(
       SubscribeOptions options = {});
+
+  // ---- Semi-synchronous commit (acks from attached followers) ----
+
+  struct SemiSyncOptions {
+    /// Followers that must have acknowledged a commit before the writer
+    /// returns. 0 disables the wait entirely (fully asynchronous).
+    int quorum = 0;
+    /// Per-commit wait bound. On expiry the store *degrades to async* —
+    /// this commit and every following one return immediately — instead of
+    /// stalling ingest behind a hung follower. Semi-sync re-arms by itself
+    /// once the quorum has caught back up to the current commit token.
+    int timeout_ms = 1000;
+  };
+
+  /// Configures (or, with quorum=0, disables) semi-sync commit. Safe to
+  /// call while writers are active.
+  void SetSemiSync(SemiSyncOptions options);
+
+  /// True while a quorum timeout has switched commits to async and the
+  /// quorum has not yet caught back up.
+  bool semisync_degraded() const;
+
+  /// One ack source per connected follower session. ReportAck publishes
+  /// the follower's applied-records high-water mark; commit waiters wake
+  /// when a quorum of sources reaches their token.
+  uint64_t RegisterAckSource(const std::string& name);
+  void UnregisterAckSource(uint64_t id);
+  void ReportAck(uint64_t id, uint64_t acked_records);
 
   /// Records appended to the WAL over this store's lifetime (not counting
   /// recovery replay). The kill/promote test and the shell's \replication
@@ -255,6 +304,12 @@ class DurableStore final : public storage::WriteLog {
   /// the group.
   Status AppendBatch(const std::vector<storage::WalRecord>& recs) override;
 
+  /// Semi-sync hooks (see storage::WriteLog): the token is the appended-
+  /// records high-water mark; the wait runs after GraphDb releases its
+  /// writer lock, so a slow quorum delays only the committing caller.
+  uint64_t commit_token() const override { return records_appended(); }
+  void WaitCommitted(uint64_t token) override;
+
  private:
   DurableStore(std::string dir, uint64_t fingerprint, DurableOptions options);
 
@@ -267,12 +322,17 @@ class DurableStore final : public storage::WriteLog {
   void PruneLocked();
   /// Pushes one committed frame to every live subscriber and drops
   /// cancelled/lagged ones.
-  void PublishFrame(uint64_t segment_seq, const std::string& payload);
+  /// `record` is the records_appended() value as of this frame (its stamp
+  /// for ack/commit-token alignment).
+  void PublishFrame(uint64_t segment_seq, const std::string& payload,
+                    uint64_t record);
   /// Batch variant: all frames are pushed under ONE hold of the subscriber
   /// mutex with one ship timestamp, so no subscriber can be attached or
-  /// dropped between two frames of the same commit group.
+  /// dropped between two frames of the same commit group. The i-th payload
+  /// is stamped `first_record + i`.
   void PublishFrames(uint64_t segment_seq,
-                     const std::vector<std::string>& payloads);
+                     const std::vector<std::string>& payloads,
+                     uint64_t first_record);
   void UpdateSubscriberGauge();
 
   std::string dir_;
@@ -293,6 +353,19 @@ class DurableStore final : public storage::WriteLog {
   /// writer's critical section) and after admin_mu_ (prune, subscribe).
   std::mutex subs_mu_;
   std::vector<std::shared_ptr<WalSubscription>> subs_;
+  /// Semi-sync state. ack_mu_ is leaf-level: never taken while holding any
+  /// other store or database mutex (WaitCommitted runs after the writer
+  /// lock is released; ReportAck comes from listener session threads).
+  mutable std::mutex ack_mu_;
+  std::condition_variable ack_cv_;
+  SemiSyncOptions semisync_;
+  bool semisync_degraded_ = false;
+  uint64_t next_ack_id_ = 1;
+  struct AckSource {
+    std::string name;
+    uint64_t acked = 0;
+  };
+  std::map<uint64_t, AckSource> ack_sources_;
 };
 
 /// Replays one logical record against `db` through the public API,

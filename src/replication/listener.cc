@@ -1,0 +1,256 @@
+#include "replication/listener.h"
+
+#include "common/binary.h"
+#include "common/time.h"
+#include "obs/metrics.h"
+#include "replication/wire.h"
+
+namespace nepal::replication {
+
+ReplicationListener::ReplicationListener(persist::DurableStore& store,
+                                         SocketAddress address,
+                                         OwnedFd listen_fd,
+                                         ListenerOptions options)
+    : store_(store),
+      address_(std::move(address)),
+      listen_fd_(std::move(listen_fd)),
+      options_(options) {}
+
+Result<std::unique_ptr<ReplicationListener>> ReplicationListener::Start(
+    persist::DurableStore& store, const SocketAddress& address,
+    ListenerOptions options) {
+  IgnoreSigPipe();
+  NEPAL_ASSIGN_OR_RETURN(OwnedFd listen_fd, ListenOn(address));
+  SocketAddress bound = address;
+  if (!address.is_unix && address.port == 0) {
+    NEPAL_ASSIGN_OR_RETURN(bound, LocalAddress(listen_fd.get()));
+  }
+  auto listener = std::unique_ptr<ReplicationListener>(new ReplicationListener(
+      store, std::move(bound), std::move(listen_fd), options));
+  listener->accept_.Start(
+      [l = listener.get()](const std::atomic<bool>& stop) {
+        l->AcceptLoop(stop);
+      });
+  return listener;
+}
+
+ReplicationListener::~ReplicationListener() { Stop(); }
+
+void ReplicationListener::Stop() {
+  stopping_.store(true, std::memory_order_release);
+  accept_.Stop();
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (auto& session : sessions_) {
+    persist::WalSubscription* sub =
+        session->sub_raw.load(std::memory_order_acquire);
+    if (sub != nullptr) sub->Cancel();
+    ShutdownSocket(session->fd.get());
+  }
+  // Session threads never take sessions_mu_, so joining under it is safe.
+  for (auto& session : sessions_) {
+    if (session->thread.joinable()) session->thread.join();
+  }
+  sessions_.clear();
+}
+
+void ReplicationListener::AcceptLoop(const std::atomic<bool>& stop) {
+  while (!stop.load(std::memory_order_acquire)) {
+    Result<OwnedFd> accepted =
+        AcceptOn(listen_fd_.get(),
+                 std::chrono::milliseconds(options_.accept_poll_ms));
+    if (!accepted.ok()) break;  // listen socket gone; nothing to serve
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    ReapDoneSessionsLocked();
+    if (!accepted->valid()) continue;  // poll timeout
+    sessions_accepted_.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::Global()
+        .GetCounter("nepal.replication.listener.sessions")
+        ->Add(1);
+    auto session = std::make_unique<Session>();
+    session->fd = std::move(*accepted);
+    Session* raw = session.get();
+    session->thread = std::thread([this, raw] { RunSession(raw); });
+    sessions_.push_back(std::move(session));
+  }
+}
+
+void ReplicationListener::ReapDoneSessionsLocked() {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status ReplicationListener::HandshakeSession(Session* session) {
+  wire::FollowerHello hello;
+  NEPAL_RETURN_NOT_OK(wire::ReadFollowerHello(session->fd.get(), &hello));
+  session->name = hello.name.empty() ? "anonymous" : hello.name;
+
+  auto& reg = obs::MetricsRegistry::Global();
+  if (hello.resume_seq != 0) {
+    persist::SubscribeOptions resume = options_.subscribe;
+    resume.resume_seq = hello.resume_seq;
+    resume.resume_skip_records = hello.resume_skip_records;
+    Result<std::shared_ptr<persist::WalSubscription>> sub =
+        store_.Subscribe(resume);
+    if (sub.ok()) {
+      session->sub = std::move(*sub);
+      session->sub_raw.store(session->sub.get(), std::memory_order_release);
+      session->resumed = true;
+      resumes_.fetch_add(1, std::memory_order_relaxed);
+      reg.GetCounter("nepal.replication.listener.resumes")->Add(1);
+      std::string response;
+      PutFixed8(&response, wire::kModeResume);
+      PutFixed64(&response, hello.resume_seq);
+      return WriteFully(session->fd.get(), response.data(), response.size());
+    }
+    // Pruned beyond retention (kNotFound) or an implausible position
+    // (e.g. a follower re-pointed at a different primary): fall back to a
+    // full bootstrap rather than refusing the follower.
+  }
+  NEPAL_ASSIGN_OR_RETURN(session->sub, store_.Subscribe(options_.subscribe));
+  session->sub_raw.store(session->sub.get(), std::memory_order_release);
+  bootstraps_.fetch_add(1, std::memory_order_relaxed);
+  reg.GetCounter("nepal.replication.listener.rebootstraps")->Add(1);
+  std::string response;
+  PutFixed8(&response, wire::kModeBootstrap);
+  wire::HelloV1 v1;
+  v1.checkpoint_image = session->sub->checkpoint_image();
+  v1.start_seq = session->sub->start_seq();
+  wire::AppendHelloV1(v1, &response);
+  session->bytes_shipped.fetch_add(response.size(),
+                                   std::memory_order_relaxed);
+  return WriteFully(session->fd.get(), response.data(), response.size());
+}
+
+void ReplicationListener::RunSession(Session* session) {
+  Status status = HandshakeSession(session);
+  if (status.ok()) {
+    session->named.store(true, std::memory_order_release);
+    auto& reg = obs::MetricsRegistry::Global();
+    const std::string prefix =
+        "nepal.replication.follower." + session->name + ".";
+    session->m_frames = reg.GetCounter(prefix + "frames_shipped");
+    session->m_bytes = reg.GetCounter(prefix + "bytes_shipped");
+    session->m_acks = reg.GetCounter(prefix + "acks");
+    session->g_connected = reg.GetGauge(prefix + "connected");
+    session->g_acked = reg.GetGauge(prefix + "acked_records");
+    session->g_lag = reg.GetGauge(prefix + "lag_records");
+    session->g_staleness = reg.GetGauge(prefix + "staleness_ms");
+    session->g_connected->Set(1);
+    session->ack_id = store_.RegisterAckSource(session->name);
+    while (!stopping_.load(std::memory_order_acquire)) {
+      status = PumpSession(session);
+      if (!status.ok()) break;
+    }
+    store_.UnregisterAckSource(session->ack_id);
+    session->g_connected->Set(0);
+  }
+  // The follower reconnects and resumes; nothing to do with `status`
+  // beyond ending this session.
+  session->done.store(true, std::memory_order_release);
+}
+
+Status ReplicationListener::PumpSession(Session* session) {
+  // Ship: one bounded subscription poll, then drain whatever else is
+  // already buffered so a commit group goes out in one write.
+  persist::WalShipFrame frame;
+  NEPAL_ASSIGN_OR_RETURN(
+      bool got, session->sub->Next(
+                    &frame, std::chrono::milliseconds(options_.frame_poll_ms)));
+  if (got) {
+    std::string out;
+    size_t frames = 0;
+    while (true) {
+      ++session->session_frames;
+      if (frame.primary_records != 0) {
+        session->stamps.emplace_back(session->session_frames,
+                                     frame.primary_records);
+      }
+      wire::AppendFrame(frame, &out);
+      ++frames;
+      if (frames >= options_.max_batch_frames) break;
+      NEPAL_ASSIGN_OR_RETURN(
+          bool more, session->sub->Next(&frame, std::chrono::milliseconds(0)));
+      if (!more) break;
+    }
+    NEPAL_RETURN_NOT_OK(WriteFully(session->fd.get(), out.data(), out.size()));
+    session->frames_shipped.fetch_add(frames, std::memory_order_relaxed);
+    session->bytes_shipped.fetch_add(out.size(), std::memory_order_relaxed);
+    session->m_frames->Add(frames);
+    session->m_bytes->Add(out.size());
+    if (session->stamps.size() > options_.max_unacked_frames) {
+      return Status::Unavailable("follower '" + session->name +
+                                 "' stopped acking; dropping the session");
+    }
+  }
+  // Drain acks without blocking (the subscription poll above paces us).
+  while (true) {
+    wire::Ack ack;
+    NEPAL_ASSIGN_OR_RETURN(
+        bool acked,
+        wire::ReadAck(session->fd.get(), &ack, std::chrono::milliseconds(0)));
+    if (!acked) break;
+    ProcessAck(session, ack.applied_records, ack.staleness_ms,
+               WallClockMicros());
+  }
+  return Status::OK();
+}
+
+void ReplicationListener::ProcessAck(Session* session, uint64_t applied_frames,
+                                     uint32_t staleness_ms, int64_t now_us) {
+  // Translate "I applied my Nth session frame" into primary commit-token
+  // units via the stamps recorded at ship time. Catch-up frames carry no
+  // stamp, so coverage only moves once the follower reaches live traffic —
+  // conservative, never early.
+  uint64_t coverage = 0;
+  while (!session->stamps.empty() &&
+         session->stamps.front().first <= applied_frames) {
+    coverage = session->stamps.front().second;
+    session->stamps.pop_front();
+  }
+  if (coverage != 0) {
+    session->acked_records.store(coverage, std::memory_order_relaxed);
+    store_.ReportAck(session->ack_id, coverage);
+    session->g_acked->Set(static_cast<int64_t>(coverage));
+    const uint64_t appended = store_.records_appended();
+    session->g_lag->Set(
+        appended > coverage ? static_cast<int64_t>(appended - coverage) : 0);
+  }
+  session->staleness_ms.store(staleness_ms, std::memory_order_relaxed);
+  session->g_staleness->Set(staleness_ms);
+  session->last_ack_us.store(now_us, std::memory_order_relaxed);
+  session->m_acks->Add(1);
+}
+
+std::vector<ReplicationListener::FollowerInfo>
+ReplicationListener::Followers() const {
+  std::vector<FollowerInfo> out;
+  const uint64_t appended = store_.records_appended();
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (const auto& session : sessions_) {
+    if (!session->named.load(std::memory_order_acquire)) {
+      continue;  // handshake still in flight
+    }
+    FollowerInfo info;
+    info.name = session->name;
+    info.connected = !session->done.load(std::memory_order_acquire);
+    info.resumed = session->resumed;
+    info.frames_shipped =
+        session->frames_shipped.load(std::memory_order_relaxed);
+    info.bytes_shipped = session->bytes_shipped.load(std::memory_order_relaxed);
+    info.acked_records = session->acked_records.load(std::memory_order_relaxed);
+    info.lag_records =
+        appended > info.acked_records ? appended - info.acked_records : 0;
+    info.staleness_ms = session->staleness_ms.load(std::memory_order_relaxed);
+    info.last_ack_us = session->last_ack_us.load(std::memory_order_relaxed);
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+}  // namespace nepal::replication

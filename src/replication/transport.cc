@@ -1,46 +1,8 @@
 #include "replication/transport.h"
 
-#include <poll.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-
-#include "common/binary.h"
-#include "persist/crc32c.h"
+#include "replication/wire.h"
 
 namespace nepal::replication {
-
-namespace {
-
-constexpr char kShipMagic[8] = {'N', 'P', 'L', 'S', 'H', 'P', '0', '1'};
-constexpr uint8_t kFrameTag = 0x02;
-/// Trace-annotated frame: the 0x02 layout with a trace id (u64) and root
-/// span id (u32) inserted after the ship timestamp. Emitted only when the
-/// shipped commit was traced, so untraced traffic stays byte-identical to
-/// the original protocol (a pre-tracing follower never encounters 0x03
-/// unless its primary traces; a post-tracing follower accepts both).
-constexpr uint8_t kFrameTagTraced = 0x03;
-/// Sanity bound on wire lengths; anything larger is stream corruption.
-constexpr uint64_t kMaxWireObjectBytes = 1ull << 32;
-
-uint64_t ReadU64(const char* p) {
-  uint64_t v = 0;
-  for (int i = 7; i >= 0; --i) {
-    v = (v << 8) | static_cast<unsigned char>(p[i]);
-  }
-  return v;
-}
-
-uint32_t ReadU32(const char* p) {
-  uint32_t v = 0;
-  for (int i = 3; i >= 0; --i) {
-    v = (v << 8) | static_cast<unsigned char>(p[i]);
-  }
-  return v;
-}
-
-}  // namespace
 
 // ---- InProcessTransport ----
 
@@ -74,123 +36,27 @@ Result<bool> InProcessTransport::Next(persist::WalShipFrame* frame,
 
 // ---- FdTransport ----
 
-FdTransport::~FdTransport() {
-  if (fd_ >= 0) ::close(fd_);
-}
-
-Status FdTransport::ReadFully(char* buf, size_t n, bool eof_is_close) {
-  size_t done = 0;
-  while (done < n) {
-    ssize_t r = ::read(fd_, buf + done, n - done);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError(std::string("read replication stream: ") +
-                             std::strerror(errno));
-    }
-    if (r == 0) {
-      if (eof_is_close && done == 0) {
-        return Status::Unavailable("primary closed the replication stream");
-      }
-      return Status::Corruption(
-          "replication stream truncated mid-object (EOF after " +
-          std::to_string(done) + " of " + std::to_string(n) + " bytes)");
-    }
-    done += static_cast<size_t>(r);
-  }
-  return Status::OK();
-}
-
 Result<ReplicationHello> FdTransport::Handshake() {
-  char header[8 + 8 + 8];
-  NEPAL_RETURN_NOT_OK(ReadFully(header, sizeof(header),
-                                /*eof_is_close=*/true));
-  if (std::memcmp(header, kShipMagic, sizeof(kShipMagic)) != 0) {
-    return Status::Corruption("bad replication stream magic");
-  }
-  ReplicationHello hello;
-  hello.start_seq = ReadU64(header + 8);
-  const uint64_t image_len = ReadU64(header + 16);
-  if (image_len > kMaxWireObjectBytes) {
-    return Status::Corruption("implausible checkpoint image length " +
-                              std::to_string(image_len));
-  }
-  hello.checkpoint_image.resize(image_len);
-  NEPAL_RETURN_NOT_OK(ReadFully(hello.checkpoint_image.data(), image_len,
-                                /*eof_is_close=*/false));
-  char crc_buf[4];
-  NEPAL_RETURN_NOT_OK(ReadFully(crc_buf, sizeof(crc_buf),
-                                /*eof_is_close=*/false));
-  const uint32_t expected = persist::UnmaskCrc(ReadU32(crc_buf));
-  const uint32_t actual = persist::Crc32c(hello.checkpoint_image.data(),
-                                          hello.checkpoint_image.size());
-  if (expected != actual) {
-    return Status::Corruption("checkpoint image crc mismatch on the wire");
-  }
-  return hello;
+  wire::HelloV1 hello;
+  NEPAL_RETURN_NOT_OK(wire::ReadHelloV1(fd_.get(), &hello));
+  ReplicationHello out;
+  out.checkpoint_image = std::move(hello.checkpoint_image);
+  out.start_seq = hello.start_seq;
+  return out;
 }
 
 Result<bool> FdTransport::Next(persist::WalShipFrame* frame,
                                std::chrono::milliseconds timeout) {
-  struct pollfd pfd;
-  pfd.fd = fd_;
-  pfd.events = POLLIN;
-  int r = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
-  if (r < 0) {
-    if (errno == EINTR) return false;
-    return Status::IoError(std::string("poll replication stream: ") +
-                           std::strerror(errno));
-  }
-  if (r == 0) return false;  // timeout, no data yet
-  // Data (or EOF) is ready; the tag byte read below classifies it and
-  // selects the header layout (0x02 plain, 0x03 trace-annotated).
-  char tag_byte;
-  NEPAL_RETURN_NOT_OK(ReadFully(&tag_byte, 1, /*eof_is_close=*/true));
-  const uint8_t tag = static_cast<uint8_t>(tag_byte);
-  if (tag != kFrameTag && tag != kFrameTagTraced) {
-    return Status::Corruption("unknown replication frame tag " +
-                              std::to_string(tag));
-  }
-  char header[8 + 8 + 8 + 4 + 4 + 4];
-  const size_t header_len =
-      tag == kFrameTagTraced ? 8 + 8 + 8 + 4 + 4 + 4 : 8 + 8 + 4 + 4;
-  NEPAL_RETURN_NOT_OK(ReadFully(header, header_len,
-                                /*eof_is_close=*/false));
-  const char* p = header;
-  frame->segment_seq = ReadU64(p);
-  p += 8;
-  frame->shipped_at_us = static_cast<int64_t>(ReadU64(p));
-  p += 8;
-  if (tag == kFrameTagTraced) {
-    frame->trace_id = ReadU64(p);
-    p += 8;
-    frame->root_span = ReadU32(p);
-    p += 4;
-  } else {
-    frame->trace_id = 0;
-    frame->root_span = 0;
-  }
-  const uint32_t len = ReadU32(p);
-  p += 4;
-  const uint32_t masked_crc = ReadU32(p);
-  if (len > kMaxWireObjectBytes) {
-    return Status::Corruption("implausible replication frame length " +
-                              std::to_string(len));
-  }
-  frame->payload.resize(len);
-  NEPAL_RETURN_NOT_OK(ReadFully(frame->payload.data(), len,
-                                /*eof_is_close=*/false));
-  if (persist::UnmaskCrc(masked_crc) !=
-      persist::Crc32c(frame->payload.data(), frame->payload.size())) {
-    return Status::Corruption("replication frame crc mismatch on the wire");
-  }
-  return true;
+  return wire::ReadFrame(fd_.get(), frame, timeout);
 }
 
 // ---- WalShipper ----
 
 WalShipper::WalShipper(std::shared_ptr<persist::WalSubscription> subscription,
                        int fd)
-    : subscription_(std::move(subscription)), fd_(fd) {}
+    : subscription_(std::move(subscription)), fd_(fd) {
+  IgnoreSigPipe();
+}
 
 WalShipper::~WalShipper() { Stop(); }
 
@@ -208,39 +74,20 @@ void WalShipper::Stop() {
   stop_.store(true, std::memory_order_release);
   subscription_->Cancel();  // wakes a Next() blocked inside the pump
   if (thread_.joinable()) thread_.join();
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
-}
-
-Status WalShipper::WriteFully(const char* data, size_t n) {
-  size_t done = 0;
-  while (done < n) {
-    ssize_t w = ::write(fd_, data + done, n - done);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError(std::string("write replication stream: ") +
-                             std::strerror(errno));
-    }
-    done += static_cast<size_t>(w);
-  }
-  return Status::OK();
+  fd_.reset();
 }
 
 void WalShipper::Run() {
   Status status;
   // Hello first: magic, start sequence, then the checkpoint image.
   {
-    std::string hello(kShipMagic, sizeof(kShipMagic));
-    const std::string& image = subscription_->checkpoint_image();
-    PutFixed64(&hello, subscription_->start_seq());
-    PutFixed64(&hello, image.size());
-    hello += image;
-    PutFixed32(&hello, persist::MaskCrc(
-                           persist::Crc32c(image.data(), image.size())));
-    status = WriteFully(hello.data(), hello.size());
-    bytes_shipped_.fetch_add(hello.size(), std::memory_order_relaxed);
+    wire::HelloV1 hello;
+    hello.checkpoint_image = subscription_->checkpoint_image();
+    hello.start_seq = subscription_->start_seq();
+    std::string out;
+    wire::AppendHelloV1(hello, &out);
+    status = WriteFully(fd_.get(), out.data(), out.size());
+    bytes_shipped_.fetch_add(out.size(), std::memory_order_relaxed);
   }
   while (status.ok() && !stop_.load(std::memory_order_acquire)) {
     persist::WalShipFrame frame;
@@ -251,24 +98,12 @@ void WalShipper::Run() {
       break;
     }
     if (!*got) continue;  // timeout; poll again
-    std::string wire;
-    wire.reserve(1 + 8 + 8 + 8 + 4 + 4 + 4 + frame.payload.size());
-    const bool traced = frame.trace_id != 0;
-    PutFixed8(&wire, traced ? kFrameTagTraced : kFrameTag);
-    PutFixed64(&wire, frame.segment_seq);
-    PutFixed64(&wire, static_cast<uint64_t>(frame.shipped_at_us));
-    if (traced) {
-      PutFixed64(&wire, frame.trace_id);
-      PutFixed32(&wire, frame.root_span);
-    }
-    PutFixed32(&wire, static_cast<uint32_t>(frame.payload.size()));
-    PutFixed32(&wire, persist::MaskCrc(persist::Crc32c(
-                          frame.payload.data(), frame.payload.size())));
-    wire += frame.payload;
-    status = WriteFully(wire.data(), wire.size());
+    std::string out;
+    wire::AppendFrame(frame, &out);
+    status = WriteFully(fd_.get(), out.data(), out.size());
     if (status.ok()) {
       frames_shipped_.fetch_add(1, std::memory_order_relaxed);
-      bytes_shipped_.fetch_add(wire.size(), std::memory_order_relaxed);
+      bytes_shipped_.fetch_add(out.size(), std::memory_order_relaxed);
     }
   }
   std::lock_guard<std::mutex> lock(mu_);

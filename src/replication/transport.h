@@ -25,8 +25,10 @@
 // for frames whose commit was traced on the primary, so untraced traffic
 // remains byte-identical to the pre-tracing protocol.
 //
-// EOF mid-stream surfaces as kUnavailable("primary closed") — for a
+// EOF mid-stream surfaces as kUnavailable("peer closed") — for a
 // warm-standby follower that is the promotion trigger, not an error.
+// The byte-level codec itself lives in replication/wire.h, shared with
+// the socket fleet (ReplicationListener / ReplicaStore::Connect).
 
 #ifndef NEPAL_REPLICATION_TRANSPORT_H_
 #define NEPAL_REPLICATION_TRANSPORT_H_
@@ -37,9 +39,11 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "common/status.h"
 #include "persist/durable_store.h"
+#include "replication/socket_util.h"
 
 namespace nepal::replication {
 
@@ -85,22 +89,19 @@ class InProcessTransport final : public ReplicationTransport {
 };
 
 /// Reads the wire encoding from a descriptor the caller connected (FIFO,
-/// socketpair, ...). Takes ownership of `fd` and closes it on destruction.
+/// socketpair, socket). Takes ownership of `fd`; SocketUtil (OwnedFd,
+/// ReadFully, PollReadable) carries the descriptor lifecycle.
 class FdTransport final : public ReplicationTransport {
  public:
-  explicit FdTransport(int fd) : fd_(fd) {}
-  ~FdTransport() override;
+  explicit FdTransport(int fd) : fd_(fd) { IgnoreSigPipe(); }
+  explicit FdTransport(OwnedFd fd) : fd_(std::move(fd)) { IgnoreSigPipe(); }
 
   Result<ReplicationHello> Handshake() override;
   Result<bool> Next(persist::WalShipFrame* frame,
                     std::chrono::milliseconds timeout) override;
 
  private:
-  /// Blocking read of exactly `n` bytes; kUnavailable on clean EOF at a
-  /// frame boundary start, Corruption on EOF mid-object.
-  Status ReadFully(char* buf, size_t n, bool eof_is_close);
-
-  int fd_;
+  OwnedFd fd_;
 };
 
 /// Primary-side pump for FdTransport: subscribes to the store and writes
@@ -132,10 +133,9 @@ class WalShipper {
  private:
   WalShipper(std::shared_ptr<persist::WalSubscription> subscription, int fd);
   void Run();
-  Status WriteFully(const char* data, size_t n);
 
   std::shared_ptr<persist::WalSubscription> subscription_;
-  int fd_;
+  OwnedFd fd_;
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> frames_shipped_{0};
   std::atomic<uint64_t> bytes_shipped_{0};

@@ -1,0 +1,193 @@
+#include "replication/wire.h"
+
+#include <cstring>
+
+#include "common/binary.h"
+#include "persist/crc32c.h"
+#include "replication/socket_util.h"
+
+namespace nepal::replication::wire {
+
+uint64_t ReadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+void AppendHelloV1(const HelloV1& hello, std::string* out) {
+  out->append(kMagicV1, sizeof(kMagicV1));
+  PutFixed64(out, hello.start_seq);
+  PutFixed64(out, hello.checkpoint_image.size());
+  *out += hello.checkpoint_image;
+  PutFixed32(out, persist::MaskCrc(persist::Crc32c(
+                      hello.checkpoint_image.data(),
+                      hello.checkpoint_image.size())));
+}
+
+void AppendFollowerHello(const FollowerHello& hello, std::string* out) {
+  out->append(kMagicV2, sizeof(kMagicV2));
+  PutFixed32(out, static_cast<uint32_t>(hello.name.size()));
+  *out += hello.name;
+  PutFixed64(out, hello.resume_seq);
+  PutFixed64(out, hello.resume_skip_records);
+}
+
+void AppendFrame(const persist::WalShipFrame& frame, std::string* out) {
+  const bool traced = frame.trace_id != 0;
+  out->reserve(out->size() + 1 + 8 + 8 + 8 + 4 + 4 + 4 +
+               frame.payload.size());
+  PutFixed8(out, traced ? kFrameTagTraced : kFrameTag);
+  PutFixed64(out, frame.segment_seq);
+  PutFixed64(out, static_cast<uint64_t>(frame.shipped_at_us));
+  if (traced) {
+    PutFixed64(out, frame.trace_id);
+    PutFixed32(out, frame.root_span);
+  }
+  PutFixed32(out, static_cast<uint32_t>(frame.payload.size()));
+  PutFixed32(out, persist::MaskCrc(persist::Crc32c(frame.payload.data(),
+                                                   frame.payload.size())));
+  *out += frame.payload;
+}
+
+void AppendAck(const Ack& ack, std::string* out) {
+  PutFixed8(out, kAckTag);
+  PutFixed64(out, ack.applied_records);
+  PutFixed64(out, ack.position_seq);
+  PutFixed64(out, ack.position_records);
+  PutFixed64(out, static_cast<uint64_t>(ack.applied_at_us));
+  PutFixed32(out, ack.staleness_ms);
+}
+
+Status ReadHelloV1(int fd, HelloV1* out) {
+  char header[8 + 8 + 8];
+  NEPAL_RETURN_NOT_OK(ReadFully(fd, header, sizeof(header),
+                                /*eof_is_close=*/true));
+  if (std::memcmp(header, kMagicV1, sizeof(kMagicV1)) != 0) {
+    return Status::Corruption("bad replication stream magic");
+  }
+  out->start_seq = ReadU64(header + 8);
+  const uint64_t image_len = ReadU64(header + 16);
+  if (image_len > kMaxWireObjectBytes) {
+    return Status::Corruption("implausible checkpoint image length " +
+                              std::to_string(image_len));
+  }
+  out->checkpoint_image.resize(image_len);
+  NEPAL_RETURN_NOT_OK(ReadFully(fd, out->checkpoint_image.data(), image_len,
+                                /*eof_is_close=*/false));
+  char crc_buf[4];
+  NEPAL_RETURN_NOT_OK(ReadFully(fd, crc_buf, sizeof(crc_buf),
+                                /*eof_is_close=*/false));
+  const uint32_t expected = persist::UnmaskCrc(ReadU32(crc_buf));
+  const uint32_t actual = persist::Crc32c(out->checkpoint_image.data(),
+                                          out->checkpoint_image.size());
+  if (expected != actual) {
+    return Status::Corruption("checkpoint image crc mismatch on the wire");
+  }
+  return Status::OK();
+}
+
+Status ReadFollowerHello(int fd, FollowerHello* out) {
+  char header[8 + 4];
+  NEPAL_RETURN_NOT_OK(ReadFully(fd, header, sizeof(header),
+                                /*eof_is_close=*/true));
+  if (std::memcmp(header, kMagicV2, sizeof(kMagicV2)) != 0) {
+    return Status::Corruption(
+        "bad follower hello magic (follower speaks a different protocol "
+        "version)");
+  }
+  const uint32_t name_len = ReadU32(header + 8);
+  if (name_len > 4096) {
+    return Status::Corruption("implausible follower name length " +
+                              std::to_string(name_len));
+  }
+  out->name.resize(name_len);
+  NEPAL_RETURN_NOT_OK(ReadFully(fd, out->name.data(), name_len,
+                                /*eof_is_close=*/false));
+  char pos[8 + 8];
+  NEPAL_RETURN_NOT_OK(ReadFully(fd, pos, sizeof(pos),
+                                /*eof_is_close=*/false));
+  out->resume_seq = ReadU64(pos);
+  out->resume_skip_records = ReadU64(pos + 8);
+  return Status::OK();
+}
+
+Result<bool> ReadFrame(int fd, persist::WalShipFrame* frame,
+                       std::chrono::milliseconds timeout) {
+  NEPAL_ASSIGN_OR_RETURN(bool readable, PollReadable(fd, timeout));
+  if (!readable) return false;  // timeout, no data yet
+  // Data (or EOF) is ready; the tag byte classifies it and selects the
+  // header layout (0x02 plain, 0x03 trace-annotated).
+  char tag_byte;
+  NEPAL_RETURN_NOT_OK(ReadFully(fd, &tag_byte, 1, /*eof_is_close=*/true));
+  const uint8_t tag = static_cast<uint8_t>(tag_byte);
+  if (tag != kFrameTag && tag != kFrameTagTraced) {
+    return Status::Corruption("unknown replication frame tag " +
+                              std::to_string(tag));
+  }
+  char header[8 + 8 + 8 + 4 + 4 + 4];
+  const size_t header_len =
+      tag == kFrameTagTraced ? 8 + 8 + 8 + 4 + 4 + 4 : 8 + 8 + 4 + 4;
+  NEPAL_RETURN_NOT_OK(ReadFully(fd, header, header_len,
+                                /*eof_is_close=*/false));
+  const char* p = header;
+  frame->segment_seq = ReadU64(p);
+  p += 8;
+  frame->shipped_at_us = static_cast<int64_t>(ReadU64(p));
+  p += 8;
+  if (tag == kFrameTagTraced) {
+    frame->trace_id = ReadU64(p);
+    p += 8;
+    frame->root_span = ReadU32(p);
+    p += 4;
+  } else {
+    frame->trace_id = 0;
+    frame->root_span = 0;
+  }
+  const uint32_t len = ReadU32(p);
+  p += 4;
+  const uint32_t masked_crc = ReadU32(p);
+  if (len > kMaxWireObjectBytes) {
+    return Status::Corruption("implausible replication frame length " +
+                              std::to_string(len));
+  }
+  frame->payload.resize(len);
+  NEPAL_RETURN_NOT_OK(ReadFully(fd, frame->payload.data(), len,
+                                /*eof_is_close=*/false));
+  if (persist::UnmaskCrc(masked_crc) !=
+      persist::Crc32c(frame->payload.data(), frame->payload.size())) {
+    return Status::Corruption("replication frame crc mismatch on the wire");
+  }
+  return true;
+}
+
+Result<bool> ReadAck(int fd, Ack* out, std::chrono::milliseconds timeout) {
+  NEPAL_ASSIGN_OR_RETURN(bool readable, PollReadable(fd, timeout));
+  if (!readable) return false;
+  char tag_byte;
+  NEPAL_RETURN_NOT_OK(ReadFully(fd, &tag_byte, 1, /*eof_is_close=*/true));
+  if (static_cast<uint8_t>(tag_byte) != kAckTag) {
+    return Status::Corruption("unknown ack channel tag " +
+                              std::to_string(tag_byte));
+  }
+  char body[8 + 8 + 8 + 8 + 4];
+  NEPAL_RETURN_NOT_OK(ReadFully(fd, body, sizeof(body),
+                                /*eof_is_close=*/false));
+  out->applied_records = ReadU64(body);
+  out->position_seq = ReadU64(body + 8);
+  out->position_records = ReadU64(body + 16);
+  out->applied_at_us = static_cast<int64_t>(ReadU64(body + 24));
+  out->staleness_ms = ReadU32(body + 32);
+  return true;
+}
+
+}  // namespace nepal::replication::wire

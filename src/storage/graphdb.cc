@@ -89,7 +89,13 @@ Status GraphDb::SetTime(Timestamp t) {
   NEPAL_RETURN_NOT_OK(CheckWritableLocked());
   std::vector<WalRecord> wal;
   NEPAL_RETURN_NOT_OK(SetTimeLocked(t, &wal));
-  return AppendWalLocked(wal);
+  NEPAL_RETURN_NOT_OK(AppendWalLocked(wal));
+  WriteLog* log = write_log_;
+  const uint64_t token =
+      log != nullptr && !wal.empty() ? log->commit_token() : 0;
+  lock.unlock();
+  if (token != 0) log->WaitCommitted(token);
+  return Status::OK();
 }
 
 Status GraphDb::SyncNextUid(Uid uid) {
@@ -233,6 +239,11 @@ Result<Uid> GraphDb::AddNode(const std::string& class_name,
                          AddNodeLocked(cls, std::move(row), 0, &wal));
   commit_epoch_.store(epoch, std::memory_order_release);
   NEPAL_RETURN_NOT_OK(AppendWalLocked(wal));
+  WriteLog* log = write_log_;
+  const uint64_t token =
+      log != nullptr && !wal.empty() ? log->commit_token() : 0;
+  lock.unlock();
+  if (token != 0) log->WaitCommitted(token);
   return uid;
 }
 
@@ -301,6 +312,11 @@ Result<Uid> GraphDb::AddEdge(const std::string& class_name, Uid source,
       Uid uid, AddEdgeLocked(cls, source, target, std::move(row), 0, &wal));
   commit_epoch_.store(epoch, std::memory_order_release);
   NEPAL_RETURN_NOT_OK(AppendWalLocked(wal));
+  WriteLog* log = write_log_;
+  const uint64_t token =
+      log != nullptr && !wal.empty() ? log->commit_token() : 0;
+  lock.unlock();
+  if (token != 0) log->WaitCommitted(token);
   return uid;
 }
 
@@ -359,7 +375,13 @@ Status GraphDb::UpdateElement(Uid uid, const schema::FieldValues& fields) {
   std::vector<WalRecord> wal;
   NEPAL_RETURN_NOT_OK(UpdateElementLocked(uid, changes, &wal));
   commit_epoch_.store(epoch, std::memory_order_release);
-  return AppendWalLocked(wal);
+  NEPAL_RETURN_NOT_OK(AppendWalLocked(wal));
+  WriteLog* log = write_log_;
+  const uint64_t token =
+      log != nullptr && !wal.empty() ? log->commit_token() : 0;
+  lock.unlock();
+  if (token != 0) log->WaitCommitted(token);
+  return Status::OK();
 }
 
 Status GraphDb::RemoveElementLocked(Uid uid, std::vector<WalRecord>* wal) {
@@ -404,7 +426,13 @@ Status GraphDb::RemoveElement(Uid uid) {
   std::vector<WalRecord> wal;
   NEPAL_RETURN_NOT_OK(RemoveElementLocked(uid, &wal));
   commit_epoch_.store(epoch, std::memory_order_release);
-  return AppendWalLocked(wal);
+  NEPAL_RETURN_NOT_OK(AppendWalLocked(wal));
+  WriteLog* log = write_log_;
+  const uint64_t token =
+      log != nullptr && !wal.empty() ? log->commit_token() : 0;
+  lock.unlock();
+  if (token != 0) log->WaitCommitted(token);
+  return Status::OK();
 }
 
 Status GraphDb::ApplyBatch(std::span<Mutation> muts) {
@@ -772,6 +800,11 @@ Status GraphDb::ApplyBatch(std::span<Mutation> muts) {
     Status shipped = write_log_->AppendBatch(wal);
     if (apply.ok()) apply = shipped;
   }
+  WriteLog* log = write_log_;
+  const uint64_t token =
+      apply.ok() && log != nullptr && !wal.empty() ? log->commit_token() : 0;
+  lock.unlock();
+  if (token != 0) log->WaitCommitted(token);
   return apply;
 }
 

@@ -101,6 +101,23 @@ class WriteLog {
     }
     return Status::OK();
   }
+
+  // ---- Semi-synchronous replication (see persist::DurableStore) ----
+  //
+  // A log that replicates its appends may ask the committing writer to wait
+  // for follower acknowledgements — but never under the writer lock, or a
+  // slow follower would stall every reader too. GraphDb therefore captures
+  // commit_token() while it still holds the lock (so the token covers
+  // exactly this commit) and calls WaitCommitted(token) after releasing it.
+
+  /// Opaque high-water mark covering everything appended so far. Zero means
+  /// "nothing to wait for"; the default implementation never waits.
+  virtual uint64_t commit_token() const { return 0; }
+
+  /// Blocks until the log's replication quorum has acknowledged everything
+  /// up to `token`, a configured timeout elapses, or waiting is disabled.
+  /// Called WITHOUT the writer lock held; must tolerate concurrent callers.
+  virtual void WaitCommitted(uint64_t token) { (void)token; }
 };
 
 }  // namespace nepal::storage

@@ -63,8 +63,12 @@ class FederationTest : public ::testing::Test {
     ASSERT_TRUE(physical_->AddEdge("terminates", ckt, s2, {}).ok());
 
     engine_ = std::make_unique<nql::QueryEngine>(cloud_.get());
-    engine_->BindSource("cloud", cloud_.get());
-    engine_->BindSource("physical", physical_.get());
+    nql::SourceDescriptor cloud_desc;
+    cloud_desc.db = cloud_.get();
+    ASSERT_TRUE(engine_->catalog().Register("cloud", cloud_desc).ok());
+    nql::SourceDescriptor physical_desc;
+    physical_desc.db = physical_.get();
+    ASSERT_TRUE(engine_->catalog().Register("physical", physical_desc).ok());
   }
 
   std::unique_ptr<storage::GraphDb> cloud_, physical_;
@@ -117,14 +121,16 @@ TEST_F(FederationTest, UnknownSourceIsRejected) {
 }
 
 TEST_F(FederationTest, CatalogDescribesRegisteredSources) {
-  // BindSource is now a thin wrapper over the catalog: both names appear
-  // as writable primaries, and Describe renders one line per source.
+  // Plain registrations are writable primaries, and Describe renders one
+  // line per source.
   auto names = engine_->catalog().Names();
   EXPECT_EQ(names, (std::vector<std::string>{"cloud", "physical"}));
   for (const auto& name : names) {
     auto writable = engine_->catalog().Writable(name);
     ASSERT_TRUE(writable.ok()) << writable.status();
-    EXPECT_EQ(*writable, (*engine_->catalog().Lookup(name))->db);
+    auto looked_up = engine_->catalog().Lookup(name);
+    ASSERT_TRUE(looked_up.ok()) << looked_up.status();
+    EXPECT_EQ(*writable, looked_up->db);
   }
   const std::string described = engine_->catalog().Describe();
   EXPECT_NE(described.find("cloud: primary"), std::string::npos) << described;

@@ -145,6 +145,64 @@ TEST(MetricsRegistryTest, ViewMetricsRenderUnderCanonicalNames) {
   reg.ResetValuesForTest();
 }
 
+TEST(MetricsRegistryTest, ReplicationFleetMetricsRenderUnderCanonicalNames) {
+  // The replication fleet (src/replication) publishes listener-wide,
+  // per-follower, semi-sync, and read-router series under these exact
+  // names; the shell's \replication table and CI's fleet drill read them.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.ResetValuesForTest();
+  reg.GetCounter("nepal.replication.listener.sessions")->Add(3);
+  reg.GetCounter("nepal.replication.listener.resumes")->Add(1);
+  reg.GetCounter("nepal.replication.listener.rebootstraps")->Add(2);
+  reg.GetCounter("nepal.replication.follower.f1.frames_shipped")->Add(40);
+  reg.GetCounter("nepal.replication.follower.f1.bytes_shipped")->Add(4096);
+  reg.GetCounter("nepal.replication.follower.f1.acks")->Add(40);
+  reg.GetGauge("nepal.replication.follower.f1.connected")->Set(1);
+  reg.GetGauge("nepal.replication.follower.f1.acked_records")->Set(120);
+  reg.GetGauge("nepal.replication.follower.f1.lag_records")->Set(0);
+  reg.GetGauge("nepal.replication.follower.f1.staleness_ms")->Set(7);
+  reg.GetCounter("nepal.replication.semisync.acked_commits")->Add(5);
+  reg.GetCounter("nepal.replication.semisync.timeouts")->Add(1);
+  reg.GetGauge("nepal.replication.semisync.degraded")->Set(1);
+  reg.GetCounter("nepal.router.primary_reads")->Add(6);
+  reg.GetCounter("nepal.router.replica_reads")->Add(9);
+  reg.GetCounter("nepal.router.fallbacks")->Add(2);
+
+  std::string text = reg.RenderText();
+  EXPECT_NE(text.find("counter nepal.replication.listener.sessions 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("counter nepal.replication.listener.resumes 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("counter nepal.replication.listener.rebootstraps 2"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("counter nepal.replication.follower.f1.frames_shipped 40"),
+      std::string::npos);
+  EXPECT_NE(text.find("counter nepal.replication.follower.f1.acks 40"),
+            std::string::npos);
+  EXPECT_NE(text.find("gauge nepal.replication.follower.f1.connected 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("gauge nepal.replication.follower.f1.acked_records 120"),
+            std::string::npos);
+  EXPECT_NE(text.find("gauge nepal.replication.follower.f1.staleness_ms 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("gauge nepal.replication.semisync.degraded 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("counter nepal.router.replica_reads 9"),
+            std::string::npos);
+
+  std::string json = reg.RenderJson();
+  EXPECT_NE(
+      json.find("\"nepal.replication.follower.f1.frames_shipped\":40"),
+      std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"nepal.replication.follower.f1.connected\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"nepal.router.fallbacks\":2"), std::string::npos);
+  reg.ResetValuesForTest();
+}
+
 TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
   EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
 }
